@@ -1,0 +1,44 @@
+//! Error type shared by the battery models.
+
+use std::fmt;
+
+/// Errors produced while constructing or evaluating battery models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatteryError {
+    /// A model parameter was out of its physical range.
+    InvalidParameter(String),
+    /// A numerical routine (root finder, ODE driver) failed; holds a
+    /// human-readable description of the failure.
+    Numerical(String),
+    /// A load profile was malformed (negative currents, zero-length
+    /// segments, …).
+    InvalidLoad(String),
+}
+
+impl fmt::Display for BatteryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatteryError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            BatteryError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            BatteryError::InvalidLoad(msg) => write!(f, "invalid load profile: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BatteryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            BatteryError::InvalidParameter("c".into()),
+            BatteryError::Numerical("n".into()),
+            BatteryError::InvalidLoad("l".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

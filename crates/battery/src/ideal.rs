@@ -1,0 +1,140 @@
+//! The ideal battery: constant voltage, full capacity at any load.
+//!
+//! `L = C/I` — the paper's §2 starting point and the `c = 1, k = 0`
+//! degenerate case of the KiBaM. Provided as a first-class model because
+//! the experiments repeatedly compare against it (e.g. "theoretically the
+//! device can be 4 hours in send mode or 100 hours in idle mode").
+
+use crate::lifetime::DischargeModel;
+use crate::BatteryError;
+use units::{Charge, Current, Time};
+
+/// An ideal battery with capacity `C`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdealBattery {
+    capacity: Charge,
+}
+
+impl IdealBattery {
+    /// Creates an ideal battery.
+    ///
+    /// # Errors
+    ///
+    /// [`BatteryError::InvalidParameter`] for non-positive capacity.
+    pub fn new(capacity: Charge) -> Result<Self, BatteryError> {
+        if !(capacity.value() > 0.0) || !capacity.is_finite() {
+            return Err(BatteryError::InvalidParameter(format!(
+                "capacity must be positive, got {capacity}"
+            )));
+        }
+        Ok(IdealBattery { capacity })
+    }
+
+    /// The capacity `C`.
+    pub fn capacity(&self) -> Charge {
+        self.capacity
+    }
+
+    /// The ideal lifetime `C/I` under a constant load.
+    ///
+    /// # Errors
+    ///
+    /// [`BatteryError::InvalidParameter`] for non-positive current.
+    pub fn constant_load_lifetime(&self, current: Current) -> Result<Time, BatteryError> {
+        if !(current.value() > 0.0) {
+            return Err(BatteryError::InvalidParameter(format!(
+                "need positive current, got {current}"
+            )));
+        }
+        Ok(self.capacity / current)
+    }
+}
+
+impl DischargeModel for IdealBattery {
+    type State = Charge;
+
+    fn initial_state(&self) -> Charge {
+        self.capacity
+    }
+
+    fn advance(&self, state: &Charge, current: Current, dt: Time) -> Result<Charge, BatteryError> {
+        if !current.is_finite() || current.value() < 0.0 || !dt.is_finite() || dt.value() < 0.0 {
+            return Err(BatteryError::InvalidParameter(
+                "current and step must be finite and non-negative".into(),
+            ));
+        }
+        Ok(*state - current * dt)
+    }
+
+    fn available_charge(&self, state: &Charge) -> Charge {
+        *state
+    }
+
+    fn depletion_within(
+        &self,
+        state: &Charge,
+        current: Current,
+        dt: Time,
+    ) -> Result<Option<Time>, BatteryError> {
+        if state.value() <= 0.0 {
+            return Ok(Some(Time::ZERO));
+        }
+        if current.value() <= 0.0 {
+            return Ok(None);
+        }
+        let t = *state / current;
+        Ok(if t <= dt { Some(t) } else { None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetime::lifetime;
+    use crate::load::ConstantLoad;
+
+    #[test]
+    fn lifetime_is_capacity_over_current() {
+        let b = IdealBattery::new(Charge::from_milliamp_hours(800.0)).unwrap();
+        let l = b.constant_load_lifetime(Current::from_milliamps(200.0)).unwrap();
+        assert!((l.as_hours() - 4.0).abs() < 1e-12);
+        let l = b.constant_load_lifetime(Current::from_milliamps(8.0)).unwrap();
+        assert!((l.as_hours() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(IdealBattery::new(Charge::ZERO).is_err());
+        let b = IdealBattery::new(Charge::from_coulombs(10.0)).unwrap();
+        assert!(b.constant_load_lifetime(Current::ZERO).is_err());
+        assert!(b.advance(&b.initial_state(), Current::from_amps(-1.0), Time::ZERO).is_err());
+        assert_eq!(b.capacity().value(), 10.0);
+    }
+
+    #[test]
+    fn discharge_model_agrees_with_closed_form() {
+        let b = IdealBattery::new(Charge::from_coulombs(7200.0)).unwrap();
+        let load = ConstantLoad::new(Current::from_amps(0.96)).unwrap();
+        let l = lifetime(&b, &load, Time::from_hours(10.0)).unwrap().unwrap();
+        assert!((l.as_seconds() - 7500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depletion_within_exactness() {
+        let b = IdealBattery::new(Charge::from_coulombs(10.0)).unwrap();
+        let s = b.initial_state();
+        let d = b
+            .depletion_within(&s, Current::from_amps(2.0), Time::from_seconds(100.0))
+            .unwrap();
+        assert_eq!(d, Some(Time::from_seconds(5.0)));
+        let d = b
+            .depletion_within(&s, Current::from_amps(2.0), Time::from_seconds(3.0))
+            .unwrap();
+        assert_eq!(d, None);
+        let empty = Charge::ZERO;
+        assert_eq!(
+            b.depletion_within(&empty, Current::from_amps(1.0), Time::from_seconds(1.0)).unwrap(),
+            Some(Time::ZERO)
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! Deterministic load profiles.
+//!
+//! The paper's Table 1 and Fig. 2 drive the battery with piecewise-constant
+//! deterministic loads: a continuous 0.96 A draw and square waves of
+//! frequency `f` (equal on/off times, current drawn during "on"). The
+//! [`LoadProfile`] trait exposes exactly what the discharge driver needs:
+//! the current now, and where the current next changes.
+
+use crate::BatteryError;
+use units::{Current, Frequency, Time};
+
+/// A deterministic, piecewise-constant load profile.
+pub trait LoadProfile {
+    /// Current drawn at time `t ≥ 0`.
+    fn current(&self, t: Time) -> Current;
+
+    /// The end of the constant-current segment containing `t`, or `None`
+    /// when the current never changes again. Must be strictly greater
+    /// than `t`.
+    fn segment_end(&self, t: Time) -> Option<Time>;
+}
+
+/// A constant current forever.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantLoad {
+    current: Current,
+}
+
+impl ConstantLoad {
+    /// Creates a constant load.
+    ///
+    /// # Errors
+    ///
+    /// [`BatteryError::InvalidLoad`] for negative or non-finite current.
+    pub fn new(current: Current) -> Result<Self, BatteryError> {
+        if !current.is_finite() || current.value() < 0.0 {
+            return Err(BatteryError::InvalidLoad(format!("current {current}")));
+        }
+        Ok(ConstantLoad { current })
+    }
+}
+
+impl LoadProfile for ConstantLoad {
+    fn current(&self, _t: Time) -> Current {
+        self.current
+    }
+
+    fn segment_end(&self, _t: Time) -> Option<Time> {
+        None
+    }
+}
+
+/// A square wave: `on_current` for the first `duty` fraction of each
+/// period, `off_current` for the rest, starting in the "on" phase.
+///
+/// # Examples
+///
+/// The paper's Fig. 2 workload (`f = 0.001 Hz`, 0.96 A on, idle off):
+///
+/// ```
+/// use battery::load::{LoadProfile, SquareWaveLoad};
+/// use units::{Current, Frequency, Time};
+///
+/// let w = SquareWaveLoad::symmetric(Frequency::from_hertz(0.001),
+///                                   Current::from_amps(0.96)).unwrap();
+/// assert_eq!(w.current(Time::from_seconds(100.0)).as_amps(), 0.96);
+/// assert_eq!(w.current(Time::from_seconds(600.0)).as_amps(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SquareWaveLoad {
+    period: Time,
+    on_time: Time,
+    on_current: Current,
+    off_current: Current,
+}
+
+impl SquareWaveLoad {
+    /// A square wave with arbitrary duty cycle and off-current.
+    ///
+    /// # Errors
+    ///
+    /// [`BatteryError::InvalidLoad`] unless `frequency > 0`,
+    /// `0 < duty < 1`, and both currents are finite and non-negative.
+    pub fn new(
+        frequency: Frequency,
+        duty: f64,
+        on_current: Current,
+        off_current: Current,
+    ) -> Result<Self, BatteryError> {
+        if !(frequency.value() > 0.0) || !frequency.is_finite() {
+            return Err(BatteryError::InvalidLoad(format!("frequency {frequency}")));
+        }
+        if !(duty > 0.0 && duty < 1.0) {
+            return Err(BatteryError::InvalidLoad(format!("duty cycle {duty}")));
+        }
+        for c in [on_current, off_current] {
+            if !c.is_finite() || c.value() < 0.0 {
+                return Err(BatteryError::InvalidLoad(format!("current {c}")));
+            }
+        }
+        let period = frequency.period();
+        Ok(SquareWaveLoad { period, on_time: period * duty, on_current, off_current })
+    }
+
+    /// The paper's wave: 50 % duty, zero current while off.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SquareWaveLoad::new`].
+    pub fn symmetric(frequency: Frequency, on_current: Current) -> Result<Self, BatteryError> {
+        SquareWaveLoad::new(frequency, 0.5, on_current, Current::ZERO)
+    }
+
+    /// The wave period.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+}
+
+impl LoadProfile for SquareWaveLoad {
+    fn current(&self, t: Time) -> Current {
+        let phase = t.as_seconds().rem_euclid(self.period.as_seconds());
+        if phase < self.on_time.as_seconds() {
+            self.on_current
+        } else {
+            self.off_current
+        }
+    }
+
+    fn segment_end(&self, t: Time) -> Option<Time> {
+        let p = self.period.as_seconds();
+        let cycle = (t.as_seconds() / p).floor();
+        let phase = t.as_seconds() - cycle * p;
+        let next = if phase < self.on_time.as_seconds() {
+            cycle * p + self.on_time.as_seconds()
+        } else {
+            (cycle + 1.0) * p
+        };
+        Some(Time::from_seconds(next))
+    }
+}
+
+/// An explicit piecewise-constant profile given by `(duration, current)`
+/// segments, optionally repeating forever; after a non-repeating profile
+/// ends, the last current is held.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLoad {
+    segments: Vec<(Time, Current)>,
+    total: Time,
+    repeat: bool,
+}
+
+impl PiecewiseLoad {
+    /// Creates a profile from segments.
+    ///
+    /// # Errors
+    ///
+    /// [`BatteryError::InvalidLoad`] for an empty list, non-positive
+    /// durations, or invalid currents.
+    pub fn new(segments: Vec<(Time, Current)>, repeat: bool) -> Result<Self, BatteryError> {
+        if segments.is_empty() {
+            return Err(BatteryError::InvalidLoad("no segments".into()));
+        }
+        for (d, c) in &segments {
+            if !(d.value() > 0.0) || !d.is_finite() {
+                return Err(BatteryError::InvalidLoad(format!("segment duration {d}")));
+            }
+            if !c.is_finite() || c.value() < 0.0 {
+                return Err(BatteryError::InvalidLoad(format!("segment current {c}")));
+            }
+        }
+        let total = segments.iter().map(|&(d, _)| d).sum();
+        Ok(PiecewiseLoad { segments, total, repeat })
+    }
+
+    /// Total duration of one pass through the segments.
+    pub fn cycle_length(&self) -> Time {
+        self.total
+    }
+
+    fn locate(&self, t: Time) -> (usize, Time) {
+        // Returns (segment index, segment end in absolute time).
+        let total = self.total.as_seconds();
+        let (base, local) = if self.repeat {
+            let cycles = (t.as_seconds() / total).floor();
+            (cycles * total, t.as_seconds() - cycles * total)
+        } else {
+            (0.0, t.as_seconds())
+        };
+        let mut acc = 0.0;
+        for (idx, (d, _)) in self.segments.iter().enumerate() {
+            acc += d.as_seconds();
+            if local < acc {
+                return (idx, Time::from_seconds(base + acc));
+            }
+        }
+        // Past the end of a non-repeating profile: hold the last segment.
+        (self.segments.len() - 1, Time::from_seconds(f64::INFINITY))
+    }
+}
+
+impl LoadProfile for PiecewiseLoad {
+    fn current(&self, t: Time) -> Current {
+        let (idx, _) = self.locate(t);
+        self.segments[idx].1
+    }
+
+    fn segment_end(&self, t: Time) -> Option<Time> {
+        let (_, end) = self.locate(t);
+        if end.value().is_finite() {
+            Some(end)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_load() {
+        let l = ConstantLoad::new(Current::from_amps(0.96)).unwrap();
+        assert_eq!(l.current(Time::from_seconds(123.0)).as_amps(), 0.96);
+        assert_eq!(l.segment_end(Time::ZERO), None);
+        assert!(ConstantLoad::new(Current::from_amps(-1.0)).is_err());
+    }
+
+    #[test]
+    fn square_wave_phases() {
+        let w =
+            SquareWaveLoad::symmetric(Frequency::from_hertz(1.0), Current::from_amps(0.96))
+                .unwrap();
+        assert_eq!(w.period().as_seconds(), 1.0);
+        assert_eq!(w.current(Time::from_seconds(0.0)).as_amps(), 0.96);
+        assert_eq!(w.current(Time::from_seconds(0.49)).as_amps(), 0.96);
+        assert_eq!(w.current(Time::from_seconds(0.5)).as_amps(), 0.0);
+        assert_eq!(w.current(Time::from_seconds(0.99)).as_amps(), 0.0);
+        assert_eq!(w.current(Time::from_seconds(1.0)).as_amps(), 0.96);
+        assert_eq!(w.current(Time::from_seconds(7.25)).as_amps(), 0.96);
+    }
+
+    #[test]
+    fn square_wave_segment_ends() {
+        let w =
+            SquareWaveLoad::symmetric(Frequency::from_hertz(0.001), Current::from_amps(0.96))
+                .unwrap();
+        assert_eq!(w.segment_end(Time::ZERO).unwrap().as_seconds(), 500.0);
+        assert_eq!(w.segment_end(Time::from_seconds(499.0)).unwrap().as_seconds(), 500.0);
+        assert_eq!(w.segment_end(Time::from_seconds(500.0)).unwrap().as_seconds(), 1000.0);
+        assert_eq!(w.segment_end(Time::from_seconds(1700.0)).unwrap().as_seconds(), 2000.0);
+        // Segment end is strictly in the future.
+        for &t in &[0.0, 123.4, 500.0, 999.999] {
+            let t = Time::from_seconds(t);
+            assert!(w.segment_end(t).unwrap() > t);
+        }
+    }
+
+    #[test]
+    fn square_wave_validation() {
+        let f = Frequency::from_hertz(1.0);
+        let i = Current::from_amps(1.0);
+        assert!(SquareWaveLoad::new(Frequency::from_hertz(0.0), 0.5, i, i).is_err());
+        assert!(SquareWaveLoad::new(f, 0.0, i, i).is_err());
+        assert!(SquareWaveLoad::new(f, 1.0, i, i).is_err());
+        assert!(SquareWaveLoad::new(f, 0.5, Current::from_amps(-1.0), i).is_err());
+        // Asymmetric duty works.
+        let w = SquareWaveLoad::new(f, 0.25, i, Current::from_milliamps(10.0)).unwrap();
+        assert_eq!(w.current(Time::from_seconds(0.2)).as_amps(), 1.0);
+        assert_eq!(w.current(Time::from_seconds(0.3)).as_amps(), 0.01);
+    }
+
+    #[test]
+    fn piecewise_repeating() {
+        let p = PiecewiseLoad::new(
+            vec![
+                (Time::from_seconds(10.0), Current::from_amps(1.0)),
+                (Time::from_seconds(5.0), Current::from_amps(0.2)),
+            ],
+            true,
+        )
+        .unwrap();
+        assert_eq!(p.cycle_length().as_seconds(), 15.0);
+        assert_eq!(p.current(Time::from_seconds(3.0)).as_amps(), 1.0);
+        assert_eq!(p.current(Time::from_seconds(12.0)).as_amps(), 0.2);
+        assert_eq!(p.current(Time::from_seconds(18.0)).as_amps(), 1.0);
+        assert_eq!(p.segment_end(Time::from_seconds(3.0)).unwrap().as_seconds(), 10.0);
+        assert_eq!(p.segment_end(Time::from_seconds(12.0)).unwrap().as_seconds(), 15.0);
+        assert_eq!(p.segment_end(Time::from_seconds(18.0)).unwrap().as_seconds(), 25.0);
+    }
+
+    #[test]
+    fn piecewise_non_repeating_holds_last() {
+        let p = PiecewiseLoad::new(
+            vec![
+                (Time::from_seconds(10.0), Current::from_amps(1.0)),
+                (Time::from_seconds(5.0), Current::from_amps(0.2)),
+            ],
+            false,
+        )
+        .unwrap();
+        assert_eq!(p.current(Time::from_seconds(20.0)).as_amps(), 0.2);
+        assert_eq!(p.segment_end(Time::from_seconds(20.0)), None);
+        assert_eq!(p.segment_end(Time::from_seconds(12.0)).unwrap().as_seconds(), 15.0);
+    }
+
+    #[test]
+    fn piecewise_validation() {
+        assert!(PiecewiseLoad::new(vec![], false).is_err());
+        assert!(PiecewiseLoad::new(
+            vec![(Time::ZERO, Current::from_amps(1.0))],
+            false
+        )
+        .is_err());
+        assert!(PiecewiseLoad::new(
+            vec![(Time::from_seconds(1.0), Current::from_amps(-0.1))],
+            false
+        )
+        .is_err());
+    }
+}

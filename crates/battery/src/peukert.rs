@@ -1,0 +1,204 @@
+//! Peukert's law: `L = a / I^b`.
+//!
+//! The paper's §2 quotes Peukert's law as the simplest non-ideal lifetime
+//! approximation — and points out its key weakness, which motivates the
+//! whole paper: it depends only on the (average) current level, so *all
+//! load profiles with the same average current get the same lifetime*,
+//! contradicting experiment. We implement it as the analytical baseline,
+//! including log-space fitting from measured (current, lifetime) pairs.
+
+use crate::BatteryError;
+use units::{Current, Time};
+
+/// A fitted Peukert model with constants `a > 0` and `b > 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeukertModel {
+    a: f64,
+    b: f64,
+}
+
+impl PeukertModel {
+    /// Creates a model from explicit constants.
+    ///
+    /// # Errors
+    ///
+    /// [`BatteryError::InvalidParameter`] unless `a > 0` and `b ≥ 1`
+    /// (`b = 1` is the ideal battery; Peukert exponents are ≥ 1 in
+    /// practice).
+    pub fn new(a: f64, b: f64) -> Result<Self, BatteryError> {
+        if !(a > 0.0) || !a.is_finite() {
+            return Err(BatteryError::InvalidParameter(format!("a must be positive, got {a}")));
+        }
+        if !(b >= 1.0) || !b.is_finite() {
+            return Err(BatteryError::InvalidParameter(format!("b must be ≥ 1, got {b}")));
+        }
+        Ok(PeukertModel { a, b })
+    }
+
+    /// The capacity-like constant `a` (seconds · ampere^b).
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// The Peukert exponent `b`.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Predicted lifetime under constant `current`.
+    ///
+    /// # Errors
+    ///
+    /// [`BatteryError::InvalidParameter`] for non-positive current.
+    pub fn lifetime(&self, current: Current) -> Result<Time, BatteryError> {
+        if !(current.value() > 0.0) {
+            return Err(BatteryError::InvalidParameter(format!(
+                "need positive current, got {current}"
+            )));
+        }
+        Ok(Time::from_seconds(self.a / current.as_amps().powf(self.b)))
+    }
+
+    /// Least-squares fit in log space from `(current, lifetime)` samples:
+    /// `ln L = ln a − b ln I`.
+    ///
+    /// # Errors
+    ///
+    /// [`BatteryError::InvalidParameter`] with fewer than two samples,
+    /// non-positive values, or currents that are all identical (the slope
+    /// is then unidentifiable).
+    pub fn fit(samples: &[(Current, Time)]) -> Result<Self, BatteryError> {
+        if samples.len() < 2 {
+            return Err(BatteryError::InvalidParameter(format!(
+                "need at least two samples, got {}",
+                samples.len()
+            )));
+        }
+        let mut xs = Vec::with_capacity(samples.len());
+        let mut ys = Vec::with_capacity(samples.len());
+        for &(i, l) in samples {
+            if !(i.value() > 0.0) || !(l.value() > 0.0) {
+                return Err(BatteryError::InvalidParameter(
+                    "samples must have positive current and lifetime".into(),
+                ));
+            }
+            xs.push(i.as_amps().ln());
+            ys.push(l.as_seconds().ln());
+        }
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        if sxx < 1e-14 {
+            return Err(BatteryError::InvalidParameter(
+                "all sample currents identical; Peukert exponent unidentifiable".into(),
+            ));
+        }
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let slope = sxy / sxx; // = −b
+        let intercept = my - slope * mx; // = ln a
+        PeukertModel::new(intercept.exp(), (-slope).max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validation() {
+        assert!(PeukertModel::new(0.0, 1.2).is_err());
+        assert!(PeukertModel::new(1.0, 0.9).is_err());
+        assert!(PeukertModel::new(f64::NAN, 1.2).is_err());
+        let m = PeukertModel::new(5400.0, 1.2).unwrap();
+        assert!(m.lifetime(Current::ZERO).is_err());
+        assert_eq!(m.a(), 5400.0);
+        assert_eq!(m.b(), 1.2);
+    }
+
+    #[test]
+    fn unit_current_lifetime_is_a() {
+        let m = PeukertModel::new(5400.0, 1.3).unwrap();
+        let l = m.lifetime(Current::from_amps(1.0)).unwrap();
+        assert_eq!(l.as_seconds(), 5400.0);
+    }
+
+    #[test]
+    fn higher_exponent_punishes_high_currents() {
+        let gentle = PeukertModel::new(3600.0, 1.0).unwrap();
+        let harsh = PeukertModel::new(3600.0, 1.4).unwrap();
+        let i = Current::from_amps(2.0);
+        assert!(harsh.lifetime(i).unwrap() < gentle.lifetime(i).unwrap());
+        // Below 1 A the exponent helps instead.
+        let i = Current::from_amps(0.5);
+        assert!(harsh.lifetime(i).unwrap() > gentle.lifetime(i).unwrap());
+    }
+
+    #[test]
+    fn fit_recovers_exact_model() {
+        let truth = PeukertModel::new(4800.0, 1.25).unwrap();
+        let samples: Vec<(Current, Time)> = [0.1, 0.3, 0.96, 2.0]
+            .iter()
+            .map(|&i| {
+                let c = Current::from_amps(i);
+                (c, truth.lifetime(c).unwrap())
+            })
+            .collect();
+        let fitted = PeukertModel::fit(&samples).unwrap();
+        assert!((fitted.a() - 4800.0).abs() < 1e-6);
+        assert!((fitted.b() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_validation() {
+        let c = Current::from_amps(1.0);
+        let t = Time::from_seconds(100.0);
+        assert!(PeukertModel::fit(&[(c, t)]).is_err());
+        assert!(PeukertModel::fit(&[(c, t), (c, t)]).is_err());
+        assert!(PeukertModel::fit(&[(Current::ZERO, t), (c, t)]).is_err());
+    }
+
+    #[test]
+    fn peukert_is_profile_blind() {
+        // The paper's criticism: two profiles with the same average current
+        // get identical Peukert lifetimes. (By construction: the model only
+        // sees the average.)
+        let m = PeukertModel::new(5400.0, 1.2).unwrap();
+        let avg = Current::from_amps(0.48);
+        assert_eq!(m.lifetime(avg).unwrap(), m.lifetime(avg).unwrap());
+    }
+
+    proptest! {
+        #[test]
+        fn lifetime_monotone_decreasing_in_current(
+            a in 100.0f64..10_000.0,
+            b in 1.0f64..2.0,
+            i in 0.01f64..5.0,
+            factor in 1.01f64..4.0,
+        ) {
+            let m = PeukertModel::new(a, b).unwrap();
+            let l1 = m.lifetime(Current::from_amps(i)).unwrap();
+            let l2 = m.lifetime(Current::from_amps(i * factor)).unwrap();
+            prop_assert!(l2 < l1);
+        }
+
+        #[test]
+        fn fit_two_points_interpolates(i1 in 0.05f64..0.5, i2 in 0.6f64..5.0,
+                                       l1 in 1_000.0f64..100_000.0, ratio in 0.05f64..0.95) {
+            // Two samples with decreasing lifetime fit exactly.
+            let samples = [
+                (Current::from_amps(i1), Time::from_seconds(l1)),
+                (Current::from_amps(i2), Time::from_seconds(l1 * ratio)),
+            ];
+            let m = PeukertModel::fit(&samples).unwrap();
+            let back1 = m.lifetime(samples[0].0).unwrap();
+            let back2 = m.lifetime(samples[1].0).unwrap();
+            // b is clamped at 1, so only check when the implied slope ≥ 1.
+            if m.b() > 1.0 {
+                prop_assert!((back1.as_seconds() - l1).abs() < 1e-6 * l1);
+                prop_assert!((back2.as_seconds() - l1 * ratio).abs() < 1e-6 * l1);
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Fox–Glynn Poisson weight computation across the paper's λ = νt range
+//! (up to ≈ 4.6·10⁴ for the Fig. 8 curves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use markov::foxglynn::poisson_weights;
+
+fn bench_weights(c: &mut Criterion) {
+    let mut group = c.benchmark_group("foxglynn");
+    for lambda in [100.0, 10_000.0, 46_000.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(lambda as u64),
+            &lambda,
+            |b, &l| b.iter(|| poisson_weights(l, 1e-10).unwrap().len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weights);
+criterion_main!(benches);

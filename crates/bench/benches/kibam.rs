@@ -1,0 +1,47 @@
+//! KiBaM kernels: closed-form stepping vs adaptive ODE integration, and
+//! exact depletion detection — the per-sojourn work of the simulator.
+
+use battery::kibam::Kibam;
+use battery::lifetime::DischargeModel;
+use battery::modified::ModifiedKibam;
+use criterion::{criterion_group, criterion_main, Criterion};
+use units::{Charge, Current, Rate, Time};
+
+fn bench_stepping(c: &mut Criterion) {
+    let kibam =
+        Kibam::new(Charge::from_amp_seconds(7200.0), 0.625, Rate::per_second(4.5e-5)).unwrap();
+    let modified =
+        ModifiedKibam::new(Charge::from_amp_seconds(7200.0), 0.625, Rate::per_second(4.5e-5))
+            .unwrap();
+    let i = Current::from_amps(0.96);
+    let dt = Time::from_seconds(500.0);
+
+    let mut group = c.benchmark_group("battery_stepping");
+    group.bench_function("kibam_closed_form_advance", |b| {
+        let s = kibam.full_state();
+        b.iter(|| kibam.advance_state(&s, i, dt).unwrap())
+    });
+    group.bench_function("modified_kibam_rkf45_advance", |b| {
+        let s = modified.full_state();
+        b.iter(|| modified.advance(&s, i, dt).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_depletion(c: &mut Criterion) {
+    let kibam =
+        Kibam::new(Charge::from_amp_seconds(7200.0), 0.625, Rate::per_second(4.5e-5)).unwrap();
+    let i = Current::from_amps(0.96);
+    let mut group = c.benchmark_group("depletion_detection");
+    group.bench_function("kibam_constant_load_lifetime", |b| {
+        b.iter(|| kibam.constant_load_lifetime(i).unwrap())
+    });
+    group.bench_function("kibam_segment_no_depletion", |b| {
+        let s = kibam.full_state();
+        b.iter(|| kibam.depletion_after(&s, i, Time::from_seconds(500.0)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stepping, bench_depletion);
+criterion_main!(benches);

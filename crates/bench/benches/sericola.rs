@@ -1,0 +1,33 @@
+//! Sericola's exact algorithm: cost per evaluated point as the time bound
+//! grows (`O(R²·nnz)` with `R ∝ νt`) — the Fig. 10 "exact" curve's cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kibamrm::analysis::exact_linear_curve;
+use kibamrm::model::KibamRm;
+use kibamrm::workload::Workload;
+use units::{Charge, Rate, Time};
+
+fn bench_exact_point(c: &mut Criterion) {
+    let model = KibamRm::new(
+        Workload::simple_model().unwrap(),
+        Charge::from_milliamp_hours(800.0),
+        1.0,
+        Rate::per_second(0.0),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("sericola_exact_point");
+    group.sample_size(10);
+    for hours in [10.0, 20.0, 30.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(hours as u64),
+            &hours,
+            |b, &h| {
+                b.iter(|| exact_linear_curve(&model, &[Time::from_hours(h)]).unwrap()[0].1)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_point);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Stochastic-simulation throughput: lifetimes per second for the
+//! paper's workload models (the baseline the Markovian approximation is
+//! validated against; 1000 runs per published curve).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kibamrm::model::KibamRm;
+use kibamrm::simulate::simulate_lifetime;
+use kibamrm::workload::Workload;
+use sim::rng::SimRng;
+use units::{Charge, Current, Frequency, Rate, Time};
+
+fn bench_single_runs(c: &mut Criterion) {
+    let on_off = KibamRm::new(
+        Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+            .unwrap(),
+        Charge::from_amp_seconds(7200.0),
+        0.625,
+        Rate::per_second(4.5e-5),
+    )
+    .unwrap();
+    let simple = KibamRm::new(
+        Workload::simple_model().unwrap(),
+        Charge::from_milliamp_hours(800.0),
+        0.625,
+        Rate::per_second(4.5e-5),
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("simulate_lifetime");
+    // The on/off model jumps every 0.5 s for ~15000 s: ~30k sojourns/run.
+    group.sample_size(20);
+    group.bench_function("onoff_1hz_two_wells", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| {
+            simulate_lifetime(&on_off, Time::from_seconds(25_000.0), &mut rng).unwrap()
+        })
+    });
+    // The simple model jumps a few dozen times in 30 h: much cheaper.
+    group.bench_function("simple_cell_phone", |b| {
+        let mut rng = SimRng::seed_from(2);
+        b.iter(|| simulate_lifetime(&simple, Time::from_hours(30.0), &mut rng).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_runs);
+criterion_main!(benches);

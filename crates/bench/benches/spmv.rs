@@ -1,0 +1,50 @@
+//! Sparse matrix–vector product throughput — the inner loop of the whole
+//! paper (§5.3: each uniformisation iteration is one SpMV on `Q*`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
+use kibamrm::model::KibamRm;
+use kibamrm::workload::Workload;
+use markov::sparse::CsrMatrix;
+use units::{Charge, Current, Frequency, Rate};
+
+fn fig8_matrix(delta: f64) -> CsrMatrix {
+    let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+        .unwrap();
+    let m = KibamRm::new(
+        w,
+        Charge::from_amp_seconds(7200.0),
+        0.625,
+        Rate::per_second(4.5e-5),
+    )
+    .unwrap();
+    let opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta));
+    let disc = DiscretisedModel::build(&m, &opts).unwrap();
+    let (p, _nu) = disc.chain().uniformised(1.0).unwrap();
+    p.transpose()
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    for delta in [100.0, 50.0, 25.0] {
+        let m = fig8_matrix(delta);
+        let x = vec![1.0 / m.cols() as f64; m.cols()];
+        let mut y = vec![0.0; m.rows()];
+        group.throughput(Throughput::Elements(m.nnz() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sequential", format!("delta{delta}_nnz{}", m.nnz())),
+            &m,
+            |b, m| b.iter(|| m.mul_vec_into(&x, &mut y).unwrap()),
+        );
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        group.bench_with_input(
+            BenchmarkId::new(format!("parallel_x{threads}"), format!("delta{delta}_nnz{}", m.nnz())),
+            &m,
+            |b, m| b.iter(|| m.mul_vec_parallel(&x, &mut y, threads).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Scaling of the uniformisation curve engine in the discretisation step
+//! `Δ` (the §5.3 cost model: time ∝ Δ⁻² per iteration, Δ⁻³ overall).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
+use kibamrm::model::KibamRm;
+use kibamrm::workload::Workload;
+use units::{Charge, Current, Frequency, Rate, Time};
+
+fn model() -> KibamRm {
+    let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+        .unwrap();
+    KibamRm::new(
+        w,
+        Charge::from_amp_seconds(7200.0),
+        0.625,
+        Rate::per_second(4.5e-5),
+    )
+    .unwrap()
+}
+
+fn bench_curve(c: &mut Criterion) {
+    let m = model();
+    let mut group = c.benchmark_group("uniformisation_curve");
+    group.sample_size(10);
+    for delta in [300.0, 100.0, 50.0] {
+        let opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta));
+        let disc = DiscretisedModel::build(&m, &opts).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(delta as u64), &disc, |b, disc| {
+            b.iter(|| {
+                disc.empty_probability_curve(&[Time::from_seconds(17_000.0)])
+                    .unwrap()
+                    .iterations
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_curve_vs_pointwise(c: &mut Criterion) {
+    // The curve engine shares one sweep across time points; demonstrate
+    // the gain over solving 20 points independently.
+    let m = model();
+    let opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(300.0));
+    let disc = DiscretisedModel::build(&m, &opts).unwrap();
+    let times: Vec<Time> =
+        (1..=20).map(|i| Time::from_seconds(i as f64 * 1000.0)).collect();
+    let mut group = c.benchmark_group("curve_sharing");
+    group.sample_size(10);
+    group.bench_function("one_sweep_20_points", |b| {
+        b.iter(|| disc.empty_probability_curve(&times).unwrap().points.len())
+    });
+    group.bench_function("20_independent_solves", |b| {
+        b.iter(|| {
+            times
+                .iter()
+                .map(|&t| disc.empty_probability_at(t).unwrap())
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_steady_state_detection_ablation(c: &mut Criterion) {
+    // DESIGN.md calls out steady-state detection as a design choice: for
+    // absorbing chains queried far beyond their absorption time, the
+    // sweep can stop as soon as the iterates converge. Quantify it.
+    let m = model();
+    let opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(300.0));
+    let disc = DiscretisedModel::build(&m, &opts).unwrap();
+    // t = 60000 s: everything absorbed long before (mean life ≈ 14000 s).
+    let far = [Time::from_seconds(60_000.0)];
+    let mut group = c.benchmark_group("steady_state_detection");
+    group.sample_size(10);
+    group.bench_function("enabled", |b| {
+        let mut opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(300.0));
+        opts.transient.steady_state_tolerance = 1e-14;
+        let disc = DiscretisedModel::build(&m, &opts).unwrap();
+        b.iter(|| disc.empty_probability_curve(&far).unwrap().iterations)
+    });
+    group.bench_function("disabled", |b| {
+        let mut opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(300.0));
+        opts.transient.steady_state_tolerance = 0.0;
+        let disc = DiscretisedModel::build(&m, &opts).unwrap();
+        b.iter(|| disc.empty_probability_curve(&far).unwrap().iterations)
+    });
+    group.finish();
+    let _ = disc;
+}
+
+criterion_group!(
+    benches,
+    bench_curve,
+    bench_curve_vs_pointwise,
+    bench_steady_state_detection_ablation
+);
+criterion_main!(benches);

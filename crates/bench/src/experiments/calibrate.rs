@@ -1,0 +1,53 @@
+//! §4.3 calibration: re-derive `λ_burst` such that the burst model's
+//! steady-state sending probability equals the simple model's ¼, and
+//! confirm the paper's choice of 182/h.
+
+use super::config::Config;
+use super::save_table;
+use kibamrm::workload::Workload;
+use markov::steady_state::stationary_gth;
+use numerics::roots::brent;
+use units::Rate;
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any failure.
+pub fn run(cfg: &Config) -> Result<(), String> {
+    // Reference: the simple model's P[send].
+    let simple = Workload::simple_model().map_err(|e| e.to_string())?;
+    let pi = stationary_gth(simple.ctmc()).map_err(|e| e.to_string())?;
+    let target: f64 = simple.send_states().iter().map(|&i| pi[i]).sum();
+    println!("simple model: P[send] = {target} (paper: ¼)");
+
+    let send_prob = |lambda_per_hour: f64| -> f64 {
+        let w = Workload::burst_model_with(Rate::per_hour(lambda_per_hour))
+            .expect("positive rate");
+        let pi = stationary_gth(w.ctmc()).expect("irreducible");
+        w.send_states().iter().map(|&i| pi[i]).sum()
+    };
+
+    // P[send] grows monotonically with λ_burst; bracket and solve.
+    let solved = brent(|l| send_prob(l) - target, 1.0, 10_000.0, 1e-10, 200)
+        .map_err(|e| e.to_string())?;
+    println!("solved λ_burst = {solved:.6} per hour (paper: 182)");
+
+    let mut rows = Vec::new();
+    for lambda in [50.0, 100.0, 182.0, solved, 500.0] {
+        let p = send_prob(lambda);
+        let w = Workload::burst_model_with(Rate::per_hour(lambda)).map_err(|e| e.to_string())?;
+        let pi = stationary_gth(w.ctmc()).map_err(|e| e.to_string())?;
+        let sleep = pi[w.ctmc().find_state("sleep").expect("state exists")];
+        println!("λ_burst = {lambda:>10.3}/h → P[send] = {p:.6}, P[sleep] = {sleep:.4}");
+        rows.push(vec![format!("{lambda}"), format!("{p}"), format!("{sleep}")]);
+    }
+
+    let check = (send_prob(182.0) - 0.25).abs();
+    println!(
+        "\nP[send] at the paper's λ_burst = 182/h deviates from ¼ by {check:.2e} \
+         (the paper's calibration is exact: 91/364 = ¼)"
+    );
+
+    save_table(cfg, "calibrate_lambda_burst", &["lambda_per_hour", "p_send", "p_sleep"], &rows)
+}

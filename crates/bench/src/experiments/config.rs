@@ -1,0 +1,34 @@
+//! Shared harness configuration.
+
+/// Command-line configuration for every experiment.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Trade fidelity for runtime (coarser Δ, fewer simulation runs).
+    pub fast: bool,
+    /// Output directory for CSV results.
+    pub out_dir: String,
+    /// Worker threads for sparse matrix–vector products.
+    pub threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            fast: false,
+            out_dir: "results".into(),
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    }
+}
+
+impl Config {
+    /// Simulation replication count: the paper's 1000, or 200 in fast
+    /// mode.
+    pub fn sim_runs(&self) -> usize {
+        if self.fast {
+            200
+        } else {
+            1000
+        }
+    }
+}

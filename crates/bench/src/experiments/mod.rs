@@ -1,0 +1,40 @@
+//! One module per regenerated table/figure; see DESIGN.md §4 for the
+//! experiment index.
+
+pub mod calibrate;
+pub mod complexity;
+pub mod config;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+
+use config::Config;
+use kibamrm::report::{write_file, Curve};
+use std::path::PathBuf;
+
+/// Writes a set of curves as `<name>.csv` under the output directory.
+pub fn save_curves(cfg: &Config, name: &str, x_name: &str, curves: &[Curve]) -> Result<(), String> {
+    let path = PathBuf::from(&cfg.out_dir).join(format!("{name}.csv"));
+    let csv = kibamrm::report::curves_to_csv(x_name, curves);
+    write_file(&path, &csv).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Writes a CSV table under the output directory.
+pub fn save_table(
+    cfg: &Config,
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> Result<(), String> {
+    let path = PathBuf::from(&cfg.out_dir).join(format!("{name}.csv"));
+    let csv = kibamrm::report::table_to_csv(headers, rows);
+    write_file(&path, &csv).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,224 @@
+//! Table 1: experimental vs computed lifetimes for continuous and
+//! square-wave loads at 0.96 A.
+//!
+//! ```text
+//! Frequency     Exp.   KiBaM   Mod-KiBaM     Mod-KiBaM
+//!                              (stochastic)  (numerical)
+//! Continuous     90      91       90            89
+//! 1 Hz          193     203      193           193
+//! 0.2 Hz        230     203      226           193
+//! ```
+//!
+//! The DSN paper takes `c = 0.625` from Rao et al. and fits `k` so the
+//! continuous-load lifetime matches; the capacity itself is not printed.
+//! We therefore calibrate `(C, k)` against the *published KiBaM row*
+//! (91 min continuous, 203 min at 1 Hz), which pins both parameters, and
+//! then evaluate all computable columns. The "Exp." column and the
+//! stochastic reference values are quoted from the paper (they come from
+//! the closed-source set-up of Rao et al.); EXPERIMENTS.md discusses the
+//! substitution.
+//!
+//! The shape claims this experiment must reproduce:
+//! * KiBaM is frequency-independent at these frequencies (203 ≈ 203);
+//! * the deterministic modified KiBaM is *also* frequency-independent —
+//!   the paper's §3 observation that the modification does not explain
+//!   the measured 193 vs 230;
+//! * intermittent loads beat the continuous load by roughly 2×.
+
+use super::config::Config;
+use super::save_table;
+use battery::kibam::Kibam;
+use battery::lifetime::{lifetime, DischargeModel};
+use battery::load::{ConstantLoad, LoadProfile, SquareWaveLoad};
+use battery::modified::{ModifiedKibam, StochasticModifiedKibam};
+use numerics::roots::brent;
+use units::{Charge, Current, Frequency, Rate, Time};
+
+const LOAD_AMPS: f64 = 0.96;
+const C_FRACTION: f64 = 0.625;
+/// Published KiBaM row used for calibration (minutes).
+const KIBAM_CONTINUOUS_MIN: f64 = 91.0;
+const KIBAM_1HZ_MIN: f64 = 203.0;
+/// Published values quoted for context (minutes).
+const EXP_MIN: [f64; 3] = [90.0, 193.0, 230.0];
+const MOD_STOCH_REF_MIN: [f64; 3] = [90.0, 193.0, 226.0];
+const MOD_NUM_REF_MIN: [f64; 3] = [89.0, 193.0, 193.0];
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Returns a human-readable message on calibration or I/O failure.
+pub fn run(cfg: &Config) -> Result<(), String> {
+    let current = Current::from_amps(LOAD_AMPS);
+    let horizon = Time::from_hours(10.0);
+
+    // --- Calibrate (C, k) against the published KiBaM row. -------------
+    let (battery, capacity) = calibrate_kibam()?;
+    println!(
+        "calibrated KiBaM: C = {:.0} As ({:.0} mAh), c = {C_FRACTION}, k = {:.3e} /s",
+        capacity.as_coulombs(),
+        capacity.as_milliamp_hours(),
+        battery.k().value()
+    );
+
+    let square = |f: f64| {
+        SquareWaveLoad::symmetric(Frequency::from_hertz(f), current).map_err(|e| e.to_string())
+    };
+    let continuous = ConstantLoad::new(current).map_err(|e| e.to_string())?;
+
+    let kibam_min = [
+        minutes(battery.constant_load_lifetime(current).map_err(|e| e.to_string())?),
+        minutes(run_lifetime(&battery, &square(1.0)?, horizon)?),
+        minutes(run_lifetime(&battery, &square(0.2)?, horizon)?),
+    ];
+
+    // --- Modified KiBaM, deterministic: k' recalibrated so the
+    //     continuous lifetime matches the paper's numerical column. -----
+    let target = Time::from_minutes(MOD_NUM_REF_MIN[0]);
+    let modified = ModifiedKibam::calibrate_k(capacity, C_FRACTION, current, target)
+        .map_err(|e| e.to_string())?;
+    let mod_num_min = [
+        minutes(modified.constant_load_lifetime(current).map_err(|e| e.to_string())?),
+        minutes(run_lifetime(&modified, &square(1.0)?, horizon)?),
+        minutes(run_lifetime(&modified, &square(0.2)?, horizon)?),
+    ];
+
+    // --- Modified KiBaM, stochastic quantised-recovery simulation. -----
+    let slot = Time::from_seconds(if cfg.fast { 0.25 } else { 0.05 });
+    let runs = if cfg.fast { 20 } else { 100 };
+    let stoch = StochasticModifiedKibam::new(modified, slot).map_err(|e| e.to_string())?;
+    let mod_stoch_min = [
+        stoch.mean_lifetime(&continuous, horizon, runs, 11).as_minutes(),
+        stoch.mean_lifetime(&square(1.0)?, horizon, runs, 12).as_minutes(),
+        stoch.mean_lifetime(&square(0.2)?, horizon, runs, 13).as_minutes(),
+    ];
+
+    // --- Report. --------------------------------------------------------
+    let freq_names = ["Continuous", "1 Hz", "0.2 Hz"];
+    println!(
+        "\n{:<12} {:>6} {:>8} {:>14} {:>14}",
+        "Frequency", "Exp.*", "KiBaM", "ModKiBaM-stoch", "ModKiBaM-num"
+    );
+    let mut rows = Vec::new();
+    for i in 0..3 {
+        println!(
+            "{:<12} {:>6.0} {:>8.0} {:>8.0} ({:>3.0}) {:>8.0} ({:>3.0})",
+            freq_names[i],
+            EXP_MIN[i],
+            kibam_min[i],
+            mod_stoch_min[i],
+            MOD_STOCH_REF_MIN[i],
+            mod_num_min[i],
+            MOD_NUM_REF_MIN[i],
+        );
+        rows.push(vec![
+            freq_names[i].to_owned(),
+            format!("{}", EXP_MIN[i]),
+            format!("{:.1}", kibam_min[i]),
+            format!("{:.1}", mod_stoch_min[i]),
+            format!("{}", MOD_STOCH_REF_MIN[i]),
+            format!("{:.1}", mod_num_min[i]),
+            format!("{}", MOD_NUM_REF_MIN[i]),
+        ]);
+    }
+    println!("(* Exp. and parenthesised values quoted from the paper / Rao et al.)");
+
+    // Shape assertions, loudly.
+    let kibam_freq_gap = (kibam_min[1] - kibam_min[2]).abs() / kibam_min[1];
+    let mod_freq_gap = (mod_num_min[1] - mod_num_min[2]).abs() / mod_num_min[1];
+    println!(
+        "\nshape check: KiBaM frequency gap {:.2}% (paper: 0%), \
+         modified-numerical gap {:.2}% (paper: 0%)",
+        100.0 * kibam_freq_gap,
+        100.0 * mod_freq_gap
+    );
+    println!(
+        "shape check: intermittent/continuous ratio: KiBaM {:.2}x (paper 2.23x)",
+        kibam_min[1] / kibam_min[0]
+    );
+
+    save_table(
+        cfg,
+        "table1_lifetimes",
+        &[
+            "frequency",
+            "exp_quoted_min",
+            "kibam_min",
+            "mod_kibam_stochastic_min",
+            "mod_kibam_stochastic_paper_min",
+            "mod_kibam_numerical_min",
+            "mod_kibam_numerical_paper_min",
+        ],
+        &rows,
+    )
+}
+
+fn minutes(t: Time) -> f64 {
+    t.as_minutes()
+}
+
+fn run_lifetime<M: DischargeModel, L: LoadProfile>(
+    model: &M,
+    load: &L,
+    horizon: Time,
+) -> Result<Time, String> {
+    lifetime(model, load, horizon)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| "battery survived the horizon".into())
+}
+
+/// Solves for `(C, k)` such that the continuous-load lifetime is 91 min
+/// and the 1 Hz square-wave lifetime is 203 min.
+///
+/// For fixed `k`, `C` follows from the continuous target (monotone).
+/// The square-wave lifetime as a function of `k` (with `C` re-fit each
+/// time) is 182 min at both `k → 0` and `k → ∞` (the battery then
+/// delivers the same charge at 0.96 A and 0.48 A) with a maximum in
+/// between, so we scan for a bracket and take the smaller-`k` branch.
+fn calibrate_kibam() -> Result<(Kibam, Charge), String> {
+    let current = Current::from_amps(LOAD_AMPS);
+    let continuous_target = Time::from_minutes(KIBAM_CONTINUOUS_MIN);
+    let square_target_s = Time::from_minutes(KIBAM_1HZ_MIN).as_seconds();
+    let horizon = Time::from_hours(10.0);
+
+    let square_life_for = |log_k: f64| -> f64 {
+        let k = Rate::per_second(log_k.exp());
+        let Ok(batt) = Kibam::calibrate_capacity(C_FRACTION, k, current, continuous_target)
+        else {
+            return f64::NAN;
+        };
+        let Ok(wave) =
+            SquareWaveLoad::symmetric(Frequency::from_hertz(1.0), current)
+        else {
+            return f64::NAN;
+        };
+        match lifetime(&batt, &wave, horizon) {
+            Ok(Some(l)) => l.as_seconds(),
+            _ => f64::NAN,
+        }
+    };
+
+    // Scan log k for the first up-crossing of the target.
+    let objective = |log_k: f64| square_life_for(log_k) - square_target_s;
+    let grid: Vec<f64> = (0..=60).map(|i| -16.0 + i as f64 * 0.25).collect();
+    let mut bracket = None;
+    let mut prev = objective(grid[0]);
+    for w in grid.windows(2) {
+        let next = objective(w[1]);
+        if prev.is_finite() && next.is_finite() && prev < 0.0 && next >= 0.0 {
+            bracket = Some((w[0], w[1]));
+            break;
+        }
+        prev = next;
+    }
+    let (lo, hi) = bracket.ok_or_else(|| {
+        "no k reaches the 203-minute square-wave target; check the published row".to_owned()
+    })?;
+    let log_k = brent(objective, lo, hi, 1e-10, 200).map_err(|e| e.to_string())?;
+    let k = Rate::per_second(log_k.exp());
+    let battery = Kibam::calibrate_capacity(C_FRACTION, k, current, continuous_target)
+        .map_err(|e| e.to_string())?;
+    let capacity = battery.capacity();
+    Ok((battery, capacity))
+}

@@ -1,0 +1,379 @@
+//! High-level analyses: the exact `c = 1` curve, method comparison and
+//! curve post-processing.
+//!
+//! For `c = 1` every bit of charge is directly available, so the consumed
+//! charge is a plain accumulated reward `Y(t) = ∫ I_{X(s)} ds` of a
+//! *homogeneous* MRM, and since consumption is monotone,
+//! `Pr[battery empty at t] = Pr{Y(t) ≥ C}` **exactly**. The paper uses
+//! this (uniformisation-based algorithm of Sericola, its ref. [25]) for
+//! the rightmost curve of Fig. 10; we bridge to the implementation in
+//! [`markov::sericola`].
+
+use crate::model::KibamRm;
+use crate::KibamRmError;
+use markov::mrm::MarkovRewardModel;
+use markov::sericola::{reward_exceeds_curve, PerformabilityOptions};
+use units::Time;
+
+/// `Pr[battery empty at t]` for a **linear** (`c = 1`) model, exactly.
+///
+/// # Errors
+///
+/// [`KibamRmError::InvalidBattery`] when the model is not linear;
+/// propagates Sericola-solver errors.
+///
+/// # Examples
+///
+/// ```
+/// use kibamrm::analysis::exact_linear_curve;
+/// use kibamrm::model::KibamRm;
+/// use kibamrm::workload::Workload;
+/// use units::{Charge, Rate, Time};
+///
+/// let model = KibamRm::new(
+///     Workload::simple_model().unwrap(),
+///     Charge::from_milliamp_hours(800.0),
+///     1.0,
+///     Rate::per_second(0.0),
+/// ).unwrap();
+/// let curve = exact_linear_curve(&model, &[Time::from_hours(30.0)]).unwrap();
+/// assert!(curve[0].1 > 0.99); // surely empty after 30 h
+/// ```
+pub fn exact_linear_curve(
+    model: &KibamRm,
+    times: &[Time],
+) -> Result<Vec<(f64, f64)>, KibamRmError> {
+    if !model.is_linear() {
+        return Err(KibamRmError::InvalidBattery(format!(
+            "the exact algorithm requires c = 1 (all charge available), got c = {}",
+            model.c()
+        )));
+    }
+    let workload = model.workload();
+    let mrm = MarkovRewardModel::new(workload.ctmc().clone(), workload.currents_amps())?;
+    let opts = PerformabilityOptions::default();
+    let capacity = model.capacity().as_coulombs();
+    let secs: Vec<f64> = times.iter().map(|t| t.as_seconds()).collect();
+    Ok(reward_exceeds_curve(&mrm, workload.initial(), &secs, capacity, &opts)?)
+}
+
+/// Mean lifetime of a discretised model, computed *algebraically* from
+/// the derived chain: the expected time to absorption solves
+/// `m_i = 1/q_i + Σ_j (q_{ij}/q_i) m_j` (Gauss–Seidel in `O(nnz)` space).
+///
+/// Complements [`mean_lifetime_from_curve`]: no time grid or truncation
+/// is involved, but the iteration count grows with the expected number of
+/// jumps, so this is intended for small/medium chains (the guard rejects
+/// chains above one million states).
+///
+/// # Errors
+///
+/// [`KibamRmError::InvalidDiscretisation`] for oversized chains;
+/// [`KibamRmError::Markov`] when the solver does not converge.
+pub fn mean_lifetime_absorbing(
+    disc: &crate::discretise::DiscretisedModel,
+) -> Result<Time, KibamRmError> {
+    use markov::absorbing::{mean_time_to_absorption, AbsorbingOptions};
+    if disc.stats().states > 1_000_000 {
+        return Err(KibamRmError::InvalidDiscretisation(format!(
+            "absorbing-solver path guards at 10^6 states, got {}; \
+             integrate the curve instead",
+            disc.stats().states
+        )));
+    }
+    let opts = AbsorbingOptions { tolerance: 1e-10, ..Default::default() };
+    let m = mean_time_to_absorption(disc.chain(), &opts)?;
+    let mean = disc
+        .alpha()
+        .iter()
+        .zip(&m)
+        .map(|(a, mi)| a * mi)
+        .sum::<f64>();
+    Ok(Time::from_seconds(mean))
+}
+
+/// Mean lifetime obtained by integrating a lifetime CDF curve:
+/// `E[L] = ∫₀^∞ (1 − F(t)) dt`, truncated at the last grid point (so the
+/// result is a lower bound when the curve has not reached 1).
+///
+/// The curve must be sampled as `(t_seconds, probability)` with
+/// increasing `t`.
+pub fn mean_lifetime_from_curve(points: &[(f64, f64)]) -> Time {
+    let mut acc = 0.0;
+    for w in points.windows(2) {
+        let dt = w[1].0 - w[0].0;
+        let survival = 1.0 - 0.5 * (w[0].1 + w[1].1);
+        acc += survival.max(0.0) * dt;
+    }
+    Time::from_seconds(acc)
+}
+
+/// The largest absolute difference between two curves sampled on the same
+/// time grid (used to quantify `Δ`-refinement convergence against the
+/// simulation reference, as in the paper's Figs. 7–8 discussion).
+///
+/// # Errors
+///
+/// [`KibamRmError::InvalidDiscretisation`] when the grids differ.
+pub fn max_curve_difference(
+    a: &[(f64, f64)],
+    b: &[(f64, f64)],
+) -> Result<f64, KibamRmError> {
+    if a.len() != b.len() || a.iter().zip(b).any(|(x, y)| (x.0 - y.0).abs() > 1e-9) {
+        return Err(KibamRmError::InvalidDiscretisation(
+            "curves must share the same time grid".into(),
+        ));
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| (x.1 - y.1).abs()).fold(0.0, f64::max))
+}
+
+/// An equispaced time grid `0, …, t_max` with `points+1` samples — the
+/// grids used by every figure-regeneration harness.
+pub fn time_grid(t_max: Time, points: usize) -> Vec<Time> {
+    (0..=points)
+        .map(|i| Time::from_seconds(t_max.as_seconds() * i as f64 / points.max(1) as f64))
+        .collect()
+}
+
+/// Cross-method validation report for one model: runs every applicable
+/// method on a shared grid and reports the pairwise sup-distances.
+///
+/// This is the triple cross-check of the paper's §6 packaged as an API,
+/// so users can validate *their own* workload models before trusting a
+/// coarse-Δ approximation.
+#[derive(Debug, Clone)]
+pub struct MethodComparison {
+    /// The shared `(t_seconds, p)` grid from the discretisation.
+    pub approximation: Vec<(f64, f64)>,
+    /// Simulation estimate on the same grid.
+    pub simulation: Vec<(f64, f64)>,
+    /// Exact (Sericola) curve — only for `c = 1` models.
+    pub exact: Option<Vec<(f64, f64)>>,
+    /// `sup |approximation − simulation|`.
+    pub approx_vs_sim: f64,
+    /// `sup |approximation − exact|` when the exact method applies.
+    pub approx_vs_exact: Option<f64>,
+    /// Number of simulation replications used.
+    pub runs: usize,
+}
+
+/// Runs all applicable methods for `model` and compares them.
+///
+/// # Errors
+///
+/// Propagates discretisation/simulation errors;
+/// [`KibamRmError::InvalidWorkload`] if no simulated run depletes within
+/// the horizon (extend the grid).
+pub fn compare_methods(
+    model: &KibamRm,
+    disc: &crate::discretise::DiscretisedModel,
+    times: &[Time],
+    runs: usize,
+    seed: u64,
+) -> Result<MethodComparison, KibamRmError> {
+    let horizon = times
+        .iter()
+        .cloned()
+        .fold(Time::ZERO, Time::max);
+    let approximation = disc.empty_probability_curve(times)?.points;
+    let study = crate::simulate::lifetime_study(model, horizon, runs, seed)?;
+    let simulation: Vec<(f64, f64)> = times
+        .iter()
+        .map(|t| (t.as_seconds(), study.empty_probability(t.as_seconds())))
+        .collect();
+    let approx_vs_sim = max_curve_difference(&approximation, &simulation)?;
+    let (exact, approx_vs_exact) = if model.is_linear() {
+        let e = exact_linear_curve(model, times)?;
+        let d = max_curve_difference(&approximation, &e)?;
+        (Some(e), Some(d))
+    } else {
+        (None, None)
+    };
+    Ok(MethodComparison {
+        approximation,
+        simulation,
+        exact,
+        approx_vs_sim,
+        approx_vs_exact,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discretise::{DiscretisationOptions, DiscretisedModel};
+    use crate::simulate::lifetime_study;
+    use crate::workload::Workload;
+    use units::{Charge, Current, Frequency, Rate};
+
+    /// A 100×-downscaled Fig. 7 battery (C = 72 As, lifetime ≈ 150 s):
+    /// identical structure but νt stays ≈ 500, where Sericola's O((νt)²)
+    /// recursion is test-suite friendly.
+    fn linear_on_off() -> KibamRm {
+        let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+            .unwrap();
+        KibamRm::new(w, Charge::from_amp_seconds(72.0), 1.0, Rate::per_second(0.0)).unwrap()
+    }
+
+    #[test]
+    fn exact_requires_linear() {
+        let w = Workload::simple_model().unwrap();
+        let m = KibamRm::new(
+            w,
+            Charge::from_milliamp_hours(800.0),
+            0.625,
+            Rate::per_second(4.5e-5),
+        )
+        .unwrap();
+        assert!(matches!(
+            exact_linear_curve(&m, &[Time::from_hours(1.0)]),
+            Err(KibamRmError::InvalidBattery(_))
+        ));
+    }
+
+    #[test]
+    fn exact_matches_simulation_on_off() {
+        // Triple cross-validation, part 1: Sericola vs Monte Carlo.
+        let m = linear_on_off();
+        let horizon = Time::from_seconds(400.0);
+        let study = lifetime_study(&m, horizon, 1500, 2024).unwrap();
+        let times: Vec<Time> =
+            (6..=24).map(|i| Time::from_seconds(i as f64 * 10.0)).collect();
+        let exact = exact_linear_curve(&m, &times).unwrap();
+        for (t, p) in &exact {
+            let sim = study.empty_probability(*t);
+            // Binomial error at 1500 runs ≈ 0.013 (1σ); allow 4σ.
+            assert!((p - sim).abs() < 0.05, "t = {t}: exact {p} vs sim {sim}");
+        }
+    }
+
+    #[test]
+    fn exact_matches_discretisation_on_off() {
+        // Triple cross-validation, part 2: Sericola vs the paper's
+        // Markovian approximation at a fine Δ.
+        let m = linear_on_off();
+        let opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(0.25));
+        let disc = DiscretisedModel::build(&m, &opts).unwrap();
+        let times: Vec<Time> =
+            (8..=20).map(|i| Time::from_seconds(i as f64 * 10.0)).collect();
+        let exact = exact_linear_curve(&m, &times).unwrap();
+        let approx = disc.empty_probability_curve(&times).unwrap();
+        for ((t, pe), (_, pa)) in exact.iter().zip(&approx.points) {
+            // The paper's own Fig. 7 shows the phase-type approximation of
+            // a near-deterministic lifetime converging slowly in Δ; at
+            // 288 levels the two curves agree except at the steep centre.
+            assert!((pe - pa).abs() < 0.15, "t = {t}: exact {pe} vs approx {pa}");
+        }
+    }
+
+    #[test]
+    fn absorbing_mean_agrees_with_curve_integral() {
+        // Full-size Fig. 7 battery (C = 7200 As): the absorbing solver
+        // never touches Sericola, so the scale is fine here.
+        let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+            .unwrap();
+        let m = KibamRm::new(w, Charge::from_amp_seconds(7200.0), 1.0, Rate::per_second(0.0))
+            .unwrap();
+        let disc = DiscretisedModel::build(
+            &m,
+            &DiscretisationOptions::with_delta(Charge::from_amp_seconds(100.0)),
+        )
+        .unwrap();
+        let algebraic = mean_lifetime_absorbing(&disc).unwrap();
+        let times: Vec<Time> =
+            (0..=600).map(|i| Time::from_seconds(i as f64 * 50.0)).collect();
+        let curve = disc.empty_probability_curve(&times).unwrap();
+        let integrated = mean_lifetime_from_curve(&curve.points);
+        let rel = (algebraic.as_seconds() - integrated.as_seconds()).abs()
+            / integrated.as_seconds();
+        assert!(
+            rel < 0.01,
+            "algebraic {algebraic} vs integrated {integrated}"
+        );
+        // Both near the deterministic 15000 s (phase-type smearing keeps
+        // the mean almost exactly right even at coarse Δ).
+        assert!((algebraic.as_seconds() - 15_000.0).abs() < 400.0, "{algebraic}");
+    }
+
+    #[test]
+    fn mean_from_curve_exponential() {
+        // F(t) = 1 − e^{-t}: E[L] = 1.
+        let points: Vec<(f64, f64)> =
+            (0..=4000).map(|i| (i as f64 * 0.005, 1.0 - (-i as f64 * 0.005).exp())).collect();
+        let mean = mean_lifetime_from_curve(&points);
+        assert!((mean.as_seconds() - 1.0).abs() < 2e-3, "{mean}");
+    }
+
+    #[test]
+    fn mean_from_degenerate_curve() {
+        assert_eq!(mean_lifetime_from_curve(&[]).as_seconds(), 0.0);
+        assert_eq!(mean_lifetime_from_curve(&[(0.0, 0.0)]).as_seconds(), 0.0);
+    }
+
+    #[test]
+    fn curve_difference() {
+        let a = vec![(0.0, 0.1), (1.0, 0.5)];
+        let b = vec![(0.0, 0.2), (1.0, 0.4)];
+        assert!((max_curve_difference(&a, &b).unwrap() - 0.1).abs() < 1e-12);
+        let c = vec![(0.0, 0.1)];
+        assert!(max_curve_difference(&a, &c).is_err());
+        let d = vec![(0.0, 0.1), (2.0, 0.5)];
+        assert!(max_curve_difference(&a, &d).is_err());
+    }
+
+    #[test]
+    fn compare_methods_reports_small_distances() {
+        let m = linear_on_off();
+        let disc = DiscretisedModel::build(
+            &m,
+            &DiscretisationOptions::with_delta(Charge::from_amp_seconds(0.5)),
+        )
+        .unwrap();
+        let times: Vec<Time> =
+            (0..=20).map(|i| Time::from_seconds(60.0 + i as f64 * 12.0)).collect();
+        let cmp = compare_methods(&m, &disc, &times, 800, 31).unwrap();
+        assert_eq!(cmp.runs, 800);
+        assert_eq!(cmp.approximation.len(), times.len());
+        assert_eq!(cmp.simulation.len(), times.len());
+        assert!(cmp.exact.is_some(), "c = 1 model must get the exact curve");
+        // Fine Δ: the approximation is close to both references.
+        assert!(cmp.approx_vs_exact.unwrap() < 0.12, "{:?}", cmp.approx_vs_exact);
+        assert!(cmp.approx_vs_sim < 0.15, "{}", cmp.approx_vs_sim);
+    }
+
+    #[test]
+    fn compare_methods_skips_exact_for_two_wells() {
+        let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+            .unwrap();
+        let m = KibamRm::new(
+            w,
+            Charge::from_amp_seconds(72.0),
+            0.625,
+            Rate::per_second(4.5e-3),
+        )
+        .unwrap();
+        let disc = DiscretisedModel::build(
+            &m,
+            &DiscretisationOptions::with_delta(Charge::from_amp_seconds(1.5)),
+        )
+        .unwrap();
+        let times: Vec<Time> =
+            (0..=10).map(|i| Time::from_seconds(60.0 + i as f64 * 24.0)).collect();
+        let cmp = compare_methods(&m, &disc, &times, 400, 32).unwrap();
+        assert!(cmp.exact.is_none());
+        assert!(cmp.approx_vs_exact.is_none());
+        // 30 levels of a near-deterministic CDF smear heavily (the Fig. 8
+        // phenomenon); the report must still quantify it sanely.
+        assert!(cmp.approx_vs_sim < 0.5, "{}", cmp.approx_vs_sim);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = time_grid(Time::from_seconds(10.0), 5);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g[0].as_seconds(), 0.0);
+        assert_eq!(g[5].as_seconds(), 10.0);
+        assert_eq!(g[1].as_seconds(), 2.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! A fluent builder for custom workload models.
+//!
+//! The paper's three workloads ship as constructors on
+//! [`crate::workload::Workload`]; real devices need their own. The
+//! builder keeps the invariants (every state needs a current; rates are
+//! validated; exactly one initial state unless a distribution is given)
+//! while staying pleasant to use:
+//!
+//! ```
+//! use kibamrm::builder::WorkloadBuilder;
+//! use units::{Current, Rate};
+//!
+//! // A Wi-Fi radio with scan/associate/transmit states.
+//! let workload = WorkloadBuilder::new()
+//!     .state("scan", Current::from_milliamps(40.0))
+//!     .state("assoc", Current::from_milliamps(120.0))
+//!     .state("tx", Current::from_milliamps(300.0))
+//!     .transition("scan", "assoc", Rate::per_hour(30.0))
+//!     .transition("assoc", "tx", Rate::per_hour(60.0))
+//!     .transition("tx", "scan", Rate::per_hour(120.0))
+//!     .initial("scan")
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(workload.n_states(), 3);
+//! ```
+
+use crate::workload::Workload;
+use crate::KibamRmError;
+use markov::ctmc::CtmcBuilder;
+use units::{Current, Rate};
+
+/// Fluent construction of a [`Workload`].
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadBuilder {
+    states: Vec<(String, Current)>,
+    transitions: Vec<(String, String, Rate)>,
+    initial: Option<String>,
+}
+
+impl WorkloadBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        WorkloadBuilder::default()
+    }
+
+    /// Declares a state with its current draw. The first declared state
+    /// is the default initial state.
+    #[must_use]
+    pub fn state(mut self, name: &str, current: Current) -> Self {
+        self.states.push((name.to_owned(), current));
+        self
+    }
+
+    /// Declares a transition by state names.
+    #[must_use]
+    pub fn transition(mut self, from: &str, to: &str, rate: Rate) -> Self {
+        self.transitions.push((from.to_owned(), to.to_owned(), rate));
+        self
+    }
+
+    /// Selects the initial state by name (defaults to the first state).
+    #[must_use]
+    pub fn initial(mut self, name: &str) -> Self {
+        self.initial = Some(name.to_owned());
+        self
+    }
+
+    /// Builds the workload.
+    ///
+    /// # Errors
+    ///
+    /// [`KibamRmError::InvalidWorkload`] when no states were declared, a
+    /// name is duplicated or unknown, the initial state is unknown, or a
+    /// rate/current is invalid.
+    pub fn build(self) -> Result<Workload, KibamRmError> {
+        if self.states.is_empty() {
+            return Err(KibamRmError::InvalidWorkload("no states declared".into()));
+        }
+        let index_of = |name: &str| -> Result<usize, KibamRmError> {
+            self.states
+                .iter()
+                .position(|(n, _)| n == name)
+                .ok_or_else(|| KibamRmError::InvalidWorkload(format!("unknown state '{name}'")))
+        };
+        // Duplicate names make name-based lookups ambiguous.
+        for (i, (name, _)) in self.states.iter().enumerate() {
+            if self.states.iter().skip(i + 1).any(|(n, _)| n == name) {
+                return Err(KibamRmError::InvalidWorkload(format!(
+                    "duplicate state name '{name}'"
+                )));
+            }
+        }
+
+        let mut ctmc = CtmcBuilder::new(self.states.len());
+        for (i, (name, _)) in self.states.iter().enumerate() {
+            ctmc.label(i, name);
+        }
+        for (from, to, rate) in &self.transitions {
+            let f = index_of(from)?;
+            let t = index_of(to)?;
+            ctmc.rate(f, t, rate.as_per_second())
+                .map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
+        }
+        let chain = ctmc.build().map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
+
+        let initial_idx = match &self.initial {
+            Some(name) => index_of(name)?,
+            None => 0,
+        };
+        let mut alpha = vec![0.0; self.states.len()];
+        alpha[initial_idx] = 1.0;
+        let currents: Vec<Current> = self.states.iter().map(|(_, c)| *c).collect();
+        Workload::new(chain, currents, alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discretise::{DiscretisationOptions, DiscretisedModel};
+    use crate::model::KibamRm;
+    use units::{Charge, Time};
+
+    fn radio() -> WorkloadBuilder {
+        WorkloadBuilder::new()
+            .state("scan", Current::from_milliamps(40.0))
+            .state("tx", Current::from_milliamps(300.0))
+            .transition("scan", "tx", Rate::per_hour(10.0))
+            .transition("tx", "scan", Rate::per_hour(30.0))
+    }
+
+    #[test]
+    fn builds_labelled_workload() {
+        let w = radio().build().unwrap();
+        assert_eq!(w.n_states(), 2);
+        assert_eq!(w.ctmc().state_label(1), "tx");
+        assert_eq!(w.initial(), &[1.0, 0.0]);
+        assert_eq!(w.current(1).as_milliamps(), 300.0);
+        let expected = 10.0 / 3600.0;
+        assert!((w.ctmc().rates().get(0, 1) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn initial_by_name() {
+        let w = radio().initial("tx").build().unwrap();
+        assert_eq!(w.initial(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        assert!(matches!(
+            radio().transition("scan", "nope", Rate::per_hour(1.0)).build(),
+            Err(KibamRmError::InvalidWorkload(_))
+        ));
+        assert!(radio().initial("nope").build().is_err());
+        assert!(WorkloadBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let b = WorkloadBuilder::new()
+            .state("a", Current::ZERO)
+            .state("a", Current::ZERO);
+        assert!(matches!(b.build(), Err(KibamRmError::InvalidWorkload(_))));
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        let b = radio().transition("scan", "scan", Rate::per_hour(1.0));
+        assert!(b.build().is_err(), "self-loop must be rejected");
+        let b = radio().transition("scan", "tx", Rate::per_hour(-1.0));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn built_workload_runs_through_the_pipeline() {
+        let w = radio().build().unwrap();
+        let model = KibamRm::new(
+            w,
+            Charge::from_milliamp_hours(400.0),
+            0.625,
+            Rate::per_second(4.5e-5),
+        )
+        .unwrap();
+        let disc = DiscretisedModel::build(
+            &model,
+            &DiscretisationOptions::with_delta(Charge::from_milliamp_hours(25.0)),
+        )
+        .unwrap();
+        let p = disc.empty_probability_at(Time::from_hours(10.0)).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

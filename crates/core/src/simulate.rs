@@ -1,0 +1,182 @@
+//! Stochastic simulation of the exact KiBaMRM dynamics.
+//!
+//! This is the validation baseline of the paper's §6 ("Simulation" curves,
+//! 1000 independent runs): the workload CTMC is sampled jump by jump, and
+//! within each sojourn — where the current is constant — the KiBaM wells
+//! evolve by the *closed-form* solution, with exact depletion detection.
+//! No discretisation error enters at all; the only error is statistical.
+
+use crate::model::KibamRm;
+use crate::KibamRmError;
+use sim::replication::{run_replications, LifetimeStudy};
+use sim::rng::SimRng;
+use sim::trajectory::{next_state, sample_initial};
+use units::Time;
+
+/// Simulates one battery lifetime, up to `horizon`.
+///
+/// Returns `Ok(None)` when the battery survives the whole horizon.
+///
+/// # Errors
+///
+/// [`KibamRmError::Markov`] for sampling failures (cannot happen for
+/// validated workloads), [`KibamRmError::Battery`] for battery stepping
+/// failures.
+pub fn simulate_lifetime(
+    model: &KibamRm,
+    horizon: Time,
+    rng: &mut SimRng,
+) -> Result<Option<Time>, KibamRmError> {
+    let workload = model.workload();
+    let chain = workload.ctmc();
+    let battery = model.battery();
+
+    let mut state = sample_initial(chain, workload.initial(), rng)?;
+    let mut charge = battery.full_state();
+    let mut t = Time::ZERO;
+
+    while t < horizon {
+        let exit = chain.exit_rate(state);
+        let sojourn = if exit > 0.0 {
+            Time::from_seconds(rng.exponential(exit))
+        } else {
+            horizon - t // absorbing workload state: stay forever
+        };
+        let dt = sojourn.min(horizon - t);
+        let current = workload.current(state);
+        if let Some(d) = battery.depletion_after(&charge, current, dt)? {
+            return Ok(Some(t + d));
+        }
+        charge = battery.advance_state(&charge, current, dt)?;
+        t += dt;
+        if t < horizon && exit > 0.0 {
+            state = next_state(chain, state, rng)?;
+        }
+    }
+    Ok(None)
+}
+
+/// Runs `runs` independent lifetime simulations (the paper uses 1000) and
+/// returns the empirical study.
+///
+/// # Errors
+///
+/// Propagates the first simulation error; [`KibamRmError::InvalidWorkload`]
+/// if no run depleted within the horizon (extend it).
+pub fn lifetime_study(
+    model: &KibamRm,
+    horizon: Time,
+    runs: usize,
+    seed: u64,
+) -> Result<LifetimeStudy, KibamRmError> {
+    let outcomes: Vec<Result<Option<f64>, KibamRmError>> =
+        run_replications(runs, seed, |rng| {
+            simulate_lifetime(model, horizon, rng).map(|o| o.map(|t| t.as_seconds()))
+        });
+    let mut flat = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        flat.push(o?);
+    }
+    LifetimeStudy::new(&flat, horizon.as_seconds()).map_err(|e| {
+        KibamRmError::InvalidWorkload(format!(
+            "no simulated run depleted within the horizon: {e}"
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use units::{Charge, Current, Frequency, Rate};
+
+    fn on_off_linear() -> KibamRm {
+        let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+            .unwrap();
+        KibamRm::new(w, Charge::from_amp_seconds(7200.0), 1.0, Rate::per_second(0.0)).unwrap()
+    }
+
+    #[test]
+    fn single_run_reproducible() {
+        let m = on_off_linear();
+        let horizon = Time::from_seconds(25_000.0);
+        let a = simulate_lifetime(&m, horizon, &mut SimRng::seed_from(3)).unwrap();
+        let b = simulate_lifetime(&m, horizon, &mut SimRng::seed_from(3)).unwrap();
+        assert_eq!(a, b);
+        assert!(a.is_some());
+    }
+
+    #[test]
+    fn on_off_mean_lifetime_near_15000() {
+        // §6.1: the lifetime is nearly deterministic around 15 000 s
+        // (7200 As at 0.96 A drawn half the time).
+        let m = on_off_linear();
+        let study =
+            lifetime_study(&m, Time::from_seconds(25_000.0), 300, 1234).unwrap();
+        assert_eq!(study.total_runs(), 300);
+        assert_eq!(study.depleted_runs(), 300, "all runs must deplete by 25 000 s");
+        let mean = study.mean_observed_lifetime();
+        assert!((mean - 15_000.0).abs() < 300.0, "mean = {mean}");
+        // The paper notes the distribution is close to deterministic: the
+        // 5%—95% spread stays within ±10 % of the mean.
+        let lo = study.lifetime_quantile(0.05).unwrap();
+        let hi = study.lifetime_quantile(0.95).unwrap();
+        assert!(hi - lo < 0.25 * mean, "spread [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn erlang_k_concentrates_lifetime() {
+        // §6.1: larger K makes on/off times closer to deterministic and
+        // the simulated lifetime distribution tighter.
+        let spread_for = |k: u32| {
+            let w = Workload::on_off_erlang(
+                Frequency::from_hertz(1.0),
+                k,
+                Current::from_amps(0.96),
+            )
+            .unwrap();
+            let m =
+                KibamRm::new(w, Charge::from_amp_seconds(7200.0), 1.0, Rate::per_second(0.0))
+                    .unwrap();
+            let study = lifetime_study(&m, Time::from_seconds(25_000.0), 200, 99).unwrap();
+            study.lifetime_quantile(0.9).unwrap() - study.lifetime_quantile(0.1).unwrap()
+        };
+        let s1 = spread_for(1);
+        let s8 = spread_for(8);
+        assert!(s8 < s1, "K=1 spread {s1} vs K=8 spread {s8}");
+    }
+
+    #[test]
+    fn two_well_battery_dies_earlier_than_linear() {
+        // With c = 0.625 part of the charge is locked in the bound well:
+        // lifetimes shorten (Fig. 9's message).
+        let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+            .unwrap();
+        let linear = on_off_linear();
+        let two_well = KibamRm::new(
+            w,
+            Charge::from_amp_seconds(7200.0),
+            0.625,
+            Rate::per_second(4.5e-5),
+        )
+        .unwrap();
+        let horizon = Time::from_seconds(25_000.0);
+        let m_lin =
+            lifetime_study(&linear, horizon, 150, 5).unwrap().mean_observed_lifetime();
+        let m_two =
+            lifetime_study(&two_well, horizon, 150, 5).unwrap().mean_observed_lifetime();
+        assert!(m_two < m_lin, "two-well {m_two} vs linear {m_lin}");
+        // But longer than the available-charge-only battery (recovery
+        // transfers bound charge): 4500 As / 0.48 A = 9375 s.
+        assert!(m_two > 9375.0, "two-well {m_two}");
+    }
+
+    #[test]
+    fn survives_short_horizon() {
+        let m = on_off_linear();
+        let out = simulate_lifetime(&m, Time::from_seconds(100.0), &mut SimRng::seed_from(1))
+            .unwrap();
+        assert_eq!(out, None);
+        assert!(lifetime_study(&m, Time::from_seconds(100.0), 10, 1).is_err());
+    }
+}

@@ -1,0 +1,3 @@
+//! This package only hosts the workspace-level integration tests; the
+//! test sources live in `/tests` at the repository root (see
+//! `Cargo.toml`'s `[[test]]` entries).

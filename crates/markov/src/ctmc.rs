@@ -1,0 +1,391 @@
+//! Continuous-time Markov chains: validated construction, exit rates,
+//! uniformisation and export.
+//!
+//! A CTMC here is stored as its off-diagonal rate matrix in CSR form plus
+//! the per-state exit rates; the diagonal of the generator is implicit
+//! (`q_{ii} = −q_i`). This matches the workload models of the paper
+//! (Figs. 3–5) as well as the huge derived chains of Section 5.
+
+use crate::sparse::CsrMatrix;
+use crate::MarkovError;
+
+/// Incremental builder for a [`Ctmc`].
+///
+/// # Examples
+///
+/// Building the paper's simple cell-phone workload (Fig. 4, rates per
+/// hour):
+///
+/// ```
+/// use markov::ctmc::CtmcBuilder;
+///
+/// let mut b = CtmcBuilder::new(3);
+/// b.label(0, "idle").label(1, "send").label(2, "sleep");
+/// b.rate(0, 1, 2.0).unwrap(); // λ: data arrives
+/// b.rate(1, 0, 6.0).unwrap(); // µ: sending completes
+/// b.rate(0, 2, 1.0).unwrap(); // τ: timeout to sleep
+/// b.rate(2, 1, 2.0).unwrap(); // λ: data arrival wakes the device
+/// let chain = b.build().unwrap();
+/// assert_eq!(chain.n_states(), 3);
+/// assert_eq!(chain.exit_rate(0), 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtmcBuilder {
+    n: usize,
+    triplets: Vec<(usize, usize, f64)>,
+    labels: Vec<String>,
+}
+
+impl CtmcBuilder {
+    /// Starts a builder for a chain with `n` states (indexed `0..n`).
+    pub fn new(n: usize) -> Self {
+        CtmcBuilder {
+            n,
+            triplets: Vec::new(),
+            labels: (0..n).map(|i| format!("s{i}")).collect(),
+        }
+    }
+
+    /// Adds (accumulates) transition rate `rate` from `from` to `to`.
+    ///
+    /// Zero rates are accepted and ignored, which lets callers write
+    /// uniform model-generation loops.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::StateOutOfRange`] for bad indices,
+    /// [`MarkovError::SelfLoop`] when `from == to`, and
+    /// [`MarkovError::InvalidRate`] for negative or non-finite rates.
+    pub fn rate(&mut self, from: usize, to: usize, rate: f64) -> Result<&mut Self, MarkovError> {
+        if from >= self.n {
+            return Err(MarkovError::StateOutOfRange { state: from, n_states: self.n });
+        }
+        if to >= self.n {
+            return Err(MarkovError::StateOutOfRange { state: to, n_states: self.n });
+        }
+        if from == to {
+            return Err(MarkovError::SelfLoop { state: from });
+        }
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(MarkovError::InvalidRate { from, to, rate });
+        }
+        if rate > 0.0 {
+            self.triplets.push((from, to, rate));
+        }
+        Ok(self)
+    }
+
+    /// Sets a human-readable label on state `i` (ignored when out of
+    /// range, so chained label calls never fail).
+    pub fn label(&mut self, i: usize, name: &str) -> &mut Self {
+        if i < self.n {
+            self.labels[i] = name.to_owned();
+        }
+        self
+    }
+
+    /// Number of accumulated (non-zero) transitions so far.
+    pub fn transition_count(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Finalises the chain.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::EmptyChain`] when `n == 0`, or an error propagated
+    /// from sparse-matrix assembly.
+    pub fn build(self) -> Result<Ctmc, MarkovError> {
+        if self.n == 0 {
+            return Err(MarkovError::EmptyChain);
+        }
+        let rates = CsrMatrix::from_triplets(self.n, self.n, self.triplets)?;
+        let exit = rates.row_sums();
+        Ok(Ctmc { n: self.n, rates, exit, labels: self.labels })
+    }
+}
+
+/// A validated continuous-time Markov chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ctmc {
+    n: usize,
+    rates: CsrMatrix,
+    exit: Vec<f64>,
+    labels: Vec<String>,
+}
+
+impl Ctmc {
+    /// Number of states.
+    #[inline]
+    pub fn n_states(&self) -> usize {
+        self.n
+    }
+
+    /// The off-diagonal rate matrix in CSR form.
+    #[inline]
+    pub fn rates(&self) -> &CsrMatrix {
+        &self.rates
+    }
+
+    /// Total number of (off-diagonal) transitions.
+    #[inline]
+    pub fn n_transitions(&self) -> usize {
+        self.rates.nnz()
+    }
+
+    /// Exit rate `q_i = Σ_{j≠i} q_{ij}` of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_states()`.
+    #[inline]
+    pub fn exit_rate(&self, i: usize) -> f64 {
+        self.exit[i]
+    }
+
+    /// All exit rates.
+    #[inline]
+    pub fn exit_rates(&self) -> &[f64] {
+        &self.exit
+    }
+
+    /// The largest exit rate, i.e. the minimal uniformisation rate.
+    pub fn max_exit_rate(&self) -> f64 {
+        self.exit.iter().fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// `true` when state `i` is absorbing (no outgoing rate).
+    pub fn is_absorbing(&self, i: usize) -> bool {
+        self.exit[i] == 0.0
+    }
+
+    /// Label of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_states()`.
+    pub fn state_label(&self, i: usize) -> &str {
+        &self.labels[i]
+    }
+
+    /// Index of the first state carrying `label`, if any.
+    pub fn find_state(&self, label: &str) -> Option<usize> {
+        self.labels.iter().position(|l| l == label)
+    }
+
+    /// The dense generator matrix `Q` (diagonal filled in). Intended for
+    /// small chains only — memory is `O(n²)`.
+    pub fn generator_dense(&self) -> numerics::linalg::DenseMatrix {
+        let mut q = numerics::linalg::DenseMatrix::zeros(self.n, self.n);
+        for (i, j, r) in self.rates.iter() {
+            q[(i, j)] = r;
+        }
+        for i in 0..self.n {
+            q[(i, i)] = -self.exit[i];
+        }
+        q
+    }
+
+    /// The uniformised DTMC `P = I + Q/ν` with `ν = factor · max_i q_i`,
+    /// returned together with ν. `factor > 1` leaves strictly positive
+    /// self-loop probability on the fastest states, which damps the
+    /// periodicity artefacts of uniformisation.
+    ///
+    /// For a chain whose states are all absorbing, `ν = 0` and `P = I` is
+    /// returned with `ν` set to 0; callers special-case this (the
+    /// transient distribution is constant).
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] when `factor < 1`.
+    pub fn uniformised(&self, factor: f64) -> Result<(CsrMatrix, f64), MarkovError> {
+        if !(factor >= 1.0) {
+            return Err(MarkovError::InvalidArgument(format!(
+                "uniformisation factor must be ≥ 1, got {factor}"
+            )));
+        }
+        let nu = self.max_exit_rate() * factor;
+        if nu == 0.0 {
+            // All states absorbing: P = I.
+            let eye: Vec<_> = (0..self.n).map(|i| (i, i, 1.0)).collect();
+            return Ok((CsrMatrix::from_triplets(self.n, self.n, eye)?, 0.0));
+        }
+        let mut trip: Vec<(usize, usize, f64)> = Vec::with_capacity(self.rates.nnz() + self.n);
+        for (i, j, r) in self.rates.iter() {
+            trip.push((i, j, r / nu));
+        }
+        for i in 0..self.n {
+            let stay = 1.0 - self.exit[i] / nu;
+            if stay != 0.0 {
+                trip.push((i, i, stay));
+            }
+        }
+        Ok((CsrMatrix::from_triplets(self.n, self.n, trip)?, nu))
+    }
+
+    /// Graphviz/DOT rendering of the chain with labels and rates, for
+    /// documentation and debugging of workload models.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph ctmc {\n  rankdir=LR;\n");
+        for (i, l) in self.labels.iter().enumerate() {
+            out.push_str(&format!("  {i} [label=\"{l}\"];\n"));
+        }
+        for (i, j, r) in self.rates.iter() {
+            out.push_str(&format!("  {i} -> {j} [label=\"{r}\"];\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Validates that `alpha` is a probability distribution over the state
+    /// space (length `n`, entries in `[0,1]`, sum ≈ 1).
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidDistribution`] describing the violation.
+    pub fn check_distribution(&self, alpha: &[f64]) -> Result<(), MarkovError> {
+        if alpha.len() != self.n {
+            return Err(MarkovError::InvalidDistribution(format!(
+                "length {} but chain has {} states",
+                alpha.len(),
+                self.n
+            )));
+        }
+        if alpha.iter().any(|&p| !(0.0..=1.0 + 1e-9).contains(&p)) {
+            return Err(MarkovError::InvalidDistribution("entry outside [0, 1]".into()));
+        }
+        let total: f64 = alpha.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(MarkovError::InvalidDistribution(format!("sums to {total}")));
+        }
+        Ok(())
+    }
+
+    /// The point distribution concentrated on `state`.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::StateOutOfRange`] when `state >= n_states()`.
+    pub fn point_distribution(&self, state: usize) -> Result<Vec<f64>, MarkovError> {
+        if state >= self.n {
+            return Err(MarkovError::StateOutOfRange { state, n_states: self.n });
+        }
+        let mut alpha = vec![0.0; self.n];
+        alpha[state] = 1.0;
+        Ok(alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Ctmc {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 0, 3.0).unwrap();
+        b.label(0, "on").label(1, "off");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_validation() {
+        let mut b = CtmcBuilder::new(2);
+        assert!(matches!(b.rate(2, 0, 1.0), Err(MarkovError::StateOutOfRange { .. })));
+        assert!(matches!(b.rate(0, 5, 1.0), Err(MarkovError::StateOutOfRange { .. })));
+        assert!(matches!(b.rate(0, 0, 1.0), Err(MarkovError::SelfLoop { .. })));
+        assert!(matches!(b.rate(0, 1, -1.0), Err(MarkovError::InvalidRate { .. })));
+        assert!(matches!(b.rate(0, 1, f64::NAN), Err(MarkovError::InvalidRate { .. })));
+        b.rate(0, 1, 0.0).unwrap(); // zero rates allowed, ignored
+        assert_eq!(b.transition_count(), 0);
+        assert!(matches!(CtmcBuilder::new(0).build(), Err(MarkovError::EmptyChain)));
+    }
+
+    #[test]
+    fn rates_accumulate() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.5).unwrap();
+        b.rate(0, 1, 0.5).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.rates().get(0, 1), 2.0);
+        assert_eq!(c.exit_rate(0), 2.0);
+    }
+
+    #[test]
+    fn exit_rates_and_absorbing() {
+        let c = two_state();
+        assert_eq!(c.exit_rate(0), 2.0);
+        assert_eq!(c.exit_rate(1), 3.0);
+        assert_eq!(c.exit_rates(), &[2.0, 3.0]);
+        assert_eq!(c.max_exit_rate(), 3.0);
+        assert!(!c.is_absorbing(0));
+
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        let c = b.build().unwrap();
+        assert!(c.is_absorbing(1));
+    }
+
+    #[test]
+    fn labels_and_lookup() {
+        let c = two_state();
+        assert_eq!(c.state_label(0), "on");
+        assert_eq!(c.find_state("off"), Some(1));
+        assert_eq!(c.find_state("missing"), None);
+    }
+
+    #[test]
+    fn generator_rows_sum_to_zero() {
+        let c = two_state();
+        let q = c.generator_dense();
+        for i in 0..2 {
+            let s: f64 = q.row(i).iter().sum();
+            assert!(s.abs() < 1e-15);
+        }
+        assert_eq!(q[(0, 0)], -2.0);
+        assert_eq!(q[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn uniformised_is_stochastic() {
+        let c = two_state();
+        let (p, nu) = c.uniformised(1.02).unwrap();
+        assert!((nu - 3.06).abs() < 1e-12);
+        for i in 0..2 {
+            let total: f64 = p.row(i).map(|(_, v)| v).sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+        // Fastest state keeps positive self-loop thanks to factor > 1.
+        assert!(p.get(1, 1) > 0.0);
+        assert!(c.uniformised(0.5).is_err());
+    }
+
+    #[test]
+    fn uniformised_all_absorbing() {
+        let c = CtmcBuilder::new(3).build().unwrap();
+        let (p, nu) = c.uniformised(1.0).unwrap();
+        assert_eq!(nu, 0.0);
+        for i in 0..3 {
+            assert_eq!(p.get(i, i), 1.0);
+        }
+    }
+
+    #[test]
+    fn distribution_checks() {
+        let c = two_state();
+        assert!(c.check_distribution(&[0.5, 0.5]).is_ok());
+        assert!(c.check_distribution(&[0.5]).is_err());
+        assert!(c.check_distribution(&[0.7, 0.7]).is_err());
+        assert!(c.check_distribution(&[-0.1, 1.1]).is_err());
+        assert_eq!(c.point_distribution(1).unwrap(), vec![0.0, 1.0]);
+        assert!(c.point_distribution(7).is_err());
+    }
+
+    #[test]
+    fn dot_export_mentions_labels_and_rates() {
+        let dot = two_state().to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("\"on\""));
+        assert!(dot.contains("0 -> 1 [label=\"2\"]"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Discrete-time Markov chains, chiefly the embedded jump chain of a CTMC.
+//!
+//! The embedded chain is used by the simulation engine (state sequencing)
+//! and by tests that validate the uniformised matrix `P = I + Q/ν`.
+
+use crate::ctmc::Ctmc;
+use crate::sparse::CsrMatrix;
+use crate::MarkovError;
+
+/// A discrete-time Markov chain with a row-stochastic transition matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dtmc {
+    p: CsrMatrix,
+}
+
+impl Dtmc {
+    /// Wraps a row-stochastic matrix as a DTMC.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] for non-square matrices, rows not
+    /// summing to one (tolerance `1e-9`), or negative entries.
+    pub fn new(p: CsrMatrix) -> Result<Self, MarkovError> {
+        if p.rows() != p.cols() {
+            return Err(MarkovError::InvalidArgument(format!(
+                "transition matrix must be square, got {}x{}",
+                p.rows(),
+                p.cols()
+            )));
+        }
+        if p.rows() == 0 {
+            return Err(MarkovError::EmptyChain);
+        }
+        for r in 0..p.rows() {
+            let mut total = 0.0;
+            for (_, v) in p.row(r) {
+                if v < 0.0 {
+                    return Err(MarkovError::InvalidArgument(format!(
+                        "negative probability in row {r}"
+                    )));
+                }
+                total += v;
+            }
+            if (total - 1.0).abs() > 1e-9 {
+                return Err(MarkovError::InvalidArgument(format!(
+                    "row {r} sums to {total}, expected 1"
+                )));
+            }
+        }
+        Ok(Dtmc { p })
+    }
+
+    /// The embedded jump chain of a CTMC: `p_{ij} = q_{ij}/q_i` for
+    /// transient states, a self-loop for absorbing ones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sparse-assembly errors (none occur for valid chains).
+    pub fn embedded(ctmc: &Ctmc) -> Result<Self, MarkovError> {
+        let n = ctmc.n_states();
+        let mut trip = Vec::with_capacity(ctmc.n_transitions() + n);
+        for i in 0..n {
+            let qi = ctmc.exit_rate(i);
+            if qi == 0.0 {
+                trip.push((i, i, 1.0));
+            } else {
+                for (j, rate) in ctmc.rates().row(i) {
+                    trip.push((i, j, rate / qi));
+                }
+            }
+        }
+        Dtmc::new(CsrMatrix::from_triplets(n, n, trip)?)
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// The transition matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.p
+    }
+
+    /// One step of the distribution dynamics: `v ↦ vP`.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] on length mismatch.
+    pub fn step(&self, v: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        self.p.vec_mul(v)
+    }
+
+    /// `n`-step distribution starting from `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] on length mismatch.
+    pub fn distribution_after(&self, alpha: &[f64], n: usize) -> Result<Vec<f64>, MarkovError> {
+        let mut v = alpha.to_vec();
+        for _ in 0..n {
+            v = self.step(&v)?;
+        }
+        Ok(v)
+    }
+
+    /// Stationary distribution by power iteration with Cesàro averaging
+    /// (which also converges for periodic chains).
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::NoConvergence`] when `max_iter` is exhausted.
+    pub fn stationary_power(
+        &self,
+        tolerance: f64,
+        max_iter: usize,
+    ) -> Result<Vec<f64>, MarkovError> {
+        let n = self.n_states();
+        let mut v = vec![1.0 / n as f64; n];
+        for _ in 0..max_iter {
+            let stepped = self.step(&v)?;
+            // Cesàro smoothing: average of v and vP.
+            let mixed: Vec<f64> =
+                v.iter().zip(&stepped).map(|(a, b)| 0.5 * (a + b)).collect();
+            let delta =
+                v.iter().zip(&mixed).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+            v = mixed;
+            if delta < tolerance {
+                return Ok(v);
+            }
+        }
+        Err(MarkovError::NoConvergence("power iteration exhausted".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+
+    #[test]
+    fn rejects_bad_matrices() {
+        let not_square = CsrMatrix::from_triplets(1, 2, vec![(0, 0, 1.0)]).unwrap();
+        assert!(Dtmc::new(not_square).is_err());
+        let bad_sum = CsrMatrix::from_triplets(1, 1, vec![(0, 0, 0.7)]).unwrap();
+        assert!(Dtmc::new(bad_sum).is_err());
+        assert!(matches!(Dtmc::new(CsrMatrix::zeros(0, 0)), Err(MarkovError::EmptyChain)));
+        // Row sums to one but carries a negative entry.
+        let negative =
+            CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.5), (0, 1, -0.5), (1, 1, 1.0)]).unwrap();
+        assert!(Dtmc::new(negative).is_err());
+    }
+
+    #[test]
+    fn embedded_chain_of_ctmc() {
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(0, 2, 3.0).unwrap();
+        // state 1, 2 absorbing.
+        let c = b.build().unwrap();
+        let d = Dtmc::embedded(&c).unwrap();
+        assert_eq!(d.matrix().get(0, 1), 0.25);
+        assert_eq!(d.matrix().get(0, 2), 0.75);
+        assert_eq!(d.matrix().get(1, 1), 1.0);
+        assert_eq!(d.n_states(), 3);
+    }
+
+    #[test]
+    fn step_moves_mass() {
+        let p = CsrMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let d = Dtmc::new(p).unwrap();
+        assert_eq!(d.step(&[1.0, 0.0]).unwrap(), vec![0.0, 1.0]);
+        assert_eq!(d.distribution_after(&[1.0, 0.0], 2).unwrap(), vec![1.0, 0.0]);
+        assert!(d.step(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn stationary_power_on_periodic_chain() {
+        // Pure 2-cycle is periodic; Cesàro averaging still converges to ½,½.
+        let p = CsrMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let d = Dtmc::new(p).unwrap();
+        let pi = d.stationary_power(1e-12, 100_000).unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-9);
+        assert!((pi[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_power_matches_ctmc_uniformisation() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 3.0).unwrap();
+        let c = b.build().unwrap();
+        let (p, _nu) = c.uniformised(1.02).unwrap();
+        let d = Dtmc::new(p).unwrap();
+        let pi = d.stationary_power(1e-13, 100_000).unwrap();
+        // Uniformised chain shares the CTMC's stationary distribution.
+        assert!((pi[0] - 0.75).abs() < 1e-9);
+        assert!((pi[1] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_convergence_when_iterations_too_small() {
+        let p = CsrMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let d = Dtmc::new(p).unwrap();
+        assert!(matches!(d.stationary_power(0.0, 2), Err(MarkovError::NoConvergence(_))));
+    }
+}

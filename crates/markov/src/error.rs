@@ -1,0 +1,83 @@
+//! The shared error type of the `markov` crate.
+
+use std::fmt;
+
+/// Errors produced while building or analysing Markov chains.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// A state index was out of range.
+    StateOutOfRange {
+        /// The offending index.
+        state: usize,
+        /// Number of states in the chain.
+        n_states: usize,
+    },
+    /// A transition rate was negative, NaN or infinite.
+    InvalidRate {
+        /// Source state.
+        from: usize,
+        /// Target state.
+        to: usize,
+        /// The offending rate.
+        rate: f64,
+    },
+    /// A self-loop `i → i` was specified (meaningless in a CTMC generator).
+    SelfLoop {
+        /// The state with the self-loop.
+        state: usize,
+    },
+    /// A chain was built with zero states.
+    EmptyChain,
+    /// A probability vector did not have the right length or did not sum
+    /// to one.
+    InvalidDistribution(String),
+    /// A numerical routine failed to converge.
+    NoConvergence(String),
+    /// Generic invalid-argument error with a description.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::StateOutOfRange { state, n_states } => {
+                write!(f, "state {state} out of range for chain with {n_states} states")
+            }
+            MarkovError::InvalidRate { from, to, rate } => {
+                write!(f, "invalid rate {rate} on transition {from} -> {to}")
+            }
+            MarkovError::SelfLoop { state } => {
+                write!(f, "self-loop on state {state} is not allowed in a generator")
+            }
+            MarkovError::EmptyChain => write!(f, "chain must have at least one state"),
+            MarkovError::InvalidDistribution(msg) => {
+                write!(f, "invalid probability distribution: {msg}")
+            }
+            MarkovError::NoConvergence(msg) => write!(f, "no convergence: {msg}"),
+            MarkovError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let cases: Vec<(MarkovError, &str)> = vec![
+            (MarkovError::StateOutOfRange { state: 5, n_states: 3 }, "state 5"),
+            (MarkovError::InvalidRate { from: 0, to: 1, rate: -1.0 }, "invalid rate"),
+            (MarkovError::SelfLoop { state: 2 }, "self-loop"),
+            (MarkovError::EmptyChain, "at least one state"),
+            (MarkovError::InvalidDistribution("x".into()), "distribution"),
+            (MarkovError::NoConvergence("y".into()), "no convergence"),
+            (MarkovError::InvalidArgument("z".into()), "invalid argument"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Poisson probability weights with left/right truncation for
+//! uniformisation (Fox & Glynn, *CACM* 1988, in the numerically robust
+//! mode-centred formulation used by probabilistic model checkers).
+//!
+//! Uniformisation evaluates `π(t) = Σ_n ψ(n; νt)·αPⁿ` where
+//! `ψ(n; λ) = e^{-λ}λⁿ/n!`. For the paper's experiments `λ = νt` reaches
+//! ≈ 4.6·10⁴, so the summation must be truncated to the `O(√λ)` window
+//! around the mode that carries all but `ε` of the mass — that window is
+//! exactly what [`poisson_weights`] returns.
+
+use crate::MarkovError;
+use numerics::special::poisson_ln_pmf;
+
+/// A truncated, renormalised window of Poisson probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoissonWeights {
+    /// First retained index `L` (left truncation point).
+    pub left: usize,
+    /// Last retained index `R` (right truncation point, inclusive).
+    pub right: usize,
+    /// `weights[i] ≈ Pr{Poisson(λ) = left + i}`, renormalised to sum to 1.
+    pub weights: Vec<f64>,
+    /// Probability mass captured before renormalisation (`≥ 1 − ε`).
+    pub mass_covered: f64,
+}
+
+impl PoissonWeights {
+    /// The weight of index `n`, zero outside the window.
+    pub fn weight(&self, n: usize) -> f64 {
+        if n < self.left || n > self.right {
+            0.0
+        } else {
+            self.weights[n - self.left]
+        }
+    }
+
+    /// Number of retained terms.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` when no terms are retained (cannot happen for valid input).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+/// Computes the truncated Poisson distribution for rate `lambda`,
+/// discarding at most `epsilon` of the total mass (split between the two
+/// tails), then renormalising.
+///
+/// The evaluation starts from the exact log-pmf at the mode
+/// `m = ⌊λ⌋` and extends outward with the multiplicative recurrences
+/// `ψ(n+1) = ψ(n)·λ/(n+1)` and `ψ(n−1) = ψ(n)·n/λ`, entirely in the linear
+/// domain — the mode value anchors the scale so no overflow is possible.
+///
+/// # Errors
+///
+/// [`MarkovError::InvalidArgument`] when `lambda` is negative/NaN or
+/// `epsilon ∉ (0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// let w = markov::foxglynn::poisson_weights(2.0, 1e-12).unwrap();
+/// assert!((w.weight(0) - (-2.0f64).exp()).abs() < 1e-12);
+/// assert!((w.weights.iter().sum::<f64>() - 1.0).abs() < 1e-14);
+/// ```
+pub fn poisson_weights(lambda: f64, epsilon: f64) -> Result<PoissonWeights, MarkovError> {
+    if !lambda.is_finite() || lambda < 0.0 {
+        return Err(MarkovError::InvalidArgument(format!(
+            "Poisson rate must be finite and non-negative, got {lambda}"
+        )));
+    }
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(MarkovError::InvalidArgument(format!(
+            "epsilon must lie in (0, 1), got {epsilon}"
+        )));
+    }
+    if lambda == 0.0 {
+        return Ok(PoissonWeights { left: 0, right: 0, weights: vec![1.0], mass_covered: 1.0 });
+    }
+
+    let mode = lambda.floor() as usize;
+    let p_mode = poisson_ln_pmf(lambda, mode as u64).exp();
+
+    // Expand right from the mode until the right tail is provably < ε/2:
+    // once past the mode the pmf decays at ratio ρ = λ/(n+1) < 1, so the
+    // remaining tail is bounded by w·ρ/(1−ρ).
+    let tail_bound = epsilon / 2.0;
+    let mut right_weights = Vec::new();
+    let mut w = p_mode;
+    let mut n = mode;
+    loop {
+        right_weights.push(w);
+        let ratio = lambda / (n + 1) as f64;
+        let next = w * ratio;
+        if ratio < 1.0 {
+            let tail = next / (1.0 - ratio);
+            if tail < tail_bound || next < f64::MIN_POSITIVE {
+                break;
+            }
+        }
+        n += 1;
+        w = next;
+        // Hard stop far beyond any realistic window (10⁹ keeps us safe from
+        // pathological ε while bounding memory).
+        if right_weights.len() > 1_000_000_000 {
+            return Err(MarkovError::NoConvergence(
+                "right truncation point not found".into(),
+            ));
+        }
+    }
+    let right = n;
+
+    // Expand left similarly (ratio n/λ < 1 below the mode).
+    let mut left_weights = Vec::new();
+    let mut w = p_mode;
+    let mut m = mode;
+    while m > 0 {
+        let ratio = m as f64 / lambda;
+        let prev = w * ratio;
+        if ratio < 1.0 {
+            let tail = prev / (1.0 - ratio);
+            if tail < tail_bound || prev < f64::MIN_POSITIVE {
+                break;
+            }
+        }
+        m -= 1;
+        w = prev;
+        left_weights.push(w);
+    }
+    let left = m;
+
+    // Stitch: left_weights holds indices mode−1, mode−2, … ; reverse them.
+    let mut weights = Vec::with_capacity(left_weights.len() + right_weights.len());
+    weights.extend(left_weights.into_iter().rev());
+    weights.extend(right_weights);
+
+    let mass: f64 = weights.iter().sum();
+    debug_assert!(mass > 0.0);
+    for w in &mut weights {
+        *w /= mass;
+    }
+    Ok(PoissonWeights { left, right, weights, mass_covered: mass })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numerics::special::poisson_pmf;
+
+    #[test]
+    fn zero_lambda_degenerate() {
+        let w = poisson_weights(0.0, 1e-10).unwrap();
+        assert_eq!(w.left, 0);
+        assert_eq!(w.right, 0);
+        assert_eq!(w.weights, vec![1.0]);
+        assert_eq!(w.weight(0), 1.0);
+        assert_eq!(w.weight(1), 0.0);
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn small_lambda_matches_direct_pmf() {
+        let w = poisson_weights(3.5, 1e-14).unwrap();
+        assert_eq!(w.left, 0, "small λ keeps the full left tail");
+        for n in 0..w.right {
+            let direct = poisson_pmf(3.5, n as u64);
+            assert!(
+                (w.weight(n) - direct).abs() < 1e-12,
+                "n = {n}: {} vs {direct}",
+                w.weight(n)
+            );
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for &lambda in &[0.1f64, 1.0, 17.3, 400.0, 46_000.0] {
+            let w = poisson_weights(lambda, 1e-10).unwrap();
+            let total: f64 = w.weights.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "λ = {lambda}");
+            assert!(w.mass_covered > 1.0 - 1e-9, "λ = {lambda}: {}", w.mass_covered);
+        }
+    }
+
+    #[test]
+    fn window_is_mode_centred_and_sqrt_sized() {
+        let lambda = 40_000.0;
+        let w = poisson_weights(lambda, 1e-10).unwrap();
+        let mode = lambda as usize;
+        assert!(w.left < mode && mode < w.right);
+        // Window should be O(√λ): ≈ ±7σ for ε = 1e-10 (σ = 200).
+        let width = (w.right - w.left) as f64;
+        assert!(width > 4.0 * lambda.sqrt(), "window too narrow: {width}");
+        assert!(width < 20.0 * lambda.sqrt(), "window too wide: {width}");
+        // The paper's regime: > 36 000 iterations needed at λ ≈ 38 000 means
+        // R must exceed λ.
+        assert!(w.right as f64 > lambda);
+    }
+
+    #[test]
+    fn truncated_mass_within_epsilon() {
+        let lambda = 1000.0;
+        let eps = 1e-8;
+        let w = poisson_weights(lambda, eps).unwrap();
+        // Mass outside the window, computed directly.
+        let mut outside = 0.0;
+        for n in 0..w.left {
+            outside += poisson_pmf(lambda, n as u64);
+        }
+        for n in (w.right + 1)..(w.right + 2000) {
+            outside += poisson_pmf(lambda, n as u64);
+        }
+        assert!(outside <= eps * 1.01, "outside mass {outside} > ε = {eps}");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(poisson_weights(-1.0, 1e-10).is_err());
+        assert!(poisson_weights(f64::NAN, 1e-10).is_err());
+        assert!(poisson_weights(1.0, 0.0).is_err());
+        assert!(poisson_weights(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn weight_outside_window_is_zero() {
+        let w = poisson_weights(500.0, 1e-10).unwrap();
+        assert_eq!(w.weight(0), 0.0);
+        assert_eq!(w.weight(10_000), 0.0);
+    }
+}

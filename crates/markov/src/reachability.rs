@@ -1,0 +1,180 @@
+//! Time-bounded reachability for CTMCs.
+//!
+//! `Pr[reach B within t]` is the workhorse query of CSRL model checking —
+//! the line of work this paper's algorithm grew out of (its refs. [15],
+//! [16]) — and the battery-lifetime distribution itself is exactly such a
+//! query on the derived chain (`B` = the battery-empty states). This
+//! module exposes the standard reduction for *any* CTMC and target set:
+//! make `B` absorbing, then the transient probability of sitting in `B`
+//! at time `t` equals the probability of having reached it by `t`.
+
+use crate::ctmc::{Ctmc, CtmcBuilder};
+use crate::transient::{measure_curve, TransientOptions};
+use crate::MarkovError;
+
+/// `Pr[reach a target state within each t]` from initial distribution
+/// `alpha`, for an increasing-or-not grid of time bounds.
+///
+/// # Errors
+///
+/// [`MarkovError::InvalidArgument`] when `targets` has the wrong length
+/// or selects no state; propagates transient-solver errors.
+///
+/// # Examples
+///
+/// ```
+/// use markov::ctmc::CtmcBuilder;
+/// use markov::reachability::time_bounded_reachability;
+/// use markov::transient::TransientOptions;
+///
+/// // 0 → 1 at rate 2: Pr[reach 1 by t] = 1 − e^{−2t}.
+/// let mut b = CtmcBuilder::new(2);
+/// b.rate(0, 1, 2.0).unwrap();
+/// let chain = b.build().unwrap();
+/// let ps = time_bounded_reachability(
+///     &chain, &[false, true], &[1.0, 0.0], &[1.0], &TransientOptions::default(),
+/// ).unwrap();
+/// assert!((ps[0].1 - (1.0 - (-2.0f64).exp())).abs() < 1e-10);
+/// ```
+pub fn time_bounded_reachability(
+    ctmc: &Ctmc,
+    targets: &[bool],
+    alpha: &[f64],
+    times: &[f64],
+    opts: &TransientOptions,
+) -> Result<Vec<(f64, f64)>, MarkovError> {
+    let n = ctmc.n_states();
+    if targets.len() != n {
+        return Err(MarkovError::InvalidArgument(format!(
+            "target mask has {} entries for {} states",
+            targets.len(),
+            n
+        )));
+    }
+    if !targets.iter().any(|&b| b) {
+        return Err(MarkovError::InvalidArgument("empty target set".into()));
+    }
+    // Build the absorbing transformation: cut all outgoing transitions of
+    // target states.
+    let mut builder = CtmcBuilder::new(n);
+    for i in 0..n {
+        builder.label(i, ctmc.state_label(i));
+        if targets[i] {
+            continue;
+        }
+        for (j, rate) in ctmc.rates().row(i) {
+            builder.rate(i, j, rate)?;
+        }
+    }
+    let absorbed = builder.build()?;
+    let measure: Vec<f64> = targets.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    let curve = measure_curve(&absorbed, alpha, times, &measure, opts)?;
+    Ok(curve.points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_hitting_time() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 3.0).unwrap();
+        b.rate(1, 0, 100.0).unwrap(); // would bounce back — must be cut
+        let chain = b.build().unwrap();
+        let ps = time_bounded_reachability(
+            &chain,
+            &[false, true],
+            &[1.0, 0.0],
+            &[0.1, 0.5, 2.0],
+            &TransientOptions::default(),
+        )
+        .unwrap();
+        for (t, p) in ps {
+            let expect = 1.0 - (-3.0 * t).exp();
+            assert!((p - expect).abs() < 1e-10, "t = {t}: {p} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn two_hop_chain_erlang_cdf() {
+        // 0 → 1 → 2 at equal rates λ: hitting time of 2 is Erlang-2.
+        let lambda = 2.0;
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, lambda).unwrap();
+        b.rate(1, 2, lambda).unwrap();
+        let chain = b.build().unwrap();
+        let ps = time_bounded_reachability(
+            &chain,
+            &[false, false, true],
+            &[1.0, 0.0, 0.0],
+            &[0.3, 1.0, 3.0],
+            &TransientOptions::default(),
+        )
+        .unwrap();
+        for (t, p) in ps {
+            let x = lambda * t;
+            let expect = 1.0 - (-x).exp() * (1.0 + x);
+            assert!((p - expect).abs() < 1e-10, "t = {t}: {p} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn starting_inside_target_is_immediate() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        let chain = b.build().unwrap();
+        let ps = time_bounded_reachability(
+            &chain,
+            &[true, false],
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &TransientOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(ps[0].1, 1.0, "t = 0 is computed without a Poisson sum");
+        assert!((ps[1].1 - 1.0).abs() < 1e-12, "p = {}", ps[1].1);
+    }
+
+    #[test]
+    fn probability_monotone_in_time() {
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 0.5).unwrap();
+        b.rate(1, 2, 0.25).unwrap();
+        let chain = b.build().unwrap();
+        let times: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let ps = time_bounded_reachability(
+            &chain,
+            &[false, false, true],
+            &[1.0, 0.0, 0.0],
+            &times,
+            &TransientOptions::default(),
+        )
+        .unwrap();
+        let mut prev = 0.0;
+        for (t, p) in ps {
+            assert!(p >= prev - 1e-12, "not monotone at t = {t}");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        let chain = b.build().unwrap();
+        let opts = TransientOptions::default();
+        assert!(time_bounded_reachability(&chain, &[true], &[1.0, 0.0], &[1.0], &opts).is_err());
+        assert!(time_bounded_reachability(
+            &chain,
+            &[false, false],
+            &[1.0, 0.0],
+            &[1.0],
+            &opts
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! Transient analysis by uniformisation.
+//!
+//! The paper's algorithm (§5) reduces the battery-lifetime distribution to
+//! transient state probabilities of a derived CTMC:
+//! `π(t) = Σ_n ψ(n; νt) · α Pⁿ` with `P = I + Q/ν`. Two engines are
+//! provided:
+//!
+//! * [`transient_distribution`] — the full distribution at one time point;
+//! * [`measure_curve`] — a whole curve `t ↦ m·π(t)` for a fixed linear
+//!   functional `m` (e.g. the indicator of the battery-empty states).
+//!
+//! The curve engine exploits that the iterates `v_n = α Pⁿ` do **not**
+//! depend on `t`: one sweep of sparse matrix–vector products up to the
+//! largest right truncation point serves every requested time point, after
+//! which each point only needs its own Poisson weights. It also detects
+//! stationarity of the iterate sequence (all interesting chains here are
+//! absorbing) and stops multiplying once `v_n` has converged.
+
+use crate::ctmc::Ctmc;
+use crate::foxglynn::poisson_weights;
+use crate::MarkovError;
+
+/// Options for the uniformisation engines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// Poisson truncation error bound (total over both tails).
+    pub epsilon: f64,
+    /// Uniformisation rate is `factor · max_i q_i`; must be ≥ 1. Values
+    /// slightly above 1 keep self-loop probability on the fastest states,
+    /// damping periodicity.
+    pub uniformisation_factor: f64,
+    /// Consecutive-iterate sup-norm threshold for steady-state detection;
+    /// set to 0 to disable.
+    pub steady_state_tolerance: f64,
+    /// Worker threads for the sparse matrix–vector products.
+    pub threads: usize,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        TransientOptions {
+            epsilon: 1e-10,
+            uniformisation_factor: 1.02,
+            steady_state_tolerance: 1e-14,
+            threads: 1,
+        }
+    }
+}
+
+/// Result of [`transient_distribution_with`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientSolution {
+    /// `π(t)`, the state distribution at the requested time.
+    pub distribution: Vec<f64>,
+    /// Number of matrix–vector products performed.
+    pub iterations: usize,
+    /// The uniformisation rate ν that was used.
+    pub nu: f64,
+}
+
+/// A computed curve `t ↦ m·π(t)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurveSolution {
+    /// `(t, value)` pairs in the caller's requested order.
+    pub points: Vec<(f64, f64)>,
+    /// Number of matrix–vector products performed (the paper's
+    /// "iterations").
+    pub iterations: usize,
+    /// Iteration at which the iterate sequence was detected stationary,
+    /// when steady-state detection fired.
+    pub converged_at: Option<usize>,
+    /// The uniformisation rate ν.
+    pub nu: f64,
+}
+
+/// Computes `π(t)` from initial distribution `alpha` with default options.
+///
+/// # Errors
+///
+/// Propagates validation errors for `alpha`, negative `t`, or Fox–Glynn
+/// failures.
+pub fn transient_distribution(
+    ctmc: &Ctmc,
+    alpha: &[f64],
+    t: f64,
+    epsilon: f64,
+) -> Result<TransientSolution, MarkovError> {
+    let opts = TransientOptions { epsilon, ..Default::default() };
+    transient_distribution_with(ctmc, alpha, t, &opts)
+}
+
+/// Computes `π(t)` with explicit [`TransientOptions`].
+///
+/// # Errors
+///
+/// [`MarkovError::InvalidDistribution`] for a bad `alpha`;
+/// [`MarkovError::InvalidArgument`] for negative/non-finite `t`.
+pub fn transient_distribution_with(
+    ctmc: &Ctmc,
+    alpha: &[f64],
+    t: f64,
+    opts: &TransientOptions,
+) -> Result<TransientSolution, MarkovError> {
+    ctmc.check_distribution(alpha)?;
+    if !t.is_finite() || t < 0.0 {
+        return Err(MarkovError::InvalidArgument(format!(
+            "time must be finite and non-negative, got {t}"
+        )));
+    }
+    let (p, nu) = ctmc.uniformised(opts.uniformisation_factor)?;
+    if nu == 0.0 || t == 0.0 {
+        return Ok(TransientSolution { distribution: alpha.to_vec(), iterations: 0, nu });
+    }
+    let pt = p.transpose();
+    let w = poisson_weights(nu * t, opts.epsilon)?;
+
+    let n_states = ctmc.n_states();
+    let mut v = alpha.to_vec();
+    let mut next = vec![0.0; n_states];
+    let mut out = vec![0.0; n_states];
+    let mut iterations = 0;
+    if w.left == 0 {
+        accumulate(&mut out, &v, w.weight(0));
+    }
+    for n in 1..=w.right {
+        pt.mul_vec_parallel(&v, &mut next, opts.threads)?;
+        std::mem::swap(&mut v, &mut next);
+        iterations += 1;
+        let wn = w.weight(n);
+        if wn > 0.0 {
+            accumulate(&mut out, &v, wn);
+        }
+        if opts.steady_state_tolerance > 0.0 && sup_diff(&v, &next) < opts.steady_state_tolerance
+        {
+            // Iterates are stationary: the remaining Poisson mass applies
+            // to the converged vector.
+            let remaining: f64 = (n + 1..=w.right).map(|m| w.weight(m)).sum();
+            accumulate(&mut out, &v, remaining);
+            break;
+        }
+    }
+    Ok(TransientSolution { distribution: out, iterations, nu })
+}
+
+/// Computes the curve `t ↦ Σ_i measure[i]·π_i(t)` over all `times` with a
+/// single sweep of matrix–vector products.
+///
+/// `measure` is any linear functional on the state space: the indicator of
+/// the battery-empty states yields `Pr[battery empty at t]`, a reward
+/// vector yields expected instantaneous reward, etc.
+///
+/// # Errors
+///
+/// [`MarkovError::InvalidDistribution`] for a bad `alpha`;
+/// [`MarkovError::InvalidArgument`] for an empty/mismatched `measure` or
+/// negative times.
+pub fn measure_curve(
+    ctmc: &Ctmc,
+    alpha: &[f64],
+    times: &[f64],
+    measure: &[f64],
+    opts: &TransientOptions,
+) -> Result<CurveSolution, MarkovError> {
+    ctmc.check_distribution(alpha)?;
+    if measure.len() != ctmc.n_states() {
+        return Err(MarkovError::InvalidArgument(format!(
+            "measure has {} entries but chain has {} states",
+            measure.len(),
+            ctmc.n_states()
+        )));
+    }
+    if times.is_empty() {
+        return Err(MarkovError::InvalidArgument("no time points requested".into()));
+    }
+    if times.iter().any(|&t| !t.is_finite() || t < 0.0) {
+        return Err(MarkovError::InvalidArgument("times must be finite and ≥ 0".into()));
+    }
+
+    let (p, nu) = ctmc.uniformised(opts.uniformisation_factor)?;
+    let t_max = times.iter().cloned().fold(0.0, f64::max);
+    if nu == 0.0 || t_max == 0.0 {
+        let value = dot(alpha, measure);
+        return Ok(CurveSolution {
+            points: times.iter().map(|&t| (t, value)).collect(),
+            iterations: 0,
+            converged_at: None,
+            nu,
+        });
+    }
+    let pt = p.transpose();
+    let w_max = poisson_weights(nu * t_max, opts.epsilon)?;
+    let n_max = w_max.right;
+
+    // Sweep: cache s_n = measure·v_n for n = 0..=n_max (or until the
+    // iterates converge).
+    let mut s = Vec::with_capacity(n_max + 1);
+    let mut v = alpha.to_vec();
+    let mut next = vec![0.0; ctmc.n_states()];
+    s.push(dot(&v, measure));
+    let mut converged_at = None;
+    let mut iterations = 0;
+    for n in 1..=n_max {
+        pt.mul_vec_parallel(&v, &mut next, opts.threads)?;
+        std::mem::swap(&mut v, &mut next);
+        iterations += 1;
+        s.push(dot(&v, measure));
+        if opts.steady_state_tolerance > 0.0 && sup_diff(&v, &next) < opts.steady_state_tolerance
+        {
+            converged_at = Some(n);
+            break;
+        }
+    }
+    let s_last = *s.last().expect("at least one cached value");
+
+    // Each time point mixes the cached scalars with its own Poisson window.
+    let mut points = Vec::with_capacity(times.len());
+    for &t in times {
+        if t == 0.0 {
+            points.push((t, s[0]));
+            continue;
+        }
+        let w = poisson_weights(nu * t, opts.epsilon)?;
+        let mut value = 0.0;
+        for (i, &wi) in w.weights.iter().enumerate() {
+            let n = w.left + i;
+            value += wi * s.get(n).copied().unwrap_or(s_last);
+        }
+        points.push((t, value));
+    }
+    Ok(CurveSolution { points, iterations, converged_at, nu })
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[inline]
+fn accumulate(out: &mut [f64], v: &[f64], w: f64) {
+    for (o, &x) in out.iter_mut().zip(v) {
+        *o += w * x;
+    }
+}
+
+#[inline]
+fn sup_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+
+    /// Two-state chain with closed-form transient solution.
+    fn two_state(a: f64, b: f64) -> Ctmc {
+        let mut builder = CtmcBuilder::new(2);
+        builder.rate(0, 1, a).unwrap();
+        builder.rate(1, 0, b).unwrap();
+        builder.build().unwrap()
+    }
+
+    fn closed_form_p00(a: f64, b: f64, t: f64) -> f64 {
+        (b + a * (-(a + b) * t).exp()) / (a + b)
+    }
+
+    #[test]
+    fn matches_two_state_closed_form() {
+        let (a, b) = (2.0, 3.0);
+        let chain = two_state(a, b);
+        for &t in &[0.0, 0.1, 0.5, 1.0, 5.0] {
+            let sol = transient_distribution(&chain, &[1.0, 0.0], t, 1e-13).unwrap();
+            let expect = closed_form_p00(a, b, t);
+            assert!(
+                (sol.distribution[0] - expect).abs() < 1e-10,
+                "t = {t}: {} vs {expect}",
+                sol.distribution[0]
+            );
+            let total: f64 = sol.distribution.iter().sum();
+            assert!((total - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matches_dense_matrix_exponential() {
+        // 4-state random-ish generator vs e^{Qt}.
+        let mut b = CtmcBuilder::new(4);
+        let rates = [
+            (0, 1, 1.2),
+            (0, 3, 0.4),
+            (1, 2, 2.3),
+            (1, 0, 0.3),
+            (2, 3, 1.7),
+            (2, 1, 0.5),
+            (3, 0, 0.9),
+        ];
+        for (f, t, r) in rates {
+            b.rate(f, t, r).unwrap();
+        }
+        let chain = b.build().unwrap();
+        let t = 0.8;
+        let expm = chain.generator_dense().scale(t).expm().unwrap();
+        let alpha = [0.25, 0.25, 0.25, 0.25];
+        let sol = transient_distribution(&chain, &alpha, t, 1e-13).unwrap();
+        let expect = expm.vecmul(&alpha).unwrap();
+        for i in 0..4 {
+            assert!((sol.distribution[i] - expect[i]).abs() < 1e-9, "state {i}");
+        }
+    }
+
+    #[test]
+    fn absorbing_chain_accumulates_mass() {
+        // 0 → 1 (absorbing) at rate 1: π₁(t) = 1 − e^{-t}.
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        let chain = b.build().unwrap();
+        for &t in &[0.5, 1.0, 3.0, 10.0] {
+            let sol = transient_distribution(&chain, &[1.0, 0.0], t, 1e-13).unwrap();
+            assert!((sol.distribution[1] - (1.0 - (-t).exp())).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn all_absorbing_chain_is_constant() {
+        let chain = CtmcBuilder::new(3).build().unwrap();
+        let sol = transient_distribution(&chain, &[0.2, 0.3, 0.5], 7.0, 1e-12).unwrap();
+        assert_eq!(sol.distribution, vec![0.2, 0.3, 0.5]);
+        assert_eq!(sol.iterations, 0);
+        assert_eq!(sol.nu, 0.0);
+    }
+
+    #[test]
+    fn zero_time_returns_alpha() {
+        let chain = two_state(1.0, 1.0);
+        let sol = transient_distribution(&chain, &[0.4, 0.6], 0.0, 1e-12).unwrap();
+        assert_eq!(sol.distribution, vec![0.4, 0.6]);
+    }
+
+    #[test]
+    fn input_validation() {
+        let chain = two_state(1.0, 1.0);
+        assert!(transient_distribution(&chain, &[0.4, 0.4], 1.0, 1e-12).is_err());
+        assert!(transient_distribution(&chain, &[1.0, 0.0], -1.0, 1e-12).is_err());
+        assert!(transient_distribution(&chain, &[1.0, 0.0], f64::NAN, 1e-12).is_err());
+    }
+
+    #[test]
+    fn curve_matches_pointwise_solutions() {
+        let chain = two_state(2.0, 3.0);
+        let times = [0.0, 0.2, 0.5, 1.3, 4.0];
+        let measure = [1.0, 0.0]; // Pr[in state 0]
+        let curve =
+            measure_curve(&chain, &[1.0, 0.0], &times, &measure, &TransientOptions::default())
+                .unwrap();
+        for (t, value) in &curve.points {
+            let expect = closed_form_p00(2.0, 3.0, *t);
+            assert!((value - expect).abs() < 1e-9, "t = {t}: {value} vs {expect}");
+        }
+        // One sweep serves all points: iterations bounded by the largest t.
+        let single = transient_distribution(&chain, &[1.0, 0.0], 4.0, 1e-10).unwrap();
+        assert!(curve.iterations <= single.iterations + 5);
+    }
+
+    #[test]
+    fn curve_validation_errors() {
+        let chain = two_state(1.0, 1.0);
+        let opts = TransientOptions::default();
+        assert!(measure_curve(&chain, &[1.0, 0.0], &[], &[1.0, 0.0], &opts).is_err());
+        assert!(measure_curve(&chain, &[1.0, 0.0], &[1.0], &[1.0], &opts).is_err());
+        assert!(measure_curve(&chain, &[1.0, 0.0], &[-1.0], &[1.0, 0.0], &opts).is_err());
+        assert!(measure_curve(&chain, &[0.9, 0.0], &[1.0], &[1.0, 0.0], &opts).is_err());
+    }
+
+    #[test]
+    fn steady_state_detection_saves_iterations() {
+        // Strongly absorbing chain: everything is absorbed long before
+        // t = 1000, so the sweep should stop early.
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 5.0).unwrap();
+        let chain = b.build().unwrap();
+        let opts = TransientOptions { steady_state_tolerance: 1e-13, ..Default::default() };
+        let curve = measure_curve(&chain, &[1.0, 0.0], &[1000.0], &[0.0, 1.0], &opts).unwrap();
+        assert!(curve.converged_at.is_some());
+        // νt ≈ 5100, but convergence must kick in within a few dozen steps.
+        assert!(curve.iterations < 200, "iterations = {}", curve.iterations);
+        assert!((curve.points[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curve_handles_unsorted_times() {
+        let chain = two_state(2.0, 3.0);
+        let times = [1.0, 0.1, 0.5];
+        let curve = measure_curve(
+            &chain,
+            &[1.0, 0.0],
+            &times,
+            &[1.0, 0.0],
+            &TransientOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(curve.points.len(), 3);
+        for (i, (t, v)) in curve.points.iter().enumerate() {
+            assert_eq!(*t, times[i]);
+            assert!((v - closed_form_p00(2.0, 3.0, *t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distribution_stays_stochastic_under_uniformisation_factor_one() {
+        let chain = two_state(1.0, 1.0);
+        let opts = TransientOptions { uniformisation_factor: 1.0, ..Default::default() };
+        let sol = transient_distribution_with(&chain, &[1.0, 0.0], 2.5, &opts).unwrap();
+        let total: f64 = sol.distribution.iter().sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        assert!((sol.distribution[0] - closed_form_p00(1.0, 1.0, 2.5)).abs() < 1e-9);
+    }
+}

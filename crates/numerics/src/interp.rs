@@ -1,0 +1,204 @@
+//! Piecewise-linear interpolation over sampled curves.
+//!
+//! Lifetime-distribution curves are computed on discrete time grids; the
+//! experiment harness compares curves from different methods (simulation,
+//! discretisation at several `Δ`, Sericola) by interpolating them onto a
+//! common grid.
+
+use std::fmt;
+
+/// Errors from [`LinearInterpolator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Fewer than one point, or mismatched x/y lengths.
+    BadInput(String),
+    /// The x grid is not strictly increasing.
+    NotMonotone,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::BadInput(msg) => write!(f, "bad interpolation input: {msg}"),
+            InterpError::NotMonotone => write!(f, "x grid is not strictly increasing"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// A piecewise-linear interpolant through `(x_i, y_i)` points with a
+/// strictly increasing x grid. Evaluation clamps outside the grid
+/// (constant extrapolation), which is the correct behaviour for CDFs.
+///
+/// # Examples
+///
+/// ```
+/// use numerics::interp::LinearInterpolator;
+///
+/// let f = LinearInterpolator::new(vec![0.0, 1.0, 2.0], vec![0.0, 0.5, 1.0]).unwrap();
+/// assert_eq!(f.eval(0.5), 0.25);
+/// assert_eq!(f.eval(-1.0), 0.0); // clamped
+/// assert_eq!(f.eval(3.0), 1.0);  // clamped
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearInterpolator {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearInterpolator {
+    /// Builds the interpolant.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::BadInput`] for empty/mismatched inputs or NaN,
+    /// [`InterpError::NotMonotone`] when `xs` is not strictly increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, InterpError> {
+        if xs.is_empty() {
+            return Err(InterpError::BadInput("empty grid".into()));
+        }
+        if xs.len() != ys.len() {
+            return Err(InterpError::BadInput(format!(
+                "{} x values vs {} y values",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        if xs.iter().chain(ys.iter()).any(|v| v.is_nan()) {
+            return Err(InterpError::BadInput("NaN in grid".into()));
+        }
+        if xs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(InterpError::NotMonotone);
+        }
+        Ok(LinearInterpolator { xs, ys })
+    }
+
+    /// Evaluates the interpolant at `x`, clamping outside the grid.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // Index of the first grid point > x; the segment is [idx-1, idx].
+        let idx = self.xs.partition_point(|&g| g <= x);
+        let (x0, x1) = (self.xs[idx - 1], self.xs[idx]);
+        let (y0, y1) = (self.ys[idx - 1], self.ys[idx]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// The x grid.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The y values.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Maximum absolute difference to another interpolant, measured on the
+    /// union of both grids (where piecewise-linear functions attain their
+    /// maximum difference).
+    pub fn max_abs_difference(&self, other: &LinearInterpolator) -> f64 {
+        let mut grid: Vec<f64> = self.xs.iter().chain(other.xs.iter()).copied().collect();
+        grid.sort_by(|a, b| a.partial_cmp(b).expect("no NaN by construction"));
+        grid.dedup();
+        grid.iter().map(|&x| (self.eval(x) - other.eval(x)).abs()).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn midpoint_interpolation() {
+        let f = LinearInterpolator::new(vec![0.0, 2.0], vec![10.0, 20.0]).unwrap();
+        assert_eq!(f.eval(1.0), 15.0);
+        assert_eq!(f.eval(0.0), 10.0);
+        assert_eq!(f.eval(2.0), 20.0);
+        assert_eq!(f.xs(), &[0.0, 2.0]);
+        assert_eq!(f.ys(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn clamping_outside_grid() {
+        let f = LinearInterpolator::new(vec![1.0, 2.0], vec![5.0, 7.0]).unwrap();
+        assert_eq!(f.eval(0.0), 5.0);
+        assert_eq!(f.eval(100.0), 7.0);
+    }
+
+    #[test]
+    fn singleton_grid_is_constant() {
+        let f = LinearInterpolator::new(vec![1.0], vec![4.0]).unwrap();
+        assert_eq!(f.eval(-3.0), 4.0);
+        assert_eq!(f.eval(1.0), 4.0);
+        assert_eq!(f.eval(9.0), 4.0);
+    }
+
+    #[test]
+    fn bad_inputs() {
+        assert!(matches!(
+            LinearInterpolator::new(vec![], vec![]),
+            Err(InterpError::BadInput(_))
+        ));
+        assert!(matches!(
+            LinearInterpolator::new(vec![1.0], vec![1.0, 2.0]),
+            Err(InterpError::BadInput(_))
+        ));
+        assert_eq!(
+            LinearInterpolator::new(vec![1.0, 1.0], vec![0.0, 0.0]),
+            Err(InterpError::NotMonotone)
+        );
+        assert_eq!(
+            LinearInterpolator::new(vec![2.0, 1.0], vec![0.0, 0.0]),
+            Err(InterpError::NotMonotone)
+        );
+        assert!(LinearInterpolator::new(vec![f64::NAN], vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn max_abs_difference_on_shifted_curves() {
+        let f = LinearInterpolator::new(vec![0.0, 1.0], vec![0.0, 1.0]).unwrap();
+        let g = LinearInterpolator::new(vec![0.0, 1.0], vec![0.25, 1.25]).unwrap();
+        assert!((f.max_abs_difference(&g) - 0.25).abs() < 1e-12);
+        assert_eq!(f.max_abs_difference(&f), 0.0);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!InterpError::NotMonotone.to_string().is_empty());
+        assert!(!InterpError::BadInput("x".into()).to_string().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn interpolation_preserves_linear_functions(
+            a in -5.0f64..5.0, b in -5.0f64..5.0, x in 0.0f64..10.0,
+        ) {
+            let xs: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+            let ys: Vec<f64> = xs.iter().map(|&x| a * x + b).collect();
+            let f = LinearInterpolator::new(xs, ys).unwrap();
+            prop_assert!((f.eval(x) - (a * x + b)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn eval_between_neighbouring_ys(
+            ys in proptest::collection::vec(0.0f64..1.0, 2..50), t in 0.0f64..1.0,
+        ) {
+            let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+            let hi = xs[xs.len() - 1];
+            let f = LinearInterpolator::new(xs, ys.clone()).unwrap();
+            let x = t * hi;
+            let v = f.eval(x);
+            let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi_y = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo - 1e-12 && v <= hi_y + 1e-12);
+        }
+    }
+}

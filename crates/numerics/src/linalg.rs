@@ -1,0 +1,591 @@
+//! Dense row-major matrices, LU decomposition and the matrix exponential.
+//!
+//! The workload CTMCs in the paper are tiny (2–2K states: the Erlang on/off
+//! chain, the 3-state simple model, the 6-state burst model), so a dense
+//! representation is the right tool for steady-state analysis and for
+//! validating the sparse uniformisation engine against `e^{Qt}`.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Error type for dense linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible; holds a human-readable description.
+    ShapeMismatch(String),
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factorised/solved.
+    Singular,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// A dense, row-major `rows × cols` matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use numerics::linalg::DenseMatrix;
+///
+/// let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+/// assert_eq!(m[(1, 0)], 3.0);
+/// assert_eq!(m.transpose()[(0, 1)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when rows have differing
+    /// lengths or the input is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(LinalgError::ShapeMismatch("empty matrix".into()));
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(LinalgError::ShapeMismatch("ragged rows".into()));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(DenseMatrix { rows: rows.len(), cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The transposed matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "{}x{} · {}x{}",
+                self.rows, self.cols, rhs.rows, rhs.cols
+            )));
+        }
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Row-vector × matrix product `v · self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `v.len() != rows`.
+    pub fn vecmul(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if v.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "vector of {} vs {} rows",
+                v.len(),
+                self.rows
+            )));
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, &m) in out.iter_mut().zip(self.row(i)) {
+                *o += vi * m;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix × column-vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if v.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "vector of {} vs {} cols",
+                v.len(),
+                self.cols
+            )));
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// `self + rhs`, failing on shape mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch("add".into()));
+        }
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Ok(DenseMatrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// `self · s` for a scalar `s`.
+    pub fn scale(&self, s: f64) -> DenseMatrix {
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// Maximum absolute row sum (the ∞-norm).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|x| x.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Solves `self · x = b` by LU decomposition with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] for non-square `self` or wrong `b`
+    /// length; [`LinalgError::Singular`] when a pivot vanishes.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if !self.is_square() {
+            return Err(LinalgError::ShapeMismatch("solve on non-square matrix".into()));
+        }
+        if b.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch("rhs length".into()));
+        }
+        let n = self.rows;
+        let mut lu = self.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for col in 0..n {
+            // Partial pivoting: find the largest entry in this column.
+            let (pivot_row, pivot_val) = (col..n)
+                .map(|r| (r, lu[(r, col)].abs()))
+                .fold((col, 0.0), |acc, x| if x.1 > acc.1 { x } else { acc });
+            if pivot_val < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != col {
+                perm.swap(pivot_row, col);
+                for j in 0..n {
+                    let tmp = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = lu[(col, j)];
+                    lu[(col, j)] = tmp;
+                }
+            }
+            let pivot = lu[(col, col)];
+            for r in col + 1..n {
+                let factor = lu[(r, col)] / pivot;
+                lu[(r, col)] = factor;
+                for j in col + 1..n {
+                    let sub = factor * lu[(col, j)];
+                    lu[(r, j)] -= sub;
+                }
+            }
+        }
+
+        // Forward substitution with the permuted right-hand side.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[perm[i]];
+            for j in 0..i {
+                acc -= lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in i + 1..n {
+                acc -= lu[(i, j)] * x[j];
+            }
+            x[i] = acc / lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// The matrix exponential `e^{self}` via scaling-and-squaring with a
+    /// degree-6 Padé approximant.
+    ///
+    /// Intended for small validation matrices (tens of states); complexity
+    /// is `O(n³ log‖A‖)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] for non-square input,
+    /// [`LinalgError::Singular`] if the Padé denominator cannot be solved.
+    pub fn expm(&self) -> Result<DenseMatrix, LinalgError> {
+        if !self.is_square() {
+            return Err(LinalgError::ShapeMismatch("expm on non-square matrix".into()));
+        }
+        let n = self.rows;
+        // Scale so that ‖A/2^s‖∞ ≤ 0.5.
+        let norm = self.norm_inf();
+        let s = if norm > 0.5 { (norm / 0.5).log2().ceil() as u32 } else { 0 };
+        let a = self.scale(1.0 / f64::powi(2.0, s as i32));
+
+        // Padé(6,6): N = Σ c_k A^k, D = Σ (-1)^k c_k A^k.
+        let c = pade6_coefficients();
+        let mut num = DenseMatrix::zeros(n, n);
+        let mut den = DenseMatrix::zeros(n, n);
+        let mut power = DenseMatrix::identity(n);
+        for (k, &ck) in c.iter().enumerate() {
+            let term = power.scale(ck);
+            num = num.add(&term)?;
+            if k % 2 == 0 {
+                den = den.add(&term)?;
+            } else {
+                den = den.add(&term.scale(-1.0))?;
+            }
+            if k + 1 < c.len() {
+                power = power.matmul(&a)?;
+            }
+        }
+        // Solve D · X = N column by column.
+        let mut x = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            let col: Vec<f64> = (0..n).map(|i| num[(i, j)]).collect();
+            let sol = den.solve(&col)?;
+            for i in 0..n {
+                x[(i, j)] = sol[i];
+            }
+        }
+        // Undo the scaling by repeated squaring.
+        for _ in 0..s {
+            x = x.matmul(&x)?;
+        }
+        Ok(x)
+    }
+}
+
+/// Coefficients `c_k = (p+q-k)! p! / ((p+q)! k! (p-k)!)` for the (6,6) Padé
+/// approximant of the exponential.
+fn pade6_coefficients() -> [f64; 7] {
+    let mut c = [0.0; 7];
+    c[0] = 1.0;
+    let (p, q) = (6.0, 6.0);
+    for k in 1..7 {
+        let kf = k as f64;
+        c[k] = c[k - 1] * (p - kf + 1.0) / (kf * (p + q - kf + 1.0));
+    }
+    c
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            writeln!(f, "{:?}", self.row(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert!(!m.is_square());
+    }
+
+    #[test]
+    fn ragged_and_empty_rejected() {
+        assert!(matches!(
+            DenseMatrix::from_rows(&[&[1.0], &[1.0, 2.0]]),
+            Err(LinalgError::ShapeMismatch(_))
+        ));
+        assert!(DenseMatrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let i = DenseMatrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        assert_eq!(i.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, DenseMatrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn vector_products() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.vecmul(&[1.0, 1.0]).unwrap(), vec![4.0, 6.0]);
+        assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(m.vecmul(&[1.0]).is_err());
+        assert!(m.matvec(&[1.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5, x + 3y = 10 → x = 1, y = 3.
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_singular_detected() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(a.solve(&[1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn expm_zero_is_identity() {
+        let z = DenseMatrix::zeros(3, 3);
+        let e = z.expm().unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((e[(i, j)] - if i == j { 1.0 } else { 0.0 }).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn expm_diagonal() {
+        let mut d = DenseMatrix::zeros(2, 2);
+        d[(0, 0)] = 1.0;
+        d[(1, 1)] = -2.0;
+        let e = d.expm().unwrap();
+        assert!((e[(0, 0)] - 1f64.exp()).abs() < 1e-10);
+        assert!((e[(1, 1)] - (-2f64).exp()).abs() < 1e-10);
+        assert!(e[(0, 1)].abs() < 1e-12 && e[(1, 0)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn expm_two_state_generator_closed_form() {
+        // Q = [[-a, a], [b, -b]] has e^{Qt} with known closed form:
+        // P(t) = [[ (b + a e^{-(a+b)t}) / (a+b), a(1 - e^{-(a+b)t})/(a+b) ], ...]
+        let (a, b, t) = (2.0, 3.0, 0.7);
+        let q = DenseMatrix::from_rows(&[&[-a, a], &[b, -b]]).unwrap();
+        let e = q.scale(t).expm().unwrap();
+        let s = a + b;
+        let decay = (-s * t).exp();
+        assert!((e[(0, 0)] - (b + a * decay) / s).abs() < 1e-10);
+        assert!((e[(0, 1)] - a * (1.0 - decay) / s).abs() < 1e-10);
+        assert!((e[(1, 0)] - b * (1.0 - decay) / s).abs() < 1e-10);
+        assert!((e[(1, 1)] - (a + b * decay) / s).abs() < 1e-10);
+    }
+
+    #[test]
+    fn norm_inf_is_max_abs_row_sum() {
+        let m = DenseMatrix::from_rows(&[&[1.0, -2.0], &[0.5, 0.25]]).unwrap();
+        assert_eq!(m.norm_inf(), 3.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let m = DenseMatrix::identity(2);
+        assert!(!format!("{m}").is_empty());
+        assert!(!format!("{:?}", LinalgError::Singular).is_empty());
+        assert_eq!(LinalgError::Singular.to_string(), "matrix is singular");
+    }
+
+    fn random_generator(n: usize, seed: u64) -> DenseMatrix {
+        // Tiny deterministic LCG so this helper needs no external RNG.
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut q = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            let mut total = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let r = next() * 2.0;
+                    q[(i, j)] = r;
+                    total += r;
+                }
+            }
+            q[(i, i)] = -total;
+        }
+        q
+    }
+
+    #[test]
+    fn expm_of_generator_is_stochastic() {
+        for seed in 1..6 {
+            let q = random_generator(4, seed);
+            let p = q.scale(0.9).expm().unwrap();
+            for i in 0..4 {
+                let row_sum: f64 = p.row(i).iter().sum();
+                assert!((row_sum - 1.0).abs() < 1e-9, "row {i} sums to {row_sum}");
+                assert!(p.row(i).iter().all(|&x| x > -1e-12));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_multiply_roundtrip(
+            a11 in 1.0f64..5.0, a12 in -2.0f64..2.0,
+            a21 in -2.0f64..2.0, a22 in 1.0f64..5.0,
+            b1 in -10.0f64..10.0, b2 in -10.0f64..10.0,
+        ) {
+            // Diagonally dominant ⇒ nonsingular.
+            let a = DenseMatrix::from_rows(&[&[a11 + 4.0, a12], &[a21, a22 + 4.0]]).unwrap();
+            let x = a.solve(&[b1, b2]).unwrap();
+            let back = a.matvec(&x).unwrap();
+            prop_assert!((back[0] - b1).abs() < 1e-8);
+            prop_assert!((back[1] - b2).abs() < 1e-8);
+        }
+
+        #[test]
+        fn expm_additivity_on_commuting_scalars(t1 in 0.0f64..2.0, t2 in 0.0f64..2.0) {
+            // e^{Q t1} e^{Q t2} = e^{Q (t1+t2)} for any Q (same Q commutes).
+            let q = random_generator(3, 42);
+            let lhs = q.scale(t1).expm().unwrap().matmul(&q.scale(t2).expm().unwrap()).unwrap();
+            let rhs = q.scale(t1 + t2).expm().unwrap();
+            for i in 0..3 {
+                for j in 0..3 {
+                    prop_assert!((lhs[(i, j)] - rhs[(i, j)]).abs() < 1e-8);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Replication management and output analysis.
+//!
+//! The paper's simulation curves are empirical CDFs over 1000 independent
+//! runs. [`run_replications`] drives any per-replication experiment with
+//! independent seeded streams; [`LifetimeStudy`] turns (possibly censored)
+//! lifetime samples into the curve `t ↦ P̂r[battery empty at t]` with
+//! binomial confidence intervals.
+
+use crate::rng::SimRng;
+use numerics::stats::{binomial_ci_half_width, EmpiricalCdf, StatsError, Z_95};
+
+/// Runs `n` independent replications of `experiment`, each with its own
+/// random stream derived from `master_seed`, collecting the results.
+///
+/// # Examples
+///
+/// ```
+/// use sim::replication::run_replications;
+///
+/// let samples = run_replications(100, 7, |rng| rng.exponential(2.0));
+/// assert_eq!(samples.len(), 100);
+/// ```
+pub fn run_replications<T>(
+    n: usize,
+    master_seed: u64,
+    mut experiment: impl FnMut(&mut SimRng) -> T,
+) -> Vec<T> {
+    let mut master = SimRng::seed_from(master_seed);
+    (0..n)
+        .map(|_| {
+            let mut stream = master.fork();
+            experiment(&mut stream)
+        })
+        .collect()
+}
+
+/// An empirical battery-lifetime study built from replication outcomes.
+///
+/// Each outcome is either an observed lifetime (`Some(t)`) or censored at
+/// the simulation horizon (`None` — the battery outlived the run).
+#[derive(Debug, Clone)]
+pub struct LifetimeStudy {
+    observed: EmpiricalCdf,
+    total_runs: usize,
+    horizon: f64,
+}
+
+impl LifetimeStudy {
+    /// Builds a study from outcomes with the given censoring `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::Empty`] when no run depleted (the empirical CDF would
+    /// be identically zero — callers should extend the horizon);
+    /// [`StatsError::NotANumber`] on NaN lifetimes.
+    pub fn new(outcomes: &[Option<f64>], horizon: f64) -> Result<Self, StatsError> {
+        let depleted: Vec<f64> = outcomes.iter().filter_map(|o| *o).collect();
+        let observed = EmpiricalCdf::new(depleted)?;
+        Ok(LifetimeStudy { observed, total_runs: outcomes.len(), horizon })
+    }
+
+    /// Number of replications (including censored ones).
+    pub fn total_runs(&self) -> usize {
+        self.total_runs
+    }
+
+    /// Number of runs that saw the battery empty.
+    pub fn depleted_runs(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// The estimate `P̂r[battery empty at t]`, valid for `t ≤ horizon`.
+    pub fn empty_probability(&self, t: f64) -> f64 {
+        // Censored runs contribute zero to the numerator.
+        self.observed.eval(t) * self.observed.len() as f64 / self.total_runs as f64
+    }
+
+    /// 95 % confidence half-width at `t` (binomial/Wald).
+    pub fn confidence_half_width(&self, t: f64) -> f64 {
+        let successes =
+            (self.empty_probability(t) * self.total_runs as f64).round() as u64;
+        binomial_ci_half_width(successes, self.total_runs as u64, Z_95)
+    }
+
+    /// Mean observed lifetime (conditional on depletion before the
+    /// horizon).
+    pub fn mean_observed_lifetime(&self) -> f64 {
+        self.observed.mean()
+    }
+
+    /// The `q`-quantile of the lifetime, when identified (i.e. when at
+    /// least a `q` fraction of runs depleted); `None` otherwise.
+    pub fn lifetime_quantile(&self, q: f64) -> Option<f64> {
+        let depleted_fraction = self.observed.len() as f64 / self.total_runs as f64;
+        if q > depleted_fraction {
+            return None;
+        }
+        // Rescale q onto the observed sub-distribution.
+        Some(self.observed.quantile(q / depleted_fraction))
+    }
+
+    /// The censoring horizon.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Samples the curve on an equispaced grid of `points+1` times over
+    /// `[0, horizon]`, as `(t, probability)` pairs.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        (0..=points)
+            .map(|i| {
+                let t = self.horizon * i as f64 / points.max(1) as f64;
+                (t, self.empty_probability(t))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replications_are_independent_and_reproducible() {
+        let a = run_replications(50, 1, |rng| rng.uniform());
+        let b = run_replications(50, 1, |rng| rng.uniform());
+        assert_eq!(a, b);
+        // Adjacent replications differ.
+        assert_ne!(a[0], a[1]);
+        let c = run_replications(50, 2, |rng| rng.uniform());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn study_probabilities() {
+        let outcomes = vec![Some(10.0), Some(20.0), None, Some(30.0), None];
+        let s = LifetimeStudy::new(&outcomes, 100.0).unwrap();
+        assert_eq!(s.total_runs(), 5);
+        assert_eq!(s.depleted_runs(), 3);
+        assert_eq!(s.empty_probability(5.0), 0.0);
+        assert_eq!(s.empty_probability(10.0), 0.2);
+        assert_eq!(s.empty_probability(25.0), 0.4);
+        assert_eq!(s.empty_probability(50.0), 0.6);
+        assert_eq!(s.horizon(), 100.0);
+        assert_eq!(s.mean_observed_lifetime(), 20.0);
+    }
+
+    #[test]
+    fn study_quantiles_respect_censoring() {
+        let outcomes = vec![Some(10.0), Some(20.0), None, Some(30.0), None];
+        let s = LifetimeStudy::new(&outcomes, 100.0).unwrap();
+        assert_eq!(s.lifetime_quantile(0.2), Some(10.0));
+        assert_eq!(s.lifetime_quantile(0.6), Some(30.0));
+        // 80 % of runs never depleted ⇒ the 0.8-quantile is unidentified.
+        assert_eq!(s.lifetime_quantile(0.8), None);
+    }
+
+    #[test]
+    fn all_censored_is_an_error() {
+        assert!(LifetimeStudy::new(&[None, None], 10.0).is_err());
+    }
+
+    #[test]
+    fn confidence_width_shrinks_with_runs() {
+        let mk = |n: usize| {
+            let outcomes: Vec<Option<f64>> =
+                (0..n).map(|i| if i % 2 == 0 { Some(1.0) } else { None }).collect();
+            LifetimeStudy::new(&outcomes, 10.0).unwrap()
+        };
+        let small = mk(100).confidence_half_width(5.0);
+        let large = mk(10_000).confidence_half_width(5.0);
+        assert!(large < small / 5.0, "{small} vs {large}");
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let outcomes: Vec<Option<f64>> = (1..=100).map(|i| Some(i as f64)).collect();
+        let s = LifetimeStudy::new(&outcomes, 100.0).unwrap();
+        let curve = s.curve(50);
+        assert_eq!(curve.len(), 51);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn exponential_lifetimes_match_theory() {
+        // Lifetimes ~ Exp(1): P[empty at t] = 1 − e^{-t}.
+        let outcomes: Vec<Option<f64>> =
+            run_replications(100_000, 11, |rng| Some(rng.exponential(1.0)));
+        let s = LifetimeStudy::new(&outcomes, 10.0).unwrap();
+        for &t in &[0.5, 1.0, 2.0] {
+            let sim = s.empty_probability(t);
+            let theory = 1.0 - (-t as f64).exp();
+            assert!((sim - theory).abs() < 0.01, "t = {t}: {sim} vs {theory}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Typed physical quantities for battery modelling.
+//!
+//! The quantities that appear throughout the KiBaM literature — charge,
+//! current, time, frequency and first-order rate constants — are easy to
+//! confuse when they are all plain `f64`s, especially because the paper
+//! mixes unit systems (`As` and seconds for the on/off experiments,
+//! `mAh` and hours for the cell-phone experiments). This crate provides
+//! zero-cost newtypes with the conversions and the handful of physically
+//! meaningful arithmetic operations (`Current × Time = Charge`, …), so that
+//! unit errors become type errors.
+//!
+//! All values are stored internally in SI-coherent units: coulombs
+//! (ampere-seconds), amperes, seconds, hertz and s⁻¹.
+//!
+//! # Examples
+//!
+//! ```
+//! use units::{Charge, Current, Time};
+//!
+//! let capacity = Charge::from_milliamp_hours(800.0);
+//! let load = Current::from_milliamps(200.0);
+//! let lifetime: Time = capacity / load;
+//! assert!((lifetime.as_hours() - 4.0).abs() < 1e-12);
+//! ```
+
+mod quantities;
+
+pub use quantities::{Charge, Current, Frequency, Rate, Time};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_lifetime_is_capacity_over_load() {
+        let c = Charge::from_amp_hours(2.0);
+        let i = Current::from_amps(0.5);
+        assert!(((c / i).as_hours() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Charge>();
+        assert_send_sync::<Current>();
+        assert_send_sync::<Time>();
+        assert_send_sync::<Frequency>();
+        assert_send_sync::<Rate>();
+    }
+}

@@ -1,0 +1,525 @@
+//! Newtype definitions and their arithmetic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the boilerplate shared by every scalar quantity newtype:
+/// constructors from the raw SI value, ordering helpers, scalar arithmetic
+/// and `Display`.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Creates the quantity from its raw SI magnitude.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                $name(value)
+            }
+
+            /// Returns the raw SI magnitude.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// Clamps `self` into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                $name(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` when the magnitude is finite (not NaN/∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric charge, stored in coulombs (ampere-seconds).
+    ///
+    /// Battery capacities in the paper appear both as `As` (on/off model,
+    /// `C = 7200 As`) and as `mAh` (cell-phone models, `C = 800 mAh`);
+    /// both constructors are provided. `1 mAh = 3.6 As`.
+    Charge,
+    "As"
+);
+
+quantity!(
+    /// Electric current, stored in amperes.
+    Current,
+    "A"
+);
+
+quantity!(
+    /// A span of time, stored in seconds.
+    Time,
+    "s"
+);
+
+quantity!(
+    /// Frequency, stored in hertz. Used for the square-wave and Erlang
+    /// on/off workloads (`f = 1 Hz`, `f = 0.2 Hz`, …).
+    Frequency,
+    "Hz"
+);
+
+quantity!(
+    /// A first-order rate constant, stored in s⁻¹.
+    ///
+    /// This is the unit of the KiBaM well-flow parameter `k`
+    /// (`k = 4.5·10⁻⁵ /s` in the paper) and of CTMC transition rates.
+    Rate,
+    "1/s"
+);
+
+impl Charge {
+    /// Charge from coulombs (ampere-seconds).
+    #[inline]
+    pub const fn from_coulombs(c: f64) -> Self {
+        Charge::new(c)
+    }
+
+    /// Charge from ampere-seconds (alias of [`Charge::from_coulombs`]).
+    #[inline]
+    pub const fn from_amp_seconds(a_s: f64) -> Self {
+        Charge::new(a_s)
+    }
+
+    /// Charge from milliampere-seconds.
+    #[inline]
+    pub const fn from_milliamp_seconds(ma_s: f64) -> Self {
+        Charge::new(ma_s * 1e-3)
+    }
+
+    /// Charge from ampere-hours.
+    #[inline]
+    pub const fn from_amp_hours(ah: f64) -> Self {
+        Charge::new(ah * 3600.0)
+    }
+
+    /// Charge from milliampere-hours (the usual cell-phone unit).
+    #[inline]
+    pub const fn from_milliamp_hours(mah: f64) -> Self {
+        Charge::new(mah * 3.6)
+    }
+
+    /// Magnitude in coulombs (ampere-seconds).
+    #[inline]
+    pub const fn as_coulombs(self) -> f64 {
+        self.value()
+    }
+
+    /// Magnitude in ampere-seconds.
+    #[inline]
+    pub const fn as_amp_seconds(self) -> f64 {
+        self.value()
+    }
+
+    /// Magnitude in milliampere-hours.
+    #[inline]
+    pub fn as_milliamp_hours(self) -> f64 {
+        self.value() / 3.6
+    }
+
+    /// Magnitude in ampere-hours.
+    #[inline]
+    pub fn as_amp_hours(self) -> f64 {
+        self.value() / 3600.0
+    }
+}
+
+impl Current {
+    /// Current from amperes.
+    #[inline]
+    pub const fn from_amps(a: f64) -> Self {
+        Current::new(a)
+    }
+
+    /// Current from milliamperes.
+    #[inline]
+    pub const fn from_milliamps(ma: f64) -> Self {
+        Current::new(ma * 1e-3)
+    }
+
+    /// Magnitude in amperes.
+    #[inline]
+    pub const fn as_amps(self) -> f64 {
+        self.value()
+    }
+
+    /// Magnitude in milliamperes.
+    #[inline]
+    pub fn as_milliamps(self) -> f64 {
+        self.value() * 1e3
+    }
+}
+
+impl Time {
+    /// Time from seconds.
+    #[inline]
+    pub const fn from_seconds(s: f64) -> Self {
+        Time::new(s)
+    }
+
+    /// Time from minutes.
+    #[inline]
+    pub const fn from_minutes(m: f64) -> Self {
+        Time::new(m * 60.0)
+    }
+
+    /// Time from hours.
+    #[inline]
+    pub const fn from_hours(h: f64) -> Self {
+        Time::new(h * 3600.0)
+    }
+
+    /// Magnitude in seconds.
+    #[inline]
+    pub const fn as_seconds(self) -> f64 {
+        self.value()
+    }
+
+    /// Magnitude in minutes.
+    #[inline]
+    pub fn as_minutes(self) -> f64 {
+        self.value() / 60.0
+    }
+
+    /// Magnitude in hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.value() / 3600.0
+    }
+}
+
+impl Frequency {
+    /// Frequency from hertz.
+    #[inline]
+    pub const fn from_hertz(hz: f64) -> Self {
+        Frequency::new(hz)
+    }
+
+    /// Magnitude in hertz.
+    #[inline]
+    pub const fn as_hertz(self) -> f64 {
+        self.value()
+    }
+
+    /// The period `1/f` of this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the frequency is zero.
+    #[inline]
+    pub fn period(self) -> Time {
+        debug_assert!(self.value() != 0.0, "period of zero frequency");
+        Time::from_seconds(1.0 / self.value())
+    }
+}
+
+impl Rate {
+    /// Rate from events per second.
+    #[inline]
+    pub const fn per_second(r: f64) -> Self {
+        Rate::new(r)
+    }
+
+    /// Rate from events per hour (the cell-phone models use per-hour rates).
+    #[inline]
+    pub const fn per_hour(r: f64) -> Self {
+        Rate::new(r / 3600.0)
+    }
+
+    /// Magnitude in events per second.
+    #[inline]
+    pub const fn as_per_second(self) -> f64 {
+        self.value()
+    }
+
+    /// Magnitude in events per hour.
+    #[inline]
+    pub fn as_per_hour(self) -> f64 {
+        self.value() * 3600.0
+    }
+
+    /// The mean of an exponential sojourn with this rate, `1/rate`.
+    #[inline]
+    pub fn mean_sojourn(self) -> Time {
+        Time::from_seconds(1.0 / self.value())
+    }
+}
+
+// --- Cross-quantity arithmetic -------------------------------------------
+
+impl Mul<Time> for Current {
+    type Output = Charge;
+    /// `I · t` — the charge drawn by a constant current over a time span.
+    #[inline]
+    fn mul(self, rhs: Time) -> Charge {
+        Charge::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Current> for Time {
+    type Output = Charge;
+    #[inline]
+    fn mul(self, rhs: Current) -> Charge {
+        rhs * self
+    }
+}
+
+impl Div<Current> for Charge {
+    type Output = Time;
+    /// `C / I` — the ideal-battery lifetime under a constant load.
+    #[inline]
+    fn div(self, rhs: Current) -> Time {
+        Time::from_seconds(self.value() / rhs.value())
+    }
+}
+
+impl Div<Time> for Charge {
+    type Output = Current;
+    /// `C / t` — the average current that drains `C` in `t`.
+    #[inline]
+    fn div(self, rhs: Time) -> Current {
+        Current::from_amps(self.value() / rhs.value())
+    }
+}
+
+impl Mul<Time> for Rate {
+    type Output = f64;
+    /// `λ · t` — the dimensionless mean event count over a span.
+    #[inline]
+    fn mul(self, rhs: Time) -> f64 {
+        self.value() * rhs.value()
+    }
+}
+
+impl Mul<Rate> for Time {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Rate) -> f64 {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn charge_unit_conversions() {
+        assert_eq!(Charge::from_milliamp_hours(800.0).as_coulombs(), 2880.0);
+        assert_eq!(Charge::from_amp_hours(1.0).as_coulombs(), 3600.0);
+        assert_eq!(Charge::from_milliamp_seconds(4500.0).as_coulombs(), 4.5);
+        assert!((Charge::from_coulombs(7200.0).as_milliamp_hours() - 2000.0).abs() < 1e-9);
+        assert!((Charge::from_coulombs(7200.0).as_amp_hours() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_unit_conversions() {
+        assert_eq!(Current::from_milliamps(200.0).as_amps(), 0.2);
+        assert_eq!(Current::from_amps(0.96).as_milliamps(), 960.0);
+    }
+
+    #[test]
+    fn time_unit_conversions() {
+        assert_eq!(Time::from_minutes(90.0).as_seconds(), 5400.0);
+        assert_eq!(Time::from_hours(2.0).as_minutes(), 120.0);
+        assert_eq!(Time::from_seconds(5400.0).as_hours(), 1.5);
+    }
+
+    #[test]
+    fn rate_unit_conversions() {
+        // The simple model's send rate: µ = 6 per hour.
+        let mu = Rate::per_hour(6.0);
+        assert!((mu.as_per_second() - 6.0 / 3600.0).abs() < 1e-18);
+        assert!((mu.mean_sojourn().as_minutes() - 10.0).abs() < 1e-9);
+        assert!((Rate::per_second(2.0).as_per_hour() - 7200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_period() {
+        assert_eq!(Frequency::from_hertz(0.001).period().as_seconds(), 1000.0);
+    }
+
+    #[test]
+    fn cross_quantity_products() {
+        let drawn = Current::from_amps(0.96) * Time::from_seconds(7500.0);
+        assert!((drawn.as_coulombs() - 7200.0).abs() < 1e-9);
+        let avg = Charge::from_coulombs(7200.0) / Time::from_seconds(15000.0);
+        assert!((avg.as_amps() - 0.48).abs() < 1e-12);
+        let dimensionless = Rate::per_second(2.0) * Time::from_seconds(3.0);
+        assert_eq!(dimensionless, 6.0);
+    }
+
+    #[test]
+    fn scalar_arithmetic_and_ordering() {
+        let a = Charge::from_coulombs(10.0);
+        let b = Charge::from_coulombs(4.0);
+        assert_eq!((a - b).as_coulombs(), 6.0);
+        assert_eq!((a + b).as_coulombs(), 14.0);
+        assert_eq!((a * 2.0).as_coulombs(), 20.0);
+        assert_eq!((2.0 * a).as_coulombs(), 20.0);
+        assert_eq!((a / 2.0).as_coulombs(), 5.0);
+        assert_eq!(a / b, 2.5);
+        assert!(b < a);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert_eq!((-a).abs(), a);
+        assert_eq!(b.clamp(Charge::ZERO, Charge::from_coulombs(1.0)).value(), 1.0);
+    }
+
+    #[test]
+    fn sum_and_assign_ops() {
+        let total: Time = [1.0, 2.0, 3.0].iter().map(|&s| Time::from_seconds(s)).sum();
+        assert_eq!(total.as_seconds(), 6.0);
+        let mut t = Time::from_seconds(1.0);
+        t += Time::from_seconds(2.0);
+        t -= Time::from_seconds(0.5);
+        assert_eq!(t.as_seconds(), 2.5);
+    }
+
+    #[test]
+    fn display_includes_units() {
+        assert_eq!(format!("{}", Charge::from_coulombs(7200.0)), "7200 As");
+        assert_eq!(format!("{}", Current::from_amps(0.96)), "0.96 A");
+        assert_eq!(format!("{}", Time::from_seconds(10.0)), "10 s");
+        assert_eq!(format!("{}", Frequency::from_hertz(1.0)), "1 Hz");
+        assert_eq!(format!("{}", Rate::per_second(2.0)), "2 1/s");
+    }
+
+    proptest! {
+        #[test]
+        fn mah_roundtrip(mah in 0.0f64..1e6) {
+            let c = Charge::from_milliamp_hours(mah);
+            prop_assert!((c.as_milliamp_hours() - mah).abs() <= 1e-9 * mah.max(1.0));
+        }
+
+        #[test]
+        fn lifetime_times_load_recovers_capacity(cap in 1.0f64..1e5, load in 1e-3f64..10.0) {
+            let c = Charge::from_coulombs(cap);
+            let i = Current::from_amps(load);
+            let l = c / i;
+            prop_assert!(((i * l).as_coulombs() - cap).abs() <= 1e-9 * cap);
+        }
+
+        #[test]
+        fn add_sub_inverse(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+            let x = Time::from_seconds(a);
+            let y = Time::from_seconds(b);
+            prop_assert!(((x + y) - y).as_seconds() - a <= 1e-6 * a.abs().max(1.0));
+        }
+    }
+}

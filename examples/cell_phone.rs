@@ -1,0 +1,74 @@
+//! Cell-phone workload shaping: does buffering transmissions extend
+//! battery life?
+//!
+//! The paper's motivating scenario (§4.3, Fig. 11): a wireless device can
+//! either send data as it arrives (*simple* model) or buffer it and send
+//! in bursts, sleeping in between (*burst* model). Both spend the same
+//! steady-state fraction of time sending (¼) — a Peukert-style model
+//! would predict identical lifetimes — yet the burst model's battery
+//! lasts longer.
+//!
+//! Run with: `cargo run --release --example cell_phone`
+
+use kibamrm::analysis::{mean_lifetime_from_curve, time_grid};
+use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
+use kibamrm::model::KibamRm;
+use kibamrm::workload::Workload;
+use markov::steady_state::stationary_gth;
+use units::{Charge, Rate, Time};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let capacity = Charge::from_milliamp_hours(800.0);
+    let c = 0.625;
+    let k = Rate::per_second(4.5e-5);
+    // Δ = 10 mAh keeps this example quick; the paper's Fig. 11 uses 5 mAh.
+    let delta = Charge::from_milliamp_hours(10.0);
+
+    let times = time_grid(Time::from_hours(30.0), 120);
+
+    println!("model        P[send]  P[sleep]  mean life   P[empty @ 20 h]");
+    let mut results = Vec::new();
+    for (name, workload) in [
+        ("simple", Workload::simple_model()?),
+        ("burst", Workload::burst_model()?),
+    ] {
+        let pi = stationary_gth(workload.ctmc())?;
+        let p_send: f64 = workload.send_states().iter().map(|&i| pi[i]).sum();
+        let p_sleep = workload
+            .ctmc()
+            .find_state("sleep")
+            .map(|i| pi[i])
+            .unwrap_or(0.0);
+
+        let model = KibamRm::new(workload, capacity, c, k)?;
+        let disc = DiscretisedModel::build(&model, &DiscretisationOptions::with_delta(delta))?;
+        let curve = disc.empty_probability_curve(&times)?;
+        let mean = mean_lifetime_from_curve(&curve.points);
+        let at_20h = curve
+            .points
+            .iter()
+            .find(|(t, _)| (*t - 20.0 * 3600.0).abs() < 1.0)
+            .map(|(_, p)| *p)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{name:<12} {p_send:7.3}  {p_sleep:8.3}  {:7.2} h   {at_20h:14.3}",
+            mean.as_hours()
+        );
+        results.push((name, curve.points));
+    }
+
+    // The burst curve must sit to the right of the simple curve: at any
+    // fixed time it is less likely to be empty.
+    let (simple, burst) = (&results[0].1, &results[1].1);
+    let dominated = simple
+        .iter()
+        .zip(burst)
+        .filter(|((_, ps), (_, pb))| pb <= ps)
+        .count();
+    println!(
+        "\nburst model no worse than simple at {dominated}/{} grid points",
+        simple.len()
+    );
+    println!("(paper: ~95% vs ~89% empty at t = 20 h — buffering wins)");
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Designing and validating a custom workload end to end.
+//!
+//! Shows the full API surface a downstream user touches when modelling
+//! their own device:
+//!
+//! 1. build a custom workload with [`kibamrm::builder::WorkloadBuilder`];
+//! 2. sanity-check it with steady-state analysis and CSRL-style
+//!    time-bounded reachability;
+//! 3. compress time exactly to make the numerics cheap;
+//! 4. cross-validate approximation vs simulation (vs exact where
+//!    applicable) with [`kibamrm::analysis::compare_methods`];
+//! 5. inspect expected well contents over time.
+//!
+//! Run with: `cargo run --release --example workload_designer`
+
+use kibamrm::analysis::{compare_methods, time_grid};
+use kibamrm::builder::WorkloadBuilder;
+use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
+use kibamrm::model::KibamRm;
+use markov::reachability::time_bounded_reachability;
+use markov::steady_state::stationary_gth;
+use markov::transient::TransientOptions;
+use units::{Charge, Current, Rate, Time};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A GPS tracker: deep sleep, periodic fixes, occasional uplink.
+    let workload = WorkloadBuilder::new()
+        .state("sleep", Current::from_milliamps(0.1))
+        .state("fix", Current::from_milliamps(45.0))
+        .state("uplink", Current::from_milliamps(220.0))
+        .transition("sleep", "fix", Rate::per_hour(6.0)) // fix every 10 min
+        .transition("fix", "sleep", Rate::per_hour(120.0)) // 30 s per fix
+        .transition("fix", "uplink", Rate::per_hour(24.0)) // every 5th fix uplinks
+        .transition("uplink", "sleep", Rate::per_hour(360.0)) // 10 s bursts
+        .initial("sleep")
+        .build()?;
+
+    let pi = stationary_gth(workload.ctmc())?;
+    println!("steady state: sleep {:.4}, fix {:.4}, uplink {:.4}", pi[0], pi[1], pi[2]);
+    let mean_ma = pi[0] * 0.1 + pi[1] * 45.0 + pi[2] * 220.0;
+    println!("mean draw: {mean_ma:.2} mA");
+
+    // 2. How quickly does the tracker first reach the uplink state?
+    let reach = time_bounded_reachability(
+        workload.ctmc(),
+        &[false, false, true],
+        workload.initial(),
+        &[3600.0, 4.0 * 3600.0, 12.0 * 3600.0],
+        &TransientOptions::default(),
+    )?;
+    for (t, p) in &reach {
+        println!("Pr[first uplink within {:>4.0} h] = {p:.3}", t / 3600.0);
+    }
+
+    // 3. A 1200 mAh battery would last weeks — compress time 24× so an
+    //    hour of compressed analysis equals a day of real operation.
+    let real = KibamRm::new(
+        workload,
+        Charge::from_milliamp_hours(1200.0),
+        0.625,
+        Rate::per_second(4.5e-5),
+    )?;
+    let compressed = real.time_compressed(24.0)?;
+    println!(
+        "\ncompressed battery: {:.1} mAh (exact rescaling, lifetimes ×1/24)",
+        compressed.capacity().as_milliamp_hours()
+    );
+
+    // 4. Cross-validate the approximation on the compressed model.
+    let disc = DiscretisedModel::build(
+        &compressed,
+        &DiscretisationOptions::with_delta(Charge::from_milliamp_hours(1.25)),
+    )?;
+    let times = time_grid(Time::from_hours(30.0), 60);
+    let cmp = compare_methods(&compressed, &disc, &times, 400, 99)?;
+    println!(
+        "approximation vs simulation ({} runs): sup distance {:.3}",
+        cmp.runs, cmp.approx_vs_sim
+    );
+
+    // 5. Expected well contents at a few checkpoints.
+    println!("\nt (compressed h)   E[available] mAh   E[bound] mAh");
+    let checkpoints = [4.0, 12.0, 20.0, 28.0];
+    let curves = disc.expected_charge_curves(
+        &checkpoints.map(Time::from_hours),
+    )?;
+    for (t, y1, y2) in &curves {
+        println!(
+            "{:>16.0}   {:>16.1}   {:>12.1}",
+            t.as_hours(),
+            y1.as_milliamp_hours(),
+            y2.as_milliamp_hours()
+        );
+    }
+    println!(
+        "\n(equivalent real-time horizon: {:.0} days)",
+        30.0 * 24.0 / 24.0
+    );
+    Ok(())
+}

@@ -1,0 +1,140 @@
+//! Failure injection across crate boundaries: malformed models must
+//! surface as typed errors from the public API — never panics.
+
+use kibamrm::analysis::exact_linear_curve;
+use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
+use kibamrm::model::KibamRm;
+use kibamrm::simulate::lifetime_study;
+use kibamrm::workload::Workload;
+use kibamrm::KibamRmError;
+use markov::ctmc::CtmcBuilder;
+use units::{Charge, Current, Frequency, Rate, Time};
+
+fn valid_model() -> KibamRm {
+    KibamRm::new(
+        Workload::simple_model().unwrap(),
+        Charge::from_milliamp_hours(800.0),
+        0.625,
+        Rate::per_second(4.5e-5),
+    )
+    .unwrap()
+}
+
+#[test]
+fn bad_battery_parameters() {
+    let w = Workload::simple_model().unwrap();
+    for (cap, c, k) in [
+        (0.0, 0.625, 4.5e-5),
+        (-1.0, 0.625, 4.5e-5),
+        (800.0, 0.0, 4.5e-5),
+        (800.0, 1.5, 4.5e-5),
+        (800.0, 0.625, -1.0),
+        (f64::NAN, 0.625, 4.5e-5),
+    ] {
+        let r = KibamRm::new(
+            w.clone(),
+            Charge::from_milliamp_hours(cap),
+            c,
+            Rate::per_second(k),
+        );
+        assert!(
+            matches!(r, Err(KibamRmError::InvalidBattery(_))),
+            "({cap}, {c}, {k}) accepted"
+        );
+    }
+}
+
+#[test]
+fn bad_workload_definitions() {
+    // Mismatched currents.
+    let mut b = CtmcBuilder::new(2);
+    b.rate(0, 1, 1.0).unwrap();
+    b.rate(1, 0, 1.0).unwrap();
+    let chain = b.build().unwrap();
+    assert!(matches!(
+        Workload::new(chain.clone(), vec![Current::ZERO], vec![1.0, 0.0]),
+        Err(KibamRmError::InvalidWorkload(_))
+    ));
+    // Negative current.
+    assert!(Workload::new(
+        chain.clone(),
+        vec![Current::from_amps(-0.1), Current::ZERO],
+        vec![1.0, 0.0],
+    )
+    .is_err());
+    // Non-distribution initial vector.
+    assert!(Workload::new(chain, vec![Current::ZERO; 2], vec![0.9, 0.9]).is_err());
+    // Degenerate Erlang / frequency parameters.
+    assert!(Workload::on_off_erlang(Frequency::from_hertz(-1.0), 1, Current::ZERO).is_err());
+    assert!(Workload::on_off_erlang(Frequency::from_hertz(1.0), 0, Current::ZERO).is_err());
+}
+
+#[test]
+fn bad_discretisation_steps() {
+    let model = valid_model();
+    // Δ not dividing the wells (u1 = 500 mAh, u2 = 300 mAh).
+    for delta_mah in [7.0, 0.0, -5.0, f64::INFINITY] {
+        let r = DiscretisedModel::build(
+            &model,
+            &DiscretisationOptions::with_delta(Charge::from_milliamp_hours(delta_mah)),
+        );
+        assert!(
+            matches!(r, Err(KibamRmError::InvalidDiscretisation(_))),
+            "Δ = {delta_mah} accepted"
+        );
+    }
+    // A Δ dividing u1 but not u2 is also rejected: 250 mAh divides 500
+    // but not 300.
+    assert!(DiscretisedModel::build(
+        &model,
+        &DiscretisationOptions::with_delta(Charge::from_milliamp_hours(250.0)),
+    )
+    .is_err());
+}
+
+#[test]
+fn bad_query_times() {
+    let model = valid_model();
+    let disc = DiscretisedModel::build(
+        &model,
+        &DiscretisationOptions::with_delta(Charge::from_milliamp_hours(100.0)),
+    )
+    .unwrap();
+    assert!(disc.empty_probability_curve(&[]).is_err());
+    assert!(disc.empty_probability_at(Time::from_seconds(-1.0)).is_err());
+    assert!(disc
+        .empty_probability_curve(&[Time::from_seconds(f64::NAN)])
+        .is_err());
+}
+
+#[test]
+fn exact_method_guards() {
+    // Two-well model: the exact method must refuse.
+    let model = valid_model();
+    assert!(matches!(
+        exact_linear_curve(&model, &[Time::from_hours(1.0)]),
+        Err(KibamRmError::InvalidBattery(_))
+    ));
+}
+
+#[test]
+fn simulation_with_unreachable_depletion() {
+    // A tiny horizon yields all-censored studies: a typed error, not a
+    // panic or a bogus curve.
+    let model = valid_model();
+    let r = lifetime_study(&model, Time::from_seconds(1.0), 5, 1);
+    assert!(r.is_err());
+}
+
+#[test]
+fn errors_format_and_chain() {
+    let err = DiscretisedModel::build(
+        &valid_model(),
+        &DiscretisationOptions::with_delta(Charge::from_milliamp_hours(7.0)),
+    )
+    .unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("discretisation"), "{text}");
+    // And the error suggests what to do.
+    assert!(text.contains("Δ") || text.contains("quanta"), "{text}");
+}

@@ -1,0 +1,213 @@
+//! Shape assertions for every figure of the evaluation section, run at
+//! reduced fidelity (coarser Δ than the paper where the full setting is
+//! expensive; the bench harness regenerates the exact settings).
+
+use battery::kibam::Kibam;
+use battery::lifetime::{discharge_trajectory, lifetime};
+use battery::load::SquareWaveLoad;
+use kibamrm::analysis::exact_linear_curve;
+use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
+use kibamrm::model::KibamRm;
+use kibamrm::workload::Workload;
+use units::{Charge, Current, Frequency, Rate, Time};
+
+/// Fig. 2: the available charge dips during on-phases and recovers during
+/// off-phases; the battery dies during the 12th cycle or so.
+#[test]
+fn fig2_well_evolution_shape() {
+    let b = Kibam::new(Charge::from_amp_seconds(7200.0), 0.625, Rate::per_second(4.5e-5))
+        .unwrap();
+    let wave =
+        SquareWaveLoad::symmetric(Frequency::from_hertz(0.001), Current::from_amps(0.96))
+            .unwrap();
+    let traj = discharge_trajectory(
+        &b,
+        &wave,
+        Time::from_seconds(12_500.0),
+        Time::from_seconds(50.0),
+    )
+    .unwrap();
+    let at = |s: f64| {
+        traj.iter()
+            .min_by(|a, b| {
+                (a.time.as_seconds() - s)
+                    .abs()
+                    .partial_cmp(&(b.time.as_seconds() - s).abs())
+                    .unwrap()
+            })
+            .unwrap()
+    };
+    // Sawtooth: y1 lower at the end of an on-phase (t = 500) than at the
+    // end of the following off-phase (t = 1000).
+    assert!(at(500.0).state.available < at(950.0).state.available);
+    // Bound well decreases monotonically across cycle boundaries.
+    assert!(at(1000.0).state.bound > at(2000.0).state.bound);
+    assert!(at(2000.0).state.bound > at(6000.0).state.bound);
+    // Depletion between 10000 s and 12500 s, as plotted.
+    let end = traj.last().unwrap();
+    assert!(end.time.as_seconds() > 10_000.0 && end.time.as_seconds() < 12_500.0);
+    assert!(end.state.available.as_coulombs().abs() < 1e-4);
+}
+
+/// Table 1's computable shape: the KiBaM lifetime under fast square waves
+/// is frequency-independent (203 = 203 in the paper) because both
+/// frequencies are far above the well-relaxation rate.
+#[test]
+fn table1_kibam_frequency_independence() {
+    let b = Kibam::new(Charge::from_amp_seconds(7200.0), 0.625, Rate::per_second(4.5e-5))
+        .unwrap();
+    let horizon = Time::from_hours(10.0);
+    let l1 = {
+        let w = SquareWaveLoad::symmetric(Frequency::from_hertz(1.0), Current::from_amps(0.96))
+            .unwrap();
+        lifetime(&b, &w, horizon).unwrap().unwrap()
+    };
+    let l02 = {
+        let w = SquareWaveLoad::symmetric(Frequency::from_hertz(0.2), Current::from_amps(0.96))
+            .unwrap();
+        lifetime(&b, &w, horizon).unwrap().unwrap()
+    };
+    let rel = (l1.as_seconds() - l02.as_seconds()).abs() / l1.as_seconds();
+    assert!(rel < 0.005, "1 Hz: {l1} vs 0.2 Hz: {l02}");
+    // And both beat the continuous load by roughly 2× (intermittency).
+    let cont = b.constant_load_lifetime(Current::from_amps(0.96)).unwrap();
+    let ratio = l1.as_seconds() / cont.as_seconds();
+    assert!((1.9..2.4).contains(&ratio), "ratio {ratio}");
+}
+
+/// Fig. 7: coarser Δ smears the nearly deterministic CDF; refinement
+/// moves every curve toward the simulation's sharp step. We assert the
+/// slope around the centre grows monotonically as Δ shrinks.
+#[test]
+fn fig7_sharpening_with_delta() {
+    let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+        .unwrap();
+    let model =
+        KibamRm::new(w, Charge::from_amp_seconds(7200.0), 1.0, Rate::per_second(0.0)).unwrap();
+    let times = [Time::from_seconds(13_000.0), Time::from_seconds(17_000.0)];
+    let mut widths = Vec::new();
+    for delta in [200.0, 100.0, 50.0] {
+        let disc = DiscretisedModel::build(
+            &model,
+            &DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta)),
+        )
+        .unwrap();
+        let c = disc.empty_probability_curve(&times).unwrap();
+        // Mass accumulated across the central window: larger = sharper.
+        widths.push(c.points[1].1 - c.points[0].1);
+    }
+    assert!(
+        widths[0] < widths[1] && widths[1] < widths[2],
+        "central mass not increasing with refinement: {widths:?}"
+    );
+}
+
+/// Fig. 9: the three initial-capacity scenarios are stochastically
+/// ordered: (C=4500, c=1) dies first, (C=7200, c=0.625) second,
+/// (C=7200, c=1) last.
+#[test]
+fn fig9_ordering() {
+    let mk = |cap: f64, c: f64, k: f64| {
+        let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+            .unwrap();
+        let m =
+            KibamRm::new(w, Charge::from_amp_seconds(cap), c, Rate::per_second(k)).unwrap();
+        DiscretisedModel::build(
+            &m,
+            &DiscretisationOptions::with_delta(Charge::from_amp_seconds(25.0)),
+        )
+        .unwrap()
+    };
+    let times: Vec<Time> =
+        (0..=10).map(|i| Time::from_seconds(8_000.0 + i as f64 * 1000.0)).collect();
+    let small = mk(4500.0, 1.0, 0.0).empty_probability_curve(&times).unwrap();
+    let two_well = mk(7200.0, 0.625, 4.5e-5).empty_probability_curve(&times).unwrap();
+    let full = mk(7200.0, 1.0, 0.0).empty_probability_curve(&times).unwrap();
+    for i in 0..times.len() {
+        assert!(
+            small.points[i].1 >= two_well.points[i].1 - 1e-9,
+            "t = {}: small {} < two-well {}",
+            times[i],
+            small.points[i].1,
+            two_well.points[i].1
+        );
+        assert!(
+            two_well.points[i].1 >= full.points[i].1 - 1e-9,
+            "t = {}: two-well {} < full {}",
+            times[i],
+            two_well.points[i].1,
+            full.points[i].1
+        );
+    }
+}
+
+/// Fig. 10's three anchor statements: `C=500,c=1` ⇒ > 99 % dead by ~17 h;
+/// `C=800,c=0.625` ⇒ dead by ~23 h; `C=800,c=1` ⇒ dead by ~25 h; and the
+/// middle curve family sits between the outer two.
+#[test]
+fn fig10_anchor_probabilities() {
+    let mk = |cap: f64, c: f64, k: f64| {
+        KibamRm::new(
+            Workload::simple_model().unwrap(),
+            Charge::from_milliamp_hours(cap),
+            c,
+            Rate::per_second(k),
+        )
+        .unwrap()
+    };
+    let delta = Charge::from_milliamp_hours(4.0);
+    let disc_500 =
+        DiscretisedModel::build(&mk(500.0, 1.0, 0.0), &DiscretisationOptions::with_delta(delta))
+            .unwrap();
+    let p17 = disc_500.empty_probability_at(Time::from_hours(17.0)).unwrap();
+    assert!(p17 > 0.99, "C=500, c=1 at 17 h: {p17}");
+
+    let disc_800 = DiscretisedModel::build(
+        &mk(800.0, 0.625, 4.5e-5),
+        &DiscretisationOptions::with_delta(delta),
+    )
+    .unwrap();
+    let p23 = disc_800.empty_probability_at(Time::from_hours(23.0)).unwrap();
+    assert!(p23 > 0.97, "C=800, c=0.625 at 23 h: {p23}");
+
+    let exact = exact_linear_curve(
+        &mk(800.0, 1.0, 0.0),
+        &[Time::from_hours(20.0), Time::from_hours(25.0)],
+    )
+    .unwrap();
+    assert!(exact[1].1 > 0.97, "C=800, c=1 at 25 h: {}", exact[1].1);
+
+    // Ordering at 18 h: left ≥ middle ≥ right.
+    let t = Time::from_hours(18.0);
+    let left = disc_500.empty_probability_at(t).unwrap();
+    let middle = disc_800.empty_probability_at(t).unwrap();
+    let right = exact_linear_curve(&mk(800.0, 1.0, 0.0), &[t]).unwrap()[0].1;
+    assert!(left >= middle - 0.02 && middle >= right - 0.02, "{left} {middle} {right}");
+}
+
+/// Fig. 11: the burst model outlives the simple model; at 20 h the paper
+/// reports ≈ 95 % (simple) vs ≈ 89 % (burst).
+#[test]
+fn fig11_burst_beats_simple() {
+    let delta = Charge::from_milliamp_hours(10.0);
+    let mk = |w: Workload| {
+        let m = KibamRm::new(
+            w,
+            Charge::from_milliamp_hours(800.0),
+            0.625,
+            Rate::per_second(4.5e-5),
+        )
+        .unwrap();
+        DiscretisedModel::build(&m, &DiscretisationOptions::with_delta(delta)).unwrap()
+    };
+    let simple = mk(Workload::simple_model().unwrap());
+    let burst = mk(Workload::burst_model().unwrap());
+    let t20 = Time::from_hours(20.0);
+    let p_simple = simple.empty_probability_at(t20).unwrap();
+    let p_burst = burst.empty_probability_at(t20).unwrap();
+    assert!(p_burst < p_simple, "burst {p_burst} vs simple {p_simple}");
+    assert!((0.85..1.0).contains(&p_simple), "simple at 20 h: {p_simple}");
+    assert!((0.75..0.99).contains(&p_burst), "burst at 20 h: {p_burst}");
+    // The gap the paper shows is ~6 percentage points.
+    assert!((0.01..0.15).contains(&(p_simple - p_burst)), "gap {}", p_simple - p_burst);
+}

@@ -1,0 +1,148 @@
+//! Anchor values stated verbatim in the paper, asserted end-to-end.
+//!
+//! Every number here appears in the text of Cloth, Jongerden & Haverkort
+//! (DSN'07); the experiment index in DESIGN.md maps each to its section.
+
+use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
+use kibamrm::model::KibamRm;
+use kibamrm::workload::Workload;
+use markov::steady_state::stationary_gth;
+use units::{Charge, Current, Frequency, Rate, Time};
+
+fn on_off(c: f64, k: f64) -> KibamRm {
+    let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+        .unwrap();
+    KibamRm::new(w, Charge::from_amp_seconds(7200.0), c, Rate::per_second(k)).unwrap()
+}
+
+/// §6.1: "the CTMC for ∆ = 5 has 2882 states".
+#[test]
+fn states_2882_at_delta_5() {
+    let disc = DiscretisedModel::build(
+        &on_off(1.0, 0.0),
+        &DiscretisationOptions::with_delta(Charge::from_amp_seconds(5.0)),
+    )
+    .unwrap();
+    assert_eq!(disc.stats().states, 2882);
+}
+
+/// §6.1: "To compute the transient state probabilities for t = 17000
+/// seconds more than 36000 iterations are needed" (c = 1, Δ = 5).
+#[test]
+fn iterations_exceed_36000_at_t_17000() {
+    let mut opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(5.0));
+    opts.transient.uniformisation_factor = 1.0;
+    opts.transient.steady_state_tolerance = 0.0;
+    let disc = DiscretisedModel::build(&on_off(1.0, 0.0), &opts).unwrap();
+    let curve = disc
+        .empty_probability_curve(&[Time::from_seconds(17_000.0)])
+        .unwrap();
+    assert!(
+        curve.iterations > 36_000,
+        "iterations = {} (paper: > 36000)",
+        curve.iterations
+    );
+    // And not absurdly more: the right truncation point of Poisson(νt)
+    // with ν ≈ 2.192 is νt + O(√νt) ≈ 38000.
+    assert!(curve.iterations < 40_000, "iterations = {}", curve.iterations);
+}
+
+/// §6.1: the two-well Δ = 5 chain has "about 3.2·10⁶ non-zeroes in the
+/// generator matrix Q*" and needs "more than 2.3·10⁴ iterations" for
+/// t = 10⁴ s. (Marked #[ignore]: ≈ 1 GB of triplet traffic and minutes of
+/// CPU; run with `cargo test -- --ignored` or the bench harness.)
+#[test]
+#[ignore = "heavyweight: ~10^6 states; run explicitly or via bench-harness complexity"]
+fn two_well_delta_5_nonzeros_and_iterations() {
+    let mut opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(5.0));
+    opts.transient.uniformisation_factor = 1.0;
+    opts.transient.steady_state_tolerance = 0.0;
+    let disc = DiscretisedModel::build(&on_off(0.625, 4.5e-5), &opts).unwrap();
+    let nnz = disc.stats().generator_nonzeros;
+    assert!(
+        (2_900_000..3_700_000).contains(&nnz),
+        "generator non-zeros = {nnz} (paper: about 3.2e6)"
+    );
+    let curve = disc
+        .empty_probability_curve(&[Time::from_seconds(10_000.0)])
+        .unwrap();
+    assert!(curve.iterations > 23_000, "iterations = {}", curve.iterations);
+}
+
+/// §6.1: consumed energy in 7500 on-seconds is 7500 s · 0.96 A = 7200 As
+/// = C, so the on/off lifetime concentrates near 15000 s; "for pure
+/// deterministic on- and off-times, the analytical KiBaM also yields a
+/// lifetime of 15000 seconds".
+#[test]
+fn deterministic_square_wave_lifetime_is_15000_s() {
+    use battery::kibam::Kibam;
+    use battery::lifetime::lifetime;
+    use battery::load::SquareWaveLoad;
+    let b = Kibam::new(Charge::from_amp_seconds(7200.0), 1.0, Rate::per_second(0.0)).unwrap();
+    let wave =
+        SquareWaveLoad::symmetric(Frequency::from_hertz(1.0), Current::from_amps(0.96)).unwrap();
+    let l = lifetime(&b, &wave, Time::from_hours(10.0)).unwrap().unwrap();
+    assert!((l.as_seconds() - 15_000.0).abs() < 1.0, "lifetime {l}");
+}
+
+/// §4.3: the simple model's parameters imply "theoretically the device
+/// can be 4 hours in send mode or 100 hours in idle mode" on 800 mAh.
+#[test]
+fn simple_model_theoretical_extremes() {
+    let w = Workload::simple_model().unwrap();
+    let cap = Charge::from_milliamp_hours(800.0);
+    let send_idx = w.ctmc().find_state("send").unwrap();
+    let idle_idx = w.ctmc().find_state("idle").unwrap();
+    let send_hours = (cap / w.current(send_idx)).as_hours();
+    let idle_hours = (cap / w.current(idle_idx)).as_hours();
+    assert!((send_hours - 4.0).abs() < 1e-9);
+    assert!((idle_hours - 100.0).abs() < 1e-9);
+}
+
+/// §4.3: simple-model steady state (computed here by GTH) and the burst
+/// model calibration λ_burst = 182/h ⇒ P[send] identical (¼) and
+/// P[sleep] strictly larger in the burst model.
+#[test]
+fn workload_steady_state_calibration() {
+    let simple = Workload::simple_model().unwrap();
+    let pi_s = stationary_gth(simple.ctmc()).unwrap();
+    let p_send_simple: f64 = simple.send_states().iter().map(|&i| pi_s[i]).sum();
+    assert!((p_send_simple - 0.25).abs() < 1e-12);
+
+    let burst = Workload::burst_model().unwrap();
+    let pi_b = stationary_gth(burst.ctmc()).unwrap();
+    let p_send_burst: f64 = burst.send_states().iter().map(|&i| pi_b[i]).sum();
+    assert!(
+        (p_send_burst - p_send_simple).abs() < 1e-12,
+        "burst P[send] = {p_send_burst}"
+    );
+    let p_sleep_simple = pi_s[simple.ctmc().find_state("sleep").unwrap()];
+    let p_sleep_burst = pi_b[burst.ctmc().find_state("sleep").unwrap()];
+    assert!(p_sleep_burst > p_sleep_simple, "{p_sleep_burst} vs {p_sleep_simple}");
+}
+
+/// §4.3: the on/off workload's transition rate is λ = 2·f·K so the mean
+/// on (and off) time is 1/(2f) regardless of K.
+#[test]
+fn erlang_rates_scale_with_k() {
+    for k in [1u32, 3, 10] {
+        let w = Workload::on_off_erlang(Frequency::from_hertz(0.2), k, Current::from_amps(1.0))
+            .unwrap();
+        let expected_rate = 2.0 * 0.2 * k as f64;
+        assert!((w.ctmc().exit_rate(0) - expected_rate).abs() < 1e-12, "K = {k}");
+        // Mean cycle time = 2K/λ = 1/f.
+        let mean_cycle = 2.0 * k as f64 / expected_rate;
+        assert!((mean_cycle - 5.0).abs() < 1e-12);
+    }
+}
+
+/// Fig. 2's initial condition: y₁(0) = c·C = 4500 As, y₂(0) = 2700 As.
+#[test]
+fn figure2_initial_wells() {
+    use battery::kibam::Kibam;
+    let b = Kibam::new(Charge::from_amp_seconds(7200.0), 0.625, Rate::per_second(4.5e-5))
+        .unwrap();
+    let s = b.full_state();
+    assert!((s.available.as_coulombs() - 4500.0).abs() < 1e-9);
+    assert!((s.bound.as_coulombs() - 2700.0).abs() < 1e-9);
+}

@@ -1,0 +1,174 @@
+//! Δ-refinement behaviour of the Markovian approximation (the paper's
+//! central methodological claim: "for decreasing stepsize ∆ the curves
+//! from the approximation algorithm approach the simulation curve"),
+//! plus property-based checks of the discretised chain's invariants.
+
+use kibamrm::analysis::exact_linear_curve;
+use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
+use kibamrm::model::KibamRm;
+use kibamrm::workload::Workload;
+use proptest::prelude::*;
+use units::{Charge, Current, Frequency, Rate, Time};
+
+fn simple_linear(capacity_mah: f64) -> KibamRm {
+    KibamRm::new(
+        Workload::simple_model().unwrap(),
+        Charge::from_milliamp_hours(capacity_mah),
+        1.0,
+        Rate::per_second(0.0),
+    )
+    .unwrap()
+}
+
+/// Refinement against the exact curve: the sup-distance must shrink
+/// (not necessarily monotonically per point, but over a 4× refinement it
+/// must improve clearly).
+#[test]
+fn refinement_converges_to_exact() {
+    let model = simple_linear(500.0);
+    let times: Vec<Time> = (4..=26).map(|h| Time::from_hours(h as f64)).collect();
+    let exact = exact_linear_curve(&model, &times).unwrap();
+
+    let sup_for = |delta_mah: f64| {
+        let disc = DiscretisedModel::build(
+            &model,
+            &DiscretisationOptions::with_delta(Charge::from_milliamp_hours(delta_mah)),
+        )
+        .unwrap();
+        let approx = disc.empty_probability_curve(&times).unwrap();
+        exact
+            .iter()
+            .zip(&approx.points)
+            .map(|((_, e), (_, a))| (e - a).abs())
+            .fold(0.0f64, f64::max)
+    };
+    let coarse = sup_for(50.0);
+    let medium = sup_for(20.0);
+    let fine = sup_for(5.0);
+    assert!(medium < coarse, "coarse {coarse} vs medium {medium}");
+    assert!(fine < medium, "medium {medium} vs fine {fine}");
+    assert!(fine < 0.05, "fine-Δ error still {fine}");
+}
+
+/// The approximation error scales roughly like O(√Δ)–O(Δ) for smooth
+/// CDFs; a 10× refinement should cut the sup error by at least 2×.
+#[test]
+fn refinement_rate_reasonable() {
+    let model = simple_linear(500.0);
+    let times: Vec<Time> = (4..=26).map(|h| Time::from_hours(h as f64)).collect();
+    let exact = exact_linear_curve(&model, &times).unwrap();
+    let sup_for = |delta_mah: f64| {
+        let disc = DiscretisedModel::build(
+            &model,
+            &DiscretisationOptions::with_delta(Charge::from_milliamp_hours(delta_mah)),
+        )
+        .unwrap();
+        let approx = disc.empty_probability_curve(&times).unwrap();
+        exact
+            .iter()
+            .zip(&approx.points)
+            .map(|((_, e), (_, a))| (e - a).abs())
+            .fold(0.0f64, f64::max)
+    };
+    let e25 = sup_for(25.0);
+    let e2_5 = sup_for(2.5);
+    assert!(e2_5 < e25 / 2.0, "Δ=25: {e25}, Δ=2.5: {e2_5}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any valid (c, k, Δ) combination on a small capacity, the
+    /// derived chain satisfies its structural invariants.
+    #[test]
+    fn discretised_chain_invariants(
+        c_times_8 in 1u32..=8,          // c ∈ {0.125, …, 1.0}
+        k_exp in -6.0f64..-3.0,
+        quanta in 2u32..12,
+    ) {
+        let c = c_times_8 as f64 / 8.0;
+        let capacity = 80.0; // As
+        // Δ chosen so it divides both wells exactly: both cC and (1−c)C
+        // are multiples of capacity/8; use Δ = cC/quanta only when it
+        // also divides (1−c)C — construct instead from the common grid.
+        let delta = capacity / (8.0 * quanta as f64);
+        let w = Workload::on_off_erlang(
+            Frequency::from_hertz(0.5), 1, Current::from_amps(0.5)).unwrap();
+        let m = KibamRm::new(
+            w,
+            Charge::from_amp_seconds(capacity),
+            c,
+            Rate::per_second(10f64.powf(k_exp)),
+        ).unwrap();
+        let disc = DiscretisedModel::build(
+            &m,
+            &DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta)),
+        ).unwrap();
+
+        // Invariant 1: state count = N · (J1+1) · (J2+1).
+        let expect_j1 = (c * capacity / delta).round() as usize + 1;
+        let expect_j2 = if c >= 1.0 { 1 } else { ((1.0 - c) * capacity / delta).round() as usize + 1 };
+        prop_assert_eq!(disc.j1_levels(), expect_j1);
+        prop_assert_eq!(disc.j2_levels(), expect_j2);
+        prop_assert_eq!(disc.stats().states, 2 * expect_j1 * expect_j2);
+
+        // Invariant 2: all j1 = 0 states absorbing.
+        for j2 in 0..disc.j2_levels() {
+            for i in 0..2 {
+                let s = disc.state_index(i, 0, j2).unwrap();
+                prop_assert!(disc.chain().is_absorbing(s));
+            }
+        }
+
+        // Invariant 3: the curve is a CDF in t.
+        let times: Vec<Time> = (0..=6)
+            .map(|i| Time::from_seconds(i as f64 * 100.0))
+            .collect();
+        let curve = disc.empty_probability_curve(&times).unwrap();
+        let mut prev = -1e-12;
+        for (_, p) in &curve.points {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(p));
+            prop_assert!(*p >= prev - 1e-9);
+            prev = *p;
+        }
+
+        // Invariant 4: initial mass sits on the full-battery states.
+        let total: f64 = disc.alpha().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    /// Coarse vs fine Δ on random capacities: the median crossing time of
+    /// the fine curve is never wildly different (sanity against indexing
+    /// bugs that would shift the distribution).
+    #[test]
+    fn median_stability_under_refinement(capacity in 40.0f64..120.0) {
+        let w = Workload::on_off_erlang(
+            Frequency::from_hertz(0.5), 1, Current::from_amps(0.5)).unwrap();
+        let m = KibamRm::new(
+            w,
+            Charge::from_amp_seconds(capacity),
+            1.0,
+            Rate::per_second(0.0),
+        ).unwrap();
+        let median_for = |parts: f64| {
+            let delta = capacity / parts;
+            let disc = DiscretisedModel::build(
+                &m,
+                &DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta)),
+            ).unwrap();
+            let times: Vec<Time> = (0..=400)
+                .map(|i| Time::from_seconds(i as f64 * 2.0))
+                .collect();
+            let curve = disc.empty_probability_curve(&times).unwrap();
+            curve.points.iter().find(|(_, p)| *p >= 0.5).map(|(t, _)| *t).unwrap_or(800.0)
+        };
+        // Deterministic estimate: capacity / (0.5 A) · 2 (50% duty).
+        let expect = capacity / 0.5 * 2.0;
+        let coarse = median_for(8.0);
+        let fine = median_for(64.0);
+        prop_assert!((coarse - expect).abs() < 0.35 * expect,
+            "coarse median {coarse} vs {expect}");
+        prop_assert!((fine - expect).abs() < 0.2 * expect,
+            "fine median {fine} vs {expect}");
+    }
+}
