@@ -96,9 +96,13 @@ mod tests {
     #[test]
     fn lifetime_is_capacity_over_current() {
         let b = IdealBattery::new(Charge::from_milliamp_hours(800.0)).unwrap();
-        let l = b.constant_load_lifetime(Current::from_milliamps(200.0)).unwrap();
+        let l = b
+            .constant_load_lifetime(Current::from_milliamps(200.0))
+            .unwrap();
         assert!((l.as_hours() - 4.0).abs() < 1e-12);
-        let l = b.constant_load_lifetime(Current::from_milliamps(8.0)).unwrap();
+        let l = b
+            .constant_load_lifetime(Current::from_milliamps(8.0))
+            .unwrap();
         assert!((l.as_hours() - 100.0).abs() < 1e-12);
     }
 
@@ -107,7 +111,9 @@ mod tests {
         assert!(IdealBattery::new(Charge::ZERO).is_err());
         let b = IdealBattery::new(Charge::from_coulombs(10.0)).unwrap();
         assert!(b.constant_load_lifetime(Current::ZERO).is_err());
-        assert!(b.advance(&b.initial_state(), Current::from_amps(-1.0), Time::ZERO).is_err());
+        assert!(b
+            .advance(&b.initial_state(), Current::from_amps(-1.0), Time::ZERO)
+            .is_err());
         assert_eq!(b.capacity().value(), 10.0);
     }
 
@@ -115,7 +121,9 @@ mod tests {
     fn discharge_model_agrees_with_closed_form() {
         let b = IdealBattery::new(Charge::from_coulombs(7200.0)).unwrap();
         let load = ConstantLoad::new(Current::from_amps(0.96)).unwrap();
-        let l = lifetime(&b, &load, Time::from_hours(10.0)).unwrap().unwrap();
+        let l = lifetime(&b, &load, Time::from_hours(10.0))
+            .unwrap()
+            .unwrap();
         assert!((l.as_seconds() - 7500.0).abs() < 1e-9);
     }
 
@@ -133,7 +141,8 @@ mod tests {
         assert_eq!(d, None);
         let empty = Charge::ZERO;
         assert_eq!(
-            b.depletion_within(&empty, Current::from_amps(1.0), Time::from_seconds(1.0)).unwrap(),
+            b.depletion_within(&empty, Current::from_amps(1.0), Time::from_seconds(1.0))
+                .unwrap(),
             Some(Time::ZERO)
         );
     }

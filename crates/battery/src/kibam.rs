@@ -239,9 +239,8 @@ impl Kibam {
         // KiBaM delivers at most that.
         let horizon = self.capacity / current * 1.001 + Time::from_seconds(1.0);
         let state = self.full_state();
-        self.depletion_after(&state, current, horizon)?.ok_or_else(|| {
-            BatteryError::Numerical("constant load must deplete within C/I".into())
-        })
+        self.depletion_after(&state, current, horizon)?
+            .ok_or_else(|| BatteryError::Numerical("constant load must deplete within C/I".into()))
     }
 
     /// Delivered charge under a constant load: `I · lifetime`.
@@ -306,8 +305,8 @@ impl Kibam {
         // Delivered charge lies in [cC, C] ⇒ C ∈ [I·L, I·L/c].
         let delivered = current * target;
         let objective = |cap: f64| {
-            let battery = Kibam::new(Charge::from_coulombs(cap), c, k)
-                .expect("validated parameters");
+            let battery =
+                Kibam::new(Charge::from_coulombs(cap), c, k).expect("validated parameters");
             battery
                 .constant_load_lifetime(current)
                 .map(|l| l.as_seconds() - target.as_seconds())
@@ -373,7 +372,12 @@ mod tests {
 
     fn paper_battery() -> Kibam {
         // The Fig. 2 / Fig. 8 parameters.
-        Kibam::new(Charge::from_amp_seconds(7200.0), 0.625, Rate::per_second(4.5e-5)).unwrap()
+        Kibam::new(
+            Charge::from_amp_seconds(7200.0),
+            0.625,
+            Rate::per_second(4.5e-5),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -414,7 +418,13 @@ mod tests {
     #[test]
     fn c_equal_one_is_linear() {
         let b = Kibam::new(Charge::from_coulombs(7200.0), 1.0, Rate::per_second(0.0)).unwrap();
-        let s = b.advance_state(&b.full_state(), Current::from_amps(0.96), Time::from_seconds(1000.0)).unwrap();
+        let s = b
+            .advance_state(
+                &b.full_state(),
+                Current::from_amps(0.96),
+                Time::from_seconds(1000.0),
+            )
+            .unwrap();
         assert!((s.available.value() - (7200.0 - 960.0)).abs() < 1e-9);
         assert_eq!(s.bound, Charge::ZERO);
         let life = b.constant_load_lifetime(Current::from_amps(0.96)).unwrap();
@@ -424,7 +434,13 @@ mod tests {
     #[test]
     fn zero_k_freezes_bound_well() {
         let b = Kibam::new(Charge::from_coulombs(100.0), 0.5, Rate::per_second(0.0)).unwrap();
-        let s = b.advance_state(&b.full_state(), Current::from_amps(1.0), Time::from_seconds(20.0)).unwrap();
+        let s = b
+            .advance_state(
+                &b.full_state(),
+                Current::from_amps(1.0),
+                Time::from_seconds(20.0),
+            )
+            .unwrap();
         assert!((s.available.value() - 30.0).abs() < 1e-12);
         assert!((s.bound.value() - 50.0).abs() < 1e-12);
         let life = b.constant_load_lifetime(Current::from_amps(1.0)).unwrap();
@@ -444,10 +460,19 @@ mod tests {
         });
         let traj = rk4(&sys, &[4500.0, 2700.0], 0.0, 2000.0, 0.05).unwrap();
         let closed = b
-            .advance_state(&b.full_state(), Current::from_amps(i), Time::from_seconds(2000.0))
+            .advance_state(
+                &b.full_state(),
+                Current::from_amps(i),
+                Time::from_seconds(2000.0),
+            )
             .unwrap();
         let (_, y) = traj.last();
-        assert!((closed.available.value() - y[0]).abs() < 1e-4, "{} vs {}", closed.available, y[0]);
+        assert!(
+            (closed.available.value() - y[0]).abs() < 1e-4,
+            "{} vs {}",
+            closed.available,
+            y[0]
+        );
         assert!((closed.bound.value() - y[1]).abs() < 1e-4);
     }
 
@@ -456,8 +481,9 @@ mod tests {
         let b = paper_battery();
         let i = Current::from_amps(0.96);
         // Discharge for 500 s, then idle for 2000 s.
-        let after_load =
-            b.advance_state(&b.full_state(), i, Time::from_seconds(500.0)).unwrap();
+        let after_load = b
+            .advance_state(&b.full_state(), i, Time::from_seconds(500.0))
+            .unwrap();
         let after_idle = b
             .advance_state(&after_load, Current::ZERO, Time::from_seconds(2000.0))
             .unwrap();
@@ -478,7 +504,9 @@ mod tests {
         assert!(life.as_seconds() > 4500.0 / 0.96);
         assert!(life.as_seconds() < 7200.0 / 0.96);
         // At the root, y₁ ≈ 0.
-        let s = b.advance_state(&b.full_state(), Current::from_amps(0.96), life).unwrap();
+        let s = b
+            .advance_state(&b.full_state(), Current::from_amps(0.96), life)
+            .unwrap();
         assert!(s.available.value().abs() < 1e-5, "y1 = {}", s.available);
     }
 
@@ -486,7 +514,11 @@ mod tests {
     fn no_depletion_when_segment_survives() {
         let b = paper_battery();
         let d = b
-            .depletion_after(&b.full_state(), Current::from_amps(0.96), Time::from_seconds(100.0))
+            .depletion_after(
+                &b.full_state(),
+                Current::from_amps(0.96),
+                Time::from_seconds(100.0),
+            )
             .unwrap();
         assert_eq!(d, None);
         // Idle never depletes.
@@ -499,7 +531,10 @@ mod tests {
     #[test]
     fn already_empty_depletes_immediately() {
         let b = paper_battery();
-        let empty = KibamState { available: Charge::ZERO, bound: Charge::from_coulombs(100.0) };
+        let empty = KibamState {
+            available: Charge::ZERO,
+            bound: Charge::from_coulombs(100.0),
+        };
         let d = b
             .depletion_after(&empty, Current::from_amps(1.0), Time::from_seconds(10.0))
             .unwrap();
@@ -510,8 +545,12 @@ mod tests {
     fn invalid_steps_rejected() {
         let b = paper_battery();
         let s = b.full_state();
-        assert!(b.advance_state(&s, Current::from_amps(-1.0), Time::from_seconds(1.0)).is_err());
-        assert!(b.advance_state(&s, Current::from_amps(1.0), Time::from_seconds(-1.0)).is_err());
+        assert!(b
+            .advance_state(&s, Current::from_amps(-1.0), Time::from_seconds(1.0))
+            .is_err());
+        assert!(b
+            .advance_state(&s, Current::from_amps(1.0), Time::from_seconds(-1.0))
+            .is_err());
         assert!(b.constant_load_lifetime(Current::ZERO).is_err());
     }
 
@@ -535,7 +574,9 @@ mod tests {
             state = b
                 .advance_state(&state, Current::from_amps(0.96), Time::from_seconds(500.0))
                 .unwrap();
-            state = b.advance_state(&state, Current::ZERO, Time::from_seconds(500.0)).unwrap();
+            state = b
+                .advance_state(&state, Current::ZERO, Time::from_seconds(500.0))
+                .unwrap();
             t += 1000.0;
         };
         // Twice the square-wave on-time is the fair comparison of delivered
@@ -565,8 +606,7 @@ mod tests {
     fn calibrate_capacity_hits_target() {
         let i = Current::from_amps(0.96);
         let target = Time::from_minutes(91.0);
-        let b =
-            Kibam::calibrate_capacity(0.625, Rate::per_second(4.5e-5), i, target).unwrap();
+        let b = Kibam::calibrate_capacity(0.625, Rate::per_second(4.5e-5), i, target).unwrap();
         let achieved = b.constant_load_lifetime(i).unwrap();
         assert!((achieved.as_minutes() - 91.0).abs() < 1e-6, "{achieved}");
     }
@@ -577,8 +617,9 @@ mod tests {
         let s = b.initial_state();
         assert_eq!(b.available_charge(&s), s.available);
         assert!(!b.is_empty(&s));
-        let advanced =
-            b.advance(&s, Current::from_amps(0.96), Time::from_seconds(10.0)).unwrap();
+        let advanced = b
+            .advance(&s, Current::from_amps(0.96), Time::from_seconds(10.0))
+            .unwrap();
         assert!(advanced.available < s.available);
     }
 

@@ -180,7 +180,11 @@ pub fn discharge_trajectory<M: DischargeModel, L: LoadProfile + ?Sized>(
     let mut samples = Vec::new();
     let mut state = model.initial_state();
     let mut t = Time::ZERO;
-    samples.push(TrajectorySample { time: t, state: state.clone(), current: load.current(t) });
+    samples.push(TrajectorySample {
+        time: t,
+        state: state.clone(),
+        current: load.current(t),
+    });
     while t < until {
         // March to the next sample instant, honouring segment boundaries.
         let target = (t + sample_dt).min(until);
@@ -226,13 +230,20 @@ mod tests {
     }
 
     fn paper_battery() -> Kibam {
-        Kibam::new(Charge::from_coulombs(7200.0), 0.625, Rate::per_second(4.5e-5)).unwrap()
+        Kibam::new(
+            Charge::from_coulombs(7200.0),
+            0.625,
+            Rate::per_second(4.5e-5),
+        )
+        .unwrap()
     }
 
     #[test]
     fn constant_load_ideal_battery() {
         let load = ConstantLoad::new(Current::from_amps(0.96)).unwrap();
-        let l = lifetime(&ideal_7200(), &load, Time::from_hours(10.0)).unwrap().unwrap();
+        let l = lifetime(&ideal_7200(), &load, Time::from_hours(10.0))
+            .unwrap()
+            .unwrap();
         assert!((l.as_seconds() - 7500.0).abs() < 1e-6);
     }
 
@@ -241,11 +252,15 @@ mod tests {
         // On/off at 50% duty: lifetime = 2·(C/I) − off-phase alignment.
         // With period 1 s and C/I = 7500 s on-time, depletion happens
         // during the 15000th second's on-phase: exactly t = 14999.5+0.5.
-        let wave =
-            SquareWaveLoad::symmetric(Frequency::from_hertz(1.0), Current::from_amps(0.96))
-                .unwrap();
-        let l = lifetime(&ideal_7200(), &wave, Time::from_hours(10.0)).unwrap().unwrap();
-        assert!((l.as_seconds() - 15000.0).abs() < 0.5 + 1e-6, "lifetime {l}");
+        let wave = SquareWaveLoad::symmetric(Frequency::from_hertz(1.0), Current::from_amps(0.96))
+            .unwrap();
+        let l = lifetime(&ideal_7200(), &wave, Time::from_hours(10.0))
+            .unwrap()
+            .unwrap();
+        assert!(
+            (l.as_seconds() - 15000.0).abs() < 0.5 + 1e-6,
+            "lifetime {l}"
+        );
     }
 
     #[test]
@@ -273,7 +288,9 @@ mod tests {
             false,
         )
         .unwrap();
-        let l = lifetime(&ideal_7200(), &p, Time::from_hours(100.0)).unwrap().unwrap();
+        let l = lifetime(&ideal_7200(), &p, Time::from_hours(100.0))
+            .unwrap()
+            .unwrap();
         // 360 As drained in phase 1; remaining 6840 As at 2 A = 3420 s.
         assert!((l.as_seconds() - (3600.0 + 3420.0)).abs() < 1e-6);
     }
@@ -290,7 +307,10 @@ mod tests {
         let l_wave = lifetime(&b, &wave, horizon).unwrap().unwrap();
         // The idle phases allow recovery: strictly more than 2× continuous
         // is impossible, but more than 2×·(available-only fraction) holds.
-        assert!(l_wave > l_cont * 2.0 * 0.99, "wave {l_wave} vs continuous {l_cont}");
+        assert!(
+            l_wave > l_cont * 2.0 * 0.99,
+            "wave {l_wave} vs continuous {l_cont}"
+        );
         assert!(l_wave.as_seconds() > 9000.0);
     }
 
@@ -303,9 +323,13 @@ mod tests {
         let wave =
             SquareWaveLoad::symmetric(Frequency::from_hertz(0.001), Current::from_amps(0.96))
                 .unwrap();
-        let traj =
-            discharge_trajectory(&b, &wave, Time::from_seconds(14000.0), Time::from_seconds(100.0))
-                .unwrap();
+        let traj = discharge_trajectory(
+            &b,
+            &wave,
+            Time::from_seconds(14000.0),
+            Time::from_seconds(100.0),
+        )
+        .unwrap();
         let last = traj.last().unwrap();
         assert!(
             last.time.as_seconds() > 10_000.0 && last.time.as_seconds() < 13_000.0,
@@ -360,9 +384,14 @@ mod tests {
         let wrapped = Wrapped(paper_battery());
         let i = Current::from_amps(0.96);
         let dt = Time::from_seconds(10_000.0);
-        let d_exact = exact.depletion_within(&exact.initial_state(), i, dt).unwrap().unwrap();
-        let d_bisect =
-            wrapped.depletion_within(&wrapped.initial_state(), i, dt).unwrap().unwrap();
+        let d_exact = exact
+            .depletion_within(&exact.initial_state(), i, dt)
+            .unwrap()
+            .unwrap();
+        let d_bisect = wrapped
+            .depletion_within(&wrapped.initial_state(), i, dt)
+            .unwrap()
+            .unwrap();
         assert!(
             (d_exact.as_seconds() - d_bisect.as_seconds()).abs() < 1e-3,
             "{d_exact} vs {d_bisect}"

@@ -99,7 +99,12 @@ impl SquareWaveLoad {
             }
         }
         let period = frequency.period();
-        Ok(SquareWaveLoad { period, on_time: period * duty, on_current, off_current })
+        Ok(SquareWaveLoad {
+            period,
+            on_time: period * duty,
+            on_current,
+            off_current,
+        })
     }
 
     /// The paper's wave: 50 % duty, zero current while off.
@@ -170,7 +175,11 @@ impl PiecewiseLoad {
             }
         }
         let total = segments.iter().map(|&(d, _)| d).sum();
-        Ok(PiecewiseLoad { segments, total, repeat })
+        Ok(PiecewiseLoad {
+            segments,
+            total,
+            repeat,
+        })
     }
 
     /// Total duration of one pass through the segments.
@@ -229,9 +238,8 @@ mod tests {
 
     #[test]
     fn square_wave_phases() {
-        let w =
-            SquareWaveLoad::symmetric(Frequency::from_hertz(1.0), Current::from_amps(0.96))
-                .unwrap();
+        let w = SquareWaveLoad::symmetric(Frequency::from_hertz(1.0), Current::from_amps(0.96))
+            .unwrap();
         assert_eq!(w.period().as_seconds(), 1.0);
         assert_eq!(w.current(Time::from_seconds(0.0)).as_amps(), 0.96);
         assert_eq!(w.current(Time::from_seconds(0.49)).as_amps(), 0.96);
@@ -243,13 +251,27 @@ mod tests {
 
     #[test]
     fn square_wave_segment_ends() {
-        let w =
-            SquareWaveLoad::symmetric(Frequency::from_hertz(0.001), Current::from_amps(0.96))
-                .unwrap();
+        let w = SquareWaveLoad::symmetric(Frequency::from_hertz(0.001), Current::from_amps(0.96))
+            .unwrap();
         assert_eq!(w.segment_end(Time::ZERO).unwrap().as_seconds(), 500.0);
-        assert_eq!(w.segment_end(Time::from_seconds(499.0)).unwrap().as_seconds(), 500.0);
-        assert_eq!(w.segment_end(Time::from_seconds(500.0)).unwrap().as_seconds(), 1000.0);
-        assert_eq!(w.segment_end(Time::from_seconds(1700.0)).unwrap().as_seconds(), 2000.0);
+        assert_eq!(
+            w.segment_end(Time::from_seconds(499.0))
+                .unwrap()
+                .as_seconds(),
+            500.0
+        );
+        assert_eq!(
+            w.segment_end(Time::from_seconds(500.0))
+                .unwrap()
+                .as_seconds(),
+            1000.0
+        );
+        assert_eq!(
+            w.segment_end(Time::from_seconds(1700.0))
+                .unwrap()
+                .as_seconds(),
+            2000.0
+        );
         // Segment end is strictly in the future.
         for &t in &[0.0, 123.4, 500.0, 999.999] {
             let t = Time::from_seconds(t);
@@ -285,9 +307,22 @@ mod tests {
         assert_eq!(p.current(Time::from_seconds(3.0)).as_amps(), 1.0);
         assert_eq!(p.current(Time::from_seconds(12.0)).as_amps(), 0.2);
         assert_eq!(p.current(Time::from_seconds(18.0)).as_amps(), 1.0);
-        assert_eq!(p.segment_end(Time::from_seconds(3.0)).unwrap().as_seconds(), 10.0);
-        assert_eq!(p.segment_end(Time::from_seconds(12.0)).unwrap().as_seconds(), 15.0);
-        assert_eq!(p.segment_end(Time::from_seconds(18.0)).unwrap().as_seconds(), 25.0);
+        assert_eq!(
+            p.segment_end(Time::from_seconds(3.0)).unwrap().as_seconds(),
+            10.0
+        );
+        assert_eq!(
+            p.segment_end(Time::from_seconds(12.0))
+                .unwrap()
+                .as_seconds(),
+            15.0
+        );
+        assert_eq!(
+            p.segment_end(Time::from_seconds(18.0))
+                .unwrap()
+                .as_seconds(),
+            25.0
+        );
     }
 
     #[test]
@@ -302,17 +337,18 @@ mod tests {
         .unwrap();
         assert_eq!(p.current(Time::from_seconds(20.0)).as_amps(), 0.2);
         assert_eq!(p.segment_end(Time::from_seconds(20.0)), None);
-        assert_eq!(p.segment_end(Time::from_seconds(12.0)).unwrap().as_seconds(), 15.0);
+        assert_eq!(
+            p.segment_end(Time::from_seconds(12.0))
+                .unwrap()
+                .as_seconds(),
+            15.0
+        );
     }
 
     #[test]
     fn piecewise_validation() {
         assert!(PiecewiseLoad::new(vec![], false).is_err());
-        assert!(PiecewiseLoad::new(
-            vec![(Time::ZERO, Current::from_amps(1.0))],
-            false
-        )
-        .is_err());
+        assert!(PiecewiseLoad::new(vec![(Time::ZERO, Current::from_amps(1.0))], false).is_err());
         assert!(PiecewiseLoad::new(
             vec![(Time::from_seconds(1.0), Current::from_amps(-0.1))],
             false

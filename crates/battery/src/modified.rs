@@ -117,9 +117,8 @@ impl ModifiedKibam {
             )));
         }
         let horizon = self.capacity / current * 1.001 + Time::from_seconds(1.0);
-        self.depletion_within(&self.full_state(), current, horizon)?.ok_or_else(|| {
-            BatteryError::Numerical("constant load must deplete within C/I".into())
-        })
+        self.depletion_within(&self.full_state(), current, horizon)?
+            .ok_or_else(|| BatteryError::Numerical("constant load must deplete within C/I".into()))
     }
 
     /// Calibrates `k` so the continuous-load lifetime at `current` equals
@@ -194,7 +193,7 @@ impl DischargeModel for ModifiedKibam {
         let opts = AdaptiveOptions {
             rtol: 1e-10,
             atol: 1e-10,
-            h0: (dt.as_seconds() / 16.0).min(10.0).max(1e-6),
+            h0: (dt.as_seconds() / 16.0).clamp(1e-6, 10.0),
             ..Default::default()
         };
         let traj = rkf45(
@@ -309,7 +308,11 @@ impl StochasticModifiedKibam {
         seed: u64,
     ) -> Option<Time> {
         let mut rng = XorShift64::new(seed);
-        let (c, k, cap) = (self.model.c, self.model.k.value(), self.model.capacity.value());
+        let (c, k, cap) = (
+            self.model.c,
+            self.model.k.value(),
+            self.model.capacity.value(),
+        );
         let dt = self.slot.as_seconds();
         let mut y1 = cap * c;
         let mut y2 = cap * (1.0 - c);
@@ -370,8 +373,12 @@ mod tests {
     use units::Frequency;
 
     fn paper_modified() -> ModifiedKibam {
-        ModifiedKibam::new(Charge::from_coulombs(7200.0), 0.625, Rate::per_second(4.5e-5))
-            .unwrap()
+        ModifiedKibam::new(
+            Charge::from_coulombs(7200.0),
+            0.625,
+            Rate::per_second(4.5e-5),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -395,7 +402,9 @@ mod tests {
         let kib = Kibam::new(m.capacity(), m.c(), m.k()).unwrap();
         let mut state = m.full_state();
         // Perturb: discharge a little first (flows are zero at equalised).
-        state = m.advance(&state, Current::from_amps(0.96), Time::from_seconds(100.0)).unwrap();
+        state = m
+            .advance(&state, Current::from_amps(0.96), Time::from_seconds(100.0))
+            .unwrap();
         let flow_mod = m.recovery_flow(&state);
         let h_diff = kib.height_difference(&state);
         let flow_kibam = m.k().value() * h_diff;
@@ -408,7 +417,11 @@ mod tests {
     fn conservation_under_integration() {
         let m = paper_modified();
         let s = m
-            .advance(&m.full_state(), Current::from_amps(0.96), Time::from_seconds(1000.0))
+            .advance(
+                &m.full_state(),
+                Current::from_amps(0.96),
+                Time::from_seconds(1000.0),
+            )
             .unwrap();
         let drawn = 0.96 * 1000.0;
         assert!((s.total().value() - (7200.0 - drawn)).abs() < 1e-5);
@@ -442,9 +455,8 @@ mod tests {
             lifetime(&m, &w, horizon).unwrap().unwrap()
         };
         let l02 = {
-            let w =
-                SquareWaveLoad::symmetric(Frequency::from_hertz(0.2), Current::from_amps(0.96))
-                    .unwrap();
+            let w = SquareWaveLoad::symmetric(Frequency::from_hertz(0.2), Current::from_amps(0.96))
+                .unwrap();
             lifetime(&m, &w, horizon).unwrap().unwrap()
         };
         let rel = (l1.as_seconds() - l02.as_seconds()).abs() / l1.as_seconds();
@@ -472,9 +484,12 @@ mod tests {
         let horizon = Time::from_hours(20.0);
         let deterministic = lifetime(&m, &wave, horizon).unwrap().unwrap();
         let mean = stoch.mean_lifetime(&wave, horizon, 20, 42);
-        let rel = (mean.as_seconds() - deterministic.as_seconds()).abs()
-            / deterministic.as_seconds();
-        assert!(rel < 0.05, "stochastic mean {mean} vs deterministic {deterministic}");
+        let rel =
+            (mean.as_seconds() - deterministic.as_seconds()).abs() / deterministic.as_seconds();
+        assert!(
+            rel < 0.05,
+            "stochastic mean {mean} vs deterministic {deterministic}"
+        );
     }
 
     #[test]
@@ -497,6 +512,9 @@ mod tests {
         let m = paper_modified();
         let stoch = StochasticModifiedKibam::new(m, Time::from_seconds(1.0)).unwrap();
         let load = ConstantLoad::new(Current::from_milliamps(1.0)).unwrap();
-        assert_eq!(stoch.simulate_lifetime(&load, Time::from_seconds(100.0), 1), None);
+        assert_eq!(
+            stoch.simulate_lifetime(&load, Time::from_seconds(100.0), 1),
+            None
+        );
     }
 }

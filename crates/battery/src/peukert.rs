@@ -27,10 +27,14 @@ impl PeukertModel {
     /// practice).
     pub fn new(a: f64, b: f64) -> Result<Self, BatteryError> {
         if !(a > 0.0) || !a.is_finite() {
-            return Err(BatteryError::InvalidParameter(format!("a must be positive, got {a}")));
+            return Err(BatteryError::InvalidParameter(format!(
+                "a must be positive, got {a}"
+            )));
         }
         if !(b >= 1.0) || !b.is_finite() {
-            return Err(BatteryError::InvalidParameter(format!("b must be ≥ 1, got {b}")));
+            return Err(BatteryError::InvalidParameter(format!(
+                "b must be ≥ 1, got {b}"
+            )));
         }
         Ok(PeukertModel { a, b })
     }

@@ -37,7 +37,11 @@ impl StochasticCellModel {
     ///
     /// [`BatteryError::InvalidParameter`] unless `total_units > cutoff`
     /// and `recovery_decay ≥ 0` and finite.
-    pub fn new(total_units: u64, cutoff_units: u64, recovery_decay: f64) -> Result<Self, BatteryError> {
+    pub fn new(
+        total_units: u64,
+        cutoff_units: u64,
+        recovery_decay: f64,
+    ) -> Result<Self, BatteryError> {
         if total_units == 0 || total_units <= cutoff_units {
             return Err(BatteryError::InvalidParameter(format!(
                 "need total units > cutoff, got {total_units} ≤ {cutoff_units}"
@@ -48,7 +52,11 @@ impl StochasticCellModel {
                 "recovery decay must be ≥ 0, got {recovery_decay}"
             )));
         }
-        Ok(StochasticCellModel { total_units, cutoff_units, recovery_decay })
+        Ok(StochasticCellModel {
+            total_units,
+            cutoff_units,
+            recovery_decay,
+        })
     }
 
     /// Recovery probability in a state with `remaining` units.
@@ -83,8 +91,7 @@ pub fn simulate_slots(
                 return Some(slot as u64);
             }
             remaining -= demand;
-        } else if remaining < model.total_units
-            && uniform() < model.recovery_probability(remaining)
+        } else if remaining < model.total_units && uniform() < model.recovery_probability(remaining)
         {
             remaining += 1;
         }
@@ -114,8 +121,7 @@ pub fn mean_delivered_pulsed(
     }
     let mut total = 0.0;
     for _ in 0..runs {
-        let demands =
-            (0..max_slots).map(|s| if s % period == 0 { on_units } else { 0 });
+        let demands = (0..max_slots).map(|s| if s % period == 0 { on_units } else { 0 });
         let survived = simulate_slots(model, demands, &mut uniform);
         let slots = survived.unwrap_or(max_slots);
         // Units consumed = on-slots seen × on_units.
@@ -188,7 +194,10 @@ mod tests {
         let m = StochasticCellModel::new(5, 0, 0.0).unwrap();
         // All idle slots with p_recover = 1: level must stay at N; then a
         // burst of 5 drains exactly to empty at slot 105.
-        let demands = (0..100).map(|_| 0u64).chain(std::iter::once(5)).chain((0..5).map(|_| 1));
+        let demands = (0..100)
+            .map(|_| 0u64)
+            .chain(std::iter::once(5))
+            .chain((0..5).map(|_| 1));
         let life = simulate_slots(&m, demands, rng(3));
         assert_eq!(life, Some(101));
     }
@@ -200,8 +209,7 @@ mod tests {
         // discharge delivers more charge than back-to-back discharge.
         let m = StochasticCellModel::new(200, 0, 0.02).unwrap();
         let mut u = rng(42);
-        let continuous =
-            mean_delivered_pulsed(&m, 1, 1, 100_000, 200, &mut u).unwrap();
+        let continuous = mean_delivered_pulsed(&m, 1, 1, 100_000, 200, &mut u).unwrap();
         let pulsed = mean_delivered_pulsed(&m, 1, 2, 100_000, 200, &mut u).unwrap();
         assert!(
             pulsed > continuous * 1.05,

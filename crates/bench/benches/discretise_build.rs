@@ -8,8 +8,8 @@ use kibamrm::workload::Workload;
 use units::{Charge, Current, Frequency, Rate};
 
 fn bench_build(c: &mut Criterion) {
-    let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
-        .unwrap();
+    let w =
+        Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96)).unwrap();
     let m = KibamRm::new(
         w,
         Charge::from_amp_seconds(7200.0),
@@ -21,9 +21,11 @@ fn bench_build(c: &mut Criterion) {
     group.sample_size(10);
     for delta in [100.0, 50.0, 25.0] {
         let opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta));
-        group.bench_with_input(BenchmarkId::from_parameter(delta as u64), &opts, |b, opts| {
-            b.iter(|| DiscretisedModel::build(&m, opts).unwrap().stats().states)
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(delta as u64),
+            &opts,
+            |b, opts| b.iter(|| DiscretisedModel::build(&m, opts).unwrap().stats().states),
+        );
     }
     group.finish();
 }

@@ -8,11 +8,18 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use units::{Charge, Current, Rate, Time};
 
 fn bench_stepping(c: &mut Criterion) {
-    let kibam =
-        Kibam::new(Charge::from_amp_seconds(7200.0), 0.625, Rate::per_second(4.5e-5)).unwrap();
-    let modified =
-        ModifiedKibam::new(Charge::from_amp_seconds(7200.0), 0.625, Rate::per_second(4.5e-5))
-            .unwrap();
+    let kibam = Kibam::new(
+        Charge::from_amp_seconds(7200.0),
+        0.625,
+        Rate::per_second(4.5e-5),
+    )
+    .unwrap();
+    let modified = ModifiedKibam::new(
+        Charge::from_amp_seconds(7200.0),
+        0.625,
+        Rate::per_second(4.5e-5),
+    )
+    .unwrap();
     let i = Current::from_amps(0.96);
     let dt = Time::from_seconds(500.0);
 
@@ -29,8 +36,12 @@ fn bench_stepping(c: &mut Criterion) {
 }
 
 fn bench_depletion(c: &mut Criterion) {
-    let kibam =
-        Kibam::new(Charge::from_amp_seconds(7200.0), 0.625, Rate::per_second(4.5e-5)).unwrap();
+    let kibam = Kibam::new(
+        Charge::from_amp_seconds(7200.0),
+        0.625,
+        Rate::per_second(4.5e-5),
+    )
+    .unwrap();
     let i = Current::from_amps(0.96);
     let mut group = c.benchmark_group("depletion_detection");
     group.bench_function("kibam_constant_load_lifetime", |b| {
@@ -38,7 +49,11 @@ fn bench_depletion(c: &mut Criterion) {
     });
     group.bench_function("kibam_segment_no_depletion", |b| {
         let s = kibam.full_state();
-        b.iter(|| kibam.depletion_after(&s, i, Time::from_seconds(500.0)).unwrap())
+        b.iter(|| {
+            kibam
+                .depletion_after(&s, i, Time::from_seconds(500.0))
+                .unwrap()
+        })
     });
     group.finish();
 }

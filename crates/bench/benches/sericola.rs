@@ -21,9 +21,7 @@ fn bench_exact_point(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(hours as u64),
             &hours,
-            |b, &h| {
-                b.iter(|| exact_linear_curve(&model, &[Time::from_hours(h)]).unwrap()[0].1)
-            },
+            |b, &h| b.iter(|| exact_linear_curve(&model, &[Time::from_hours(h)]).unwrap()[0].1),
         );
     }
     group.finish();

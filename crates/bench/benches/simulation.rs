@@ -11,8 +11,7 @@ use units::{Charge, Current, Frequency, Rate, Time};
 
 fn bench_single_runs(c: &mut Criterion) {
     let on_off = KibamRm::new(
-        Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
-            .unwrap(),
+        Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96)).unwrap(),
         Charge::from_amp_seconds(7200.0),
         0.625,
         Rate::per_second(4.5e-5),
@@ -31,9 +30,7 @@ fn bench_single_runs(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("onoff_1hz_two_wells", |b| {
         let mut rng = SimRng::seed_from(1);
-        b.iter(|| {
-            simulate_lifetime(&on_off, Time::from_seconds(25_000.0), &mut rng).unwrap()
-        })
+        b.iter(|| simulate_lifetime(&on_off, Time::from_seconds(25_000.0), &mut rng).unwrap())
     });
     // The simple model jumps a few dozen times in 30 h: much cheaper.
     group.bench_function("simple_cell_phone", |b| {

@@ -1,0 +1,111 @@
+//! Facade overhead and sweep throughput of the unified solver API.
+//!
+//! * `facade_vs_direct` — the same small discretisation solved through
+//!   `DiscretisationSolver::solve(&Scenario)` and through the raw
+//!   `DiscretisedModel::build` + `empty_probability_curve` path. The
+//!   facade adds one model clone, one options struct and one
+//!   distribution allocation; the gap must be negligible against the
+//!   transient solve itself.
+//! * `auto_dispatch` — capability ranking across the default registry
+//!   (pure selection, no solving): the per-request cost a service would
+//!   pay for backend routing.
+//! * `sweep_throughput` — an 8-scenario Δ grid solved serially and with
+//!   the registry's worker pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
+use kibamrm::scenario::Scenario;
+use kibamrm::solver::{DiscretisationSolver, LifetimeSolver, SolverRegistry};
+use kibamrm::workload::Workload;
+use units::{Charge, Current, Frequency, Rate, Time};
+
+fn small_scenario() -> Scenario {
+    let w =
+        Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96)).unwrap();
+    Scenario::builder()
+        .name("bench")
+        .workload(w)
+        .capacity(Charge::from_amp_seconds(720.0))
+        .kibam(0.625, Rate::per_second(4.5e-5))
+        .times(
+            (1..=10)
+                .map(|i| Time::from_seconds(i as f64 * 150.0))
+                .collect(),
+        )
+        .delta(Charge::from_amp_seconds(15.0))
+        .build()
+        .unwrap()
+}
+
+fn bench_facade_vs_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("facade_vs_direct");
+    group.sample_size(20);
+    let scenario = small_scenario();
+    let solver = DiscretisationSolver::new();
+    group.bench_function("facade_solve", |b| {
+        b.iter(|| solver.solve(&scenario).unwrap().points().len())
+    });
+    let model = scenario.to_model().unwrap();
+    let opts = DiscretisationOptions::with_delta(scenario.effective_delta().unwrap());
+    group.bench_function("direct_build_and_curve", |b| {
+        b.iter(|| {
+            let disc = DiscretisedModel::build(&model, &opts).unwrap();
+            disc.empty_probability_curve(scenario.times())
+                .unwrap()
+                .points
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_auto_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auto_dispatch");
+    let registry = SolverRegistry::with_default_backends();
+    let two_well = small_scenario();
+    let linear = two_well.with_kibam(1.0, Rate::per_second(0.0)).unwrap();
+    group.bench_function("two_well", |b| {
+        b.iter(|| registry.auto(&two_well).unwrap().name().len())
+    });
+    group.bench_function("linear", |b| {
+        b.iter(|| registry.auto(&linear).unwrap().name().len())
+    });
+    group.finish();
+}
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_throughput");
+    group.sample_size(10);
+    let base = small_scenario();
+    let grid: Vec<Scenario> = [60.0, 30.0, 20.0, 15.0, 12.0, 10.0, 7.5, 6.0]
+        .iter()
+        .map(|&d| base.with_delta(Charge::from_amp_seconds(d)))
+        .collect();
+    let mut registry = SolverRegistry::empty();
+    registry.register(Box::new(DiscretisationSolver::new()));
+    group.throughput(Throughput::Elements(grid.len() as u64));
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("sweep", format!("threads{threads}")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    registry
+                        .sweep_with_threads(&grid, threads)
+                        .into_iter()
+                        .filter(|r| r.is_ok())
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_facade_vs_direct,
+    bench_auto_dispatch,
+    bench_sweep_throughput
+);
+criterion_main!(benches);

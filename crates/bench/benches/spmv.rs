@@ -9,8 +9,8 @@ use markov::sparse::CsrMatrix;
 use units::{Charge, Current, Frequency, Rate};
 
 fn fig8_matrix(delta: f64) -> CsrMatrix {
-    let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
-        .unwrap();
+    let w =
+        Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96)).unwrap();
     let m = KibamRm::new(
         w,
         Charge::from_amp_seconds(7200.0),
@@ -36,9 +36,14 @@ fn bench_spmv(c: &mut Criterion) {
             &m,
             |b, m| b.iter(|| m.mul_vec_into(&x, &mut y).unwrap()),
         );
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         group.bench_with_input(
-            BenchmarkId::new(format!("parallel_x{threads}"), format!("delta{delta}_nnz{}", m.nnz())),
+            BenchmarkId::new(
+                format!("parallel_x{threads}"),
+                format!("delta{delta}_nnz{}", m.nnz()),
+            ),
             &m,
             |b, m| b.iter(|| m.mul_vec_parallel(&x, &mut y, threads).unwrap()),
         );

@@ -8,8 +8,8 @@ use kibamrm::workload::Workload;
 use units::{Charge, Current, Frequency, Rate, Time};
 
 fn model() -> KibamRm {
-    let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
-        .unwrap();
+    let w =
+        Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96)).unwrap();
     KibamRm::new(
         w,
         Charge::from_amp_seconds(7200.0),
@@ -26,13 +26,17 @@ fn bench_curve(c: &mut Criterion) {
     for delta in [300.0, 100.0, 50.0] {
         let opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta));
         let disc = DiscretisedModel::build(&m, &opts).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(delta as u64), &disc, |b, disc| {
-            b.iter(|| {
-                disc.empty_probability_curve(&[Time::from_seconds(17_000.0)])
-                    .unwrap()
-                    .iterations
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(delta as u64),
+            &disc,
+            |b, disc| {
+                b.iter(|| {
+                    disc.empty_probability_curve(&[Time::from_seconds(17_000.0)])
+                        .unwrap()
+                        .iterations
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -43,8 +47,9 @@ fn bench_curve_vs_pointwise(c: &mut Criterion) {
     let m = model();
     let opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(300.0));
     let disc = DiscretisedModel::build(&m, &opts).unwrap();
-    let times: Vec<Time> =
-        (1..=20).map(|i| Time::from_seconds(i as f64 * 1000.0)).collect();
+    let times: Vec<Time> = (1..=20)
+        .map(|i| Time::from_seconds(i as f64 * 1000.0))
+        .collect();
     let mut group = c.benchmark_group("curve_sharing");
     group.sample_size(10);
     group.bench_function("one_sweep_20_points", |b| {

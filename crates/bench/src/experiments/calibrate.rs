@@ -22,15 +22,14 @@ pub fn run(cfg: &Config) -> Result<(), String> {
     println!("simple model: P[send] = {target} (paper: ¼)");
 
     let send_prob = |lambda_per_hour: f64| -> f64 {
-        let w = Workload::burst_model_with(Rate::per_hour(lambda_per_hour))
-            .expect("positive rate");
+        let w = Workload::burst_model_with(Rate::per_hour(lambda_per_hour)).expect("positive rate");
         let pi = stationary_gth(w.ctmc()).expect("irreducible");
         w.send_states().iter().map(|&i| pi[i]).sum()
     };
 
     // P[send] grows monotonically with λ_burst; bracket and solve.
-    let solved = brent(|l| send_prob(l) - target, 1.0, 10_000.0, 1e-10, 200)
-        .map_err(|e| e.to_string())?;
+    let solved =
+        brent(|l| send_prob(l) - target, 1.0, 10_000.0, 1e-10, 200).map_err(|e| e.to_string())?;
     println!("solved λ_burst = {solved:.6} per hour (paper: 182)");
 
     let mut rows = Vec::new();
@@ -40,7 +39,11 @@ pub fn run(cfg: &Config) -> Result<(), String> {
         let pi = stationary_gth(w.ctmc()).map_err(|e| e.to_string())?;
         let sleep = pi[w.ctmc().find_state("sleep").expect("state exists")];
         println!("λ_burst = {lambda:>10.3}/h → P[send] = {p:.6}, P[sleep] = {sleep:.4}");
-        rows.push(vec![format!("{lambda}"), format!("{p}"), format!("{sleep}")]);
+        rows.push(vec![
+            format!("{lambda}"),
+            format!("{p}"),
+            format!("{sleep}"),
+        ]);
     }
 
     let check = (send_prob(182.0) - 0.25).abs();
@@ -49,5 +52,10 @@ pub fn run(cfg: &Config) -> Result<(), String> {
          (the paper's calibration is exact: 91/364 = ¼)"
     );
 
-    save_table(cfg, "calibrate_lambda_burst", &["lambda_per_hour", "p_send", "p_sleep"], &rows)
+    save_table(
+        cfg,
+        "calibrate_lambda_burst",
+        &["lambda_per_hour", "p_send", "p_sleep"],
+        &rows,
+    )
 }

@@ -6,13 +6,15 @@
 //!   iterations**;
 //! * on/off `c = 0.625`, `Δ = 5` → **≈ 3.2·10⁶ non-zeros**; `t = 10⁴ s` →
 //!   **> 2.3·10⁴ iterations**, `t = 2·10⁴ s` → **> 4.6·10⁴**.
+//!
+//! Chains come from [`DiscretisationSolver::discretise`] so the
+//! accounting shares the solver facade's Δ/option plumbing.
 
 use super::config::Config;
 use super::save_table;
-use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
-use kibamrm::model::KibamRm;
+use kibamrm::scenario::Scenario;
 use kibamrm::workload::Workload;
-use units::{Charge, Current, Frequency, Rate};
+use units::{Charge, Current, Frequency, Rate, Time};
 
 /// Runs the experiment.
 ///
@@ -33,11 +35,31 @@ pub fn run(cfg: &Config) -> Result<(), String> {
 
     // Part 2: the two-well chain. Δ = 5 is the paper's heavyweight
     // (≈ 9.7·10⁵ states); skipped in fast mode.
-    let two_well_deltas: &[f64] = if cfg.fast { &[100.0, 50.0, 25.0] } else { &[100.0, 50.0, 25.0, 10.0, 5.0] };
+    let two_well_deltas: &[f64] = if cfg.fast {
+        &[100.0, 50.0, 25.0]
+    } else {
+        &[100.0, 50.0, 25.0, 10.0, 5.0]
+    };
     for &delta in two_well_deltas {
-        run_one(cfg, &mut rows, "onoff_2well", 0.625, 4.5e-5, delta, 10_000.0)?;
+        run_one(
+            cfg,
+            &mut rows,
+            "onoff_2well",
+            0.625,
+            4.5e-5,
+            delta,
+            10_000.0,
+        )?;
         if delta == 5.0 {
-            run_one(cfg, &mut rows, "onoff_2well", 0.625, 4.5e-5, delta, 20_000.0)?;
+            run_one(
+                cfg,
+                &mut rows,
+                "onoff_2well",
+                0.625,
+                4.5e-5,
+                delta,
+                20_000.0,
+            )?;
         }
     }
 
@@ -50,7 +72,15 @@ pub fn run(cfg: &Config) -> Result<(), String> {
     save_table(
         cfg,
         "complexity",
-        &["model", "delta_As", "states", "generator_nonzeros", "t_seconds", "iterations", "wall_seconds"],
+        &[
+            "model",
+            "delta_As",
+            "states",
+            "generator_nonzeros",
+            "t_seconds",
+            "iterations",
+            "wall_seconds",
+        ],
         &rows,
     )
 }
@@ -64,31 +94,28 @@ fn run_one(
     delta: f64,
     t_seconds: f64,
 ) -> Result<(), String> {
-    let workload =
-        Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
-            .map_err(|e| e.to_string())?;
-    let model = KibamRm::new(
-        workload,
-        Charge::from_amp_seconds(7200.0),
-        c,
-        Rate::per_second(k),
-    )
-    .map_err(|e| e.to_string())?;
-    let mut opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta));
-    opts.transient.threads = cfg.threads;
-    // ν = max exit rate, as the paper's iteration counts imply.
-    opts.transient.uniformisation_factor = 1.0;
-    // Disable steady-state early exit so iteration counts are the true
-    // Fox–Glynn right truncation points.
-    opts.transient.steady_state_tolerance = 0.0;
+    let workload = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+        .map_err(|e| e.to_string())?;
+    let scenario = Scenario::builder()
+        .name(format!("{name}-d{delta}"))
+        .workload(workload)
+        .capacity(Charge::from_amp_seconds(7200.0))
+        .kibam(c, Rate::per_second(k))
+        .times(vec![Time::from_seconds(t_seconds)])
+        .delta(Charge::from_amp_seconds(delta))
+        .build()
+        .map_err(|e| e.to_string())?;
+    // ν = max exit rate and no steady-state early exit, as the paper's
+    // iteration counts imply.
+    let solver = cfg.accounting_discretisation_solver();
     let started = std::time::Instant::now();
-    let disc = DiscretisedModel::build(&model, &opts).map_err(|e| e.to_string())?;
+    let disc = solver.discretise(&scenario).map_err(|e| e.to_string())?;
     // The iteration count of the sweep is exactly the Fox–Glynn right
     // truncation point of Poisson(ν·t) — computed directly, so this
     // accounting experiment stays cheap even at Δ = 5 where the full
     // transient solve takes minutes (fig8 records the real wall times).
     let nu = disc.chain().max_exit_rate();
-    let iterations = markov::foxglynn::poisson_weights(nu * t_seconds, opts.transient.epsilon)
+    let iterations = markov::foxglynn::poisson_weights(nu * t_seconds, solver.transient().epsilon)
         .map_err(|e| e.to_string())?
         .right;
     let wall = started.elapsed().as_secs_f64();

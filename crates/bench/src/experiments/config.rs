@@ -1,5 +1,8 @@
 //! Shared harness configuration.
 
+use kibamrm::solver::DiscretisationSolver;
+use markov::transient::TransientOptions;
+
 /// Command-line configuration for every experiment.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -16,7 +19,9 @@ impl Default for Config {
         Config {
             fast: false,
             out_dir: "results".into(),
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }
@@ -30,5 +35,35 @@ impl Config {
         } else {
             1000
         }
+    }
+
+    /// A discretisation solver with this config's thread count and
+    /// default numerics.
+    pub fn discretisation_solver(&self) -> DiscretisationSolver {
+        DiscretisationSolver::new().with_threads(self.threads)
+    }
+
+    /// A discretisation solver matching the paper's iteration
+    /// accounting: uniformisation rate ν = max exit rate (factor 1.0).
+    pub fn paper_discretisation_solver(&self) -> DiscretisationSolver {
+        let transient = TransientOptions {
+            uniformisation_factor: 1.0,
+            threads: self.threads,
+            ..TransientOptions::default()
+        };
+        DiscretisationSolver::new().with_transient(transient)
+    }
+
+    /// The paper-accounting solver with steady-state early exit also
+    /// disabled, so iteration counts are true Fox–Glynn right
+    /// truncation points.
+    pub fn accounting_discretisation_solver(&self) -> DiscretisationSolver {
+        let transient = TransientOptions {
+            uniformisation_factor: 1.0,
+            steady_state_tolerance: 0.0,
+            threads: self.threads,
+            ..TransientOptions::default()
+        };
+        DiscretisationSolver::new().with_transient(transient)
     }
 }

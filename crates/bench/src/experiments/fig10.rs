@@ -9,15 +9,14 @@
 //!   with Sericola's algorithm (rightmost; dead by ≈ 25 h).
 //!
 //! Approximations run at `Δ ∈ {25, 2}` mAh plus simulation, exactly as in
-//! the paper.
+//! the paper — each method reached through its [`LifetimeSolver`].
 
 use super::config::Config;
 use super::save_curves;
-use kibamrm::analysis::exact_linear_curve;
-use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
-use kibamrm::model::KibamRm;
+use kibamrm::distribution::LifetimeDistribution;
 use kibamrm::report::Curve;
-use kibamrm::simulate::lifetime_study;
+use kibamrm::scenario::Scenario;
+use kibamrm::solver::{LifetimeSolver, SericolaSolver, SimulationSolver};
 use kibamrm::workload::Workload;
 use units::{Charge, Rate, Time};
 
@@ -27,95 +26,64 @@ use units::{Charge, Rate, Time};
 ///
 /// Returns a human-readable message on any failure.
 pub fn run(cfg: &Config) -> Result<(), String> {
-    let times: Vec<Time> = (0..=120).map(|i| Time::from_hours(i as f64 * 0.25)).collect();
-    let grid_h: Vec<f64> = times.iter().map(|t| t.as_hours()).collect();
+    let times: Vec<Time> = (0..=120)
+        .map(|i| Time::from_hours(i as f64 * 0.25))
+        .collect();
     let deltas_mah: &[f64] = if cfg.fast { &[25.0] } else { &[25.0, 2.0] };
-    let horizon = Time::from_hours(30.0);
 
+    let scenario = |capacity_mah: f64, c: f64, k: f64| -> Result<Scenario, String> {
+        Scenario::builder()
+            .name(format!("fig10-C{capacity_mah}-c{c}"))
+            .workload(Workload::simple_model().map_err(|e| e.to_string())?)
+            .capacity(Charge::from_milliamp_hours(capacity_mah))
+            .kibam(c, Rate::per_second(k))
+            .times(times.clone())
+            .simulation(cfg.sim_runs(), 500 + capacity_mah as u64)
+            .build()
+            .map_err(|e| e.to_string())
+    };
+
+    let disc = cfg.discretisation_solver();
+    let sim = SimulationSolver::new().with_horizon(Time::from_hours(30.0));
     let mut curves: Vec<Curve> = Vec::new();
 
+    // Approximations at every Δ plus one simulation run per family;
+    // returns the simulated distribution for the anchor printouts.
+    let mut family = |label: &str, s: &Scenario| -> Result<LifetimeDistribution, String> {
+        for &d in deltas_mah {
+            let dist = disc
+                .solve(&s.with_delta(Charge::from_milliamp_hours(d)))
+                .map_err(|e| e.to_string())?;
+            println!(
+                "  Δ = {d:>4} mAh, c = {:<5}: {:>7} states, {:>6} iterations",
+                s.c(),
+                dist.diagnostics().states.unwrap_or(0),
+                dist.diagnostics().iterations.unwrap_or(0)
+            );
+            curves.push(dist.to_curve_hours(format!("{label}_Delta={d}mAh")));
+        }
+        let dist = sim.solve(s).map_err(|e| e.to_string())?;
+        curves.push(dist.to_curve_hours(format!("{label}_simulation")));
+        Ok(dist)
+    };
+
     // --- C = 500 mAh, c = 1 (only the available well). ------------------
-    let c500 = model(500.0, 1.0, 0.0)?;
-    for &d in deltas_mah {
-        let pts = approx_curve(cfg, &c500, d, &times)?;
-        curves.push(Curve::new(format!("C500_c1_Delta={d}mAh"), rescale(&pts, &grid_h)));
-    }
-    let sim = lifetime_study(&c500, horizon, cfg.sim_runs(), 501).map_err(|e| e.to_string())?;
-    curves.push(Curve::new(
-        "C500_c1_simulation",
-        grid_h
-            .iter()
-            .map(|&h| (h, sim.empty_probability(h * 3600.0)))
-            .collect(),
-    ));
-    let p17 = sim.empty_probability(17.0 * 3600.0);
+    let sim500 = family("C500_c1", &scenario(500.0, 1.0, 0.0)?)?;
+    let p17 = sim500.cdf(Time::from_hours(17.0));
     println!("C=500 mAh, c=1: P[empty @ 17 h] = {p17:.4} (paper: > 0.99)");
 
     // --- C = 800 mAh, c = 0.625 (the actual KiBaMRM). --------------------
-    let c800 = model(800.0, 0.625, 4.5e-5)?;
-    for &d in deltas_mah {
-        let pts = approx_curve(cfg, &c800, d, &times)?;
-        curves.push(Curve::new(format!("C800_c0.625_Delta={d}mAh"), rescale(&pts, &grid_h)));
-    }
-    let sim = lifetime_study(&c800, horizon, cfg.sim_runs(), 502).map_err(|e| e.to_string())?;
-    curves.push(Curve::new(
-        "C800_c0.625_simulation",
-        grid_h
-            .iter()
-            .map(|&h| (h, sim.empty_probability(h * 3600.0)))
-            .collect(),
-    ));
-    let p23 = sim.empty_probability(23.0 * 3600.0);
+    let sim800 = family("C800_c0.625", &scenario(800.0, 0.625, 4.5e-5)?)?;
+    let p23 = sim800.cdf(Time::from_hours(23.0));
     println!("C=800 mAh, c=0.625: P[empty @ 23 h] = {p23:.4} (paper: ≈ 1)");
 
     // --- C = 800 mAh, c = 1: exact (Sericola). ---------------------------
-    let c800_linear = model(800.0, 1.0, 0.0)?;
-    let exact = exact_linear_curve(&c800_linear, &times).map_err(|e| e.to_string())?;
-    let p25 = exact
-        .iter()
-        .find(|(t, _)| (*t - 25.0 * 3600.0).abs() < 1.0)
-        .map(|(_, p)| *p)
-        .unwrap_or(f64::NAN);
+    let exact = SericolaSolver::new()
+        .solve(&scenario(800.0, 1.0, 0.0)?)
+        .map_err(|e| e.to_string())?;
+    let p25 = exact.cdf(Time::from_hours(25.0));
     println!("C=800 mAh, c=1 (exact): P[empty @ 25 h] = {p25:.4} (paper: ≈ 1)");
-    curves.push(Curve::new("C800_c1_exact", rescale(&exact, &grid_h)));
+    curves.push(exact.to_curve_hours("C800_c1_exact"));
 
     save_curves(cfg, "fig10_simple_model", "t_hours", &curves)
-}
-
-fn model(capacity_mah: f64, c: f64, k: f64) -> Result<KibamRm, String> {
-    KibamRm::new(
-        Workload::simple_model().map_err(|e| e.to_string())?,
-        Charge::from_milliamp_hours(capacity_mah),
-        c,
-        Rate::per_second(k),
-    )
-    .map_err(|e| e.to_string())
-}
-
-fn approx_curve(
-    cfg: &Config,
-    model: &KibamRm,
-    delta_mah: f64,
-    times: &[Time],
-) -> Result<Vec<(f64, f64)>, String> {
-    let mut opts = DiscretisationOptions::with_delta(Charge::from_milliamp_hours(delta_mah));
-    opts.transient.threads = cfg.threads;
-    let disc = DiscretisedModel::build(model, &opts).map_err(|e| e.to_string())?;
-    let curve = disc.empty_probability_curve(times).map_err(|e| e.to_string())?;
-    println!(
-        "  Δ = {delta_mah:>4} mAh, c = {:<5}: {:>7} states, {:>6} iterations",
-        model.c(),
-        disc.stats().states,
-        curve.iterations
-    );
-    Ok(curve.points)
-}
-
-/// Converts `(t_seconds, p)` points onto the hour grid used in the CSV.
-fn rescale(points: &[(f64, f64)], grid_h: &[f64]) -> Vec<(f64, f64)> {
-    points
-        .iter()
-        .zip(grid_h)
-        .map(|((_, p), &h)| (h, *p))
-        .collect()
 }

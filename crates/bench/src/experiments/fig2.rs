@@ -54,6 +54,9 @@ pub fn run(cfg: &Config) -> Result<(), String> {
         cfg,
         "fig2_well_trajectories",
         "t_seconds",
-        &[Curve::new("y1_available_As", y1), Curve::new("y2_bound_As", y2)],
+        &[
+            Curve::new("y1_available_As", y1),
+            Curve::new("y2_bound_As", y2),
+        ],
     )
 }

@@ -1,16 +1,14 @@
 //! Figure 7: lifetime distribution of the on/off model with a single
 //! charge well (`f = 1 Hz`, `K = 1`, `C = 7200 As`, `c = 1`, `k = 0`) —
 //! the Markovian approximation at `Δ ∈ {100, 50, 25, 5}` against 1000
-//! simulation runs.
+//! simulation runs, all through the unified solver API.
 
 use super::config::Config;
 use super::save_curves;
-use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
-use kibamrm::model::KibamRm;
-use kibamrm::report::Curve;
-use kibamrm::simulate::lifetime_study;
+use kibamrm::scenario::Scenario;
+use kibamrm::solver::{LifetimeSolver, SimulationSolver};
 use kibamrm::workload::Workload;
-use units::{Charge, Current, Frequency, Rate, Time};
+use units::{Charge, Current, Frequency, Time};
 
 /// Runs the experiment.
 ///
@@ -18,51 +16,55 @@ use units::{Charge, Current, Frequency, Rate, Time};
 ///
 /// Returns a human-readable message on any failure.
 pub fn run(cfg: &Config) -> Result<(), String> {
-    let workload =
-        Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
-            .map_err(|e| e.to_string())?;
-    let model = KibamRm::new(
-        workload,
-        Charge::from_amp_seconds(7200.0),
-        1.0,
-        Rate::per_second(0.0),
-    )
-    .map_err(|e| e.to_string())?;
-
+    let workload = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+        .map_err(|e| e.to_string())?;
     // The paper's x-axis: 6000..20000 s.
-    let times: Vec<Time> =
-        (0..=140).map(|i| Time::from_seconds(6000.0 + i as f64 * 100.0)).collect();
-    let grid: Vec<f64> = times.iter().map(|t| t.as_seconds()).collect();
+    let times: Vec<Time> = (0..=140)
+        .map(|i| Time::from_seconds(6000.0 + i as f64 * 100.0))
+        .collect();
+    let base = Scenario::builder()
+        .name("fig7-onoff-c1")
+        .workload(workload)
+        .capacity(Charge::from_amp_seconds(7200.0))
+        .linear()
+        .times(times)
+        .simulation(cfg.sim_runs(), 2007)
+        .build()
+        .map_err(|e| e.to_string())?;
 
-    let deltas: &[f64] = if cfg.fast { &[100.0, 50.0, 25.0] } else { &[100.0, 50.0, 25.0, 5.0] };
+    // Match the paper's uniformisation rate ν = max exit rate so the
+    // reported iteration counts are comparable.
+    let solver = cfg.paper_discretisation_solver();
+
+    let deltas: &[f64] = if cfg.fast {
+        &[100.0, 50.0, 25.0]
+    } else {
+        &[100.0, 50.0, 25.0, 5.0]
+    };
     let mut curves = Vec::new();
     for &delta in deltas {
-        let mut opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta));
-        opts.transient.threads = cfg.threads;
-        // Match the paper's uniformisation rate ν = max exit rate so the
-        // reported iteration counts are comparable.
-        opts.transient.uniformisation_factor = 1.0;
-        let disc = DiscretisedModel::build(&model, &opts).map_err(|e| e.to_string())?;
-        let curve = disc.empty_probability_curve(&times).map_err(|e| e.to_string())?;
+        let scenario = base.with_delta(Charge::from_amp_seconds(delta));
+        let dist = solver.solve(&scenario).map_err(|e| e.to_string())?;
+        let d = dist.diagnostics();
         println!(
             "Δ = {delta:>5}: {:>7} states, {:>9} generator non-zeros, {:>6} iterations",
-            disc.stats().states,
-            disc.stats().generator_nonzeros,
-            curve.iterations
+            d.states.unwrap_or(0),
+            d.generator_nonzeros.unwrap_or(0),
+            d.iterations.unwrap_or(0)
         );
-        curves.push(Curve::new(format!("Delta={delta}"), curve.points));
+        curves.push(dist.to_curve(format!("Delta={delta}")));
     }
 
-    let study = lifetime_study(&model, Time::from_seconds(25_000.0), cfg.sim_runs(), 2007)
+    let sim = SimulationSolver::new()
+        .with_horizon(Time::from_seconds(25_000.0))
+        .solve(&base)
         .map_err(|e| e.to_string())?;
-    let sim_points: Vec<(f64, f64)> =
-        grid.iter().map(|&t| (t, study.empty_probability(t))).collect();
     println!(
         "simulation ({} runs): mean lifetime {:.0} s (paper: ≈15000 s, near-deterministic)",
-        study.total_runs(),
-        study.mean_observed_lifetime()
+        sim.diagnostics().runs.unwrap_or(0),
+        sim.mean().as_seconds()
     );
-    curves.push(Curve::new("simulation", sim_points));
+    curves.push(sim.to_curve("simulation"));
 
     save_curves(cfg, "fig7_onoff_c1", "t_seconds", &curves)
 }

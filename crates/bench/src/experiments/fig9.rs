@@ -4,12 +4,16 @@
 //! * `C = 7200 As, c = 1` — everything available (longest life);
 //! * `C = 7200 As, c = 0.625` — 37.5 % starts bound (middle);
 //! * `C = 4500 As, c = 1` — only the available part exists (shortest).
+//!
+//! The three scenarios form a grid evaluated in one
+//! [`SolverRegistry::sweep`] call (discretisation backend only: the
+//! paper's figure compares approximations, and Sericola at νt ≈ 4·10⁴
+//! would be pointlessly slow).
 
 use super::config::Config;
 use super::save_curves;
-use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
-use kibamrm::model::KibamRm;
-use kibamrm::report::Curve;
+use kibamrm::scenario::Scenario;
+use kibamrm::solver::SolverRegistry;
 use kibamrm::workload::Workload;
 use units::{Charge, Current, Frequency, Rate, Time};
 
@@ -20,45 +24,54 @@ use units::{Charge, Current, Frequency, Rate, Time};
 /// Returns a human-readable message on any failure.
 pub fn run(cfg: &Config) -> Result<(), String> {
     let delta = if cfg.fast { 25.0 } else { 5.0 };
-    let times: Vec<Time> =
-        (0..=140).map(|i| Time::from_seconds(6000.0 + i as f64 * 100.0)).collect();
+    let times: Vec<Time> = (0..=140)
+        .map(|i| Time::from_seconds(6000.0 + i as f64 * 100.0))
+        .collect();
+    let workload = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+        .map_err(|e| e.to_string())?;
+    let base = Scenario::builder()
+        .name("fig9")
+        .workload(workload)
+        .capacity(Charge::from_amp_seconds(7200.0))
+        .linear()
+        .times(times)
+        .delta(Charge::from_amp_seconds(delta))
+        .build()
+        .map_err(|e| e.to_string())?;
 
-    let scenarios: [(&str, f64, f64, f64); 3] = [
+    let variants: [(&str, f64, f64, f64); 3] = [
         ("C=7200_c=1", 7200.0, 1.0, 0.0),
         ("C=7200_c=0.625", 7200.0, 0.625, 4.5e-5),
         ("C=4500_c=1", 4500.0, 1.0, 0.0),
     ];
+    let grid: Vec<Scenario> = variants
+        .iter()
+        .map(|&(name, capacity, c, k)| {
+            base.with_name(name)
+                .with_capacity(Charge::from_amp_seconds(capacity))
+                .and_then(|s| s.with_kibam(c, Rate::per_second(k)))
+                .map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, String>>()?;
+
+    // A registry holding only the paper-accounting discretisation
+    // backend: auto() then resolves to it for every scenario.
+    let mut registry = SolverRegistry::empty();
+    registry.register(Box::new(cfg.paper_discretisation_solver()));
+    let results = registry.sweep(&grid);
 
     let mut curves = Vec::new();
     let mut p_at_14000 = Vec::new();
-    for (name, capacity, c, k) in scenarios {
-        let workload =
-            Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
-                .map_err(|e| e.to_string())?;
-        let model = KibamRm::new(
-            workload,
-            Charge::from_amp_seconds(capacity),
-            c,
-            Rate::per_second(k),
-        )
-        .map_err(|e| e.to_string())?;
-        let mut opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta));
-        opts.transient.threads = cfg.threads;
-        opts.transient.uniformisation_factor = 1.0;
-        let disc = DiscretisedModel::build(&model, &opts).map_err(|e| e.to_string())?;
-        let curve = disc.empty_probability_curve(&times).map_err(|e| e.to_string())?;
-        let p = curve
-            .points
-            .iter()
-            .find(|(t, _)| (*t - 14_000.0).abs() < 1.0)
-            .map(|(_, p)| *p)
-            .unwrap_or(f64::NAN);
+    for (scenario, result) in grid.iter().zip(results) {
+        let dist = result.map_err(|e| e.to_string())?;
+        let p = dist.cdf(Time::from_seconds(14_000.0));
         println!(
-            "{name:<16} Δ = {delta}: {:>7} states, P[empty @ 14000 s] = {p:.3}",
-            disc.stats().states
+            "{:<16} Δ = {delta}: {:>7} states, P[empty @ 14000 s] = {p:.3}",
+            scenario.name(),
+            dist.diagnostics().states.unwrap_or(0)
         );
         p_at_14000.push(p);
-        curves.push(Curve::new(name, curve.points));
+        curves.push(dist.to_curve(scenario.name()));
     }
 
     println!(

@@ -68,7 +68,11 @@ pub fn run(cfg: &Config) -> Result<(), String> {
     let continuous = ConstantLoad::new(current).map_err(|e| e.to_string())?;
 
     let kibam_min = [
-        minutes(battery.constant_load_lifetime(current).map_err(|e| e.to_string())?),
+        minutes(
+            battery
+                .constant_load_lifetime(current)
+                .map_err(|e| e.to_string())?,
+        ),
         minutes(run_lifetime(&battery, &square(1.0)?, horizon)?),
         minutes(run_lifetime(&battery, &square(0.2)?, horizon)?),
     ];
@@ -79,7 +83,11 @@ pub fn run(cfg: &Config) -> Result<(), String> {
     let modified = ModifiedKibam::calibrate_k(capacity, C_FRACTION, current, target)
         .map_err(|e| e.to_string())?;
     let mod_num_min = [
-        minutes(modified.constant_load_lifetime(current).map_err(|e| e.to_string())?),
+        minutes(
+            modified
+                .constant_load_lifetime(current)
+                .map_err(|e| e.to_string())?,
+        ),
         minutes(run_lifetime(&modified, &square(1.0)?, horizon)?),
         minutes(run_lifetime(&modified, &square(0.2)?, horizon)?),
     ];
@@ -89,9 +97,15 @@ pub fn run(cfg: &Config) -> Result<(), String> {
     let runs = if cfg.fast { 20 } else { 100 };
     let stoch = StochasticModifiedKibam::new(modified, slot).map_err(|e| e.to_string())?;
     let mod_stoch_min = [
-        stoch.mean_lifetime(&continuous, horizon, runs, 11).as_minutes(),
-        stoch.mean_lifetime(&square(1.0)?, horizon, runs, 12).as_minutes(),
-        stoch.mean_lifetime(&square(0.2)?, horizon, runs, 13).as_minutes(),
+        stoch
+            .mean_lifetime(&continuous, horizon, runs, 11)
+            .as_minutes(),
+        stoch
+            .mean_lifetime(&square(1.0)?, horizon, runs, 12)
+            .as_minutes(),
+        stoch
+            .mean_lifetime(&square(0.2)?, horizon, runs, 13)
+            .as_minutes(),
     ];
 
     // --- Report. --------------------------------------------------------
@@ -184,13 +198,10 @@ fn calibrate_kibam() -> Result<(Kibam, Charge), String> {
 
     let square_life_for = |log_k: f64| -> f64 {
         let k = Rate::per_second(log_k.exp());
-        let Ok(batt) = Kibam::calibrate_capacity(C_FRACTION, k, current, continuous_target)
-        else {
+        let Ok(batt) = Kibam::calibrate_capacity(C_FRACTION, k, current, continuous_target) else {
             return f64::NAN;
         };
-        let Ok(wave) =
-            SquareWaveLoad::symmetric(Frequency::from_hertz(1.0), current)
-        else {
+        let Ok(wave) = SquareWaveLoad::symmetric(Frequency::from_hertz(1.0), current) else {
             return f64::NAN;
         };
         match lifetime(&batt, &wave, horizon) {

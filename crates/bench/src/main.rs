@@ -33,7 +33,9 @@ fn main() {
         match arg.as_str() {
             "--fast" => config.fast = true,
             "--out" => {
-                config.out_dir = args.next().unwrap_or_else(|| usage("missing DIR after --out"))
+                config.out_dir = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing DIR after --out"))
             }
             "--threads" => {
                 config.threads = args

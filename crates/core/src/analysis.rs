@@ -1,5 +1,6 @@
-//! High-level analyses: the exact `c = 1` curve, method comparison and
-//! curve post-processing.
+//! High-level analyses: the exact `c = 1` curve and mean-lifetime
+//! utilities, plus deprecated shims for the loose curve helpers that
+//! predate [`crate::distribution::LifetimeDistribution`].
 //!
 //! For `c = 1` every bit of charge is directly available, so the consumed
 //! charge is a plain accumulated reward `Y(t) = ∫ I_{X(s)} ds` of a
@@ -54,7 +55,13 @@ pub fn exact_linear_curve(
     let opts = PerformabilityOptions::default();
     let capacity = model.capacity().as_coulombs();
     let secs: Vec<f64> = times.iter().map(|t| t.as_seconds()).collect();
-    Ok(reward_exceeds_curve(&mrm, workload.initial(), &secs, capacity, &opts)?)
+    Ok(reward_exceeds_curve(
+        &mrm,
+        workload.initial(),
+        &secs,
+        capacity,
+        &opts,
+    )?)
 }
 
 /// Mean lifetime of a discretised model, computed *algebraically* from
@@ -81,7 +88,10 @@ pub fn mean_lifetime_absorbing(
             disc.stats().states
         )));
     }
-    let opts = AbsorbingOptions { tolerance: 1e-10, ..Default::default() };
+    let opts = AbsorbingOptions {
+        tolerance: 1e-10,
+        ..Default::default()
+    };
     let m = mean_time_to_absorption(disc.chain(), &opts)?;
     let mean = disc
         .alpha()
@@ -98,6 +108,7 @@ pub fn mean_lifetime_absorbing(
 ///
 /// The curve must be sampled as `(t_seconds, probability)` with
 /// increasing `t`.
+#[deprecated(since = "0.1.0", note = "use `LifetimeDistribution::mean` instead")]
 pub fn mean_lifetime_from_curve(points: &[(f64, f64)]) -> Time {
     let mut acc = 0.0;
     for w in points.windows(2) {
@@ -115,16 +126,26 @@ pub fn mean_lifetime_from_curve(points: &[(f64, f64)]) -> Time {
 /// # Errors
 ///
 /// [`KibamRmError::InvalidDiscretisation`] when the grids differ.
-pub fn max_curve_difference(
-    a: &[(f64, f64)],
-    b: &[(f64, f64)],
-) -> Result<f64, KibamRmError> {
+#[deprecated(
+    since = "0.1.0",
+    note = "use `LifetimeDistribution::max_difference` instead"
+)]
+pub fn max_curve_difference(a: &[(f64, f64)], b: &[(f64, f64)]) -> Result<f64, KibamRmError> {
+    sup_distance(a, b)
+}
+
+/// Shared implementation of the sup-distance between two curves on the
+/// same grid (used by the deprecated shims and the comparison report).
+pub(crate) fn sup_distance(a: &[(f64, f64)], b: &[(f64, f64)]) -> Result<f64, KibamRmError> {
     if a.len() != b.len() || a.iter().zip(b).any(|(x, y)| (x.0 - y.0).abs() > 1e-9) {
         return Err(KibamRmError::InvalidDiscretisation(
             "curves must share the same time grid".into(),
         ));
     }
-    Ok(a.iter().zip(b).map(|(x, y)| (x.1 - y.1).abs()).fold(0.0, f64::max))
+    Ok(a.iter()
+        .zip(b)
+        .map(|(x, y)| (x.1 - y.1).abs())
+        .fold(0.0, f64::max))
 }
 
 /// An equispaced time grid `0, …, t_max` with `points+1` samples — the
@@ -141,6 +162,7 @@ pub fn time_grid(t_max: Time, points: usize) -> Vec<Time> {
 /// This is the triple cross-check of the paper's §6 packaged as an API,
 /// so users can validate *their own* workload models before trusting a
 /// coarse-Δ approximation.
+#[deprecated(since = "0.1.0", note = "use `SolverRegistry::cross_validate` instead")]
 #[derive(Debug, Clone)]
 pub struct MethodComparison {
     /// The shared `(t_seconds, p)` grid from the discretisation.
@@ -164,6 +186,8 @@ pub struct MethodComparison {
 /// Propagates discretisation/simulation errors;
 /// [`KibamRmError::InvalidWorkload`] if no simulated run depletes within
 /// the horizon (extend the grid).
+#[deprecated(since = "0.1.0", note = "use `SolverRegistry::cross_validate` instead")]
+#[allow(deprecated)]
 pub fn compare_methods(
     model: &KibamRm,
     disc: &crate::discretise::DiscretisedModel,
@@ -171,20 +195,17 @@ pub fn compare_methods(
     runs: usize,
     seed: u64,
 ) -> Result<MethodComparison, KibamRmError> {
-    let horizon = times
-        .iter()
-        .cloned()
-        .fold(Time::ZERO, Time::max);
+    let horizon = times.iter().cloned().fold(Time::ZERO, Time::max);
     let approximation = disc.empty_probability_curve(times)?.points;
     let study = crate::simulate::lifetime_study(model, horizon, runs, seed)?;
     let simulation: Vec<(f64, f64)> = times
         .iter()
         .map(|t| (t.as_seconds(), study.empty_probability(t.as_seconds())))
         .collect();
-    let approx_vs_sim = max_curve_difference(&approximation, &simulation)?;
+    let approx_vs_sim = sup_distance(&approximation, &simulation)?;
     let (exact, approx_vs_exact) = if model.is_linear() {
         let e = exact_linear_curve(model, times)?;
-        let d = max_curve_difference(&approximation, &e)?;
+        let d = sup_distance(&approximation, &e)?;
         (Some(e), Some(d))
     } else {
         (None, None)
@@ -213,7 +234,13 @@ mod tests {
     fn linear_on_off() -> KibamRm {
         let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
             .unwrap();
-        KibamRm::new(w, Charge::from_amp_seconds(72.0), 1.0, Rate::per_second(0.0)).unwrap()
+        KibamRm::new(
+            w,
+            Charge::from_amp_seconds(72.0),
+            1.0,
+            Rate::per_second(0.0),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -238,8 +265,9 @@ mod tests {
         let m = linear_on_off();
         let horizon = Time::from_seconds(400.0);
         let study = lifetime_study(&m, horizon, 1500, 2024).unwrap();
-        let times: Vec<Time> =
-            (6..=24).map(|i| Time::from_seconds(i as f64 * 10.0)).collect();
+        let times: Vec<Time> = (6..=24)
+            .map(|i| Time::from_seconds(i as f64 * 10.0))
+            .collect();
         let exact = exact_linear_curve(&m, &times).unwrap();
         for (t, p) in &exact {
             let sim = study.empty_probability(*t);
@@ -255,8 +283,9 @@ mod tests {
         let m = linear_on_off();
         let opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(0.25));
         let disc = DiscretisedModel::build(&m, &opts).unwrap();
-        let times: Vec<Time> =
-            (8..=20).map(|i| Time::from_seconds(i as f64 * 10.0)).collect();
+        let times: Vec<Time> = (8..=20)
+            .map(|i| Time::from_seconds(i as f64 * 10.0))
+            .collect();
         let exact = exact_linear_curve(&m, &times).unwrap();
         let approx = disc.empty_probability_curve(&times).unwrap();
         for ((t, pe), (_, pa)) in exact.iter().zip(&approx.points) {
@@ -268,50 +297,64 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn absorbing_mean_agrees_with_curve_integral() {
         // Full-size Fig. 7 battery (C = 7200 As): the absorbing solver
         // never touches Sericola, so the scale is fine here.
         let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
             .unwrap();
-        let m = KibamRm::new(w, Charge::from_amp_seconds(7200.0), 1.0, Rate::per_second(0.0))
-            .unwrap();
+        let m = KibamRm::new(
+            w,
+            Charge::from_amp_seconds(7200.0),
+            1.0,
+            Rate::per_second(0.0),
+        )
+        .unwrap();
         let disc = DiscretisedModel::build(
             &m,
             &DiscretisationOptions::with_delta(Charge::from_amp_seconds(100.0)),
         )
         .unwrap();
         let algebraic = mean_lifetime_absorbing(&disc).unwrap();
-        let times: Vec<Time> =
-            (0..=600).map(|i| Time::from_seconds(i as f64 * 50.0)).collect();
+        let times: Vec<Time> = (0..=600)
+            .map(|i| Time::from_seconds(i as f64 * 50.0))
+            .collect();
         let curve = disc.empty_probability_curve(&times).unwrap();
         let integrated = mean_lifetime_from_curve(&curve.points);
-        let rel = (algebraic.as_seconds() - integrated.as_seconds()).abs()
-            / integrated.as_seconds();
+        let rel =
+            (algebraic.as_seconds() - integrated.as_seconds()).abs() / integrated.as_seconds();
         assert!(
             rel < 0.01,
             "algebraic {algebraic} vs integrated {integrated}"
         );
         // Both near the deterministic 15000 s (phase-type smearing keeps
         // the mean almost exactly right even at coarse Δ).
-        assert!((algebraic.as_seconds() - 15_000.0).abs() < 400.0, "{algebraic}");
+        assert!(
+            (algebraic.as_seconds() - 15_000.0).abs() < 400.0,
+            "{algebraic}"
+        );
     }
 
     #[test]
+    #[allow(deprecated)]
     fn mean_from_curve_exponential() {
         // F(t) = 1 − e^{-t}: E[L] = 1.
-        let points: Vec<(f64, f64)> =
-            (0..=4000).map(|i| (i as f64 * 0.005, 1.0 - (-i as f64 * 0.005).exp())).collect();
+        let points: Vec<(f64, f64)> = (0..=4000)
+            .map(|i| (i as f64 * 0.005, 1.0 - (-i as f64 * 0.005).exp()))
+            .collect();
         let mean = mean_lifetime_from_curve(&points);
         assert!((mean.as_seconds() - 1.0).abs() < 2e-3, "{mean}");
     }
 
     #[test]
+    #[allow(deprecated)]
     fn mean_from_degenerate_curve() {
         assert_eq!(mean_lifetime_from_curve(&[]).as_seconds(), 0.0);
         assert_eq!(mean_lifetime_from_curve(&[(0.0, 0.0)]).as_seconds(), 0.0);
     }
 
     #[test]
+    #[allow(deprecated)]
     fn curve_difference() {
         let a = vec![(0.0, 0.1), (1.0, 0.5)];
         let b = vec![(0.0, 0.2), (1.0, 0.4)];
@@ -323,6 +366,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn compare_methods_reports_small_distances() {
         let m = linear_on_off();
         let disc = DiscretisedModel::build(
@@ -330,19 +374,25 @@ mod tests {
             &DiscretisationOptions::with_delta(Charge::from_amp_seconds(0.5)),
         )
         .unwrap();
-        let times: Vec<Time> =
-            (0..=20).map(|i| Time::from_seconds(60.0 + i as f64 * 12.0)).collect();
+        let times: Vec<Time> = (0..=20)
+            .map(|i| Time::from_seconds(60.0 + i as f64 * 12.0))
+            .collect();
         let cmp = compare_methods(&m, &disc, &times, 800, 31).unwrap();
         assert_eq!(cmp.runs, 800);
         assert_eq!(cmp.approximation.len(), times.len());
         assert_eq!(cmp.simulation.len(), times.len());
         assert!(cmp.exact.is_some(), "c = 1 model must get the exact curve");
         // Fine Δ: the approximation is close to both references.
-        assert!(cmp.approx_vs_exact.unwrap() < 0.12, "{:?}", cmp.approx_vs_exact);
+        assert!(
+            cmp.approx_vs_exact.unwrap() < 0.12,
+            "{:?}",
+            cmp.approx_vs_exact
+        );
         assert!(cmp.approx_vs_sim < 0.15, "{}", cmp.approx_vs_sim);
     }
 
     #[test]
+    #[allow(deprecated)]
     fn compare_methods_skips_exact_for_two_wells() {
         let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
             .unwrap();
@@ -358,8 +408,9 @@ mod tests {
             &DiscretisationOptions::with_delta(Charge::from_amp_seconds(1.5)),
         )
         .unwrap();
-        let times: Vec<Time> =
-            (0..=10).map(|i| Time::from_seconds(60.0 + i as f64 * 24.0)).collect();
+        let times: Vec<Time> = (0..=10)
+            .map(|i| Time::from_seconds(60.0 + i as f64 * 24.0))
+            .collect();
         let cmp = compare_methods(&m, &disc, &times, 400, 32).unwrap();
         assert!(cmp.exact.is_none());
         assert!(cmp.approx_vs_exact.is_none());

@@ -54,7 +54,8 @@ impl WorkloadBuilder {
     /// Declares a transition by state names.
     #[must_use]
     pub fn transition(mut self, from: &str, to: &str, rate: Rate) -> Self {
-        self.transitions.push((from.to_owned(), to.to_owned(), rate));
+        self.transitions
+            .push((from.to_owned(), to.to_owned(), rate));
         self
     }
 
@@ -101,7 +102,9 @@ impl WorkloadBuilder {
             ctmc.rate(f, t, rate.as_per_second())
                 .map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
         }
-        let chain = ctmc.build().map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
+        let chain = ctmc
+            .build()
+            .map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
 
         let initial_idx = match &self.initial {
             Some(name) => index_of(name)?,
@@ -149,7 +152,9 @@ mod tests {
     #[test]
     fn unknown_names_rejected() {
         assert!(matches!(
-            radio().transition("scan", "nope", Rate::per_hour(1.0)).build(),
+            radio()
+                .transition("scan", "nope", Rate::per_hour(1.0))
+                .build(),
             Err(KibamRmError::InvalidWorkload(_))
         ));
         assert!(radio().initial("nope").build().is_err());
@@ -170,6 +175,59 @@ mod tests {
         assert!(b.build().is_err(), "self-loop must be rejected");
         let b = radio().transition("scan", "tx", Rate::per_hour(-1.0));
         assert!(b.build().is_err());
+        let b = radio().transition("scan", "tx", Rate::per_hour(f64::NAN));
+        assert!(b.build().is_err(), "NaN rate must be rejected");
+        let b = radio().transition("scan", "tx", Rate::per_hour(f64::INFINITY));
+        assert!(b.build().is_err(), "infinite rate must be rejected");
+    }
+
+    #[test]
+    fn zero_rate_transitions_are_dropped_not_errors() {
+        // A zero rate means "no such transition": the build succeeds and
+        // the chain simply lacks the edge.
+        let w = WorkloadBuilder::new()
+            .state("a", Current::ZERO)
+            .state("b", Current::ZERO)
+            .transition("a", "b", Rate::per_hour(1.0))
+            .transition("b", "a", Rate::per_hour(0.0))
+            .build()
+            .unwrap();
+        assert!(w.ctmc().rates().get(0, 1) > 0.0);
+        assert_eq!(w.ctmc().rates().get(1, 0), 0.0);
+        assert!(w.ctmc().is_absorbing(1));
+    }
+
+    #[test]
+    fn transition_from_unknown_state_rejected() {
+        let b = radio().transition("nope", "tx", Rate::per_hour(1.0));
+        let err = b.build().expect_err("unknown source state");
+        assert!(err.to_string().contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn error_messages_name_the_offender() {
+        let err = radio()
+            .transition("scan", "ghost", Rate::per_hour(1.0))
+            .build()
+            .expect_err("unknown target state");
+        assert!(err.to_string().contains("ghost"), "{err}");
+        let err = WorkloadBuilder::new()
+            .state("dup", Current::ZERO)
+            .state("dup", Current::ZERO)
+            .build()
+            .expect_err("duplicate state");
+        assert!(err.to_string().contains("dup"), "{err}");
+        let err = radio().initial("absent").build().expect_err("bad initial");
+        assert!(err.to_string().contains("absent"), "{err}");
+    }
+
+    #[test]
+    fn negative_current_rejected_at_build() {
+        let b = WorkloadBuilder::new()
+            .state("a", Current::from_amps(-0.5))
+            .state("b", Current::ZERO)
+            .transition("a", "b", Rate::per_hour(1.0));
+        assert!(matches!(b.build(), Err(KibamRmError::InvalidWorkload(_))));
     }
 
     #[test]

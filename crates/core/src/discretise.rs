@@ -104,10 +104,7 @@ impl DiscretisedModel {
     /// or does not evenly divide the well capacities `cC` and `(1−c)C`
     /// (within 10⁻⁶ relative); [`KibamRmError::Markov`] if assembly
     /// fails.
-    pub fn build(
-        model: &KibamRm,
-        opts: &DiscretisationOptions,
-    ) -> Result<Self, KibamRmError> {
+    pub fn build(model: &KibamRm, opts: &DiscretisationOptions) -> Result<Self, KibamRmError> {
         let delta = opts.delta.value();
         if !(delta > 0.0) || !opts.delta.is_finite() {
             return Err(KibamRmError::InvalidDiscretisation(format!(
@@ -189,8 +186,7 @@ impl DiscretisedModel {
         }
         // Diagonal entries exist for every state with outgoing rate plus
         // nothing for absorbing rows (their diagonal is zero).
-        let diagonal_nonzeros =
-            (0..n_states).filter(|&s| chain.exit_rate(s) > 0.0).count();
+        let diagonal_nonzeros = (0..n_states).filter(|&s| chain.exit_rate(s) > 0.0).count();
         let stats = CtmcStats {
             states: n_states,
             off_diagonal_nonzeros: off_diagonal,
@@ -246,10 +242,7 @@ impl DiscretisedModel {
     /// # Errors
     ///
     /// Propagates uniformisation errors (bad times, Fox–Glynn failure).
-    pub fn empty_probability_curve(
-        &self,
-        times: &[Time],
-    ) -> Result<CurveSolution, KibamRmError> {
+    pub fn empty_probability_curve(&self, times: &[Time]) -> Result<CurveSolution, KibamRmError> {
         let secs: Vec<f64> = times.iter().map(|t| t.as_seconds()).collect();
         Ok(measure_curve(
             &self.chain,
@@ -294,8 +287,20 @@ impl DiscretisedModel {
                 }
             }
         }
-        let c1 = measure_curve(&self.chain, &self.alpha, &secs, &y1_measure, &self.transient)?;
-        let c2 = measure_curve(&self.chain, &self.alpha, &secs, &y2_measure, &self.transient)?;
+        let c1 = measure_curve(
+            &self.chain,
+            &self.alpha,
+            &secs,
+            &y1_measure,
+            &self.transient,
+        )?;
+        let c2 = measure_curve(
+            &self.chain,
+            &self.alpha,
+            &secs,
+            &y2_measure,
+            &self.transient,
+        )?;
         Ok(times
             .iter()
             .zip(c1.points.iter().zip(&c2.points))
@@ -348,10 +353,18 @@ mod tests {
     fn on_off_linear(delta: f64) -> DiscretisedModel {
         let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
             .unwrap();
-        let m = KibamRm::new(w, Charge::from_amp_seconds(7200.0), 1.0, Rate::per_second(0.0))
-            .unwrap();
-        DiscretisedModel::build(&m, &DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta)))
-            .unwrap()
+        let m = KibamRm::new(
+            w,
+            Charge::from_amp_seconds(7200.0),
+            1.0,
+            Rate::per_second(0.0),
+        )
+        .unwrap();
+        DiscretisedModel::build(
+            &m,
+            &DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta)),
+        )
+        .unwrap()
     }
 
     /// The paper's Fig. 8 configuration: c = 0.625, k = 4.5e-5.
@@ -365,8 +378,11 @@ mod tests {
             Rate::per_second(4.5e-5),
         )
         .unwrap();
-        DiscretisedModel::build(&m, &DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta)))
-            .unwrap()
+        DiscretisedModel::build(
+            &m,
+            &DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta)),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -407,10 +423,7 @@ mod tests {
             &DiscretisationOptions::with_delta(Charge::from_amp_seconds(7.0)),
         );
         assert!(matches!(err, Err(KibamRmError::InvalidDiscretisation(_))));
-        let err = DiscretisedModel::build(
-            &m,
-            &DiscretisationOptions::with_delta(Charge::ZERO),
-        );
+        let err = DiscretisedModel::build(&m, &DiscretisationOptions::with_delta(Charge::ZERO));
         assert!(matches!(err, Err(KibamRmError::InvalidDiscretisation(_))));
     }
 
@@ -468,8 +481,9 @@ mod tests {
     #[test]
     fn empty_probability_monotone_and_bounded() {
         let d = on_off_linear(300.0);
-        let times: Vec<Time> =
-            (0..=10).map(|i| Time::from_seconds(i as f64 * 2000.0)).collect();
+        let times: Vec<Time> = (0..=10)
+            .map(|i| Time::from_seconds(i as f64 * 2000.0))
+            .collect();
         let curve = d.empty_probability_curve(&times).unwrap();
         let mut prev = -1e-12;
         for (t, p) in &curve.points {
@@ -482,15 +496,23 @@ mod tests {
         // heavily smeared phase-type CDF (only 24 levels), so the bound
         // is loose; the refinement tests tighten it at smaller Δ.
         assert!(curve.points[0].1 < 1e-9);
-        assert!(curve.points[10].1 > 0.9, "p(20000) = {}", curve.points[10].1);
+        assert!(
+            curve.points[10].1 > 0.9,
+            "p(20000) = {}",
+            curve.points[10].1
+        );
     }
 
     #[test]
     fn linear_case_mean_lifetime_anchor() {
         // Coarse Δ already puts the CDF's centre near 15000 s (§6.1).
         let d = on_off_linear(100.0);
-        let p_below = d.empty_probability_at(Time::from_seconds(12_000.0)).unwrap();
-        let p_above = d.empty_probability_at(Time::from_seconds(18_000.0)).unwrap();
+        let p_below = d
+            .empty_probability_at(Time::from_seconds(12_000.0))
+            .unwrap();
+        let p_above = d
+            .empty_probability_at(Time::from_seconds(18_000.0))
+            .unwrap();
         assert!(p_below < 0.5, "p(12000) = {p_below}");
         assert!(p_above > 0.5, "p(18000) = {p_above}");
     }
@@ -509,8 +531,9 @@ mod tests {
         // On/off c = 1: mean current is 0.48 A, so E[Y1(t)] ≈ u1 − 0.48 t
         // well before depletion.
         let d = on_off_linear(100.0);
-        let times: Vec<Time> =
-            (0..=5).map(|i| Time::from_seconds(i as f64 * 1000.0)).collect();
+        let times: Vec<Time> = (0..=5)
+            .map(|i| Time::from_seconds(i as f64 * 1000.0))
+            .collect();
         let curves = d.expected_charge_curves(&times).unwrap();
         assert!((curves[0].1.as_coulombs() - 7200.0).abs() < 1e-9);
         assert_eq!(curves[0].2, Charge::ZERO);
@@ -582,7 +605,10 @@ mod tests {
         let p_at = d.empty_probability_at(t).unwrap();
         let p_by = absorbing.empty_probability_at(t).unwrap();
         assert!(p_at <= p_by + 1e-12, "at {p_at} vs by {p_by}");
-        assert!(p_at < p_by - 0.01, "recovery should visibly drain the empty states");
+        assert!(
+            p_at < p_by - 0.01,
+            "recovery should visibly drain the empty states"
+        );
     }
 
     #[test]

@@ -73,7 +73,9 @@ mod tests {
         assert!(e.to_string().contains("battery layer"));
         assert!(e.source().is_some());
 
-        assert!(KibamRmError::InvalidBattery("b".into()).to_string().contains("battery"));
+        assert!(KibamRmError::InvalidBattery("b".into())
+            .to_string()
+            .contains("battery"));
         assert!(KibamRmError::InvalidDiscretisation("d".into())
             .to_string()
             .contains("discretisation"));

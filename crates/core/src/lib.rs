@@ -3,63 +3,86 @@
 //! This crate is the primary contribution of *"Computing Battery Lifetime
 //! Distributions"* (L. Cloth, M. R. Jongerden, B. R. Haverkort, DSN 2007):
 //! the **KiBaMRM**, a reward-inhomogeneous Markov reward model that couples
-//! the Kinetic Battery Model to a CTMC workload, and the **Markovian
-//! approximation algorithm** that computes the battery lifetime
-//! distribution `Pr[battery empty at t]` from it.
+//! the Kinetic Battery Model to a CTMC workload, and the algorithms that
+//! compute the battery lifetime distribution `Pr[battery empty at t]`
+//! from it.
 //!
-//! The pipeline:
+//! ## The pipeline: Scenario → Solver → Distribution
 //!
-//! 1. Describe the device as a [`workload::Workload`]: a CTMC whose states
-//!    carry energy-consumption currents. The paper's three models —
-//!    Erlang on/off (Fig. 3), the simple cell-phone model (Fig. 4) and the
-//!    burst model (Fig. 5) — ship as constructors.
-//! 2. Couple it to a battery with [`model::KibamRm`] (capacity `C`,
-//!    available-charge fraction `c`, flow constant `k`).
-//! 3. Compute the lifetime distribution:
-//!    * [`discretise::DiscretisedModel`] — the paper's §5 algorithm:
-//!      discretise both charge wells with step `Δ`, build the derived
-//!      CTMC, make the empty states absorbing, and extract
-//!      `Pr[empty at t]` by uniformisation;
-//!    * [`simulate`] — stochastic simulation of the exact KiBaMRM
-//!      dynamics (closed-form KiBaM stepping inside workload sojourns);
-//!    * [`analysis::exact_linear_curve`] — Sericola's exact algorithm for
-//!      the degenerate `c = 1` case (Fig. 10's rightmost curve).
+//! Everything revolves around one question asked of one value type:
+//!
+//! 1. **Describe the scenario once.** A [`scenario::Scenario`] bundles
+//!    the workload (a CTMC whose states draw current — build your own
+//!    with [`builder::WorkloadBuilder`] or use the paper's models from
+//!    [`workload::Workload`]), the battery parameters (capacity `C`,
+//!    available fraction `c`, flow constant `k`) and the query time
+//!    grid. Scenarios are data: clone-and-vary them into grids, or
+//!    round-trip them through a plain-text config
+//!    ([`scenario::Scenario::to_config_string`]).
+//! 2. **Pick a solver — or let the registry pick.** Each of the paper's
+//!    three methods implements [`solver::LifetimeSolver`]:
+//!    [`solver::DiscretisationSolver`] (§5 discretisation +
+//!    uniformisation), [`solver::SimulationSolver`] (stochastic
+//!    simulation of the exact dynamics) and [`solver::SericolaSolver`]
+//!    (Sericola's exact algorithm, `c = 1` only).
+//!    [`solver::SolverRegistry::auto`] selects the best applicable
+//!    backend; [`solver::SolverRegistry::sweep`] batch-solves scenario
+//!    grids across worker threads;
+//!    [`solver::SolverRegistry::cross_validate`] runs every applicable
+//!    method and reports how far apart they are.
+//! 3. **Work with the distribution.** Solvers return a
+//!    [`distribution::LifetimeDistribution`] with first-class operations:
+//!    CDF evaluation, quantiles, mean lifetime, sup-distance between
+//!    curves, and CSV bridging via [`report`].
+//!
+//! The lower layers remain public for power users: [`model::KibamRm`]
+//! couples a workload to a battery, [`discretise::DiscretisedModel`] is
+//! the §5 derived CTMC, [`simulate`] the raw Monte Carlo engine and
+//! [`analysis`] the exact `c = 1` curve plus mean-lifetime utilities.
 //!
 //! # Examples
 //!
 //! ```
-//! use kibamrm::model::KibamRm;
+//! use kibamrm::scenario::Scenario;
+//! use kibamrm::solver::SolverRegistry;
 //! use kibamrm::workload::Workload;
-//! use kibamrm::discretise::{DiscretisedModel, DiscretisationOptions};
 //! use units::{Charge, Rate, Time};
 //!
-//! // The paper's simple cell-phone workload on an 800 mAh battery.
-//! let workload = Workload::simple_model().unwrap();
-//! let model = KibamRm::new(
-//!     workload,
-//!     Charge::from_milliamp_hours(800.0),
-//!     0.625,
-//!     Rate::per_second(4.5e-5),
-//! ).unwrap();
-//!
-//! // Coarse discretisation for the doctest; the paper uses Δ down to 2 mAh.
-//! let opts = DiscretisationOptions::with_delta(Charge::from_milliamp_hours(50.0));
-//! let disc = DiscretisedModel::build(&model, &opts).unwrap();
-//! let curve = disc
-//!     .empty_probability_curve(&[Time::from_hours(5.0), Time::from_hours(30.0)])
+//! // The paper's simple cell-phone workload on an 800 mAh battery,
+//! // queried every hour for 30 h. Coarse Δ keeps the doctest fast.
+//! let scenario = Scenario::builder()
+//!     .workload(Workload::simple_model().unwrap())
+//!     .capacity(Charge::from_milliamp_hours(800.0))
+//!     .kibam(0.625, Rate::per_second(4.5e-5))
+//!     .time_grid(Time::from_hours(30.0), 30)
+//!     .delta(Charge::from_milliamp_hours(50.0))
+//!     .build()
 //!     .unwrap();
-//! assert!(curve.points[0].1 < 0.05);     // alive early...
-//! assert!(curve.points[1].1 > 0.95);     // ...dead by 30 h
+//!
+//! let registry = SolverRegistry::with_default_backends();
+//! let dist = registry.solve(&scenario).unwrap();   // picks discretisation
+//! assert!(dist.cdf(Time::from_hours(5.0)) < 0.05); // alive early...
+//! assert!(dist.cdf(Time::from_hours(30.0)) > 0.95); // ...dead by 30 h
+//! assert!(dist.median().unwrap() > Time::from_hours(10.0));
 //! ```
 
 pub mod analysis;
 pub mod builder;
 pub mod discretise;
+pub mod distribution;
 pub mod model;
 pub mod report;
+pub mod scenario;
 pub mod simulate;
+pub mod solver;
 pub mod workload;
 
 mod error;
 
+pub use distribution::{LifetimeDistribution, SolveDiagnostics};
 pub use error::KibamRmError;
+pub use scenario::{Scenario, ScenarioBuilder};
+pub use solver::{
+    Capability, CrossValidation, DiscretisationSolver, LifetimeSolver, SericolaSolver,
+    SimulationSolver, SolverRegistry,
+};

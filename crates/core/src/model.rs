@@ -39,8 +39,8 @@ impl KibamRm {
         c: f64,
         k: Rate,
     ) -> Result<Self, KibamRmError> {
-        let battery = Kibam::new(capacity, c, k)
-            .map_err(|e| KibamRmError::InvalidBattery(e.to_string()))?;
+        let battery =
+            Kibam::new(capacity, c, k).map_err(|e| KibamRmError::InvalidBattery(e.to_string()))?;
         Ok(KibamRm { workload, battery })
     }
 
@@ -112,7 +112,9 @@ impl KibamRm {
             b.rate(i, j, r * factor)
                 .map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
         }
-        let chain = b.build().map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
+        let chain = b
+            .build()
+            .map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
         let workload = Workload::new(
             chain,
             self.workload.currents().to_vec(),
@@ -211,7 +213,11 @@ mod tests {
         assert!((r1 - (-0.2 + flow)).abs() < 1e-12);
         assert!((r2 + flow).abs() < 1e-12);
         // Equalised wells: no flow.
-        let (r1, r2) = m.reward_rates(0, Charge::from_coulombs(625.0), Charge::from_coulombs(375.0));
+        let (r1, r2) = m.reward_rates(
+            0,
+            Charge::from_coulombs(625.0),
+            Charge::from_coulombs(375.0),
+        );
         assert!((r1 + 0.008).abs() < 1e-12);
         assert_eq!(r2, 0.0);
         // Empty battery: rates vanish.
@@ -271,8 +277,12 @@ mod tests {
 
     #[test]
     fn with_battery_constructor() {
-        let b = Kibam::new(Charge::from_coulombs(7200.0), 0.625, Rate::per_second(4.5e-5))
-            .unwrap();
+        let b = Kibam::new(
+            Charge::from_coulombs(7200.0),
+            0.625,
+            Rate::per_second(4.5e-5),
+        )
+        .unwrap();
         let m = KibamRm::with_battery(Workload::simple_model().unwrap(), b);
         assert_eq!(m.battery().capacity().as_coulombs(), 7200.0);
     }

@@ -22,7 +22,10 @@ pub struct Curve {
 impl Curve {
     /// Creates a curve.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Curve { label: label.into(), points }
+        Curve {
+            label: label.into(),
+            points,
+        }
     }
 }
 
@@ -74,7 +77,11 @@ pub fn table_to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
     let _ = writeln!(
         out,
         "{}",
-        headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",")
     );
     for row in rows {
         let _ = writeln!(
@@ -133,7 +140,10 @@ mod tests {
     fn table_rendering_with_escapes() {
         let csv = table_to_csv(
             &["frequency", "lifetime, minutes"],
-            &[vec!["continuous".into(), "91".into()], vec!["say \"1\" Hz".into(), "203".into()]],
+            &[
+                vec!["continuous".into(), "91".into()],
+                vec!["say \"1\" Hz".into(), "203".into()],
+            ],
         );
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "frequency,\"lifetime, minutes\"");
@@ -149,6 +159,38 @@ mod tests {
         write_file(&path, "a,b\n").unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaping_covers_every_special_character() {
+        // Comma, quote and newline all force quoting; quotes double.
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("line\nbreak"), "\"line\nbreak\"");
+        assert_eq!(escape("\""), "\"\"\"\"");
+        // Plain fields — including empty and numeric-looking ones —
+        // pass through unquoted.
+        assert_eq!(escape(""), "");
+        assert_eq!(escape("3.5e-2"), "3.5e-2");
+        assert_eq!(escape("Delta=5"), "Delta=5");
+    }
+
+    #[test]
+    fn curve_headers_are_escaped() {
+        let c = Curve::new("lifetime, minutes", vec![(0.0, 1.0)]);
+        let csv = curve_to_csv("t, s", &c);
+        assert_eq!(
+            csv.lines().next().unwrap(),
+            "\"t, s\",\"lifetime, minutes\""
+        );
+        let multi = curves_to_csv("t", &[c]);
+        assert_eq!(multi.lines().next().unwrap(), "t,\"lifetime, minutes\"");
+    }
+
+    #[test]
+    fn table_cells_with_newlines_and_quotes() {
+        let csv = table_to_csv(&["k", "v"], &[vec!["two\nlines".into(), "q\"q".into()]]);
+        assert_eq!(csv, "k,v\n\"two\nlines\",\"q\"\"q\"\n");
     }
 
     #[test]

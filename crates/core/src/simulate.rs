@@ -69,18 +69,15 @@ pub fn lifetime_study(
     runs: usize,
     seed: u64,
 ) -> Result<LifetimeStudy, KibamRmError> {
-    let outcomes: Vec<Result<Option<f64>, KibamRmError>> =
-        run_replications(runs, seed, |rng| {
-            simulate_lifetime(model, horizon, rng).map(|o| o.map(|t| t.as_seconds()))
-        });
+    let outcomes: Vec<Result<Option<f64>, KibamRmError>> = run_replications(runs, seed, |rng| {
+        simulate_lifetime(model, horizon, rng).map(|o| o.map(|t| t.as_seconds()))
+    });
     let mut flat = Vec::with_capacity(outcomes.len());
     for o in outcomes {
         flat.push(o?);
     }
     LifetimeStudy::new(&flat, horizon.as_seconds()).map_err(|e| {
-        KibamRmError::InvalidWorkload(format!(
-            "no simulated run depleted within the horizon: {e}"
-        ))
+        KibamRmError::InvalidWorkload(format!("no simulated run depleted within the horizon: {e}"))
     })
 }
 
@@ -93,7 +90,13 @@ mod tests {
     fn on_off_linear() -> KibamRm {
         let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
             .unwrap();
-        KibamRm::new(w, Charge::from_amp_seconds(7200.0), 1.0, Rate::per_second(0.0)).unwrap()
+        KibamRm::new(
+            w,
+            Charge::from_amp_seconds(7200.0),
+            1.0,
+            Rate::per_second(0.0),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -111,10 +114,13 @@ mod tests {
         // §6.1: the lifetime is nearly deterministic around 15 000 s
         // (7200 As at 0.96 A drawn half the time).
         let m = on_off_linear();
-        let study =
-            lifetime_study(&m, Time::from_seconds(25_000.0), 300, 1234).unwrap();
+        let study = lifetime_study(&m, Time::from_seconds(25_000.0), 300, 1234).unwrap();
         assert_eq!(study.total_runs(), 300);
-        assert_eq!(study.depleted_runs(), 300, "all runs must deplete by 25 000 s");
+        assert_eq!(
+            study.depleted_runs(),
+            300,
+            "all runs must deplete by 25 000 s"
+        );
         let mean = study.mean_observed_lifetime();
         assert!((mean - 15_000.0).abs() < 300.0, "mean = {mean}");
         // The paper notes the distribution is close to deterministic: the
@@ -129,15 +135,16 @@ mod tests {
         // §6.1: larger K makes on/off times closer to deterministic and
         // the simulated lifetime distribution tighter.
         let spread_for = |k: u32| {
-            let w = Workload::on_off_erlang(
-                Frequency::from_hertz(1.0),
-                k,
-                Current::from_amps(0.96),
+            let w =
+                Workload::on_off_erlang(Frequency::from_hertz(1.0), k, Current::from_amps(0.96))
+                    .unwrap();
+            let m = KibamRm::new(
+                w,
+                Charge::from_amp_seconds(7200.0),
+                1.0,
+                Rate::per_second(0.0),
             )
             .unwrap();
-            let m =
-                KibamRm::new(w, Charge::from_amp_seconds(7200.0), 1.0, Rate::per_second(0.0))
-                    .unwrap();
             let study = lifetime_study(&m, Time::from_seconds(25_000.0), 200, 99).unwrap();
             study.lifetime_quantile(0.9).unwrap() - study.lifetime_quantile(0.1).unwrap()
         };
@@ -161,10 +168,12 @@ mod tests {
         )
         .unwrap();
         let horizon = Time::from_seconds(25_000.0);
-        let m_lin =
-            lifetime_study(&linear, horizon, 150, 5).unwrap().mean_observed_lifetime();
-        let m_two =
-            lifetime_study(&two_well, horizon, 150, 5).unwrap().mean_observed_lifetime();
+        let m_lin = lifetime_study(&linear, horizon, 150, 5)
+            .unwrap()
+            .mean_observed_lifetime();
+        let m_two = lifetime_study(&two_well, horizon, 150, 5)
+            .unwrap()
+            .mean_observed_lifetime();
         assert!(m_two < m_lin, "two-well {m_two} vs linear {m_lin}");
         // But longer than the available-charge-only battery (recovery
         // transfers bound charge): 4500 As / 0.48 A = 9375 s.
@@ -174,8 +183,8 @@ mod tests {
     #[test]
     fn survives_short_horizon() {
         let m = on_off_linear();
-        let out = simulate_lifetime(&m, Time::from_seconds(100.0), &mut SimRng::seed_from(1))
-            .unwrap();
+        let out =
+            simulate_lifetime(&m, Time::from_seconds(100.0), &mut SimRng::seed_from(1)).unwrap();
         assert_eq!(out, None);
         assert!(lifetime_study(&m, Time::from_seconds(100.0), 10, 1).is_err());
     }

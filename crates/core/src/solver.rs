@@ -1,0 +1,776 @@
+//! The unified solver facade: one [`Scenario`] in, one
+//! [`LifetimeDistribution`] out, whichever method computes it.
+//!
+//! The paper answers `Pr[battery empty at t]` three ways — the §5
+//! Markovian approximation, stochastic simulation, and Sericola's exact
+//! algorithm for `c = 1`. Each is wrapped as a [`LifetimeSolver`]:
+//!
+//! * [`DiscretisationSolver`] — builds the derived CTMC at the
+//!   scenario's `Δ` and solves it by uniformisation; applies to every
+//!   scenario;
+//! * [`SimulationSolver`] — Monte Carlo over the exact KiBaMRM dynamics;
+//!   applies to every scenario, statistical error only;
+//! * [`SericolaSolver`] — the exact algorithm; applies only to linear
+//!   (`c = 1`) scenarios, where it is the gold standard.
+//!
+//! A [`SolverRegistry`] holds an ordered set of backends,
+//! [`auto`](SolverRegistry::auto)-selects the best applicable one
+//! (exact beats approximate; earlier registration wins ties), and
+//! [`sweep`](SolverRegistry::sweep)s scenario grids across worker
+//! threads — the hook batching and sharding layers build on.
+//!
+//! ```
+//! use kibamrm::scenario::Scenario;
+//! use kibamrm::solver::SolverRegistry;
+//!
+//! let scenario = Scenario::paper_cell_phone().unwrap();
+//! let registry = SolverRegistry::with_default_backends();
+//! // c = 0.625: auto picks the discretisation backend.
+//! assert_eq!(registry.auto(&scenario).unwrap().name(), "discretisation");
+//! let dist = registry.solve(&scenario).unwrap();
+//! assert!(dist.cdf(units::Time::from_hours(30.0)) > 0.95);
+//! ```
+
+use crate::analysis::exact_linear_curve;
+use crate::discretise::{DiscretisationOptions, DiscretisedModel};
+use crate::distribution::{LifetimeDistribution, SolveDiagnostics};
+use crate::scenario::Scenario;
+use crate::simulate::lifetime_study;
+use crate::KibamRmError;
+use markov::transient::TransientOptions;
+use std::time::Instant;
+use units::Time;
+
+/// What a backend can do with a given scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Capability {
+    /// The method computes the distribution exactly (up to numerics).
+    Exact,
+    /// The method approximates it (discretisation / statistical error).
+    Approximate,
+    /// The method does not apply; the string says why.
+    Unsupported(String),
+}
+
+impl Capability {
+    /// Higher is better; `Unsupported` ranks zero.
+    fn rank(&self) -> u8 {
+        match self {
+            Capability::Exact => 2,
+            Capability::Approximate => 1,
+            Capability::Unsupported(_) => 0,
+        }
+    }
+
+    /// `true` unless the backend refuses the scenario.
+    pub fn is_supported(&self) -> bool {
+        !matches!(self, Capability::Unsupported(_))
+    }
+}
+
+/// A battery-lifetime computation backend.
+pub trait LifetimeSolver: Send + Sync {
+    /// Stable identifier (`"discretisation"`, `"simulation"`,
+    /// `"sericola"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Capability introspection: can this backend handle `scenario`,
+    /// and how well?
+    fn capability(&self, scenario: &Scenario) -> Capability;
+
+    /// Convenience: does the backend apply at all?
+    fn supports(&self, scenario: &Scenario) -> bool {
+        self.capability(scenario).is_supported()
+    }
+
+    /// Computes `t ↦ Pr[battery empty at t]` on the scenario's grid.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific validation and numerical errors; solvers must
+    /// refuse (not mis-answer) scenarios they report as unsupported.
+    fn solve(&self, scenario: &Scenario) -> Result<LifetimeDistribution, KibamRmError>;
+}
+
+// --------------------------------------------------------------------
+// Discretisation backend (paper §5).
+// --------------------------------------------------------------------
+
+/// The paper's Markovian approximation as a solver.
+#[derive(Debug, Clone, Default)]
+pub struct DiscretisationSolver {
+    transient: TransientOptions,
+    recovery_from_empty: bool,
+}
+
+impl DiscretisationSolver {
+    /// A solver with default numerics.
+    pub fn new() -> Self {
+        DiscretisationSolver::default()
+    }
+
+    /// Overrides the uniformisation options (threads, ε, ν factor…).
+    #[must_use]
+    pub fn with_transient(mut self, transient: TransientOptions) -> Self {
+        self.transient = transient;
+        self
+    }
+
+    /// Sets the worker-thread count for matrix–vector products.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.transient.threads = threads;
+        self
+    }
+
+    /// Enables the paper's §5.2 recovery-from-empty extension for
+    /// chains built with [`DiscretisationSolver::discretise`]. The
+    /// measure then becomes the transient `Pr[empty at t]` — no longer
+    /// monotone, hence not a lifetime CDF — so
+    /// [`LifetimeSolver::solve`] refuses this configuration instead of
+    /// returning a distribution whose quantile/mean operations would be
+    /// silently meaningless.
+    #[must_use]
+    pub fn with_recovery_from_empty(mut self) -> Self {
+        self.recovery_from_empty = true;
+        self
+    }
+
+    /// The uniformisation options this solver will use.
+    pub fn transient(&self) -> &TransientOptions {
+        &self.transient
+    }
+
+    /// The derived CTMC for `scenario` (for size/stats consumers like
+    /// the complexity accounting harness).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model and discretisation errors.
+    pub fn discretise(&self, scenario: &Scenario) -> Result<DiscretisedModel, KibamRmError> {
+        let model = scenario.to_model()?;
+        let mut opts = DiscretisationOptions::with_delta(scenario.effective_delta()?);
+        opts.transient = self.transient;
+        opts.recovery_from_empty = self.recovery_from_empty;
+        DiscretisedModel::build(&model, &opts)
+    }
+}
+
+impl LifetimeSolver for DiscretisationSolver {
+    fn name(&self) -> &'static str {
+        "discretisation"
+    }
+
+    fn capability(&self, _scenario: &Scenario) -> Capability {
+        Capability::Approximate
+    }
+
+    fn solve(&self, scenario: &Scenario) -> Result<LifetimeDistribution, KibamRmError> {
+        if self.recovery_from_empty {
+            return Err(KibamRmError::InvalidDiscretisation(
+                "recovery-from-empty yields the transient Pr[empty at t], which is \
+                 not a lifetime CDF; use DiscretisationSolver::discretise and \
+                 empty_probability_curve for that measure"
+                    .into(),
+            ));
+        }
+        let started = Instant::now();
+        let disc = self.discretise(scenario)?;
+        let curve = disc.empty_probability_curve(scenario.times())?;
+        let stats = disc.stats();
+        let points = scenario
+            .times()
+            .iter()
+            .zip(&curve.points)
+            .map(|(&t, &(_, p))| (t, p))
+            .collect();
+        LifetimeDistribution::new(
+            self.name(),
+            points,
+            SolveDiagnostics {
+                states: Some(stats.states),
+                generator_nonzeros: Some(stats.generator_nonzeros),
+                iterations: Some(curve.iterations),
+                delta: Some(scenario.effective_delta()?),
+                runs: None,
+                wall_seconds: started.elapsed().as_secs_f64(),
+            },
+        )
+    }
+}
+
+// --------------------------------------------------------------------
+// Simulation backend (paper §6's validation baseline).
+// --------------------------------------------------------------------
+
+/// Monte Carlo over the exact KiBaMRM dynamics as a solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulationSolver {
+    horizon: Option<Time>,
+}
+
+impl SimulationSolver {
+    /// A solver simulating up to the scenario's last query time.
+    pub fn new() -> Self {
+        SimulationSolver::default()
+    }
+
+    /// Extends the simulation horizon beyond the scenario's last query
+    /// time (useful when the tail of the *observed* lifetimes matters,
+    /// e.g. for [`SimulationSolver::study`] quantiles). A horizon
+    /// shorter than the query grid is ignored: the empirical CDF is
+    /// only valid up to the horizon, so shortening it would silently
+    /// flatline the tail of the answer.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: Time) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// The empirical study behind a solve (quantiles of *observed*
+    /// lifetimes, confidence intervals, …).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors; fails when no run depletes within
+    /// the horizon.
+    pub fn study(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<sim::replication::LifetimeStudy, KibamRmError> {
+        let model = scenario.to_model()?;
+        if scenario.sim_runs() == 0 {
+            return Err(KibamRmError::InvalidWorkload(
+                "scenario requests zero simulation replications; set a positive \
+                 count with with_simulation(runs, seed)"
+                    .into(),
+            ));
+        }
+        // Never simulate short of the query grid: empirical CDF values
+        // past the horizon would be silently wrong.
+        let horizon = self
+            .horizon
+            .map_or(scenario.horizon(), |h| h.max(scenario.horizon()));
+        lifetime_study(&model, horizon, scenario.sim_runs(), scenario.sim_seed())
+    }
+}
+
+impl LifetimeSolver for SimulationSolver {
+    fn name(&self) -> &'static str {
+        "simulation"
+    }
+
+    fn capability(&self, _scenario: &Scenario) -> Capability {
+        Capability::Approximate
+    }
+
+    fn solve(&self, scenario: &Scenario) -> Result<LifetimeDistribution, KibamRmError> {
+        let started = Instant::now();
+        let study = self.study(scenario)?;
+        let points = scenario
+            .times()
+            .iter()
+            .map(|&t| (t, study.empty_probability(t.as_seconds())))
+            .collect();
+        LifetimeDistribution::new(
+            self.name(),
+            points,
+            SolveDiagnostics {
+                states: None,
+                generator_nonzeros: None,
+                iterations: None,
+                delta: None,
+                runs: Some(study.total_runs()),
+                wall_seconds: started.elapsed().as_secs_f64(),
+            },
+        )
+    }
+}
+
+// --------------------------------------------------------------------
+// Sericola backend (exact, c = 1 only).
+// --------------------------------------------------------------------
+
+/// Sericola's exact performability algorithm as a solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SericolaSolver;
+
+impl SericolaSolver {
+    /// A solver with default options.
+    pub fn new() -> Self {
+        SericolaSolver
+    }
+}
+
+impl LifetimeSolver for SericolaSolver {
+    fn name(&self) -> &'static str {
+        "sericola"
+    }
+
+    fn capability(&self, scenario: &Scenario) -> Capability {
+        if scenario.is_linear() {
+            Capability::Exact
+        } else {
+            Capability::Unsupported(format!(
+                "Sericola's algorithm requires c = 1 (all charge available), \
+                 scenario has c = {}",
+                scenario.c()
+            ))
+        }
+    }
+
+    fn solve(&self, scenario: &Scenario) -> Result<LifetimeDistribution, KibamRmError> {
+        let started = Instant::now();
+        let model = scenario.to_model()?;
+        let curve = exact_linear_curve(&model, scenario.times())?;
+        let points = scenario
+            .times()
+            .iter()
+            .zip(&curve)
+            .map(|(&t, &(_, p))| (t, p))
+            .collect();
+        LifetimeDistribution::new(
+            self.name(),
+            points,
+            SolveDiagnostics {
+                states: None,
+                generator_nonzeros: None,
+                iterations: None,
+                delta: None,
+                runs: None,
+                wall_seconds: started.elapsed().as_secs_f64(),
+            },
+        )
+    }
+}
+
+// --------------------------------------------------------------------
+// Registry: selection, dispatch, batch sweeps.
+// --------------------------------------------------------------------
+
+/// An ordered collection of solver backends.
+pub struct SolverRegistry {
+    solvers: Vec<Box<dyn LifetimeSolver>>,
+}
+
+impl std::fmt::Debug for SolverRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverRegistry")
+            .field(
+                "solvers",
+                &self.solvers.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Default for SolverRegistry {
+    fn default() -> Self {
+        SolverRegistry::with_default_backends()
+    }
+}
+
+impl SolverRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        SolverRegistry {
+            solvers: Vec::new(),
+        }
+    }
+
+    /// The standard set: Sericola (exact where it applies), then the
+    /// Markovian approximation, then simulation.
+    pub fn with_default_backends() -> Self {
+        let mut r = SolverRegistry::empty();
+        r.register(Box::new(SericolaSolver::new()));
+        r.register(Box::new(DiscretisationSolver::new()));
+        r.register(Box::new(SimulationSolver::new()));
+        r
+    }
+
+    /// Appends a backend (later = lower priority among equal
+    /// capabilities).
+    pub fn register(&mut self, solver: Box<dyn LifetimeSolver>) {
+        self.solvers.push(solver);
+    }
+
+    /// The registered backends, in priority order.
+    pub fn solvers(&self) -> impl Iterator<Item = &dyn LifetimeSolver> {
+        self.solvers.iter().map(|s| s.as_ref())
+    }
+
+    /// Looks a backend up by name.
+    pub fn find(&self, name: &str) -> Option<&dyn LifetimeSolver> {
+        self.solvers().find(|s| s.name() == name)
+    }
+
+    /// Picks the best applicable backend for `scenario`: exact beats
+    /// approximate, earlier registration breaks ties. With the default
+    /// backends this selects Sericola for `c = 1` scenarios and the
+    /// discretisation solver otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`KibamRmError::InvalidWorkload`] when no backend supports the
+    /// scenario; the message collects each backend's refusal reason.
+    pub fn auto(&self, scenario: &Scenario) -> Result<&dyn LifetimeSolver, KibamRmError> {
+        let mut best: Option<(&dyn LifetimeSolver, u8)> = None;
+        let mut reasons = Vec::new();
+        for solver in self.solvers() {
+            match solver.capability(scenario) {
+                Capability::Unsupported(why) => reasons.push(format!("{}: {why}", solver.name())),
+                cap => {
+                    let rank = cap.rank();
+                    if best.is_none_or(|(_, r)| rank > r) {
+                        best = Some((solver, rank));
+                    }
+                }
+            }
+        }
+        best.map(|(s, _)| s).ok_or_else(|| {
+            KibamRmError::InvalidWorkload(format!(
+                "no registered solver supports scenario '{}': {}",
+                scenario.name(),
+                if reasons.is_empty() {
+                    "registry is empty".to_owned()
+                } else {
+                    reasons.join("; ")
+                }
+            ))
+        })
+    }
+
+    /// Auto-selects a backend and solves.
+    ///
+    /// # Errors
+    ///
+    /// Selection errors from [`SolverRegistry::auto`] plus the chosen
+    /// backend's solve errors.
+    pub fn solve(&self, scenario: &Scenario) -> Result<LifetimeDistribution, KibamRmError> {
+        self.auto(scenario)?.solve(scenario)
+    }
+
+    /// Solves a whole scenario grid, auto-selecting per scenario and
+    /// fanning the work out over `threads` workers (default: available
+    /// parallelism). Results come back in input order; per-scenario
+    /// failures do not abort the batch.
+    pub fn sweep(&self, scenarios: &[Scenario]) -> Vec<Result<LifetimeDistribution, KibamRmError>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.sweep_with_threads(scenarios, threads)
+    }
+
+    /// [`SolverRegistry::sweep`] with an explicit worker count.
+    pub fn sweep_with_threads(
+        &self,
+        scenarios: &[Scenario],
+        threads: usize,
+    ) -> Vec<Result<LifetimeDistribution, KibamRmError>> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        let workers = threads.max(1).min(scenarios.len().max(1));
+        if workers <= 1 || scenarios.len() <= 1 {
+            return scenarios.iter().map(|s| self.solve(s)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<Result<LifetimeDistribution, KibamRmError>>>> =
+            Mutex::new((0..scenarios.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= scenarios.len() {
+                        break;
+                    }
+                    let r = self.solve(&scenarios[i]);
+                    results.lock().expect("sweep mutex").as_mut_slice()[i] = Some(r);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("sweep mutex")
+            .into_iter()
+            .map(|r| r.expect("every index filled"))
+            .collect()
+    }
+
+    /// Runs **every** applicable backend on the scenario and reports the
+    /// pairwise sup-distances — the paper's §6 triple cross-check as an
+    /// API, so users can validate their own models before trusting a
+    /// coarse-`Δ` approximation.
+    ///
+    /// # Errors
+    ///
+    /// When no backend applies, or any applicable backend fails.
+    pub fn cross_validate(&self, scenario: &Scenario) -> Result<CrossValidation, KibamRmError> {
+        let mut results = Vec::new();
+        for solver in self.solvers() {
+            if solver.supports(scenario) {
+                results.push(solver.solve(scenario)?);
+            }
+        }
+        if results.is_empty() {
+            return Err(KibamRmError::InvalidWorkload(format!(
+                "no registered solver supports scenario '{}'",
+                scenario.name()
+            )));
+        }
+        let mut pairwise = Vec::new();
+        for i in 0..results.len() {
+            for j in i + 1..results.len() {
+                pairwise.push((
+                    results[i].method(),
+                    results[j].method(),
+                    results[i].max_difference(&results[j])?,
+                ));
+            }
+        }
+        Ok(CrossValidation { results, pairwise })
+    }
+}
+
+/// Every applicable method's answer for one scenario, plus how far apart
+/// they are.
+#[derive(Debug, Clone)]
+pub struct CrossValidation {
+    /// One distribution per applicable backend, in registry order.
+    pub results: Vec<LifetimeDistribution>,
+    /// `(method a, method b, sup |a − b|)` for every pair.
+    pub pairwise: Vec<(&'static str, &'static str, f64)>,
+}
+
+impl CrossValidation {
+    /// The result computed by `method`, if that backend ran.
+    pub fn result(&self, method: &str) -> Option<&LifetimeDistribution> {
+        self.results.iter().find(|d| d.method() == method)
+    }
+
+    /// The largest pairwise disagreement (0 for a single method).
+    pub fn max_disagreement(&self) -> f64 {
+        self.pairwise.iter().map(|&(_, _, d)| d).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use units::{Charge, Current, Frequency};
+
+    /// Small linear scenario: Sericola stays cheap (νt ≈ 500).
+    fn small_linear() -> Scenario {
+        let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+            .unwrap();
+        Scenario::builder()
+            .name("small-linear")
+            .workload(w)
+            .capacity(Charge::from_amp_seconds(72.0))
+            .linear()
+            .times(
+                (1..=24)
+                    .map(|i| Time::from_seconds(i as f64 * 10.0))
+                    .collect(),
+            )
+            .delta(Charge::from_amp_seconds(0.25))
+            .simulation(400, 31)
+            .build()
+            .unwrap()
+    }
+
+    fn two_well() -> Scenario {
+        Scenario::paper_cell_phone().unwrap()
+    }
+
+    #[test]
+    fn auto_picks_sericola_for_linear_scenarios() {
+        let registry = SolverRegistry::with_default_backends();
+        assert_eq!(registry.auto(&small_linear()).unwrap().name(), "sericola");
+        assert_eq!(registry.auto(&two_well()).unwrap().name(), "discretisation");
+    }
+
+    #[test]
+    fn capability_introspection() {
+        let s = two_well();
+        assert!(matches!(
+            SericolaSolver::new().capability(&s),
+            Capability::Unsupported(_)
+        ));
+        assert!(!SericolaSolver::new().supports(&s));
+        assert!(DiscretisationSolver::new().supports(&s));
+        assert!(SimulationSolver::new().supports(&s));
+        assert!(SericolaSolver::new().supports(&small_linear()));
+        assert!(Capability::Exact.rank() > Capability::Approximate.rank());
+        assert!(!Capability::Unsupported("x".into()).is_supported());
+    }
+
+    #[test]
+    fn sericola_refuses_unsupported_scenarios() {
+        let err = SericolaSolver::new().solve(&two_well());
+        assert!(matches!(err, Err(KibamRmError::InvalidBattery(_))));
+    }
+
+    #[test]
+    fn all_three_backends_agree_on_the_small_linear_scenario() {
+        let s = small_linear();
+        let exact = SericolaSolver::new().solve(&s).unwrap();
+        let approx = DiscretisationSolver::new().solve(&s).unwrap();
+        let sim = SimulationSolver::new().solve(&s).unwrap();
+        assert_eq!(exact.method(), "sericola");
+        assert_eq!(approx.method(), "discretisation");
+        assert_eq!(sim.method(), "simulation");
+        // The paper's own Fig. 7 message: the phase-type approximation of
+        // a near-deterministic CDF converges slowly in Δ, so the centre
+        // still smears at 288 levels; simulation only carries binomial
+        // noise (400 runs ⇒ σ ≈ 0.025).
+        assert!(exact.max_difference(&approx).unwrap() < 0.15);
+        assert!(exact.max_difference(&sim).unwrap() < 0.1);
+        // Diagnostics reflect the method.
+        assert!(approx.diagnostics().states.unwrap() > 100);
+        assert!(approx.diagnostics().iterations.unwrap() > 0);
+        assert_eq!(sim.diagnostics().runs, Some(400));
+        assert_eq!(exact.diagnostics().states, None);
+    }
+
+    #[test]
+    fn recovery_from_empty_refuses_the_cdf_facade() {
+        // The transient Pr[empty at t] is not a lifetime CDF; solve()
+        // must refuse rather than hand out meaningless quantiles.
+        let solver = DiscretisationSolver::new().with_recovery_from_empty();
+        let err = solver.solve(&small_linear());
+        assert!(matches!(err, Err(KibamRmError::InvalidDiscretisation(_))));
+        // The derived chain itself remains reachable for that measure.
+        assert!(solver.discretise(&two_well()).is_ok());
+    }
+
+    #[test]
+    fn zero_replications_report_a_precise_error() {
+        let s = small_linear().with_simulation(0, 1);
+        let err = SimulationSolver::new().solve(&s).expect_err("zero runs");
+        assert!(
+            err.to_string().contains("zero simulation replications"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn simulation_horizon_never_shrinks_below_the_query_grid() {
+        // A horizon shorter than the grid would flatline the CDF tail
+        // (empirical CDFs are only valid up to the horizon); the solver
+        // must clamp it to the last query time instead.
+        let s = small_linear();
+        let clamped = SimulationSolver::new()
+            .with_horizon(Time::from_seconds(50.0)) // grid runs to 240 s
+            .solve(&s)
+            .unwrap();
+        let default = SimulationSolver::new().solve(&s).unwrap();
+        assert!(
+            clamped.max_difference(&default).unwrap() < 1e-12,
+            "short horizon must be ignored"
+        );
+        assert!(
+            clamped.points().last().unwrap().1 > 0.9,
+            "tail must keep rising past the bogus horizon"
+        );
+    }
+
+    #[test]
+    fn registry_solve_dispatches_and_matches_direct_calls() {
+        let registry = SolverRegistry::with_default_backends();
+        let s = small_linear();
+        let via_registry = registry.solve(&s).unwrap();
+        let direct = SericolaSolver::new().solve(&s).unwrap();
+        assert_eq!(via_registry.method(), "sericola");
+        assert!(via_registry.max_difference(&direct).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_isolates_failures() {
+        let registry = SolverRegistry::with_default_backends();
+        let base = two_well().with_simulation(50, 1);
+        // A grid over Δ, including the classic failure mode: a Δ that
+        // divides neither well.
+        let grid = [
+            base.with_delta(Charge::from_milliamp_hours(25.0)),
+            base.with_delta(Charge::from_milliamp_hours(7.0)),
+            base.with_delta(Charge::from_milliamp_hours(50.0)),
+        ];
+        let results = registry.sweep_with_threads(&grid, 3);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(KibamRmError::InvalidDiscretisation(_))
+        ));
+        assert!(results[2].is_ok());
+        // Finer Δ means more derived states.
+        let fine = results[0].as_ref().unwrap().diagnostics().states.unwrap();
+        let coarse = results[2].as_ref().unwrap().diagnostics().states.unwrap();
+        assert!(fine > coarse);
+        // Single-threaded path gives identical answers.
+        let serial = registry.sweep_with_threads(&grid, 1);
+        assert!(
+            results[0]
+                .as_ref()
+                .unwrap()
+                .max_difference(serial[0].as_ref().unwrap())
+                .unwrap()
+                .abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn cross_validation_runs_every_applicable_method() {
+        let registry = SolverRegistry::with_default_backends();
+        let cv = registry.cross_validate(&small_linear()).unwrap();
+        assert_eq!(cv.results.len(), 3);
+        assert_eq!(cv.pairwise.len(), 3);
+        assert!(cv.result("sericola").is_some());
+        assert!(cv.result("nope").is_none());
+        assert!(cv.max_disagreement() < 0.2, "{}", cv.max_disagreement());
+
+        // Two-well scenario: Sericola drops out.
+        let quick = two_well()
+            .with_delta(Charge::from_milliamp_hours(50.0))
+            .with_simulation(60, 3);
+        let cv = registry.cross_validate(&quick).unwrap();
+        assert_eq!(cv.results.len(), 2);
+        assert!(cv.result("sericola").is_none());
+    }
+
+    #[test]
+    fn custom_backends_and_empty_registries() {
+        struct Refuser;
+        impl LifetimeSolver for Refuser {
+            fn name(&self) -> &'static str {
+                "refuser"
+            }
+            fn capability(&self, _s: &Scenario) -> Capability {
+                Capability::Unsupported("always refuses".into())
+            }
+            fn solve(&self, _s: &Scenario) -> Result<LifetimeDistribution, KibamRmError> {
+                unreachable!("never selected")
+            }
+        }
+        let mut registry = SolverRegistry::empty();
+        let err = registry
+            .auto(&small_linear())
+            .err()
+            .expect("empty registry refuses");
+        assert!(err.to_string().contains("registry is empty"), "{err}");
+        registry.register(Box::new(Refuser));
+        let err = registry
+            .auto(&small_linear())
+            .err()
+            .expect("refuser refuses");
+        assert!(err.to_string().contains("always refuses"), "{err}");
+        assert!(registry.find("refuser").is_some());
+        assert!(registry.find("sericola").is_none());
+        assert!(registry.cross_validate(&small_linear()).is_err());
+        // Debug formatting lists backend names.
+        assert!(format!("{registry:?}").contains("refuser"));
+    }
+}

@@ -48,7 +48,11 @@ impl Workload {
         }
         ctmc.check_distribution(&initial)
             .map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
-        Ok(Workload { ctmc, currents, initial })
+        Ok(Workload {
+            ctmc,
+            currents,
+            initial,
+        })
     }
 
     /// The underlying CTMC.
@@ -103,7 +107,9 @@ impl Workload {
         on_current: Current,
     ) -> Result<Self, KibamRmError> {
         if k_stages == 0 {
-            return Err(KibamRmError::InvalidWorkload("Erlang model needs K ≥ 1".into()));
+            return Err(KibamRmError::InvalidWorkload(
+                "Erlang model needs K ≥ 1".into(),
+            ));
         }
         if !(frequency.value() > 0.0) || !frequency.is_finite() {
             return Err(KibamRmError::InvalidWorkload(format!(
@@ -122,7 +128,9 @@ impl Workload {
             let stage = i % k + 1;
             builder.label(i, &format!("{phase}{stage}"));
         }
-        let ctmc = builder.build().map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
+        let ctmc = builder
+            .build()
+            .map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
         let mut currents = vec![on_current; k];
         currents.extend(vec![Current::ZERO; k]);
         let mut initial = vec![0.0; n];
@@ -187,7 +195,9 @@ impl Workload {
         add(1, 0, mu)?;
         add(0, 2, tau)?;
         add(2, 1, lambda)?;
-        let ctmc = b.build().map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
+        let ctmc = b
+            .build()
+            .map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
         Workload::new(
             ctmc,
             vec![idle_current, send_current, Current::ZERO],
@@ -261,7 +271,9 @@ impl Workload {
         add(OFF_SEND, ON_SEND, switch_on)?;
         add(OFF_SEND, OFF_IDLE, mu)?;
         add(OFF_IDLE, SLEEP, tau)?;
-        let ctmc = b.build().map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
+        let ctmc = b
+            .build()
+            .map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
 
         let idle = Current::from_milliamps(8.0);
         let send = Current::from_milliamps(200.0);
@@ -340,9 +352,7 @@ mod tests {
     #[test]
     fn on_off_validation() {
         assert!(Workload::on_off_erlang(Frequency::from_hertz(1.0), 0, Current::ZERO).is_err());
-        assert!(
-            Workload::on_off_erlang(Frequency::from_hertz(0.0), 1, Current::ZERO).is_err()
-        );
+        assert!(Workload::on_off_erlang(Frequency::from_hertz(0.0), 1, Current::ZERO).is_err());
     }
 
     #[test]

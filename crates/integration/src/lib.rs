@@ -1,3 +1,62 @@
-//! This package only hosts the workspace-level integration tests; the
-//! test sources live in `/tests` at the repository root (see
-//! `Cargo.toml`'s `[[test]]` entries).
+//! Workspace-level integration testing support.
+//!
+//! This package has two jobs:
+//!
+//! * it owns the repository-level test and example sources in `/tests`
+//!   and `/examples` (see the `[[test]]`/`[[example]]` entries in its
+//!   `Cargo.toml`), and
+//! * it provides cross-crate smoke-test fixtures: the paper's cell-phone
+//!   scenario in the variants the solver backends are cross-checked on
+//!   (see `tests/solver_agreement.rs` in this package).
+
+use kibamrm::scenario::Scenario;
+use kibamrm::workload::Workload;
+use units::{Charge, Rate, Time};
+
+/// The paper's cell-phone scenario (Fig. 10 middle family): simple
+/// workload, 800 mAh, `c = 0.625`, `k = 4.5·10⁻⁵/s`. Only the
+/// approximate backends apply.
+///
+/// # Panics
+///
+/// Panics if the paper constants ever fail validation (they cannot).
+pub fn cell_phone_two_well(delta_mah: f64, runs: usize) -> Scenario {
+    Scenario::builder()
+        .name("cell-phone-two-well")
+        .workload(Workload::simple_model().expect("paper workload"))
+        .capacity(Charge::from_milliamp_hours(800.0))
+        .kibam(0.625, Rate::per_second(4.5e-5))
+        .times((5..=28).map(|h| Time::from_hours(h as f64)).collect())
+        .delta(Charge::from_milliamp_hours(delta_mah))
+        .simulation(runs, 1007)
+        .build()
+        .expect("paper constants are valid")
+}
+
+/// The linear variant (Fig. 10 rightmost curve): `c = 1`, where all
+/// three backends — including the exact one — apply.
+///
+/// # Panics
+///
+/// Panics if the paper constants ever fail validation (they cannot).
+pub fn cell_phone_linear(delta_mah: f64, runs: usize) -> Scenario {
+    cell_phone_two_well(delta_mah, runs)
+        .with_name("cell-phone-linear")
+        .with_kibam(1.0, Rate::per_second(0.0))
+        .expect("c = 1 is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let two_well = cell_phone_two_well(25.0, 10);
+        assert!(!two_well.is_linear());
+        assert_eq!(two_well.sim_runs(), 10);
+        let linear = cell_phone_linear(25.0, 10);
+        assert!(linear.is_linear());
+        assert_eq!(linear.capacity(), two_well.capacity());
+    }
+}

@@ -1,0 +1,73 @@
+//! Cross-crate smoke tests: the whole stack — units → numerics → markov /
+//! battery → sim → kibamrm — exercised through the solver facade on the
+//! paper's cell-phone scenario, asserting that every applicable method
+//! agrees within tolerance.
+
+use integration::{cell_phone_linear, cell_phone_two_well};
+use kibamrm::solver::{LifetimeSolver, SericolaSolver, SolverRegistry};
+use units::Time;
+
+/// All three backends on the linear (`c = 1`) cell-phone scenario: the
+/// exact curve is the reference; discretisation at Δ = 2 mAh and 800
+/// simulation runs must both track it closely.
+#[test]
+fn all_three_solvers_agree_on_the_linear_cell_phone() {
+    let scenario = cell_phone_linear(2.0, 800);
+    let registry = SolverRegistry::with_default_backends();
+    // auto() must prefer the exact method here.
+    assert_eq!(registry.auto(&scenario).unwrap().name(), "sericola");
+
+    let cv = registry.cross_validate(&scenario).unwrap();
+    assert_eq!(cv.results.len(), 3, "all three backends must run");
+    let exact = cv.result("sericola").unwrap();
+    let approx = cv.result("discretisation").unwrap();
+    let sim = cv.result("simulation").unwrap();
+
+    let d_approx = exact.max_difference(approx).unwrap();
+    assert!(d_approx < 0.03, "exact vs discretisation: {d_approx}");
+    // 800 runs ⇒ binomial σ ≤ 0.018; allow ~3σ.
+    let d_sim = exact.max_difference(sim).unwrap();
+    assert!(d_sim < 0.055, "exact vs simulation: {d_sim}");
+
+    // The three medians agree to within a grid step.
+    let medians: Vec<f64> = cv
+        .results
+        .iter()
+        .map(|d| d.median().expect("curve crosses 1/2").as_hours())
+        .collect();
+    let spread = medians.iter().cloned().fold(f64::MIN, f64::max)
+        - medians.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 1.0, "median spread {spread} h across {medians:?}");
+}
+
+/// The two-well cell-phone scenario: Sericola rules itself out, the two
+/// approximate methods agree (paper: the algorithm "gave good results").
+#[test]
+fn approximate_solvers_agree_on_the_two_well_cell_phone() {
+    let scenario = cell_phone_two_well(2.0, 800);
+    let registry = SolverRegistry::with_default_backends();
+    assert_eq!(registry.auto(&scenario).unwrap().name(), "discretisation");
+
+    let cv = registry.cross_validate(&scenario).unwrap();
+    assert_eq!(cv.results.len(), 2);
+    assert!(cv.result("sericola").is_none());
+    assert!(
+        cv.max_disagreement() < 0.07,
+        "discretisation vs simulation: {}",
+        cv.max_disagreement()
+    );
+}
+
+/// The serialised form of the scenario is solvable end to end: config
+/// text → Scenario → solver → distribution, with the same answer.
+#[test]
+fn config_roundtrip_solves_identically() {
+    let scenario = cell_phone_linear(25.0, 50);
+    let text = scenario.to_config_string().unwrap();
+    let parsed = kibamrm::scenario::Scenario::from_config_str(&text).unwrap();
+    let solver = SericolaSolver::new();
+    let a = solver.solve(&scenario).unwrap();
+    let b = solver.solve(&parsed).unwrap();
+    assert!(a.max_difference(&b).unwrap() < 1e-12);
+    assert!(a.cdf(Time::from_hours(28.0)) > 0.9);
+}

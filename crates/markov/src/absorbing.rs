@@ -21,7 +21,10 @@ pub struct AbsorbingOptions {
 
 impl Default for AbsorbingOptions {
     fn default() -> Self {
-        AbsorbingOptions { tolerance: 1e-12, max_sweeps: 1_000_000 }
+        AbsorbingOptions {
+            tolerance: 1e-12,
+            max_sweeps: 1_000_000,
+        }
     }
 }
 
@@ -223,7 +226,10 @@ mod tests {
     #[test]
     fn no_convergence_reported() {
         let c = line();
-        let opts = AbsorbingOptions { tolerance: 0.0, max_sweeps: 2 };
+        let opts = AbsorbingOptions {
+            tolerance: 0.0,
+            max_sweeps: 2,
+        };
         assert!(matches!(
             mean_time_to_absorption(&c, &opts),
             Err(MarkovError::NoConvergence(_))

@@ -58,10 +58,16 @@ impl CtmcBuilder {
     /// [`MarkovError::InvalidRate`] for negative or non-finite rates.
     pub fn rate(&mut self, from: usize, to: usize, rate: f64) -> Result<&mut Self, MarkovError> {
         if from >= self.n {
-            return Err(MarkovError::StateOutOfRange { state: from, n_states: self.n });
+            return Err(MarkovError::StateOutOfRange {
+                state: from,
+                n_states: self.n,
+            });
         }
         if to >= self.n {
-            return Err(MarkovError::StateOutOfRange { state: to, n_states: self.n });
+            return Err(MarkovError::StateOutOfRange {
+                state: to,
+                n_states: self.n,
+            });
         }
         if from == to {
             return Err(MarkovError::SelfLoop { state: from });
@@ -101,7 +107,12 @@ impl CtmcBuilder {
         }
         let rates = CsrMatrix::from_triplets(self.n, self.n, self.triplets)?;
         let exit = rates.row_sums();
-        Ok(Ctmc { n: self.n, rates, exit, labels: self.labels })
+        Ok(Ctmc {
+            n: self.n,
+            rates,
+            exit,
+            labels: self.labels,
+        })
     }
 }
 
@@ -252,7 +263,9 @@ impl Ctmc {
             )));
         }
         if alpha.iter().any(|&p| !(0.0..=1.0 + 1e-9).contains(&p)) {
-            return Err(MarkovError::InvalidDistribution("entry outside [0, 1]".into()));
+            return Err(MarkovError::InvalidDistribution(
+                "entry outside [0, 1]".into(),
+            ));
         }
         let total: f64 = alpha.iter().sum();
         if (total - 1.0).abs() > 1e-6 {
@@ -268,7 +281,10 @@ impl Ctmc {
     /// [`MarkovError::StateOutOfRange`] when `state >= n_states()`.
     pub fn point_distribution(&self, state: usize) -> Result<Vec<f64>, MarkovError> {
         if state >= self.n {
-            return Err(MarkovError::StateOutOfRange { state, n_states: self.n });
+            return Err(MarkovError::StateOutOfRange {
+                state,
+                n_states: self.n,
+            });
         }
         let mut alpha = vec![0.0; self.n];
         alpha[state] = 1.0;
@@ -291,14 +307,32 @@ mod tests {
     #[test]
     fn builder_validation() {
         let mut b = CtmcBuilder::new(2);
-        assert!(matches!(b.rate(2, 0, 1.0), Err(MarkovError::StateOutOfRange { .. })));
-        assert!(matches!(b.rate(0, 5, 1.0), Err(MarkovError::StateOutOfRange { .. })));
-        assert!(matches!(b.rate(0, 0, 1.0), Err(MarkovError::SelfLoop { .. })));
-        assert!(matches!(b.rate(0, 1, -1.0), Err(MarkovError::InvalidRate { .. })));
-        assert!(matches!(b.rate(0, 1, f64::NAN), Err(MarkovError::InvalidRate { .. })));
+        assert!(matches!(
+            b.rate(2, 0, 1.0),
+            Err(MarkovError::StateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.rate(0, 5, 1.0),
+            Err(MarkovError::StateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.rate(0, 0, 1.0),
+            Err(MarkovError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            b.rate(0, 1, -1.0),
+            Err(MarkovError::InvalidRate { .. })
+        ));
+        assert!(matches!(
+            b.rate(0, 1, f64::NAN),
+            Err(MarkovError::InvalidRate { .. })
+        ));
         b.rate(0, 1, 0.0).unwrap(); // zero rates allowed, ignored
         assert_eq!(b.transition_count(), 0);
-        assert!(matches!(CtmcBuilder::new(0).build(), Err(MarkovError::EmptyChain)));
+        assert!(matches!(
+            CtmcBuilder::new(0).build(),
+            Err(MarkovError::EmptyChain)
+        ));
     }
 
     #[test]

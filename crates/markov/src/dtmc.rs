@@ -120,16 +120,20 @@ impl Dtmc {
         for _ in 0..max_iter {
             let stepped = self.step(&v)?;
             // Cesàro smoothing: average of v and vP.
-            let mixed: Vec<f64> =
-                v.iter().zip(&stepped).map(|(a, b)| 0.5 * (a + b)).collect();
-            let delta =
-                v.iter().zip(&mixed).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+            let mixed: Vec<f64> = v.iter().zip(&stepped).map(|(a, b)| 0.5 * (a + b)).collect();
+            let delta = v
+                .iter()
+                .zip(&mixed)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
             v = mixed;
             if delta < tolerance {
                 return Ok(v);
             }
         }
-        Err(MarkovError::NoConvergence("power iteration exhausted".into()))
+        Err(MarkovError::NoConvergence(
+            "power iteration exhausted".into(),
+        ))
     }
 }
 
@@ -144,7 +148,10 @@ mod tests {
         assert!(Dtmc::new(not_square).is_err());
         let bad_sum = CsrMatrix::from_triplets(1, 1, vec![(0, 0, 0.7)]).unwrap();
         assert!(Dtmc::new(bad_sum).is_err());
-        assert!(matches!(Dtmc::new(CsrMatrix::zeros(0, 0)), Err(MarkovError::EmptyChain)));
+        assert!(matches!(
+            Dtmc::new(CsrMatrix::zeros(0, 0)),
+            Err(MarkovError::EmptyChain)
+        ));
         // Row sums to one but carries a negative entry.
         let negative =
             CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.5), (0, 1, -0.5), (1, 1, 1.0)]).unwrap();
@@ -170,7 +177,10 @@ mod tests {
         let p = CsrMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
         let d = Dtmc::new(p).unwrap();
         assert_eq!(d.step(&[1.0, 0.0]).unwrap(), vec![0.0, 1.0]);
-        assert_eq!(d.distribution_after(&[1.0, 0.0], 2).unwrap(), vec![1.0, 0.0]);
+        assert_eq!(
+            d.distribution_after(&[1.0, 0.0], 2).unwrap(),
+            vec![1.0, 0.0]
+        );
         assert!(d.step(&[1.0]).is_err());
     }
 
@@ -202,6 +212,9 @@ mod tests {
     fn no_convergence_when_iterations_too_small() {
         let p = CsrMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
         let d = Dtmc::new(p).unwrap();
-        assert!(matches!(d.stationary_power(0.0, 2), Err(MarkovError::NoConvergence(_))));
+        assert!(matches!(
+            d.stationary_power(0.0, 2),
+            Err(MarkovError::NoConvergence(_))
+        ));
     }
 }

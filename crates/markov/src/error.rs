@@ -41,13 +41,19 @@ impl fmt::Display for MarkovError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MarkovError::StateOutOfRange { state, n_states } => {
-                write!(f, "state {state} out of range for chain with {n_states} states")
+                write!(
+                    f,
+                    "state {state} out of range for chain with {n_states} states"
+                )
             }
             MarkovError::InvalidRate { from, to, rate } => {
                 write!(f, "invalid rate {rate} on transition {from} -> {to}")
             }
             MarkovError::SelfLoop { state } => {
-                write!(f, "self-loop on state {state} is not allowed in a generator")
+                write!(
+                    f,
+                    "self-loop on state {state} is not allowed in a generator"
+                )
             }
             MarkovError::EmptyChain => write!(f, "chain must have at least one state"),
             MarkovError::InvalidDistribution(msg) => {
@@ -68,8 +74,21 @@ mod tests {
     #[test]
     fn display_messages() {
         let cases: Vec<(MarkovError, &str)> = vec![
-            (MarkovError::StateOutOfRange { state: 5, n_states: 3 }, "state 5"),
-            (MarkovError::InvalidRate { from: 0, to: 1, rate: -1.0 }, "invalid rate"),
+            (
+                MarkovError::StateOutOfRange {
+                    state: 5,
+                    n_states: 3,
+                },
+                "state 5",
+            ),
+            (
+                MarkovError::InvalidRate {
+                    from: 0,
+                    to: 1,
+                    rate: -1.0,
+                },
+                "invalid rate",
+            ),
             (MarkovError::SelfLoop { state: 2 }, "self-loop"),
             (MarkovError::EmptyChain, "at least one state"),
             (MarkovError::InvalidDistribution("x".into()), "distribution"),

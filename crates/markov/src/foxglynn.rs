@@ -78,7 +78,12 @@ pub fn poisson_weights(lambda: f64, epsilon: f64) -> Result<PoissonWeights, Mark
         )));
     }
     if lambda == 0.0 {
-        return Ok(PoissonWeights { left: 0, right: 0, weights: vec![1.0], mass_covered: 1.0 });
+        return Ok(PoissonWeights {
+            left: 0,
+            right: 0,
+            weights: vec![1.0],
+            mass_covered: 1.0,
+        });
     }
 
     let mode = lambda.floor() as usize;
@@ -142,7 +147,12 @@ pub fn poisson_weights(lambda: f64, epsilon: f64) -> Result<PoissonWeights, Mark
     for w in &mut weights {
         *w /= mass;
     }
-    Ok(PoissonWeights { left, right, weights, mass_covered: mass })
+    Ok(PoissonWeights {
+        left,
+        right,
+        weights,
+        mass_covered: mass,
+    })
 }
 
 #[cfg(test)]
@@ -182,7 +192,11 @@ mod tests {
             let w = poisson_weights(lambda, 1e-10).unwrap();
             let total: f64 = w.weights.iter().sum();
             assert!((total - 1.0).abs() < 1e-12, "λ = {lambda}");
-            assert!(w.mass_covered > 1.0 - 1e-9, "λ = {lambda}: {}", w.mass_covered);
+            assert!(
+                w.mass_covered > 1.0 - 1e-9,
+                "λ = {lambda}: {}",
+                w.mass_covered
+            );
         }
     }
 

@@ -47,7 +47,9 @@ impl MarkovRewardModel {
             )));
         }
         if rewards.iter().any(|r| !r.is_finite()) {
-            return Err(MarkovError::InvalidArgument("non-finite reward rate".into()));
+            return Err(MarkovError::InvalidArgument(
+                "non-finite reward rate".into(),
+            ));
         }
         Ok(MarkovRewardModel { ctmc, rewards })
     }
@@ -83,7 +85,12 @@ impl MarkovRewardModel {
         epsilon: f64,
     ) -> Result<f64, MarkovError> {
         let sol = crate::transient::transient_distribution(&self.ctmc, alpha, t, epsilon)?;
-        Ok(sol.distribution.iter().zip(&self.rewards).map(|(p, r)| p * r).sum())
+        Ok(sol
+            .distribution
+            .iter()
+            .zip(&self.rewards)
+            .map(|(p, r)| p * r)
+            .sum())
     }
 
     /// Expected accumulated reward `E[Y(t)]` via the uniformisation
@@ -114,7 +121,11 @@ impl MarkovRewardModel {
         let (p, nu) = self.ctmc.uniformised(1.02)?;
         if nu == 0.0 {
             // No transitions at all: Y(t) = r_{X(0)}·t.
-            return Ok(alpha.iter().zip(&self.rewards).map(|(a, r)| a * r * t).sum());
+            return Ok(alpha
+                .iter()
+                .zip(&self.rewards)
+                .map(|(a, r)| a * r * t)
+                .sum());
         }
         let pt = p.transpose();
         let w = poisson_weights(nu * t, epsilon)?;
@@ -166,7 +177,9 @@ mod tests {
     fn constant_reward_accumulates_linearly() {
         let m = MarkovRewardModel::new(two_state(2.0, 3.0), vec![5.0, 5.0]).unwrap();
         for &t in &[0.1, 1.0, 7.5] {
-            let y = m.expected_accumulated_reward(&[1.0, 0.0], t, 1e-12).unwrap();
+            let y = m
+                .expected_accumulated_reward(&[1.0, 0.0], t, 1e-12)
+                .unwrap();
             assert!((y - 5.0 * t).abs() < 1e-8, "t = {t}: {y}");
         }
     }
@@ -174,7 +187,11 @@ mod tests {
     #[test]
     fn zero_time_zero_reward() {
         let m = MarkovRewardModel::new(two_state(1.0, 1.0), vec![1.0, 2.0]).unwrap();
-        assert_eq!(m.expected_accumulated_reward(&[1.0, 0.0], 0.0, 1e-12).unwrap(), 0.0);
+        assert_eq!(
+            m.expected_accumulated_reward(&[1.0, 0.0], 0.0, 1e-12)
+                .unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -186,7 +203,9 @@ mod tests {
         b.rate(0, 1, a).unwrap();
         let m = MarkovRewardModel::new(b.build().unwrap(), vec![1.0, 0.0]).unwrap();
         for &t in &[0.2, 1.0, 3.0, 10.0] {
-            let y = m.expected_accumulated_reward(&[1.0, 0.0], t, 1e-12).unwrap();
+            let y = m
+                .expected_accumulated_reward(&[1.0, 0.0], t, 1e-12)
+                .unwrap();
             let expect = (1.0 - (-a * t).exp()) / a;
             assert!((y - expect).abs() < 1e-9, "t = {t}: {y} vs {expect}");
         }
@@ -196,7 +215,9 @@ mod tests {
     fn no_transition_chain_linear_reward() {
         let c = CtmcBuilder::new(2).build().unwrap();
         let m = MarkovRewardModel::new(c, vec![3.0, 7.0]).unwrap();
-        let y = m.expected_accumulated_reward(&[0.5, 0.5], 2.0, 1e-12).unwrap();
+        let y = m
+            .expected_accumulated_reward(&[0.5, 0.5], 2.0, 1e-12)
+            .unwrap();
         assert!((y - (0.5 * 3.0 + 0.5 * 7.0) * 2.0).abs() < 1e-12);
     }
 
@@ -204,7 +225,9 @@ mod tests {
     fn instantaneous_reward_converges_to_stationary_mix() {
         // Stationary distribution of (1.0, 3.0) chain is (0.75, 0.25).
         let m = MarkovRewardModel::new(two_state(1.0, 3.0), vec![8.0, 200.0]).unwrap();
-        let r = m.expected_instantaneous_reward(&[1.0, 0.0], 100.0, 1e-12).unwrap();
+        let r = m
+            .expected_instantaneous_reward(&[1.0, 0.0], 100.0, 1e-12)
+            .unwrap();
         assert!((r - (0.75 * 8.0 + 0.25 * 200.0)).abs() < 1e-6, "r = {r}");
     }
 
@@ -213,7 +236,9 @@ mod tests {
         let m = MarkovRewardModel::new(two_state(2.0, 1.0), vec![1.0, 4.0]).unwrap();
         let mut prev = 0.0;
         for i in 1..=10 {
-            let y = m.expected_accumulated_reward(&[1.0, 0.0], i as f64 * 0.5, 1e-11).unwrap();
+            let y = m
+                .expected_accumulated_reward(&[1.0, 0.0], i as f64 * 0.5, 1e-11)
+                .unwrap();
             assert!(y >= prev - 1e-10);
             prev = y;
         }
@@ -222,6 +247,8 @@ mod tests {
     #[test]
     fn bad_time_rejected() {
         let m = MarkovRewardModel::new(two_state(1.0, 1.0), vec![1.0, 0.0]).unwrap();
-        assert!(m.expected_accumulated_reward(&[1.0, 0.0], -1.0, 1e-12).is_err());
+        assert!(m
+            .expected_accumulated_reward(&[1.0, 0.0], -1.0, 1e-12)
+            .is_err());
     }
 }

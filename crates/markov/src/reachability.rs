@@ -168,13 +168,8 @@ mod tests {
         let chain = b.build().unwrap();
         let opts = TransientOptions::default();
         assert!(time_bounded_reachability(&chain, &[true], &[1.0, 0.0], &[1.0], &opts).is_err());
-        assert!(time_bounded_reachability(
-            &chain,
-            &[false, false],
-            &[1.0, 0.0],
-            &[1.0],
-            &opts
-        )
-        .is_err());
+        assert!(
+            time_bounded_reachability(&chain, &[false, false], &[1.0, 0.0], &[1.0], &opts).is_err()
+        );
     }
 }

@@ -51,7 +51,10 @@ pub struct PerformabilityOptions {
 
 impl Default for PerformabilityOptions {
     fn default() -> Self {
-        PerformabilityOptions { epsilon: 1e-10, uniformisation_factor: 1.02 }
+        PerformabilityOptions {
+            epsilon: 1e-10,
+            uniformisation_factor: 1.02,
+        }
     }
 }
 
@@ -109,7 +112,9 @@ pub fn reward_exceeds_curve(
     let ctmc = mrm.ctmc();
     ctmc.check_distribution(alpha)?;
     if times.is_empty() {
-        return Err(MarkovError::InvalidArgument("no time points requested".into()));
+        return Err(MarkovError::InvalidArgument(
+            "no time points requested".into(),
+        ));
     }
     if times.iter().any(|t| !t.is_finite() || *t < 0.0) || !y.is_finite() {
         return Err(MarkovError::InvalidArgument(format!(
@@ -132,7 +137,12 @@ pub fn reward_exceeds_curve(
     let class_of: Vec<usize> = mrm
         .rewards()
         .iter()
-        .map(|&r| classes.iter().position(|&c| c == r).expect("reward present"))
+        .map(|&r| {
+            classes
+                .iter()
+                .position(|&c| c == r)
+                .expect("reward present")
+        })
         .collect();
 
     let (p, nu) = ctmc.uniformised(opts.uniformisation_factor)?;
@@ -189,7 +199,11 @@ pub fn reward_exceeds_curve(
         return Ok(results);
     }
 
-    let r_right = active.iter().map(|a| a.weights.right).max().expect("nonempty");
+    let r_right = active
+        .iter()
+        .map(|a| a.weights.right)
+        .max()
+        .expect("nonempty");
     let n_states = ctmc.n_states();
     let n_intervals = k_classes - 1;
     let ln_fact = ln_factorial_table(r_right + 1);
@@ -233,7 +247,11 @@ pub fn reward_exceeds_curve(
                 let ln_binom = ln_fact[n] - ln_fact[k] - ln_fact[n - k];
                 let ln_term = ln_binom
                     + if k == 0 { 0.0 } else { k as f64 * a.ln_x }
-                    + if n == k { 0.0 } else { (n - k) as f64 * a.ln_1mx };
+                    + if n == k {
+                        0.0
+                    } else {
+                        (n - k) as f64 * a.ln_1mx
+                    };
                 inner += ln_term.exp() * beta;
             }
             results[a.out].1 += wn * inner;
@@ -283,8 +301,9 @@ fn advance_level(
         })
         .collect();
 
-    let mut b_cur: Vec<Vec<Vec<f64>>> =
-        (0..n_intervals).map(|_| vec![vec![0.0; n_states]; n + 1]).collect();
+    let mut b_cur: Vec<Vec<Vec<f64>>> = (0..n_intervals)
+        .map(|_| vec![vec![0.0; n_states]; n + 1])
+        .collect();
 
     // FAST phase: intervals from the bottom (j = K−2) upward; k ascending.
     for j in (0..n_intervals).rev() {
@@ -293,8 +312,11 @@ fn advance_level(
         // Base k = 0: chain to interval j+1's k = n, or 1 below the bottom.
         for i in 0..n_states {
             if class_of[i] <= j {
-                b_cur[j][0][i] =
-                    if j + 1 < n_intervals { b_cur[j + 1][n][i] } else { 1.0 };
+                b_cur[j][0][i] = if j + 1 < n_intervals {
+                    b_cur[j + 1][n][i]
+                } else {
+                    1.0
+                };
             }
         }
         for k in 1..=n {
@@ -304,8 +326,7 @@ fn advance_level(
                     let r_i = classes[l];
                     let a_coef = (r_i - r_top) / (r_i - r_bot);
                     let b_coef = (r_top - r_bot) / (r_i - r_bot);
-                    b_cur[j][k][i] =
-                        a_coef * b_cur[j][k - 1][i] + b_coef * products[j][k - 1][i];
+                    b_cur[j][k][i] = a_coef * b_cur[j][k - 1][i] + b_coef * products[j][k - 1][i];
                 }
             }
         }
@@ -328,8 +349,7 @@ fn advance_level(
                     let r_i = classes[l];
                     let a_coef = (r_bot - r_i) / (r_top - r_i);
                     let b_coef = (r_top - r_bot) / (r_top - r_i);
-                    b_cur[j][k][i] =
-                        a_coef * b_cur[j][k + 1][i] + b_coef * products[j][k][i];
+                    b_cur[j][k][i] = a_coef * b_cur[j][k + 1][i] + b_coef * products[j][k][i];
                 }
             }
         }
@@ -355,7 +375,10 @@ mod tests {
     use crate::ctmc::{Ctmc, CtmcBuilder};
 
     fn opts() -> PerformabilityOptions {
-        PerformabilityOptions { epsilon: 1e-12, ..Default::default() }
+        PerformabilityOptions {
+            epsilon: 1e-12,
+            ..Default::default()
+        }
     }
 
     fn on_off(a: f64, b: f64) -> Ctmc {
@@ -369,9 +392,18 @@ mod tests {
     fn degenerate_single_state() {
         let chain = CtmcBuilder::new(1).build().unwrap();
         let mrm = MarkovRewardModel::new(chain, vec![2.0]).unwrap();
-        assert_eq!(reward_exceeds_probability(&mrm, &[1.0], 3.0, 5.0, &opts()).unwrap(), 1.0);
-        assert_eq!(reward_exceeds_probability(&mrm, &[1.0], 3.0, 6.0, &opts()).unwrap(), 0.0);
-        assert_eq!(reward_exceeds_probability(&mrm, &[1.0], 3.0, 7.0, &opts()).unwrap(), 0.0);
+        assert_eq!(
+            reward_exceeds_probability(&mrm, &[1.0], 3.0, 5.0, &opts()).unwrap(),
+            1.0
+        );
+        assert_eq!(
+            reward_exceeds_probability(&mrm, &[1.0], 3.0, 6.0, &opts()).unwrap(),
+            0.0
+        );
+        assert_eq!(
+            reward_exceeds_probability(&mrm, &[1.0], 3.0, 7.0, &opts()).unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -390,7 +422,10 @@ mod tests {
     #[test]
     fn zero_time_edge() {
         let mrm = MarkovRewardModel::new(on_off(1.0, 1.0), vec![1.0, 0.0]).unwrap();
-        assert_eq!(reward_exceeds_probability(&mrm, &[1.0, 0.0], 0.0, 0.5, &opts()).unwrap(), 0.0);
+        assert_eq!(
+            reward_exceeds_probability(&mrm, &[1.0, 0.0], 0.0, 0.5, &opts()).unwrap(),
+            0.0
+        );
         assert_eq!(
             reward_exceeds_probability(&mrm, &[1.0, 0.0], 0.0, -0.5, &opts()).unwrap(),
             1.0
@@ -412,8 +447,14 @@ mod tests {
         let alpha = [0.5, 0.5];
         let t = 2.0;
         // y below r_min·t ⇒ certain, y at/above r_max·t ⇒ impossible.
-        assert_eq!(reward_exceeds_probability(&mrm, &alpha, t, 1.9, &opts()).unwrap(), 1.0);
-        assert_eq!(reward_exceeds_probability(&mrm, &alpha, t, 10.0, &opts()).unwrap(), 0.0);
+        assert_eq!(
+            reward_exceeds_probability(&mrm, &alpha, t, 1.9, &opts()).unwrap(),
+            1.0
+        );
+        assert_eq!(
+            reward_exceeds_probability(&mrm, &alpha, t, 10.0, &opts()).unwrap(),
+            0.0
+        );
         // In between: strictly between 0 and 1, monotone decreasing in y.
         let mut prev = 1.0;
         for i in 1..10 {
@@ -494,8 +535,7 @@ mod tests {
         let alpha = [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0];
         let t = 2.0;
         let boundary = 2.0 * t;
-        let below =
-            reward_exceeds_probability(&mrm, &alpha, t, boundary - 1e-9, &opts()).unwrap();
+        let below = reward_exceeds_probability(&mrm, &alpha, t, boundary - 1e-9, &opts()).unwrap();
         let at = reward_exceeds_probability(&mrm, &alpha, t, boundary, &opts()).unwrap();
         let atom = alpha[1] * (-1.5 * t).exp();
         assert!(

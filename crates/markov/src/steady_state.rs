@@ -95,7 +95,10 @@ pub struct GaussSeidelOptions {
 
 impl Default for GaussSeidelOptions {
     fn default() -> Self {
-        GaussSeidelOptions { tolerance: 1e-12, max_sweeps: 100_000 }
+        GaussSeidelOptions {
+            tolerance: 1e-12,
+            max_sweeps: 100_000,
+        }
     }
 }
 
@@ -186,7 +189,10 @@ mod tests {
         let rho: f64 = 0.5;
         let norm: f64 = (0..5).map(|i| rho.powi(i)).sum();
         for i in 0..5 {
-            assert!((pi[i] - rho.powi(i as i32) / norm).abs() < 1e-13, "state {i}");
+            assert!(
+                (pi[i] - rho.powi(i as i32) / norm).abs() < 1e-13,
+                "state {i}"
+            );
         }
     }
 
@@ -213,7 +219,10 @@ mod tests {
         b.rate(1, 0, 1.0).unwrap();
         // State 2 unreachable and cannot leave.
         let chain = b.build().unwrap();
-        assert!(matches!(stationary_gth(&chain), Err(MarkovError::NoConvergence(_))));
+        assert!(matches!(
+            stationary_gth(&chain),
+            Err(MarkovError::NoConvergence(_))
+        ));
     }
 
     #[test]
@@ -250,7 +259,10 @@ mod tests {
     #[test]
     fn gauss_seidel_iteration_limit() {
         let chain = birth_death(10, 1.0, 1.0);
-        let opts = GaussSeidelOptions { tolerance: 0.0, max_sweeps: 3 };
+        let opts = GaussSeidelOptions {
+            tolerance: 0.0,
+            max_sweeps: 3,
+        };
         assert!(matches!(
             stationary_gauss_seidel(&chain, &opts),
             Err(MarkovError::NoConvergence(_))

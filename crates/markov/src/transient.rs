@@ -85,7 +85,10 @@ pub fn transient_distribution(
     t: f64,
     epsilon: f64,
 ) -> Result<TransientSolution, MarkovError> {
-    let opts = TransientOptions { epsilon, ..Default::default() };
+    let opts = TransientOptions {
+        epsilon,
+        ..Default::default()
+    };
     transient_distribution_with(ctmc, alpha, t, &opts)
 }
 
@@ -109,7 +112,11 @@ pub fn transient_distribution_with(
     }
     let (p, nu) = ctmc.uniformised(opts.uniformisation_factor)?;
     if nu == 0.0 || t == 0.0 {
-        return Ok(TransientSolution { distribution: alpha.to_vec(), iterations: 0, nu });
+        return Ok(TransientSolution {
+            distribution: alpha.to_vec(),
+            iterations: 0,
+            nu,
+        });
     }
     let pt = p.transpose();
     let w = poisson_weights(nu * t, opts.epsilon)?;
@@ -130,8 +137,7 @@ pub fn transient_distribution_with(
         if wn > 0.0 {
             accumulate(&mut out, &v, wn);
         }
-        if opts.steady_state_tolerance > 0.0 && sup_diff(&v, &next) < opts.steady_state_tolerance
-        {
+        if opts.steady_state_tolerance > 0.0 && sup_diff(&v, &next) < opts.steady_state_tolerance {
             // Iterates are stationary: the remaining Poisson mass applies
             // to the converged vector.
             let remaining: f64 = (n + 1..=w.right).map(|m| w.weight(m)).sum();
@@ -139,7 +145,11 @@ pub fn transient_distribution_with(
             break;
         }
     }
-    Ok(TransientSolution { distribution: out, iterations, nu })
+    Ok(TransientSolution {
+        distribution: out,
+        iterations,
+        nu,
+    })
 }
 
 /// Computes the curve `t ↦ Σ_i measure[i]·π_i(t)` over all `times` with a
@@ -170,10 +180,14 @@ pub fn measure_curve(
         )));
     }
     if times.is_empty() {
-        return Err(MarkovError::InvalidArgument("no time points requested".into()));
+        return Err(MarkovError::InvalidArgument(
+            "no time points requested".into(),
+        ));
     }
     if times.iter().any(|&t| !t.is_finite() || t < 0.0) {
-        return Err(MarkovError::InvalidArgument("times must be finite and ≥ 0".into()));
+        return Err(MarkovError::InvalidArgument(
+            "times must be finite and ≥ 0".into(),
+        ));
     }
 
     let (p, nu) = ctmc.uniformised(opts.uniformisation_factor)?;
@@ -204,8 +218,7 @@ pub fn measure_curve(
         std::mem::swap(&mut v, &mut next);
         iterations += 1;
         s.push(dot(&v, measure));
-        if opts.steady_state_tolerance > 0.0 && sup_diff(&v, &next) < opts.steady_state_tolerance
-        {
+        if opts.steady_state_tolerance > 0.0 && sup_diff(&v, &next) < opts.steady_state_tolerance {
             converged_at = Some(n);
             break;
         }
@@ -227,7 +240,12 @@ pub fn measure_curve(
         }
         points.push((t, value));
     }
-    Ok(CurveSolution { points, iterations, converged_at, nu })
+    Ok(CurveSolution {
+        points,
+        iterations,
+        converged_at,
+        nu,
+    })
 }
 
 #[inline]
@@ -244,7 +262,10 @@ fn accumulate(out: &mut [f64], v: &[f64], w: f64) {
 
 #[inline]
 fn sup_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -349,12 +370,20 @@ mod tests {
         let chain = two_state(2.0, 3.0);
         let times = [0.0, 0.2, 0.5, 1.3, 4.0];
         let measure = [1.0, 0.0]; // Pr[in state 0]
-        let curve =
-            measure_curve(&chain, &[1.0, 0.0], &times, &measure, &TransientOptions::default())
-                .unwrap();
+        let curve = measure_curve(
+            &chain,
+            &[1.0, 0.0],
+            &times,
+            &measure,
+            &TransientOptions::default(),
+        )
+        .unwrap();
         for (t, value) in &curve.points {
             let expect = closed_form_p00(2.0, 3.0, *t);
-            assert!((value - expect).abs() < 1e-9, "t = {t}: {value} vs {expect}");
+            assert!(
+                (value - expect).abs() < 1e-9,
+                "t = {t}: {value} vs {expect}"
+            );
         }
         // One sweep serves all points: iterations bounded by the largest t.
         let single = transient_distribution(&chain, &[1.0, 0.0], 4.0, 1e-10).unwrap();
@@ -378,7 +407,10 @@ mod tests {
         let mut b = CtmcBuilder::new(2);
         b.rate(0, 1, 5.0).unwrap();
         let chain = b.build().unwrap();
-        let opts = TransientOptions { steady_state_tolerance: 1e-13, ..Default::default() };
+        let opts = TransientOptions {
+            steady_state_tolerance: 1e-13,
+            ..Default::default()
+        };
         let curve = measure_curve(&chain, &[1.0, 0.0], &[1000.0], &[0.0, 1.0], &opts).unwrap();
         assert!(curve.converged_at.is_some());
         // νt ≈ 5100, but convergence must kick in within a few dozen steps.
@@ -408,7 +440,10 @@ mod tests {
     #[test]
     fn distribution_stays_stochastic_under_uniformisation_factor_one() {
         let chain = two_state(1.0, 1.0);
-        let opts = TransientOptions { uniformisation_factor: 1.0, ..Default::default() };
+        let opts = TransientOptions {
+            uniformisation_factor: 1.0,
+            ..Default::default()
+        };
         let sol = transient_distribution_with(&chain, &[1.0, 0.0], 2.5, &opts).unwrap();
         let total: f64 = sol.distribution.iter().sum();
         assert!((total - 1.0).abs() < 1e-10);

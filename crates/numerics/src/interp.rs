@@ -107,7 +107,9 @@ impl LinearInterpolator {
         let mut grid: Vec<f64> = self.xs.iter().chain(other.xs.iter()).copied().collect();
         grid.sort_by(|a, b| a.partial_cmp(b).expect("no NaN by construction"));
         grid.dedup();
-        grid.iter().map(|&x| (self.eval(x) - other.eval(x)).abs()).fold(0.0, f64::max)
+        grid.iter()
+            .map(|&x| (self.eval(x) - other.eval(x)).abs())
+            .fold(0.0, f64::max)
     }
 }
 

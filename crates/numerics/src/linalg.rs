@@ -50,7 +50,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -80,7 +84,11 @@ impl DenseMatrix {
         for r in rows {
             data.extend_from_slice(r);
         }
-        Ok(DenseMatrix { rows: rows.len(), cols, data })
+        Ok(DenseMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -213,8 +221,17 @@ impl DenseMatrix {
         if self.rows != rhs.rows || self.cols != rhs.cols {
             return Err(LinalgError::ShapeMismatch("add".into()));
         }
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Ok(DenseMatrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// `self · s` for a scalar `s`.
@@ -241,7 +258,9 @@ impl DenseMatrix {
     /// length; [`LinalgError::Singular`] when a pivot vanishes.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         if !self.is_square() {
-            return Err(LinalgError::ShapeMismatch("solve on non-square matrix".into()));
+            return Err(LinalgError::ShapeMismatch(
+                "solve on non-square matrix".into(),
+            ));
         }
         if b.len() != self.rows {
             return Err(LinalgError::ShapeMismatch("rhs length".into()));
@@ -310,12 +329,18 @@ impl DenseMatrix {
     /// [`LinalgError::Singular`] if the Padé denominator cannot be solved.
     pub fn expm(&self) -> Result<DenseMatrix, LinalgError> {
         if !self.is_square() {
-            return Err(LinalgError::ShapeMismatch("expm on non-square matrix".into()));
+            return Err(LinalgError::ShapeMismatch(
+                "expm on non-square matrix".into(),
+            ));
         }
         let n = self.rows;
         // Scale so that ‖A/2^s‖∞ ≤ 0.5.
         let norm = self.norm_inf();
-        let s = if norm > 0.5 { (norm / 0.5).log2().ceil() as u32 } else { 0 };
+        let s = if norm > 0.5 {
+            (norm / 0.5).log2().ceil() as u32
+        } else {
+            0
+        };
         let a = self.scale(1.0 / f64::powi(2.0, s as i32));
 
         // Padé(6,6): N = Σ c_k A^k, D = Σ (-1)^k c_k A^k.
@@ -426,7 +451,10 @@ mod tests {
         let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, DenseMatrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            DenseMatrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]
@@ -527,9 +555,13 @@ mod tests {
 
     fn random_generator(n: usize, seed: u64) -> DenseMatrix {
         // Tiny deterministic LCG so this helper needs no external RNG.
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut next = move || {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let mut q = DenseMatrix::zeros(n, n);

@@ -89,7 +89,10 @@ impl Trajectory {
     ///
     /// Panics if the trajectory is empty (drivers never return empty ones).
     pub fn last(&self) -> (f64, &[f64]) {
-        (*self.times.last().expect("nonempty trajectory"), self.states.last().unwrap())
+        (
+            *self.times.last().expect("nonempty trajectory"),
+            self.states.last().unwrap(),
+        )
     }
 }
 
@@ -108,10 +111,14 @@ fn check_input(
         )));
     }
     if !(t1 > t0) {
-        return Err(OdeError::BadInput(format!("need t1 > t0, got [{t0}, {t1}]")));
+        return Err(OdeError::BadInput(format!(
+            "need t1 > t0, got [{t0}, {t1}]"
+        )));
     }
     if !(step_like > 0.0) {
-        return Err(OdeError::BadInput(format!("step must be positive, got {step_like}")));
+        return Err(OdeError::BadInput(format!(
+            "step must be positive, got {step_like}"
+        )));
     }
     Ok(())
 }
@@ -136,7 +143,10 @@ pub fn euler(
     let mut y = y0.to_vec();
     let mut dydt = vec![0.0; dim];
     let mut t = t0;
-    let mut traj = Trajectory { times: vec![t0], states: vec![y.clone()] };
+    let mut traj = Trajectory {
+        times: vec![t0],
+        states: vec![y.clone()],
+    };
     while t < t1 {
         let step = h.min(t1 - t);
         system.deriv(t, &y, &mut dydt);
@@ -165,11 +175,18 @@ pub fn rk4(
     check_input(system, y0, t0, t1, h)?;
     let dim = system.dim();
     let mut y = y0.to_vec();
-    let (mut k1, mut k2, mut k3, mut k4) =
-        (vec![0.0; dim], vec![0.0; dim], vec![0.0; dim], vec![0.0; dim]);
+    let (mut k1, mut k2, mut k3, mut k4) = (
+        vec![0.0; dim],
+        vec![0.0; dim],
+        vec![0.0; dim],
+        vec![0.0; dim],
+    );
     let mut tmp = vec![0.0; dim];
     let mut t = t0;
-    let mut traj = Trajectory { times: vec![t0], states: vec![y.clone()] };
+    let mut traj = Trajectory {
+        times: vec![t0],
+        states: vec![y.clone()],
+    };
     while t < t1 {
         let step = h.min(t1 - t);
         system.deriv(t, &y, &mut k1);
@@ -212,7 +229,13 @@ pub struct AdaptiveOptions {
 
 impl Default for AdaptiveOptions {
     fn default() -> Self {
-        AdaptiveOptions { rtol: 1e-8, atol: 1e-10, h0: 1e-3, min_step: 1e-12, max_step: f64::MAX }
+        AdaptiveOptions {
+            rtol: 1e-8,
+            atol: 1e-10,
+            h0: 1e-3,
+            min_step: 1e-12,
+            max_step: f64::MAX,
+        }
     }
 }
 
@@ -239,14 +262,32 @@ pub fn rkf45(
         [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
         [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
         [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
-        [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+        [
+            -8.0 / 27.0,
+            2.0,
+            -3544.0 / 2565.0,
+            1859.0 / 4104.0,
+            -11.0 / 40.0,
+        ],
     ];
     const C: [f64; 6] = [0.0, 1.0 / 4.0, 3.0 / 8.0, 12.0 / 13.0, 1.0, 1.0 / 2.0];
     // 5th-order weights (solution) and 4th-order weights (error estimate).
-    const B5: [f64; 6] =
-        [16.0 / 135.0, 0.0, 6656.0 / 12825.0, 28561.0 / 56430.0, -9.0 / 50.0, 2.0 / 55.0];
-    const B4: [f64; 6] =
-        [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+    const B5: [f64; 6] = [
+        16.0 / 135.0,
+        0.0,
+        6656.0 / 12825.0,
+        28561.0 / 56430.0,
+        -9.0 / 50.0,
+        2.0 / 55.0,
+    ];
+    const B4: [f64; 6] = [
+        25.0 / 216.0,
+        0.0,
+        1408.0 / 2565.0,
+        2197.0 / 4104.0,
+        -1.0 / 5.0,
+        0.0,
+    ];
 
     let dim = system.dim();
     let mut y = y0.to_vec();
@@ -254,7 +295,10 @@ pub fn rkf45(
     let mut h = opts.h0.min(t1 - t0);
     let mut k = vec![vec![0.0; dim]; 6];
     let mut tmp = vec![0.0; dim];
-    let mut traj = Trajectory { times: vec![t0], states: vec![y.clone()] };
+    let mut traj = Trajectory {
+        times: vec![t0],
+        states: vec![y.clone()],
+    };
 
     while t < t1 {
         let remaining = t1 - t;
@@ -307,7 +351,11 @@ pub fn rkf45(
             traj.states.push(y.clone());
         }
         // Standard step controller (applies to both accept and reject).
-        let factor = if err_ratio > 0.0 { 0.9 * err_ratio.powf(-0.2) } else { 5.0 };
+        let factor = if err_ratio > 0.0 {
+            0.9 * err_ratio.powf(-0.2)
+        } else {
+            5.0
+        };
         h *= factor.clamp(0.2, 5.0);
     }
     Ok(traj)
@@ -367,7 +415,11 @@ mod tests {
     #[test]
     fn rkf45_adapts_and_matches() {
         let sys = oscillator();
-        let opts = AdaptiveOptions { rtol: 1e-10, atol: 1e-12, ..Default::default() };
+        let opts = AdaptiveOptions {
+            rtol: 1e-10,
+            atol: 1e-12,
+            ..Default::default()
+        };
         let traj = rkf45(&sys, &[1.0, 0.0], 0.0, 10.0, &opts).unwrap();
         let (t, y) = traj.last();
         assert!((t - 10.0).abs() < 1e-12);
@@ -386,23 +438,41 @@ mod tests {
     #[test]
     fn bad_inputs_rejected() {
         let sys = decay();
-        assert!(matches!(euler(&sys, &[1.0, 2.0], 0.0, 1.0, 0.1), Err(OdeError::BadInput(_))));
-        assert!(matches!(rk4(&sys, &[1.0], 1.0, 0.0, 0.1), Err(OdeError::BadInput(_))));
-        assert!(matches!(rk4(&sys, &[1.0], 0.0, 1.0, 0.0), Err(OdeError::BadInput(_))));
-        let opts = AdaptiveOptions { h0: -1.0, ..Default::default() };
+        assert!(matches!(
+            euler(&sys, &[1.0, 2.0], 0.0, 1.0, 0.1),
+            Err(OdeError::BadInput(_))
+        ));
+        assert!(matches!(
+            rk4(&sys, &[1.0], 1.0, 0.0, 0.1),
+            Err(OdeError::BadInput(_))
+        ));
+        assert!(matches!(
+            rk4(&sys, &[1.0], 0.0, 1.0, 0.0),
+            Err(OdeError::BadInput(_))
+        ));
+        let opts = AdaptiveOptions {
+            h0: -1.0,
+            ..Default::default()
+        };
         assert!(rkf45(&sys, &[1.0], 0.0, 1.0, &opts).is_err());
     }
 
     #[test]
     fn error_display() {
-        assert!(OdeError::BadInput("x".into()).to_string().contains("bad ODE input"));
-        assert!(OdeError::StepUnderflow { t: 1.0 }.to_string().contains("underflow"));
+        assert!(OdeError::BadInput("x".into())
+            .to_string()
+            .contains("bad ODE input"));
+        assert!(OdeError::StepUnderflow { t: 1.0 }
+            .to_string()
+            .contains("underflow"));
     }
 
     #[test]
     fn trajectory_last_returns_final_sample() {
-        let traj =
-            Trajectory { times: vec![0.0, 1.0], states: vec![vec![1.0], vec![2.0]] };
+        let traj = Trajectory {
+            times: vec![0.0, 1.0],
+            states: vec![vec![1.0], vec![2.0]],
+        };
         let (t, y) = traj.last();
         assert_eq!(t, 1.0);
         assert_eq!(y, &[2.0]);

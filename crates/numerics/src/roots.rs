@@ -192,7 +192,9 @@ pub fn bracket_forward(
     hi_limit: f64,
 ) -> Result<(f64, f64), RootError> {
     if !(step > 0.0) {
-        return Err(RootError::BadInput(format!("step must be positive, got {step}")));
+        return Err(RootError::BadInput(format!(
+            "step must be positive, got {step}"
+        )));
     }
     let fa = f(a);
     if fa == 0.0 {
@@ -260,13 +262,22 @@ mod tests {
 
     #[test]
     fn bad_interval_detected() {
-        assert!(matches!(bisect(|x| x, 1.0, 0.0, 1e-12, 100), Err(RootError::BadInput(_))));
-        assert!(matches!(brent(|x| x, 1.0, 1.0, 1e-12, 100), Err(RootError::BadInput(_))));
+        assert!(matches!(
+            bisect(|x| x, 1.0, 0.0, 1e-12, 100),
+            Err(RootError::BadInput(_))
+        ));
+        assert!(matches!(
+            brent(|x| x, 1.0, 1.0, 1e-12, 100),
+            Err(RootError::BadInput(_))
+        ));
     }
 
     #[test]
     fn iteration_limit_reported() {
-        assert_eq!(bisect(|x| x - 0.3, 0.0, 1.0, 1e-15, 3), Err(RootError::MaxIterations));
+        assert_eq!(
+            bisect(|x| x - 0.3, 0.0, 1.0, 1e-15, 3),
+            Err(RootError::MaxIterations)
+        );
     }
 
     #[test]

@@ -159,7 +159,10 @@ mod tests {
         for n in [0u64, 1, 2, 10, 100, 255, 256, 1000, 50_000] {
             let a = ln_factorial(n);
             let b = ln_gamma(n as f64 + 1.0);
-            assert!((a - b).abs() < 1e-8 * a.abs().max(1.0), "n = {n}: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-8 * a.abs().max(1.0),
+                "n = {n}: {a} vs {b}"
+            );
         }
     }
 
@@ -176,8 +179,8 @@ mod tests {
     #[test]
     fn poisson_pmf_small_lambda() {
         // Direct evaluation is safe for λ = 2.
-        let lambda = 2.0;
-        let mut direct = (-lambda as f64).exp();
+        let lambda = 2.0f64;
+        let mut direct = (-lambda).exp();
         assert!((poisson_pmf(lambda, 0) - direct).abs() < 1e-15);
         for n in 1..20u64 {
             direct *= lambda / n as f64;

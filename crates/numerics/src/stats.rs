@@ -124,7 +124,10 @@ impl EmpiricalCdf {
     ///
     /// Panics in debug builds when `q ∉ [0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
-        debug_assert!((0.0..=1.0).contains(&q), "quantile needs q in [0,1], got {q}");
+        debug_assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile needs q in [0,1], got {q}"
+        );
         if q <= 0.0 {
             return self.sorted[0];
         }
@@ -204,7 +207,10 @@ mod tests {
         assert_eq!(mean(&[]), Err(StatsError::Empty));
         assert_eq!(mean(&[f64::NAN]), Err(StatsError::NotANumber));
         assert_eq!(EmpiricalCdf::new(vec![]).unwrap_err(), StatsError::Empty);
-        assert_eq!(EmpiricalCdf::new(vec![1.0, f64::NAN]).unwrap_err(), StatsError::NotANumber);
+        assert_eq!(
+            EmpiricalCdf::new(vec![1.0, f64::NAN]).unwrap_err(),
+            StatsError::NotANumber
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ impl LifetimeStudy {
     pub fn new(outcomes: &[Option<f64>], horizon: f64) -> Result<Self, StatsError> {
         let depleted: Vec<f64> = outcomes.iter().filter_map(|o| *o).collect();
         let observed = EmpiricalCdf::new(depleted)?;
-        Ok(LifetimeStudy { observed, total_runs: outcomes.len(), horizon })
+        Ok(LifetimeStudy {
+            observed,
+            total_runs: outcomes.len(),
+            horizon,
+        })
     }
 
     /// Number of replications (including censored ones).
@@ -77,8 +81,7 @@ impl LifetimeStudy {
 
     /// 95 % confidence half-width at `t` (binomial/Wald).
     pub fn confidence_half_width(&self, t: f64) -> f64 {
-        let successes =
-            (self.empty_probability(t) * self.total_runs as f64).round() as u64;
+        let successes = (self.empty_probability(t) * self.total_runs as f64).round() as u64;
         binomial_ci_half_width(successes, self.total_runs as u64, Z_95)
     }
 
@@ -163,8 +166,9 @@ mod tests {
     #[test]
     fn confidence_width_shrinks_with_runs() {
         let mk = |n: usize| {
-            let outcomes: Vec<Option<f64>> =
-                (0..n).map(|i| if i % 2 == 0 { Some(1.0) } else { None }).collect();
+            let outcomes: Vec<Option<f64>> = (0..n)
+                .map(|i| if i % 2 == 0 { Some(1.0) } else { None })
+                .collect();
             LifetimeStudy::new(&outcomes, 10.0).unwrap()
         };
         let small = mk(100).confidence_half_width(5.0);
@@ -192,7 +196,7 @@ mod tests {
         let s = LifetimeStudy::new(&outcomes, 10.0).unwrap();
         for &t in &[0.5, 1.0, 2.0] {
             let sim = s.empty_probability(t);
-            let theory = 1.0 - (-t as f64).exp();
+            let theory = 1.0 - (-t).exp();
             assert!((sim - theory).abs() < 0.01, "t = {t}: {sim} vs {theory}");
         }
     }

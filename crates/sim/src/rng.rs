@@ -15,7 +15,9 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a stream from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// A uniform draw in `[0, 1)`.

@@ -43,7 +43,11 @@ impl Path {
 
     /// Time spent in `state`.
     pub fn occupation_time(&self, state: usize) -> f64 {
-        self.visits.iter().filter(|v| v.state == state).map(|v| v.sojourn).sum()
+        self.visits
+            .iter()
+            .filter(|v| v.state == state)
+            .map(|v| v.sojourn)
+            .sum()
     }
 
     /// The state occupied at time `t` (`None` beyond the covered span).
@@ -72,7 +76,10 @@ pub fn sample_path(
     rng: &mut SimRng,
 ) -> Result<Path, MarkovError> {
     if initial >= ctmc.n_states() {
-        return Err(MarkovError::StateOutOfRange { state: initial, n_states: ctmc.n_states() });
+        return Err(MarkovError::StateOutOfRange {
+            state: initial,
+            n_states: ctmc.n_states(),
+        });
     }
     if !(horizon > 0.0) || !horizon.is_finite() {
         return Err(MarkovError::InvalidArgument(format!(
@@ -86,12 +93,18 @@ pub fn sample_path(
         let q = ctmc.exit_rate(state);
         if q == 0.0 {
             // Absorbing: stay for the rest of the horizon.
-            visits.push(Visit { state, sojourn: remaining });
+            visits.push(Visit {
+                state,
+                sojourn: remaining,
+            });
             break;
         }
         let sojourn = rng.exponential(q);
         if sojourn >= remaining {
-            visits.push(Visit { state, sojourn: remaining });
+            visits.push(Visit {
+                state,
+                sojourn: remaining,
+            });
             break;
         }
         visits.push(Visit { state, sojourn });
@@ -187,7 +200,16 @@ mod tests {
     #[test]
     fn state_at_walks_visits() {
         let path = Path {
-            visits: vec![Visit { state: 0, sojourn: 2.0 }, Visit { state: 1, sojourn: 3.0 }],
+            visits: vec![
+                Visit {
+                    state: 0,
+                    sojourn: 2.0,
+                },
+                Visit {
+                    state: 1,
+                    sojourn: 3.0,
+                },
+            ],
         };
         assert_eq!(path.state_at(1.0), Some(0));
         assert_eq!(path.state_at(2.5), Some(1));

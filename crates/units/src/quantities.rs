@@ -478,7 +478,10 @@ mod tests {
         assert_eq!(a.max(b), a);
         assert_eq!(a.min(b), b);
         assert_eq!((-a).abs(), a);
-        assert_eq!(b.clamp(Charge::ZERO, Charge::from_coulombs(1.0)).value(), 1.0);
+        assert_eq!(
+            b.clamp(Charge::ZERO, Charge::from_coulombs(1.0)).value(),
+            1.0
+        );
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! Vendored shim for the subset of the `criterion` benchmarking API this
+//! workspace uses. The build environment has no registry access, so the
+//! real `criterion` cannot be fetched.
+//!
+//! The shim keeps the same bench sources compiling and produces honest
+//! wall-clock measurements: each benchmark is warmed up, then timed in
+//! batches until a small time budget is spent, and the mean / best batch
+//! time per iteration is reported on stdout. No statistics, plots or
+//! regression baselines — the numbers are for relative comparison on one
+//! machine in one run, which is how the harness uses them.
+//!
+//! Environment knobs:
+//!
+//! * `BENCH_BUDGET_MS` — per-benchmark measurement budget in
+//!   milliseconds (default 300).
+//! * Command-line filter — `cargo bench -- <substring>` runs only the
+//!   benchmarks whose id contains the substring (criterion's behaviour).
+
+use std::fmt::{self, Display};
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark identifier: `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished only by its parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: Some(name.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(fun), Some(p)) => write!(f, "{fun}/{p}"),
+            (Some(fun), None) => write!(f, "{fun}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Throughput annotation (reported alongside the time).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-benchmark timing driver.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Mean seconds per iteration of the best measured batch.
+    best_s_per_iter: f64,
+    iterations_done: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            best_s_per_iter: f64::INFINITY,
+            iterations_done: 0,
+            budget,
+        }
+    }
+
+    /// Times `routine`, repeatedly, until the budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: one timed call decides the batch size.
+        let t0 = Instant::now();
+        std_black_box(routine());
+        let first = t0.elapsed();
+        self.iterations_done = 1;
+        let batch = if first.as_nanos() == 0 {
+            1024
+        } else {
+            // Aim for batches of ~1/10 of the budget, at least one call.
+            ((self.budget.as_nanos() / 10).saturating_div(first.as_nanos().max(1)))
+                .clamp(1, 1 << 20) as u64
+        };
+        // Best time comes from *batched* measurements only: a single
+        // warm-up call can read 0 on coarse timers, which would lock
+        // the minimum at zero for the whole benchmark.
+        let started = Instant::now();
+        let mut best = f64::INFINITY;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let per_iter = t.elapsed().as_secs_f64() / batch as f64;
+            self.iterations_done += batch;
+            if per_iter < best {
+                best = per_iter;
+            }
+            if started.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.best_s_per_iter = best;
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.3} s", seconds)
+    }
+}
+
+fn budget_from_env() -> Duration {
+    std::env::var("BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(300))
+}
+
+fn cli_filter() -> Option<String> {
+    // `cargo bench -- foo` passes `foo` through; ignore `--bench`-style
+    // flags that cargo itself forwards.
+    std::env::args().skip(1).find(|a| !a.starts_with('-'))
+}
+
+/// Top-level benchmark driver (a minimal stand-in for
+/// `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    budget: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: budget_from_env(),
+            filter: cli_filter(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = name.to_owned();
+        self.run_one(&id, None, &mut routine);
+        self
+    }
+
+    fn run_one<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        routine: &mut R,
+    ) {
+        if let Some(f) = &self.filter {
+            if !id.contains(f.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher::new(self.budget);
+        routine(&mut b);
+        let time = b.best_s_per_iter;
+        let mut line = format!("{id:<60} time: [{}]", format_time(time));
+        match throughput {
+            Some(Throughput::Elements(n)) if time > 0.0 => {
+                let per_s = n as f64 / time;
+                if per_s >= 1e6 {
+                    line.push_str(&format!("  thrpt: [{:.3} Melem/s]", per_s / 1e6));
+                } else {
+                    line.push_str(&format!("  thrpt: [{per_s:.2} elem/s]"));
+                }
+            }
+            Some(Throughput::Bytes(n)) if time > 0.0 => {
+                line.push_str(&format!(
+                    "  thrpt: [{:.3} MiB/s]",
+                    n as f64 / time / (1 << 20) as f64
+                ));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+
+    /// Criterion's CLI configuration hook; a no-op here.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's statistical sample count; accepted and ignored (the
+    /// shim's budget is time-based).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Criterion's measurement window; scales the shim's budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.budget = d.min(Duration::from_secs(5));
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<I: Into<BenchmarkId>, R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut routine: R,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, &mut routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(&full, throughput, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    /// Ends the group (purely cosmetic here).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs each target benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.best_s_per_iter.is_finite());
+        assert!(b.best_s_per_iter >= 0.0);
+        assert!(b.iterations_done >= 1);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 5).to_string(), "f/5");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(3.2e-9).ends_with("ns"));
+        assert!(format_time(4.5e-6).ends_with("µs"));
+        assert!(format_time(7.8e-3).ends_with("ms"));
+        assert!(format_time(2.0).ends_with(" s"));
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(100));
+        let mut ran = false;
+        group.bench_function("inner", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+            filter: Some("zzz".into()),
+        };
+        let mut ran = false;
+        c.bench_function("abc", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran);
+    }
+}

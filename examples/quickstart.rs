@@ -1,61 +1,69 @@
 //! Quickstart: compute a battery lifetime distribution in ~20 lines.
 //!
-//! Builds the paper's simple cell-phone workload (idle/send/sleep) on an
-//! 800 mAh KiBaM battery, computes `Pr[battery empty at t]` with the
-//! Markovian approximation, and cross-checks a few points against
-//! stochastic simulation.
+//! The pipeline is Scenario → Solver → Distribution:
+//!
+//! 1. describe the scenario once — workload, battery, query grid;
+//! 2. let the `SolverRegistry` pick the best method (Sericola's exact
+//!    algorithm when `c = 1`, the paper's Markovian approximation
+//!    otherwise — simulation on request);
+//! 3. work with the returned `LifetimeDistribution` directly: CDF
+//!    values, quantiles, mean lifetime.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
-use kibamrm::model::KibamRm;
-use kibamrm::simulate::lifetime_study;
+use kibamrm::scenario::Scenario;
+use kibamrm::solver::{LifetimeSolver, SimulationSolver, SolverRegistry};
 use kibamrm::workload::Workload;
 use units::{Charge, Rate, Time};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. The workload: a CTMC over operating modes with per-mode current.
-    let workload = Workload::simple_model()?;
-    println!("workload: {} states", workload.n_states());
+    // 1. The scenario: the paper's idle/send/sleep cell-phone workload
+    //    on an 800 mAh KiBaM battery, queried hourly for 30 h.
+    //    Δ = 10 mAh trades a little accuracy for speed; shrink it for
+    //    finer approximations.
+    let scenario = Scenario::builder()
+        .name("quickstart")
+        .workload(Workload::simple_model()?)
+        .capacity(Charge::from_milliamp_hours(800.0))
+        .kibam(0.625, Rate::per_second(4.5e-5))
+        .time_grid(Time::from_hours(30.0), 30)
+        .delta(Charge::from_milliamp_hours(10.0))
+        .simulation(300, 7)
+        .build()?;
 
-    // 2. The battery: 800 mAh, 62.5 % directly available, KiBaM recovery.
-    let model = KibamRm::new(
-        workload,
-        Charge::from_milliamp_hours(800.0),
-        0.625,
-        Rate::per_second(4.5e-5),
-    )?;
-
-    // 3. The paper's algorithm: discretise the charge wells (Δ = 10 mAh
-    //    here; smaller Δ = finer approximation) and solve the derived
-    //    CTMC transiently.
-    let opts = DiscretisationOptions::with_delta(Charge::from_milliamp_hours(10.0));
-    let disc = DiscretisedModel::build(&model, &opts)?;
-    let stats = disc.stats();
+    // 2. Solve it. auto() picks the discretisation backend (c < 1 rules
+    //    out the exact method).
+    let registry = SolverRegistry::with_default_backends();
+    let chosen = registry.auto(&scenario)?;
+    println!("auto-selected backend: {}", chosen.name());
+    let dist = registry.solve(&scenario)?;
+    let d = dist.diagnostics();
     println!(
-        "derived CTMC: {} states, {} generator non-zeros",
-        stats.states, stats.generator_nonzeros
+        "derived CTMC: {} states, {} generator non-zeros, {} iterations",
+        d.states.unwrap_or(0),
+        d.generator_nonzeros.unwrap_or(0),
+        d.iterations.unwrap_or(0),
     );
 
-    let times: Vec<Time> = (0..=30).map(|h| Time::from_hours(h as f64)).collect();
-    let curve = disc.empty_probability_curve(&times)?;
-    println!("uniformisation iterations: {}", curve.iterations);
-
-    // 4. Cross-check against stochastic simulation (300 runs).
-    let study = lifetime_study(&model, Time::from_hours(30.0), 300, 7)?;
+    // 3. Cross-check a few points against stochastic simulation — the
+    //    same scenario, a different solver.
+    let sim = SimulationSolver::new().solve(&scenario)?;
 
     println!("\n  t (h)   Pr[empty] (approx)   Pr[empty] (simulated)");
-    for (t, p) in &curve.points {
-        let hours = t / 3600.0;
-        if hours as usize % 5 == 0 {
-            let sim = study.empty_probability(*t);
-            println!("  {hours:5.0}   {p:18.4}   {sim:21.4}");
-        }
+    for hours in (0..=30).step_by(5) {
+        let t = Time::from_hours(hours as f64);
+        println!("  {hours:5}   {:18.4}   {:21.4}", dist.cdf(t), sim.cdf(t));
     }
 
     println!(
-        "\nmean lifetime (simulated): {:.1} h",
-        study.mean_observed_lifetime() / 3600.0
+        "\nmax |approx − simulated| = {:.4}",
+        dist.max_difference(&sim)?
     );
+    println!(
+        "median lifetime: {:.1} h (approx) vs {:.1} h (simulated)",
+        dist.median().map(|t| t.as_hours()).unwrap_or(f64::NAN),
+        sim.median().map(|t| t.as_hours()).unwrap_or(f64::NAN),
+    );
+    println!("mean lifetime (approx): {:.1} h", dist.mean().as_hours());
     Ok(())
 }

@@ -10,27 +10,35 @@
 //!
 //! For the analytic KiBaM the mean lifetime barely moves with `f` at
 //! these timescales, but the *distribution* tightens dramatically with
-//! `K` — exactly the effect the paper discusses around Fig. 7.
+//! `K` — exactly the effect the paper discusses around Fig. 7. Each
+//! configuration is one scenario solved by the simulation backend.
 //!
 //! Run with: `cargo run --release --example sensor_node`
 
-use kibamrm::model::KibamRm;
-use kibamrm::simulate::lifetime_study;
+use kibamrm::scenario::Scenario;
+use kibamrm::solver::SimulationSolver;
 use kibamrm::workload::Workload;
 use units::{Charge, Current, Frequency, Rate, Time};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let capacity = Charge::from_amp_seconds(7200.0);
     let current = Current::from_amps(0.96);
-    let horizon = Time::from_seconds(30_000.0);
-    let runs = 400;
+    let solver = SimulationSolver::new();
+
+    let scenario = |workload: Workload, seed: u64| {
+        Scenario::builder()
+            .workload(workload)
+            .capacity(Charge::from_amp_seconds(7200.0))
+            .kibam(0.625, Rate::per_second(4.5e-5))
+            .time_grid(Time::from_seconds(30_000.0), 100)
+            .simulation(400, seed)
+            .build()
+    };
 
     println!("-- regularity sweep (f = 1 Hz, two-well battery) --");
     println!("K    mean (s)   10%..90% spread (s)");
     for k_stages in [1u32, 2, 4, 8] {
         let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), k_stages, current)?;
-        let model = KibamRm::new(w, capacity, 0.625, Rate::per_second(4.5e-5))?;
-        let study = lifetime_study(&model, horizon, runs, 42)?;
+        let study = solver.study(&scenario(w, 42)?)?;
         let lo = study.lifetime_quantile(0.1).unwrap_or(f64::NAN);
         let hi = study.lifetime_quantile(0.9).unwrap_or(f64::NAN);
         println!(
@@ -44,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("f (Hz)   mean (s)   note");
     for f in [0.01, 0.1, 1.0, 10.0] {
         let w = Workload::on_off_erlang(Frequency::from_hertz(f), 1, current)?;
-        let model = KibamRm::new(w, capacity, 0.625, Rate::per_second(4.5e-5))?;
-        let study = lifetime_study(&model, horizon, runs, 43)?;
+        let study = solver.study(&scenario(w, 43)?)?;
         let note = if f < 0.05 {
             "slow cycles: deeper discharge, more recovery swing"
         } else {

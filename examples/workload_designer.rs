@@ -7,16 +7,16 @@
 //! 2. sanity-check it with steady-state analysis and CSRL-style
 //!    time-bounded reachability;
 //! 3. compress time exactly to make the numerics cheap;
-//! 4. cross-validate approximation vs simulation (vs exact where
-//!    applicable) with [`kibamrm::analysis::compare_methods`];
+//! 4. describe the question once as a [`kibamrm::scenario::Scenario`],
+//!    serialise it to its config text, and cross-validate every
+//!    applicable solver with `SolverRegistry::cross_validate`;
 //! 5. inspect expected well contents over time.
 //!
 //! Run with: `cargo run --release --example workload_designer`
 
-use kibamrm::analysis::{compare_methods, time_grid};
 use kibamrm::builder::WorkloadBuilder;
-use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
-use kibamrm::model::KibamRm;
+use kibamrm::scenario::Scenario;
+use kibamrm::solver::{DiscretisationSolver, SolverRegistry};
 use markov::reachability::time_bounded_reachability;
 use markov::steady_state::stationary_gth;
 use markov::transient::TransientOptions;
@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     let pi = stationary_gth(workload.ctmc())?;
-    println!("steady state: sleep {:.4}, fix {:.4}, uplink {:.4}", pi[0], pi[1], pi[2]);
+    println!(
+        "steady state: sleep {:.4}, fix {:.4}, uplink {:.4}",
+        pi[0], pi[1], pi[2]
+    );
     let mean_ma = pi[0] * 0.1 + pi[1] * 45.0 + pi[2] * 220.0;
     println!("mean draw: {mean_ma:.2} mA");
 
@@ -54,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. A 1200 mAh battery would last weeks — compress time 24× so an
     //    hour of compressed analysis equals a day of real operation.
-    let real = KibamRm::new(
+    //    (Scenario validation happens in build(); the compression uses
+    //    the model layer's exact rescaling.)
+    let real = kibamrm::model::KibamRm::new(
         workload,
         Charge::from_milliamp_hours(1200.0),
         0.625,
@@ -66,24 +71,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         compressed.capacity().as_milliamp_hours()
     );
 
-    // 4. Cross-validate the approximation on the compressed model.
-    let disc = DiscretisedModel::build(
-        &compressed,
-        &DiscretisationOptions::with_delta(Charge::from_milliamp_hours(1.25)),
-    )?;
-    let times = time_grid(Time::from_hours(30.0), 60);
-    let cmp = compare_methods(&compressed, &disc, &times, 400, 99)?;
+    // 4. One scenario, every applicable method. The config text is what
+    //    you would store in a fleet-management database.
+    let scenario = Scenario::builder()
+        .name("gps-tracker-24x")
+        .workload(compressed.workload().clone())
+        .capacity(compressed.capacity())
+        .kibam(compressed.c(), compressed.k())
+        .time_grid(Time::from_hours(30.0), 60)
+        .delta(Charge::from_milliamp_hours(1.25))
+        .simulation(400, 99)
+        .build()?;
+    println!("\nscenario config:\n{}", scenario.to_config_string()?);
+
+    let cv = SolverRegistry::with_default_backends().cross_validate(&scenario)?;
+    for (a, b, d) in &cv.pairwise {
+        println!("sup |{a} − {b}| = {d:.3}");
+    }
     println!(
-        "approximation vs simulation ({} runs): sup distance {:.3}",
-        cmp.runs, cmp.approx_vs_sim
+        "max disagreement across methods: {:.3}",
+        cv.max_disagreement()
     );
 
-    // 5. Expected well contents at a few checkpoints.
+    // 5. Expected well contents at a few checkpoints (the derived chain
+    //    behind the discretisation backend answers more than the CDF).
     println!("\nt (compressed h)   E[available] mAh   E[bound] mAh");
+    let disc = DiscretisationSolver::new().discretise(&scenario)?;
     let checkpoints = [4.0, 12.0, 20.0, 28.0];
-    let curves = disc.expected_charge_curves(
-        &checkpoints.map(Time::from_hours),
-    )?;
+    let curves = disc.expected_charge_curves(&checkpoints.map(Time::from_hours))?;
     for (t, y1, y2) in &curves {
         println!(
             "{:>16.0}   {:>16.1}   {:>12.1}",

@@ -1,23 +1,27 @@
 //! Triple cross-validation: the paper's three computational methods —
 //! Markovian approximation (§5), stochastic simulation (§6) and the exact
 //! Sericola algorithm (`c = 1`) — must agree with each other wherever
-//! more than one applies.
+//! more than one applies. All methods are reached through the unified
+//! `Scenario` → `LifetimeSolver` → `LifetimeDistribution` pipeline.
 
-use kibamrm::analysis::{exact_linear_curve, max_curve_difference};
-use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
-use kibamrm::model::KibamRm;
-use kibamrm::simulate::lifetime_study;
+use kibamrm::scenario::Scenario;
+use kibamrm::solver::{
+    DiscretisationSolver, LifetimeSolver, SericolaSolver, SimulationSolver, SolverRegistry,
+};
 use kibamrm::workload::Workload;
 use units::{Charge, Current, Frequency, Rate, Time};
 
-fn simple_linear() -> KibamRm {
-    KibamRm::new(
-        Workload::simple_model().unwrap(),
-        Charge::from_milliamp_hours(500.0),
-        1.0,
-        Rate::per_second(0.0),
-    )
-    .unwrap()
+fn simple_linear() -> Scenario {
+    Scenario::builder()
+        .name("simple-linear")
+        .workload(Workload::simple_model().unwrap())
+        .capacity(Charge::from_milliamp_hours(500.0))
+        .linear()
+        .times((2..=28).map(|h| Time::from_hours(h as f64)).collect())
+        .delta(Charge::from_milliamp_hours(2.0))
+        .simulation(2000, 77)
+        .build()
+        .unwrap()
 }
 
 /// Simple model, c = 1 (Fig. 10 leftmost family): discretisation at a
@@ -25,30 +29,28 @@ fn simple_linear() -> KibamRm {
 /// approximations" for this model class.
 #[test]
 fn discretisation_matches_exact_simple_model() {
-    let model = simple_linear();
-    let times: Vec<Time> = (2..=28).map(|h| Time::from_hours(h as f64)).collect();
-    let exact = exact_linear_curve(&model, &times).unwrap();
-
-    let opts = DiscretisationOptions::with_delta(Charge::from_milliamp_hours(2.0));
-    let disc = DiscretisedModel::build(&model, &opts).unwrap();
-    let approx = disc.empty_probability_curve(&times).unwrap();
-
-    let diff = max_curve_difference(&exact, &approx.points).unwrap();
+    let scenario = simple_linear();
+    let exact = SericolaSolver::new().solve(&scenario).unwrap();
+    let approx = DiscretisationSolver::new().solve(&scenario).unwrap();
+    let diff = exact.max_difference(&approx).unwrap();
     assert!(diff < 0.03, "max |exact − approx| = {diff} at Δ = 2 mAh");
 }
 
-/// Same configuration against simulation.
+/// Same configuration against simulation (the grid starts later so every
+/// sampled point has depletion mass).
 #[test]
 fn simulation_matches_exact_simple_model() {
-    let model = simple_linear();
-    let horizon = Time::from_hours(30.0);
-    let study = lifetime_study(&model, horizon, 2000, 77).unwrap();
-    let times: Vec<Time> = (5..=28).map(|h| Time::from_hours(h as f64)).collect();
-    let exact = exact_linear_curve(&model, &times).unwrap();
-    for (t, p) in &exact {
-        let sim = study.empty_probability(*t);
+    let scenario = simple_linear()
+        .with_times((5..=28).map(|h| Time::from_hours(h as f64)).collect())
+        .unwrap();
+    let exact = SericolaSolver::new().solve(&scenario).unwrap();
+    let sim = SimulationSolver::new()
+        .with_horizon(Time::from_hours(30.0))
+        .solve(&scenario)
+        .unwrap();
+    for ((t, p), (_, s)) in exact.points().iter().zip(sim.points()) {
         // 2000 runs ⇒ σ ≤ 0.011; allow 4σ.
-        assert!((p - sim).abs() < 0.045, "t = {t}: exact {p} vs sim {sim}");
+        assert!((p - s).abs() < 0.045, "t = {t}: exact {p} vs sim {s}");
     }
 }
 
@@ -57,37 +59,40 @@ fn simulation_matches_exact_simple_model() {
 /// reports the algorithm "gave good results".
 #[test]
 fn discretisation_matches_simulation_two_wells() {
-    let model = KibamRm::new(
-        Workload::simple_model().unwrap(),
-        Charge::from_milliamp_hours(800.0),
-        0.625,
-        Rate::per_second(4.5e-5),
-    )
-    .unwrap();
-    let horizon = Time::from_hours(30.0);
-    let study = lifetime_study(&model, horizon, 1500, 78).unwrap();
-    let opts = DiscretisationOptions::with_delta(Charge::from_milliamp_hours(2.0));
-    let disc = DiscretisedModel::build(&model, &opts).unwrap();
-    let times: Vec<Time> = (5..=28).map(|h| Time::from_hours(h as f64)).collect();
-    let curve = disc.empty_probability_curve(&times).unwrap();
-    for (t, p) in &curve.points {
-        let sim = study.empty_probability(*t);
+    let scenario = Scenario::builder()
+        .name("simple-two-wells")
+        .workload(Workload::simple_model().unwrap())
+        .capacity(Charge::from_milliamp_hours(800.0))
+        .kibam(0.625, Rate::per_second(4.5e-5))
+        .times((5..=28).map(|h| Time::from_hours(h as f64)).collect())
+        .delta(Charge::from_milliamp_hours(2.0))
+        .simulation(1500, 78)
+        .build()
+        .unwrap();
+    // Sericola must rule itself out; cross_validate runs the other two.
+    let registry = SolverRegistry::with_default_backends();
+    let cv = registry.cross_validate(&scenario).unwrap();
+    assert!(cv.result("sericola").is_none());
+    let approx = cv.result("discretisation").unwrap();
+    let sim = cv.result("simulation").unwrap();
+    for ((t, p), (_, s)) in approx.points().iter().zip(sim.points()) {
         assert!(
-            (p - sim).abs() < 0.06,
-            "t = {} h: approx {p} vs sim {sim}",
-            t / 3600.0
+            (p - s).abs() < 0.06,
+            "t = {}: approx {p} vs sim {s}",
+            t.as_hours()
         );
     }
+    assert!(cv.max_disagreement() < 0.06, "{}", cv.max_disagreement());
 }
 
 /// The KiBaMRM simulator's special case c = 1, k = 0 must agree with the
-/// plain accumulated-consumption view: mean lifetime ≈ the time at which
-/// mean consumed charge reaches C (checked through the MRM expectation).
+/// plain accumulated-consumption view: mean consumed charge matches the
+/// MRM expectation, and simulation agrees with the exact CDF point.
 #[test]
 fn simulator_consumption_consistency() {
     use markov::mrm::MarkovRewardModel;
-    let model = simple_linear();
-    let w = model.workload();
+    let scenario = simple_linear();
+    let w = scenario.workload();
     let mrm = MarkovRewardModel::new(w.ctmc().clone(), w.currents_amps()).unwrap();
     // Mean consumed charge at t = 12 h.
     let t = Time::from_hours(12.0);
@@ -103,41 +108,45 @@ fn simulator_consumption_consistency() {
     );
     // And Monte Carlo agrees on the battery-empty probability at the
     // matching capacity threshold.
-    let study = lifetime_study(&model, Time::from_hours(30.0), 1000, 79).unwrap();
-    let exact = exact_linear_curve(&model, &[t]).unwrap()[0].1;
-    let sim = study.empty_probability(t.as_seconds());
+    let quick = scenario.with_simulation(1000, 79);
+    let exact = SericolaSolver::new().solve(&quick).unwrap().cdf(t);
+    let sim = SimulationSolver::new()
+        .with_horizon(Time::from_hours(30.0))
+        .solve(&quick)
+        .unwrap()
+        .cdf(t);
     assert!((exact - sim).abs() < 0.05, "exact {exact} vs sim {sim}");
 }
 
 /// On/off model with two wells: simulation against a fine discretisation
 /// (Fig. 8's message — the approximation approaches simulation from the
-/// pessimistic side as Δ shrinks).
+/// pessimistic side as Δ shrinks). Compare medians rather than pointwise
+/// values: the approximation of a near-deterministic CDF is smeared
+/// (paper's own observation on Figs. 7–8), but its centre must be right.
 #[test]
 fn on_off_two_wells_methods_agree_roughly() {
-    let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+    let w =
+        Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96)).unwrap();
+    let scenario = Scenario::builder()
+        .name("onoff-two-wells")
+        .workload(w)
+        .capacity(Charge::from_amp_seconds(7200.0))
+        .kibam(0.625, Rate::per_second(4.5e-5))
+        .times(
+            (0..=100)
+                .map(|i| Time::from_seconds(10_000.0 + i as f64 * 100.0))
+                .collect(),
+        )
+        .delta(Charge::from_amp_seconds(25.0))
+        .simulation(800, 80)
+        .build()
         .unwrap();
-    let model = KibamRm::new(
-        w,
-        Charge::from_amp_seconds(7200.0),
-        0.625,
-        Rate::per_second(4.5e-5),
-    )
-    .unwrap();
-    let study = lifetime_study(&model, Time::from_seconds(25_000.0), 800, 80).unwrap();
-    let opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(25.0));
-    let disc = DiscretisedModel::build(&model, &opts).unwrap();
-    // Compare medians rather than pointwise values: the approximation of
-    // a near-deterministic CDF is smeared (paper's own observation on
-    // Figs. 7–8), but its centre must be right.
-    let times: Vec<Time> =
-        (0..=100).map(|i| Time::from_seconds(10_000.0 + i as f64 * 100.0)).collect();
-    let curve = disc.empty_probability_curve(&times).unwrap();
-    let median_approx = curve
-        .points
-        .iter()
-        .find(|(_, p)| *p >= 0.5)
-        .map(|(t, _)| *t)
-        .expect("median reached");
+    let approx = DiscretisationSolver::new().solve(&scenario).unwrap();
+    let median_approx = approx.median().expect("median reached").as_seconds();
+    let study = SimulationSolver::new()
+        .with_horizon(Time::from_seconds(25_000.0))
+        .study(&scenario)
+        .unwrap();
     let median_sim = study.lifetime_quantile(0.5).unwrap();
     let rel = (median_approx - median_sim).abs() / median_sim;
     assert!(

@@ -1,23 +1,26 @@
 //! Failure injection across crate boundaries: malformed models must
-//! surface as typed errors from the public API — never panics.
+//! surface as typed errors from the public API — never panics. The
+//! solver facade must refuse bad scenarios the same way the layers
+//! underneath refuse bad models.
 
-use kibamrm::analysis::exact_linear_curve;
-use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
-use kibamrm::model::KibamRm;
-use kibamrm::simulate::lifetime_study;
+use kibamrm::scenario::Scenario;
+use kibamrm::solver::{
+    DiscretisationSolver, LifetimeSolver, SericolaSolver, SimulationSolver, SolverRegistry,
+};
 use kibamrm::workload::Workload;
 use kibamrm::KibamRmError;
 use markov::ctmc::CtmcBuilder;
 use units::{Charge, Current, Frequency, Rate, Time};
 
-fn valid_model() -> KibamRm {
-    KibamRm::new(
-        Workload::simple_model().unwrap(),
-        Charge::from_milliamp_hours(800.0),
-        0.625,
-        Rate::per_second(4.5e-5),
-    )
-    .unwrap()
+fn valid_scenario() -> Scenario {
+    Scenario::builder()
+        .name("valid")
+        .workload(Workload::simple_model().unwrap())
+        .capacity(Charge::from_milliamp_hours(800.0))
+        .kibam(0.625, Rate::per_second(4.5e-5))
+        .times((1..=10).map(|h| Time::from_hours(3.0 * h as f64)).collect())
+        .build()
+        .unwrap()
 }
 
 #[test]
@@ -31,12 +34,12 @@ fn bad_battery_parameters() {
         (800.0, 0.625, -1.0),
         (f64::NAN, 0.625, 4.5e-5),
     ] {
-        let r = KibamRm::new(
-            w.clone(),
-            Charge::from_milliamp_hours(cap),
-            c,
-            Rate::per_second(k),
-        );
+        let r = Scenario::builder()
+            .workload(w.clone())
+            .capacity(Charge::from_milliamp_hours(cap))
+            .kibam(c, Rate::per_second(k))
+            .times(vec![Time::from_hours(1.0)])
+            .build();
         assert!(
             matches!(r, Err(KibamRmError::InvalidBattery(_))),
             "({cap}, {c}, {k}) accepted"
@@ -71,13 +74,24 @@ fn bad_workload_definitions() {
 
 #[test]
 fn bad_discretisation_steps() {
-    let model = valid_model();
-    // Δ not dividing the wells (u1 = 500 mAh, u2 = 300 mAh).
-    for delta_mah in [7.0, 0.0, -5.0, f64::INFINITY] {
-        let r = DiscretisedModel::build(
-            &model,
-            &DiscretisationOptions::with_delta(Charge::from_milliamp_hours(delta_mah)),
-        );
+    let scenario = valid_scenario();
+    let solver = DiscretisationSolver::new();
+    // Δ not dividing the wells (u1 = 500 mAh, u2 = 300 mAh). Zero /
+    // negative / non-finite Δ never make it past the builder; a
+    // non-dividing Δ only fails at solve time.
+    let r = solver.solve(&scenario.with_delta(Charge::from_milliamp_hours(7.0)));
+    assert!(
+        matches!(r, Err(KibamRmError::InvalidDiscretisation(_))),
+        "Δ = 7 accepted"
+    );
+    for delta_mah in [0.0, -5.0, f64::INFINITY] {
+        let r = Scenario::builder()
+            .workload(Workload::simple_model().unwrap())
+            .capacity(Charge::from_milliamp_hours(800.0))
+            .kibam(0.625, Rate::per_second(4.5e-5))
+            .times(vec![Time::from_hours(1.0)])
+            .delta(Charge::from_milliamp_hours(delta_mah))
+            .build();
         assert!(
             matches!(r, Err(KibamRmError::InvalidDiscretisation(_))),
             "Δ = {delta_mah} accepted"
@@ -85,54 +99,85 @@ fn bad_discretisation_steps() {
     }
     // A Δ dividing u1 but not u2 is also rejected: 250 mAh divides 500
     // but not 300.
-    assert!(DiscretisedModel::build(
-        &model,
-        &DiscretisationOptions::with_delta(Charge::from_milliamp_hours(250.0)),
-    )
-    .is_err());
-}
-
-#[test]
-fn bad_query_times() {
-    let model = valid_model();
-    let disc = DiscretisedModel::build(
-        &model,
-        &DiscretisationOptions::with_delta(Charge::from_milliamp_hours(100.0)),
-    )
-    .unwrap();
-    assert!(disc.empty_probability_curve(&[]).is_err());
-    assert!(disc.empty_probability_at(Time::from_seconds(-1.0)).is_err());
-    assert!(disc
-        .empty_probability_curve(&[Time::from_seconds(f64::NAN)])
+    assert!(solver
+        .solve(&scenario.with_delta(Charge::from_milliamp_hours(250.0)))
         .is_err());
 }
 
 #[test]
+fn bad_query_times() {
+    // Bad grids are stopped at scenario construction, shielding every
+    // solver at once.
+    let build = |times: Vec<Time>| {
+        Scenario::builder()
+            .workload(Workload::simple_model().unwrap())
+            .capacity(Charge::from_milliamp_hours(800.0))
+            .kibam(0.625, Rate::per_second(4.5e-5))
+            .times(times)
+            .build()
+    };
+    assert!(build(vec![]).is_err());
+    assert!(build(vec![Time::from_seconds(-1.0)]).is_err());
+    assert!(build(vec![Time::from_seconds(f64::NAN)]).is_err());
+    assert!(build(vec![Time::from_seconds(5.0), Time::from_seconds(5.0)]).is_err());
+    assert!(build(vec![Time::from_seconds(9.0), Time::from_seconds(3.0)]).is_err());
+}
+
+#[test]
 fn exact_method_guards() {
-    // Two-well model: the exact method must refuse.
-    let model = valid_model();
+    // Two-well scenario: the exact backend must refuse both in
+    // capability introspection and at solve time.
+    let scenario = valid_scenario();
+    let solver = SericolaSolver::new();
+    assert!(!solver.supports(&scenario));
     assert!(matches!(
-        exact_linear_curve(&model, &[Time::from_hours(1.0)]),
+        solver.solve(&scenario),
         Err(KibamRmError::InvalidBattery(_))
     ));
 }
 
 #[test]
 fn simulation_with_unreachable_depletion() {
-    // A tiny horizon yields all-censored studies: a typed error, not a
-    // panic or a bogus curve.
-    let model = valid_model();
-    let r = lifetime_study(&model, Time::from_seconds(1.0), 5, 1);
-    assert!(r.is_err());
+    // A query grid ending long before any depletion yields all-censored
+    // studies: a typed error, not a panic or a bogus curve.
+    let scenario = valid_scenario()
+        .with_times(vec![Time::from_seconds(1.0)])
+        .unwrap()
+        .with_simulation(5, 1);
+    assert!(SimulationSolver::new().solve(&scenario).is_err());
+    // And an explicit horizon *shorter* than the grid is clamped up, not
+    // silently applied (a short horizon would flatline the CDF tail).
+    let full = valid_scenario().with_simulation(5, 1);
+    let r = SimulationSolver::new()
+        .with_horizon(Time::from_seconds(1.0))
+        .solve(&full);
+    assert!(
+        r.is_ok(),
+        "short horizon must be clamped to the grid, not applied"
+    );
+}
+
+#[test]
+fn registry_surfaces_selection_failures() {
+    // An empty registry gives a diagnosable error, not a panic.
+    let registry = SolverRegistry::empty();
+    let err = registry.solve(&valid_scenario());
+    assert!(err.is_err());
+    let text = err.err().map(|e| e.to_string()).unwrap_or_default();
+    assert!(text.contains("no registered solver"), "{text}");
+    // A sweep over a failing grid reports per-scenario errors in place.
+    let registry = SolverRegistry::with_default_backends();
+    let bad = valid_scenario().with_delta(Charge::from_milliamp_hours(7.0));
+    let results = registry.sweep(&[bad]);
+    assert_eq!(results.len(), 1);
+    assert!(results[0].is_err());
 }
 
 #[test]
 fn errors_format_and_chain() {
-    let err = DiscretisedModel::build(
-        &valid_model(),
-        &DiscretisationOptions::with_delta(Charge::from_milliamp_hours(7.0)),
-    )
-    .unwrap_err();
+    let err = DiscretisationSolver::new()
+        .solve(&valid_scenario().with_delta(Charge::from_milliamp_hours(7.0)))
+        .expect_err("non-dividing Δ must fail");
     let text = err.to_string();
     assert!(text.contains("discretisation"), "{text}");
     // And the error suggests what to do.

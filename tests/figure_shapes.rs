@@ -1,13 +1,13 @@
 //! Shape assertions for every figure of the evaluation section, run at
 //! reduced fidelity (coarser Δ than the paper where the full setting is
-//! expensive; the bench harness regenerates the exact settings).
+//! expensive; the bench harness regenerates the exact settings). All
+//! lifetime curves are computed through the solver facade.
 
 use battery::kibam::Kibam;
 use battery::lifetime::{discharge_trajectory, lifetime};
 use battery::load::SquareWaveLoad;
-use kibamrm::analysis::exact_linear_curve;
-use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
-use kibamrm::model::KibamRm;
+use kibamrm::scenario::Scenario;
+use kibamrm::solver::{DiscretisationSolver, LifetimeSolver, SericolaSolver, SolverRegistry};
 use kibamrm::workload::Workload;
 use units::{Charge, Current, Frequency, Rate, Time};
 
@@ -15,11 +15,14 @@ use units::{Charge, Current, Frequency, Rate, Time};
 /// off-phases; the battery dies during the 12th cycle or so.
 #[test]
 fn fig2_well_evolution_shape() {
-    let b = Kibam::new(Charge::from_amp_seconds(7200.0), 0.625, Rate::per_second(4.5e-5))
-        .unwrap();
+    let b = Kibam::new(
+        Charge::from_amp_seconds(7200.0),
+        0.625,
+        Rate::per_second(4.5e-5),
+    )
+    .unwrap();
     let wave =
-        SquareWaveLoad::symmetric(Frequency::from_hertz(0.001), Current::from_amps(0.96))
-            .unwrap();
+        SquareWaveLoad::symmetric(Frequency::from_hertz(0.001), Current::from_amps(0.96)).unwrap();
     let traj = discharge_trajectory(
         &b,
         &wave,
@@ -54,8 +57,12 @@ fn fig2_well_evolution_shape() {
 /// frequencies are far above the well-relaxation rate.
 #[test]
 fn table1_kibam_frequency_independence() {
-    let b = Kibam::new(Charge::from_amp_seconds(7200.0), 0.625, Rate::per_second(4.5e-5))
-        .unwrap();
+    let b = Kibam::new(
+        Charge::from_amp_seconds(7200.0),
+        0.625,
+        Rate::per_second(4.5e-5),
+    )
+    .unwrap();
     let horizon = Time::from_hours(10.0);
     let l1 = {
         let w = SquareWaveLoad::symmetric(Frequency::from_hertz(1.0), Current::from_amps(0.96))
@@ -75,26 +82,43 @@ fn table1_kibam_frequency_independence() {
     assert!((1.9..2.4).contains(&ratio), "ratio {ratio}");
 }
 
+fn on_off_scenario(capacity_as: f64, c: f64, k: f64, delta_as: f64) -> Scenario {
+    let w =
+        Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96)).unwrap();
+    Scenario::builder()
+        .name(format!("onoff-C{capacity_as}-c{c}"))
+        .workload(w)
+        .capacity(Charge::from_amp_seconds(capacity_as))
+        .kibam(c, Rate::per_second(k))
+        .times(
+            (0..=10)
+                .map(|i| Time::from_seconds(8_000.0 + i as f64 * 1000.0))
+                .collect(),
+        )
+        .delta(Charge::from_amp_seconds(delta_as))
+        .build()
+        .unwrap()
+}
+
 /// Fig. 7: coarser Δ smears the nearly deterministic CDF; refinement
 /// moves every curve toward the simulation's sharp step. We assert the
 /// slope around the centre grows monotonically as Δ shrinks.
 #[test]
 fn fig7_sharpening_with_delta() {
-    let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+    let base = on_off_scenario(7200.0, 1.0, 0.0, 200.0)
+        .with_times(vec![
+            Time::from_seconds(13_000.0),
+            Time::from_seconds(17_000.0),
+        ])
         .unwrap();
-    let model =
-        KibamRm::new(w, Charge::from_amp_seconds(7200.0), 1.0, Rate::per_second(0.0)).unwrap();
-    let times = [Time::from_seconds(13_000.0), Time::from_seconds(17_000.0)];
+    let solver = DiscretisationSolver::new();
     let mut widths = Vec::new();
     for delta in [200.0, 100.0, 50.0] {
-        let disc = DiscretisedModel::build(
-            &model,
-            &DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta)),
-        )
-        .unwrap();
-        let c = disc.empty_probability_curve(&times).unwrap();
+        let dist = solver
+            .solve(&base.with_delta(Charge::from_amp_seconds(delta)))
+            .unwrap();
         // Mass accumulated across the central window: larger = sharper.
-        widths.push(c.points[1].1 - c.points[0].1);
+        widths.push(dist.points()[1].1 - dist.points()[0].1);
     }
     assert!(
         widths[0] < widths[1] && widths[1] < widths[2],
@@ -104,110 +128,119 @@ fn fig7_sharpening_with_delta() {
 
 /// Fig. 9: the three initial-capacity scenarios are stochastically
 /// ordered: (C=4500, c=1) dies first, (C=7200, c=0.625) second,
-/// (C=7200, c=1) last.
+/// (C=7200, c=1) last. One sweep call evaluates the whole grid.
 #[test]
 fn fig9_ordering() {
-    let mk = |cap: f64, c: f64, k: f64| {
-        let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
-            .unwrap();
-        let m =
-            KibamRm::new(w, Charge::from_amp_seconds(cap), c, Rate::per_second(k)).unwrap();
-        DiscretisedModel::build(
-            &m,
-            &DiscretisationOptions::with_delta(Charge::from_amp_seconds(25.0)),
-        )
+    let grid = [
+        on_off_scenario(4500.0, 1.0, 0.0, 25.0),
+        on_off_scenario(7200.0, 0.625, 4.5e-5, 25.0),
+        on_off_scenario(7200.0, 1.0, 0.0, 25.0),
+    ];
+    let mut registry = SolverRegistry::empty();
+    registry.register(Box::new(DiscretisationSolver::new()));
+    let results = registry.sweep(&grid);
+    let [small, two_well, full]: [_; 3] = results
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
         .unwrap()
-    };
-    let times: Vec<Time> =
-        (0..=10).map(|i| Time::from_seconds(8_000.0 + i as f64 * 1000.0)).collect();
-    let small = mk(4500.0, 1.0, 0.0).empty_probability_curve(&times).unwrap();
-    let two_well = mk(7200.0, 0.625, 4.5e-5).empty_probability_curve(&times).unwrap();
-    let full = mk(7200.0, 1.0, 0.0).empty_probability_curve(&times).unwrap();
-    for i in 0..times.len() {
+        .try_into()
+        .unwrap();
+    for i in 0..small.points().len() {
+        let t = small.points()[i].0;
         assert!(
-            small.points[i].1 >= two_well.points[i].1 - 1e-9,
-            "t = {}: small {} < two-well {}",
-            times[i],
-            small.points[i].1,
-            two_well.points[i].1
+            small.points()[i].1 >= two_well.points()[i].1 - 1e-9,
+            "t = {t}: small {} < two-well {}",
+            small.points()[i].1,
+            two_well.points()[i].1
         );
         assert!(
-            two_well.points[i].1 >= full.points[i].1 - 1e-9,
-            "t = {}: two-well {} < full {}",
-            times[i],
-            two_well.points[i].1,
-            full.points[i].1
+            two_well.points()[i].1 >= full.points()[i].1 - 1e-9,
+            "t = {t}: two-well {} < full {}",
+            two_well.points()[i].1,
+            full.points()[i].1
         );
     }
 }
 
 /// Fig. 10's three anchor statements: `C=500,c=1` ⇒ > 99 % dead by ~17 h;
 /// `C=800,c=0.625` ⇒ dead by ~23 h; `C=800,c=1` ⇒ dead by ~25 h; and the
-/// middle curve family sits between the outer two.
+/// middle curve family sits between the outer two. The `c = 1` scenarios
+/// go through `auto()` (which must pick Sericola); the two-well scenario
+/// through the discretisation backend.
 #[test]
 fn fig10_anchor_probabilities() {
     let mk = |cap: f64, c: f64, k: f64| {
-        KibamRm::new(
-            Workload::simple_model().unwrap(),
-            Charge::from_milliamp_hours(cap),
-            c,
-            Rate::per_second(k),
-        )
-        .unwrap()
+        Scenario::builder()
+            .name("fig10")
+            .workload(Workload::simple_model().unwrap())
+            .capacity(Charge::from_milliamp_hours(cap))
+            .kibam(c, Rate::per_second(k))
+            .times((4..=26).map(|h| Time::from_hours(h as f64)).collect())
+            .delta(Charge::from_milliamp_hours(4.0))
+            .build()
+            .unwrap()
     };
-    let delta = Charge::from_milliamp_hours(4.0);
-    let disc_500 =
-        DiscretisedModel::build(&mk(500.0, 1.0, 0.0), &DiscretisationOptions::with_delta(delta))
-            .unwrap();
-    let p17 = disc_500.empty_probability_at(Time::from_hours(17.0)).unwrap();
+    let registry = SolverRegistry::with_default_backends();
+
+    let s500 = mk(500.0, 1.0, 0.0);
+    assert_eq!(registry.auto(&s500).unwrap().name(), "sericola");
+    let left_dist = registry.solve(&s500).unwrap();
+    let p17 = left_dist.cdf(Time::from_hours(17.0));
     assert!(p17 > 0.99, "C=500, c=1 at 17 h: {p17}");
 
-    let disc_800 = DiscretisedModel::build(
-        &mk(800.0, 0.625, 4.5e-5),
-        &DiscretisationOptions::with_delta(delta),
-    )
-    .unwrap();
-    let p23 = disc_800.empty_probability_at(Time::from_hours(23.0)).unwrap();
+    let s800 = mk(800.0, 0.625, 4.5e-5);
+    assert_eq!(registry.auto(&s800).unwrap().name(), "discretisation");
+    let middle_dist = registry.solve(&s800).unwrap();
+    let p23 = middle_dist.cdf(Time::from_hours(23.0));
     assert!(p23 > 0.97, "C=800, c=0.625 at 23 h: {p23}");
 
-    let exact = exact_linear_curve(
-        &mk(800.0, 1.0, 0.0),
-        &[Time::from_hours(20.0), Time::from_hours(25.0)],
-    )
-    .unwrap();
-    assert!(exact[1].1 > 0.97, "C=800, c=1 at 25 h: {}", exact[1].1);
+    let right_dist = SericolaSolver::new().solve(&mk(800.0, 1.0, 0.0)).unwrap();
+    assert!(right_dist.cdf(Time::from_hours(25.0)) > 0.97);
 
     // Ordering at 18 h: left ≥ middle ≥ right.
     let t = Time::from_hours(18.0);
-    let left = disc_500.empty_probability_at(t).unwrap();
-    let middle = disc_800.empty_probability_at(t).unwrap();
-    let right = exact_linear_curve(&mk(800.0, 1.0, 0.0), &[t]).unwrap()[0].1;
-    assert!(left >= middle - 0.02 && middle >= right - 0.02, "{left} {middle} {right}");
+    let (left, middle, right) = (left_dist.cdf(t), middle_dist.cdf(t), right_dist.cdf(t));
+    assert!(
+        left >= middle - 0.02 && middle >= right - 0.02,
+        "{left} {middle} {right}"
+    );
 }
 
 /// Fig. 11: the burst model outlives the simple model; at 20 h the paper
 /// reports ≈ 95 % (simple) vs ≈ 89 % (burst).
 #[test]
 fn fig11_burst_beats_simple() {
-    let delta = Charge::from_milliamp_hours(10.0);
-    let mk = |w: Workload| {
-        let m = KibamRm::new(
-            w,
-            Charge::from_milliamp_hours(800.0),
-            0.625,
-            Rate::per_second(4.5e-5),
-        )
+    let base = Scenario::builder()
+        .name("simple")
+        .workload(Workload::simple_model().unwrap())
+        .capacity(Charge::from_milliamp_hours(800.0))
+        .kibam(0.625, Rate::per_second(4.5e-5))
+        .times((15..=25).map(|h| Time::from_hours(h as f64)).collect())
+        .delta(Charge::from_milliamp_hours(10.0))
+        .build()
         .unwrap();
-        DiscretisedModel::build(&m, &DiscretisationOptions::with_delta(delta)).unwrap()
-    };
-    let simple = mk(Workload::simple_model().unwrap());
-    let burst = mk(Workload::burst_model().unwrap());
+    let grid = [
+        base.clone(),
+        base.with_name("burst")
+            .with_workload(Workload::burst_model().unwrap())
+            .unwrap(),
+    ];
+    let mut registry = SolverRegistry::empty();
+    registry.register(Box::new(DiscretisationSolver::new()));
+    let results = registry.sweep(&grid);
     let t20 = Time::from_hours(20.0);
-    let p_simple = simple.empty_probability_at(t20).unwrap();
-    let p_burst = burst.empty_probability_at(t20).unwrap();
+    let p_simple = results[0].as_ref().unwrap().cdf(t20);
+    let p_burst = results[1].as_ref().unwrap().cdf(t20);
     assert!(p_burst < p_simple, "burst {p_burst} vs simple {p_simple}");
-    assert!((0.85..1.0).contains(&p_simple), "simple at 20 h: {p_simple}");
+    assert!(
+        (0.85..1.0).contains(&p_simple),
+        "simple at 20 h: {p_simple}"
+    );
     assert!((0.75..0.99).contains(&p_burst), "burst at 20 h: {p_burst}");
     // The gap the paper shows is ~6 percentage points.
-    assert!((0.01..0.15).contains(&(p_simple - p_burst)), "gap {}", p_simple - p_burst);
+    assert!(
+        (0.01..0.15).contains(&(p_simple - p_burst)),
+        "gap {}",
+        p_simple - p_burst
+    );
 }

@@ -2,27 +2,46 @@
 //!
 //! Every number here appears in the text of Cloth, Jongerden & Haverkort
 //! (DSN'07); the experiment index in DESIGN.md maps each to its section.
+//! Derived-chain sizes and iteration counts come out of the solver
+//! facade's diagnostics.
 
-use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
-use kibamrm::model::KibamRm;
+use kibamrm::scenario::Scenario;
+use kibamrm::solver::{DiscretisationSolver, LifetimeSolver};
 use kibamrm::workload::Workload;
 use markov::steady_state::stationary_gth;
+use markov::transient::TransientOptions;
 use units::{Charge, Current, Frequency, Rate, Time};
 
-fn on_off(c: f64, k: f64) -> KibamRm {
-    let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
-        .unwrap();
-    KibamRm::new(w, Charge::from_amp_seconds(7200.0), c, Rate::per_second(k)).unwrap()
+fn on_off(c: f64, k: f64, delta_as: f64, t: Time) -> Scenario {
+    let w =
+        Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96)).unwrap();
+    Scenario::builder()
+        .name("paper-anchor")
+        .workload(w)
+        .capacity(Charge::from_amp_seconds(7200.0))
+        .kibam(c, Rate::per_second(k))
+        .times(vec![t])
+        .delta(Charge::from_amp_seconds(delta_as))
+        .build()
+        .unwrap()
+}
+
+/// The paper's iteration accounting: ν = max exit rate, no steady-state
+/// early exit.
+fn accounting_solver() -> DiscretisationSolver {
+    let transient = TransientOptions {
+        uniformisation_factor: 1.0,
+        steady_state_tolerance: 0.0,
+        ..TransientOptions::default()
+    };
+    DiscretisationSolver::new().with_transient(transient)
 }
 
 /// §6.1: "the CTMC for ∆ = 5 has 2882 states".
 #[test]
 fn states_2882_at_delta_5() {
-    let disc = DiscretisedModel::build(
-        &on_off(1.0, 0.0),
-        &DiscretisationOptions::with_delta(Charge::from_amp_seconds(5.0)),
-    )
-    .unwrap();
+    let scenario = on_off(1.0, 0.0, 5.0, Time::from_seconds(17_000.0));
+    let disc = DiscretisationSolver::new().discretise(&scenario).unwrap();
     assert_eq!(disc.stats().states, 2882);
 }
 
@@ -30,21 +49,19 @@ fn states_2882_at_delta_5() {
 /// seconds more than 36000 iterations are needed" (c = 1, Δ = 5).
 #[test]
 fn iterations_exceed_36000_at_t_17000() {
-    let mut opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(5.0));
-    opts.transient.uniformisation_factor = 1.0;
-    opts.transient.steady_state_tolerance = 0.0;
-    let disc = DiscretisedModel::build(&on_off(1.0, 0.0), &opts).unwrap();
-    let curve = disc
-        .empty_probability_curve(&[Time::from_seconds(17_000.0)])
-        .unwrap();
+    let scenario = on_off(1.0, 0.0, 5.0, Time::from_seconds(17_000.0));
+    let dist = accounting_solver().solve(&scenario).unwrap();
+    let iterations = dist
+        .diagnostics()
+        .iterations
+        .expect("discretisation reports iterations");
     assert!(
-        curve.iterations > 36_000,
-        "iterations = {} (paper: > 36000)",
-        curve.iterations
+        iterations > 36_000,
+        "iterations = {iterations} (paper: > 36000)"
     );
     // And not absurdly more: the right truncation point of Poisson(νt)
     // with ν ≈ 2.192 is νt + O(√νt) ≈ 38000.
-    assert!(curve.iterations < 40_000, "iterations = {}", curve.iterations);
+    assert!(iterations < 40_000, "iterations = {iterations}");
 }
 
 /// §6.1: the two-well Δ = 5 chain has "about 3.2·10⁶ non-zeroes in the
@@ -54,19 +71,15 @@ fn iterations_exceed_36000_at_t_17000() {
 #[test]
 #[ignore = "heavyweight: ~10^6 states; run explicitly or via bench-harness complexity"]
 fn two_well_delta_5_nonzeros_and_iterations() {
-    let mut opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(5.0));
-    opts.transient.uniformisation_factor = 1.0;
-    opts.transient.steady_state_tolerance = 0.0;
-    let disc = DiscretisedModel::build(&on_off(0.625, 4.5e-5), &opts).unwrap();
-    let nnz = disc.stats().generator_nonzeros;
+    let scenario = on_off(0.625, 4.5e-5, 5.0, Time::from_seconds(10_000.0));
+    let dist = accounting_solver().solve(&scenario).unwrap();
+    let nnz = dist.diagnostics().generator_nonzeros.expect("reported");
     assert!(
         (2_900_000..3_700_000).contains(&nnz),
         "generator non-zeros = {nnz} (paper: about 3.2e6)"
     );
-    let curve = disc
-        .empty_probability_curve(&[Time::from_seconds(10_000.0)])
-        .unwrap();
-    assert!(curve.iterations > 23_000, "iterations = {}", curve.iterations);
+    let iterations = dist.diagnostics().iterations.expect("reported");
+    assert!(iterations > 23_000, "iterations = {iterations}");
 }
 
 /// §6.1: consumed energy in 7500 on-seconds is 7500 s · 0.96 A = 7200 As
@@ -81,7 +94,9 @@ fn deterministic_square_wave_lifetime_is_15000_s() {
     let b = Kibam::new(Charge::from_amp_seconds(7200.0), 1.0, Rate::per_second(0.0)).unwrap();
     let wave =
         SquareWaveLoad::symmetric(Frequency::from_hertz(1.0), Current::from_amps(0.96)).unwrap();
-    let l = lifetime(&b, &wave, Time::from_hours(10.0)).unwrap().unwrap();
+    let l = lifetime(&b, &wave, Time::from_hours(10.0))
+        .unwrap()
+        .unwrap();
     assert!((l.as_seconds() - 15_000.0).abs() < 1.0, "lifetime {l}");
 }
 
@@ -118,7 +133,10 @@ fn workload_steady_state_calibration() {
     );
     let p_sleep_simple = pi_s[simple.ctmc().find_state("sleep").unwrap()];
     let p_sleep_burst = pi_b[burst.ctmc().find_state("sleep").unwrap()];
-    assert!(p_sleep_burst > p_sleep_simple, "{p_sleep_burst} vs {p_sleep_simple}");
+    assert!(
+        p_sleep_burst > p_sleep_simple,
+        "{p_sleep_burst} vs {p_sleep_simple}"
+    );
 }
 
 /// §4.3: the on/off workload's transition rate is λ = 2·f·K so the mean
@@ -129,7 +147,10 @@ fn erlang_rates_scale_with_k() {
         let w = Workload::on_off_erlang(Frequency::from_hertz(0.2), k, Current::from_amps(1.0))
             .unwrap();
         let expected_rate = 2.0 * 0.2 * k as f64;
-        assert!((w.ctmc().exit_rate(0) - expected_rate).abs() < 1e-12, "K = {k}");
+        assert!(
+            (w.ctmc().exit_rate(0) - expected_rate).abs() < 1e-12,
+            "K = {k}"
+        );
         // Mean cycle time = 2K/λ = 1/f.
         let mean_cycle = 2.0 * k as f64 / expected_rate;
         assert!((mean_cycle - 5.0).abs() < 1e-12);
@@ -140,8 +161,12 @@ fn erlang_rates_scale_with_k() {
 #[test]
 fn figure2_initial_wells() {
     use battery::kibam::Kibam;
-    let b = Kibam::new(Charge::from_amp_seconds(7200.0), 0.625, Rate::per_second(4.5e-5))
-        .unwrap();
+    let b = Kibam::new(
+        Charge::from_amp_seconds(7200.0),
+        0.625,
+        Rate::per_second(4.5e-5),
+    )
+    .unwrap();
     let s = b.full_state();
     assert!((s.available.as_coulombs() - 4500.0).abs() < 1e-9);
     assert!((s.bound.as_coulombs() - 2700.0).abs() < 1e-9);

@@ -2,22 +2,24 @@
 //! central methodological claim: "for decreasing stepsize ∆ the curves
 //! from the approximation algorithm approach the simulation curve"),
 //! plus property-based checks of the discretised chain's invariants.
+//! Curves are computed through the solver facade; the structural checks
+//! reach the derived chain via `DiscretisationSolver::discretise`.
 
-use kibamrm::analysis::exact_linear_curve;
-use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
-use kibamrm::model::KibamRm;
+use kibamrm::scenario::Scenario;
+use kibamrm::solver::{DiscretisationSolver, LifetimeSolver, SericolaSolver};
 use kibamrm::workload::Workload;
 use proptest::prelude::*;
 use units::{Charge, Current, Frequency, Rate, Time};
 
-fn simple_linear(capacity_mah: f64) -> KibamRm {
-    KibamRm::new(
-        Workload::simple_model().unwrap(),
-        Charge::from_milliamp_hours(capacity_mah),
-        1.0,
-        Rate::per_second(0.0),
-    )
-    .unwrap()
+fn simple_linear(capacity_mah: f64) -> Scenario {
+    Scenario::builder()
+        .name("simple-linear")
+        .workload(Workload::simple_model().unwrap())
+        .capacity(Charge::from_milliamp_hours(capacity_mah))
+        .linear()
+        .times((4..=26).map(|h| Time::from_hours(h as f64)).collect())
+        .build()
+        .unwrap()
 }
 
 /// Refinement against the exact curve: the sup-distance must shrink
@@ -25,22 +27,13 @@ fn simple_linear(capacity_mah: f64) -> KibamRm {
 /// must improve clearly).
 #[test]
 fn refinement_converges_to_exact() {
-    let model = simple_linear(500.0);
-    let times: Vec<Time> = (4..=26).map(|h| Time::from_hours(h as f64)).collect();
-    let exact = exact_linear_curve(&model, &times).unwrap();
-
+    let scenario = simple_linear(500.0);
+    let exact = SericolaSolver::new().solve(&scenario).unwrap();
     let sup_for = |delta_mah: f64| {
-        let disc = DiscretisedModel::build(
-            &model,
-            &DiscretisationOptions::with_delta(Charge::from_milliamp_hours(delta_mah)),
-        )
-        .unwrap();
-        let approx = disc.empty_probability_curve(&times).unwrap();
-        exact
-            .iter()
-            .zip(&approx.points)
-            .map(|((_, e), (_, a))| (e - a).abs())
-            .fold(0.0f64, f64::max)
+        let dist = DiscretisationSolver::new()
+            .solve(&scenario.with_delta(Charge::from_milliamp_hours(delta_mah)))
+            .unwrap();
+        exact.max_difference(&dist).unwrap()
     };
     let coarse = sup_for(50.0);
     let medium = sup_for(20.0);
@@ -54,21 +47,13 @@ fn refinement_converges_to_exact() {
 /// CDFs; a 10× refinement should cut the sup error by at least 2×.
 #[test]
 fn refinement_rate_reasonable() {
-    let model = simple_linear(500.0);
-    let times: Vec<Time> = (4..=26).map(|h| Time::from_hours(h as f64)).collect();
-    let exact = exact_linear_curve(&model, &times).unwrap();
+    let scenario = simple_linear(500.0);
+    let exact = SericolaSolver::new().solve(&scenario).unwrap();
     let sup_for = |delta_mah: f64| {
-        let disc = DiscretisedModel::build(
-            &model,
-            &DiscretisationOptions::with_delta(Charge::from_milliamp_hours(delta_mah)),
-        )
-        .unwrap();
-        let approx = disc.empty_probability_curve(&times).unwrap();
-        exact
-            .iter()
-            .zip(&approx.points)
-            .map(|((_, e), (_, a))| (e - a).abs())
-            .fold(0.0f64, f64::max)
+        let dist = DiscretisationSolver::new()
+            .solve(&scenario.with_delta(Charge::from_milliamp_hours(delta_mah)))
+            .unwrap();
+        exact.max_difference(&dist).unwrap()
     };
     let e25 = sup_for(25.0);
     let e2_5 = sup_for(2.5);
@@ -89,21 +74,21 @@ proptest! {
         let c = c_times_8 as f64 / 8.0;
         let capacity = 80.0; // As
         // Δ chosen so it divides both wells exactly: both cC and (1−c)C
-        // are multiples of capacity/8; use Δ = cC/quanta only when it
-        // also divides (1−c)C — construct instead from the common grid.
+        // are multiples of capacity/8.
         let delta = capacity / (8.0 * quanta as f64);
         let w = Workload::on_off_erlang(
             Frequency::from_hertz(0.5), 1, Current::from_amps(0.5)).unwrap();
-        let m = KibamRm::new(
-            w,
-            Charge::from_amp_seconds(capacity),
-            c,
-            Rate::per_second(10f64.powf(k_exp)),
-        ).unwrap();
-        let disc = DiscretisedModel::build(
-            &m,
-            &DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta)),
-        ).unwrap();
+        let scenario = Scenario::builder()
+            .name("invariants")
+            .workload(w)
+            .capacity(Charge::from_amp_seconds(capacity))
+            .kibam(c, Rate::per_second(10f64.powf(k_exp)))
+            .times((0..=6).map(|i| Time::from_seconds(i as f64 * 100.0)).collect())
+            .delta(Charge::from_amp_seconds(delta))
+            .build()
+            .unwrap();
+        let solver = DiscretisationSolver::new();
+        let disc = solver.discretise(&scenario).unwrap();
 
         // Invariant 1: state count = N · (J1+1) · (J2+1).
         let expect_j1 = (c * capacity / delta).round() as usize + 1;
@@ -120,17 +105,16 @@ proptest! {
             }
         }
 
-        // Invariant 3: the curve is a CDF in t.
-        let times: Vec<Time> = (0..=6)
-            .map(|i| Time::from_seconds(i as f64 * 100.0))
-            .collect();
-        let curve = disc.empty_probability_curve(&times).unwrap();
+        // Invariant 3: the solved curve is a CDF in t, and the solver's
+        // diagnostics describe the same chain.
+        let dist = solver.solve(&scenario).unwrap();
         let mut prev = -1e-12;
-        for (_, p) in &curve.points {
-            prop_assert!((0.0..=1.0 + 1e-9).contains(p));
-            prop_assert!(*p >= prev - 1e-9);
-            prev = *p;
+        for &(_, p) in dist.points() {
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= prev - 1e-9);
+            prev = p;
         }
+        prop_assert_eq!(dist.diagnostics().states, Some(disc.stats().states));
 
         // Invariant 4: initial mass sits on the full-battery states.
         let total: f64 = disc.alpha().iter().sum();
@@ -144,23 +128,19 @@ proptest! {
     fn median_stability_under_refinement(capacity in 40.0f64..120.0) {
         let w = Workload::on_off_erlang(
             Frequency::from_hertz(0.5), 1, Current::from_amps(0.5)).unwrap();
-        let m = KibamRm::new(
-            w,
-            Charge::from_amp_seconds(capacity),
-            1.0,
-            Rate::per_second(0.0),
-        ).unwrap();
+        let scenario = Scenario::builder()
+            .name("median-stability")
+            .workload(w)
+            .capacity(Charge::from_amp_seconds(capacity))
+            .linear()
+            .times((1..=400).map(|i| Time::from_seconds(i as f64 * 2.0)).collect())
+            .build()
+            .unwrap();
         let median_for = |parts: f64| {
-            let delta = capacity / parts;
-            let disc = DiscretisedModel::build(
-                &m,
-                &DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta)),
-            ).unwrap();
-            let times: Vec<Time> = (0..=400)
-                .map(|i| Time::from_seconds(i as f64 * 2.0))
-                .collect();
-            let curve = disc.empty_probability_curve(&times).unwrap();
-            curve.points.iter().find(|(_, p)| *p >= 0.5).map(|(t, _)| *t).unwrap_or(800.0)
+            let dist = DiscretisationSolver::new()
+                .solve(&scenario.with_delta(Charge::from_amp_seconds(capacity / parts)))
+                .unwrap();
+            dist.median().map(|t| t.as_seconds()).unwrap_or(800.0)
         };
         // Deterministic estimate: capacity / (0.5 A) · 2 (50% duty).
         let expect = capacity / 0.5 * 2.0;
