@@ -1,6 +1,7 @@
-//! One module per regenerated table/figure; see DESIGN.md §4 for the
+//! One module per regenerated table/figure; see DESIGN.md §5 for the
 //! experiment index.
 
+pub mod baseline;
 pub mod calibrate;
 pub mod complexity;
 pub mod config;

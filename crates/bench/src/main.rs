@@ -14,6 +14,7 @@
 //!   fig11       simple vs burst model
 //!   complexity  state/non-zero/iteration counts of §5.3 & §6.1
 //!   calibrate   re-derive λ_burst = 182/h from P[send] = ¼
+//!   baseline    machine-readable BENCH_spmv.json / BENCH_uniformisation.json
 //!   all         everything above
 //! ```
 //!
@@ -61,8 +62,9 @@ fn main() {
         "fig11" => experiments::fig11::run(&config),
         "complexity" => experiments::complexity::run(&config),
         "calibrate" => experiments::calibrate::run(&config),
+        "baseline" => experiments::baseline::run(&config),
         "all" => {
-            let runs: [(&str, fn(&Config) -> Result<(), String>); 9] = [
+            let runs: [(&str, fn(&Config) -> Result<(), String>); 10] = [
                 ("fig2", experiments::fig2::run),
                 ("table1", experiments::table1::run),
                 ("fig7", experiments::fig7::run),
@@ -72,6 +74,7 @@ fn main() {
                 ("fig11", experiments::fig11::run),
                 ("complexity", experiments::complexity::run),
                 ("calibrate", experiments::calibrate::run),
+                ("baseline", experiments::baseline::run),
             ];
             let mut status = Ok(());
             for (name, f) in runs {
@@ -94,8 +97,8 @@ fn main() {
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
-        "usage: bench-harness <fig2|table1|fig7|fig8|fig9|fig10|fig11|complexity|calibrate|all> \
-         [--fast] [--out DIR] [--threads N]"
+        "usage: bench-harness <fig2|table1|fig7|fig8|fig9|fig10|fig11|complexity|calibrate|\
+         baseline|all> [--fast] [--out DIR] [--threads N]"
     );
     std::process::exit(2);
 }

@@ -105,8 +105,10 @@ impl KibamRm {
         }
         let old = self.workload.ctmc();
         let mut b = markov::ctmc::CtmcBuilder::new(old.n_states());
-        for i in 0..old.n_states() {
-            b.label(i, old.state_label(i));
+        if old.has_custom_labels() {
+            for i in 0..old.n_states() {
+                b.label(i, old.state_label(i).as_ref());
+            }
         }
         for (i, j, r) in old.rates().iter() {
             b.rate(i, j, r * factor)

@@ -41,6 +41,62 @@ use markov::transient::TransientOptions;
 use std::time::Instant;
 use units::Time;
 
+/// Thread-budget knobs for a solver run, composing the two layers of
+/// parallelism without oversubscription:
+///
+/// * **scenario-level** — how many scenarios a [`SolverRegistry::sweep`]
+///   solves concurrently;
+/// * **row-level** — a **cap** on the SpMV pool workers each individual
+///   solve may spawn ([`markov::pool::SpmvPool`] inside the
+///   uniformisation engine). The cap never *raises* a backend's own
+///   configured thread count (e.g.
+///   [`DiscretisationSolver::with_threads`]); it only bounds it, so a
+///   sweep can divide the machine between concurrent solves.
+///
+/// `sweep` divides `row_threads` by the number of active sweep workers
+/// before applying it, so the two layers compose without
+/// oversubscribing the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverOptions {
+    /// Concurrent scenario solves in a sweep (default: available
+    /// parallelism).
+    pub scenario_threads: usize,
+    /// Row-level worker cap per solve (default: available parallelism —
+    /// i.e. no cap beyond the machine itself, leaving each backend's
+    /// own thread configuration in charge).
+    pub row_threads: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        SolverOptions {
+            scenario_threads: cores,
+            row_threads: cores,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Fully sequential execution (one scenario at a time, one thread per
+    /// solve).
+    pub fn sequential() -> Self {
+        SolverOptions {
+            scenario_threads: 1,
+            row_threads: 1,
+        }
+    }
+
+    /// Row-level worker count for one solve when `active` scenarios run
+    /// concurrently: the row budget split across the active solves,
+    /// never below 1.
+    pub fn row_threads_per_solve(&self, active: usize) -> usize {
+        (self.row_threads / active.max(1)).max(1)
+    }
+}
+
 /// What a backend can do with a given scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Capability {
@@ -90,6 +146,23 @@ pub trait LifetimeSolver: Send + Sync {
     /// Backend-specific validation and numerical errors; solvers must
     /// refuse (not mis-answer) scenarios they report as unsupported.
     fn solve(&self, scenario: &Scenario) -> Result<LifetimeDistribution, KibamRmError>;
+
+    /// [`LifetimeSolver::solve`] under an explicit thread budget. The
+    /// default implementation ignores the budget (most backends are
+    /// single-threaded per solve); backends with internal row-level
+    /// parallelism override it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LifetimeSolver::solve`].
+    fn solve_with(
+        &self,
+        scenario: &Scenario,
+        options: &SolverOptions,
+    ) -> Result<LifetimeDistribution, KibamRmError> {
+        let _ = options;
+        self.solve(scenario)
+    }
 }
 
 // --------------------------------------------------------------------
@@ -196,6 +269,20 @@ impl LifetimeSolver for DiscretisationSolver {
                 wall_seconds: started.elapsed().as_secs_f64(),
             },
         )
+    }
+
+    fn solve_with(
+        &self,
+        scenario: &Scenario,
+        options: &SolverOptions,
+    ) -> Result<LifetimeDistribution, KibamRmError> {
+        // Row-level parallelism is this backend's SpMV pool: the budget
+        // the registry hands down (already divided among concurrent
+        // sweep workers) acts as a cap — it never raises a thread count
+        // this solver was explicitly configured with.
+        let mut solver = self.clone();
+        solver.transient.threads = solver.transient.threads.min(options.row_threads.max(1));
+        solver.solve(scenario)
     }
 }
 
@@ -351,6 +438,7 @@ impl LifetimeSolver for SericolaSolver {
 /// An ordered collection of solver backends.
 pub struct SolverRegistry {
     solvers: Vec<Box<dyn LifetimeSolver>>,
+    options: SolverOptions,
 }
 
 impl std::fmt::Debug for SolverRegistry {
@@ -375,7 +463,20 @@ impl SolverRegistry {
     pub fn empty() -> Self {
         SolverRegistry {
             solvers: Vec::new(),
+            options: SolverOptions::default(),
         }
+    }
+
+    /// Replaces the thread-budget options (see [`SolverOptions`]).
+    #[must_use]
+    pub fn with_options(mut self, options: SolverOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The registry's thread-budget options.
+    pub fn options(&self) -> &SolverOptions {
+        &self.options
     }
 
     /// The standard set: Sericola (exact where it applies), then the
@@ -447,53 +548,65 @@ impl SolverRegistry {
     /// Selection errors from [`SolverRegistry::auto`] plus the chosen
     /// backend's solve errors.
     pub fn solve(&self, scenario: &Scenario) -> Result<LifetimeDistribution, KibamRmError> {
-        self.auto(scenario)?.solve(scenario)
+        self.auto(scenario)?.solve_with(scenario, &self.options)
     }
 
     /// Solves a whole scenario grid, auto-selecting per scenario and
-    /// fanning the work out over `threads` workers (default: available
-    /// parallelism). Results come back in input order; per-scenario
-    /// failures do not abort the batch.
+    /// fanning the work out over the registry's scenario-thread budget.
+    /// Results come back in input order; per-scenario failures do not
+    /// abort the batch.
     pub fn sweep(&self, scenarios: &[Scenario]) -> Vec<Result<LifetimeDistribution, KibamRmError>> {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        self.sweep_with_threads(scenarios, threads)
+        self.sweep_with_threads(scenarios, self.options.scenario_threads)
     }
 
     /// [`SolverRegistry::sweep`] with an explicit worker count.
+    ///
+    /// Each worker owns a disjoint slice of the result vector (no result
+    /// mutex), and the registry's row-thread budget is divided by the
+    /// active worker count, so scenario-level and row-level parallelism
+    /// compose without oversubscribing the machine.
     pub fn sweep_with_threads(
         &self,
         scenarios: &[Scenario],
         threads: usize,
     ) -> Vec<Result<LifetimeDistribution, KibamRmError>> {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        use std::sync::Mutex;
-
         let workers = threads.max(1).min(scenarios.len().max(1));
+        let per_solve = SolverOptions {
+            row_threads: self.options.row_threads_per_solve(workers),
+            ..self.options
+        };
+        let solve_one = |s: &Scenario| match self.auto(s) {
+            Ok(solver) => solver.solve_with(s, &per_solve),
+            Err(e) => Err(e),
+        };
         if workers <= 1 || scenarios.len() <= 1 {
-            return scenarios.iter().map(|s| self.solve(s)).collect();
+            return scenarios.iter().map(solve_one).collect();
         }
-        let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<Result<LifetimeDistribution, KibamRmError>>>> =
-            Mutex::new((0..scenarios.len()).map(|_| None).collect());
+        let mut results: Vec<Option<Result<LifetimeDistribution, KibamRmError>>> =
+            (0..scenarios.len()).map(|_| None).collect();
+        let chunk = scenarios.len().div_ceil(workers);
+        // Workers write through disjoint `chunks_mut` slices — no shared
+        // lock, no post-hoc reassembly. Static contiguous chunking trades
+        // away dynamic load balancing: a grid sorted by cost (e.g. a Δ
+        // sweep fine-to-coarse) serialises its expensive scenarios in one
+        // worker's chunk, so cost-skewed grids should be shuffled by the
+        // caller (or solved with row_threads > 1, which the per-solve
+        // budget above keeps from oversubscribing).
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= scenarios.len() {
-                        break;
+            for (scenario_chunk, result_chunk) in
+                scenarios.chunks(chunk).zip(results.chunks_mut(chunk))
+            {
+                let solve_one = &solve_one;
+                scope.spawn(move || {
+                    for (scenario, slot) in scenario_chunk.iter().zip(result_chunk.iter_mut()) {
+                        *slot = Some(solve_one(scenario));
                     }
-                    let r = self.solve(&scenarios[i]);
-                    results.lock().expect("sweep mutex").as_mut_slice()[i] = Some(r);
                 });
             }
         });
         results
-            .into_inner()
-            .expect("sweep mutex")
             .into_iter()
-            .map(|r| r.expect("every index filled"))
+            .map(|r| r.expect("every chunk filled"))
             .collect()
     }
 
@@ -720,6 +833,44 @@ mod tests {
                 .abs()
                 < 1e-15
         );
+    }
+
+    #[test]
+    fn solver_options_compose_without_oversubscription() {
+        let opts = SolverOptions {
+            scenario_threads: 4,
+            row_threads: 8,
+        };
+        // 4 active sweep workers each get a cap of 8/4 = 2 row threads.
+        assert_eq!(opts.row_threads_per_solve(4), 2);
+        // More workers than row budget: every solve stays sequential.
+        assert_eq!(opts.row_threads_per_solve(16), 1);
+        assert_eq!(opts.row_threads_per_solve(0), 8, "clamped to one worker");
+        assert_eq!(SolverOptions::sequential().scenario_threads, 1);
+        // The default budget is the machine itself — no cap beyond it,
+        // so registry.solve never lowers an explicitly configured
+        // backend (regression: it used to force row_threads = 1).
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(SolverOptions::default().row_threads, cores);
+
+        let registry = SolverRegistry::with_default_backends().with_options(opts);
+        assert_eq!(*registry.options(), opts);
+        // solve_with on the discretisation backend honours the budget
+        // and produces the same curve as the plain solve.
+        let s = two_well()
+            .with_delta(Charge::from_milliamp_hours(50.0))
+            .with_simulation(10, 1);
+        let solver = DiscretisationSolver::new();
+        let budgeted = solver.solve_with(&s, &opts).unwrap();
+        let plain = solver.solve(&s).unwrap();
+        assert!(budgeted.max_difference(&plain).unwrap() < 1e-12);
+        // Backends without row-level parallelism ignore the budget.
+        let sim = SimulationSolver::new();
+        let a = sim.solve_with(&s, &opts).unwrap();
+        let b = sim.solve(&s).unwrap();
+        assert!(a.max_difference(&b).unwrap() < 1e-15);
     }
 
     #[test]

@@ -33,7 +33,9 @@ use crate::MarkovError;
 pub struct CtmcBuilder {
     n: usize,
     triplets: Vec<(usize, usize, f64)>,
-    labels: Vec<String>,
+    /// Materialised lazily on the first `label()` call: huge derived
+    /// chains never pay for `n` default label strings.
+    labels: Option<Vec<String>>,
 }
 
 impl CtmcBuilder {
@@ -42,7 +44,7 @@ impl CtmcBuilder {
         CtmcBuilder {
             n,
             triplets: Vec::new(),
-            labels: (0..n).map(|i| format!("s{i}")).collect(),
+            labels: None,
         }
     }
 
@@ -85,7 +87,10 @@ impl CtmcBuilder {
     /// range, so chained label calls never fail).
     pub fn label(&mut self, i: usize, name: &str) -> &mut Self {
         if i < self.n {
-            self.labels[i] = name.to_owned();
+            let labels = self
+                .labels
+                .get_or_insert_with(|| (0..self.n).map(|i| format!("s{i}")).collect());
+            labels[i] = name.to_owned();
         }
         self
     }
@@ -111,9 +116,21 @@ impl CtmcBuilder {
             n: self.n,
             rates,
             exit,
-            labels: self.labels,
+            labels: match self.labels {
+                Some(v) => Labels::Named(v),
+                None => Labels::Default,
+            },
         })
     }
+}
+
+/// State labels: either lazily-derived defaults (`s0`, `s1`, …; zero
+/// storage, the choice for million-state derived chains) or an explicit
+/// per-state vector.
+#[derive(Debug, Clone, PartialEq)]
+enum Labels {
+    Default,
+    Named(Vec<String>),
 }
 
 /// A validated continuous-time Markov chain.
@@ -122,10 +139,59 @@ pub struct Ctmc {
     n: usize,
     rates: CsrMatrix,
     exit: Vec<f64>,
-    labels: Vec<String>,
+    labels: Labels,
 }
 
 impl Ctmc {
+    /// Wraps an already-assembled off-diagonal rate matrix as a CTMC,
+    /// validating the generator invariants in one `O(nnz)` pass. This is
+    /// the bulk-construction path for huge derived chains (the paper's
+    /// §5 discretisation) whose rate matrices are built by two-pass
+    /// counted CSR assembly ([`crate::sparse::CsrAssembler`]) — no
+    /// triplet temporary, no per-rate builder call.
+    ///
+    /// States get default labels (`s0`, `s1`, …).
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::EmptyChain`] for a 0×0 matrix,
+    /// [`MarkovError::InvalidArgument`] for a non-square matrix,
+    /// [`MarkovError::SelfLoop`] when a diagonal entry is stored, and
+    /// [`MarkovError::InvalidRate`] for a negative rate (non-finite
+    /// values are already rejected by CSR assembly).
+    pub fn from_rate_matrix(rates: CsrMatrix) -> Result<Ctmc, MarkovError> {
+        if rates.rows() == 0 {
+            return Err(MarkovError::EmptyChain);
+        }
+        if rates.rows() != rates.cols() {
+            return Err(MarkovError::InvalidArgument(format!(
+                "rate matrix must be square, got {}x{}",
+                rates.rows(),
+                rates.cols()
+            )));
+        }
+        for (i, j, r) in rates.iter() {
+            if i == j {
+                return Err(MarkovError::SelfLoop { state: i });
+            }
+            if !r.is_finite() || r < 0.0 {
+                return Err(MarkovError::InvalidRate {
+                    from: i,
+                    to: j,
+                    rate: r,
+                });
+            }
+        }
+        let n = rates.rows();
+        let exit = rates.row_sums();
+        Ok(Ctmc {
+            n,
+            rates,
+            exit,
+            labels: Labels::Default,
+        })
+    }
+
     /// Number of states.
     #[inline]
     pub fn n_states(&self) -> usize {
@@ -170,18 +236,41 @@ impl Ctmc {
         self.exit[i] == 0.0
     }
 
-    /// Label of state `i`.
+    /// Label of state `i` (borrowed when explicitly named, derived on the
+    /// fly for default-labelled chains).
     ///
     /// # Panics
     ///
     /// Panics if `i >= n_states()`.
-    pub fn state_label(&self, i: usize) -> &str {
-        &self.labels[i]
+    pub fn state_label(&self, i: usize) -> std::borrow::Cow<'_, str> {
+        match &self.labels {
+            Labels::Named(v) => std::borrow::Cow::Borrowed(v[i].as_str()),
+            Labels::Default => {
+                assert!(i < self.n, "state {i} out of range for {} states", self.n);
+                std::borrow::Cow::Owned(format!("s{i}"))
+            }
+        }
+    }
+
+    /// `true` when the chain carries explicitly assigned labels (as
+    /// opposed to the lazily-derived `s0`, `s1`, … defaults). Chain
+    /// transformations use this to skip copying labels that the rebuilt
+    /// chain would derive identically for free — keeping million-state
+    /// derived chains label-storage-free end to end.
+    pub fn has_custom_labels(&self) -> bool {
+        matches!(self.labels, Labels::Named(_))
     }
 
     /// Index of the first state carrying `label`, if any.
     pub fn find_state(&self, label: &str) -> Option<usize> {
-        self.labels.iter().position(|l| l == label)
+        match &self.labels {
+            Labels::Named(v) => v.iter().position(|l| l == label),
+            Labels::Default => label
+                .strip_prefix('s')
+                .and_then(|digits| digits.parse::<usize>().ok())
+                // Round-trip to reject non-canonical spellings ("s007").
+                .filter(|&i| i < self.n && format!("s{i}") == label),
+        }
     }
 
     /// The dense generator matrix `Q` (diagonal filled in). Intended for
@@ -210,6 +299,40 @@ impl Ctmc {
     ///
     /// [`MarkovError::InvalidArgument`] when `factor < 1`.
     pub fn uniformised(&self, factor: f64) -> Result<(CsrMatrix, f64), MarkovError> {
+        let (nu, stay) = self.uniformisation_diagonal(factor)?;
+        if nu == 0.0 {
+            let eye: Vec<_> = (0..self.n).map(|i| (i, i, 1.0)).collect();
+            return Ok((CsrMatrix::from_triplets(self.n, self.n, eye)?, 0.0));
+        }
+        // Direct CSR assembly: rows stay sorted, the diagonal is spliced
+        // in place — no triplet temporary, no O(nnz log nnz) sort.
+        Ok((self.rates.scaled_add_diag(1.0 / nu, &stay)?, nu))
+    }
+
+    /// The **transposed** uniformised DTMC `Pᵀ = (I + Q/ν)ᵀ`, built
+    /// directly from the rate matrix in one `O(nnz)` counting pass —
+    /// no intermediate `P`, no transpose copy.
+    ///
+    /// The transient engines iterate `vₙ₊₁ᵀ = vₙᵀ P`, i.e. repeated
+    /// `Pᵀ·v` products, so this is the matrix the hot path actually
+    /// wants. Semantics of ν and the all-absorbing case match
+    /// [`Ctmc::uniformised`] (the identity is its own transpose).
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] when `factor < 1`.
+    pub fn uniformised_transposed(&self, factor: f64) -> Result<(CsrMatrix, f64), MarkovError> {
+        let (nu, stay) = self.uniformisation_diagonal(factor)?;
+        if nu == 0.0 {
+            let eye: Vec<_> = (0..self.n).map(|i| (i, i, 1.0)).collect();
+            return Ok((CsrMatrix::from_triplets(self.n, self.n, eye)?, 0.0));
+        }
+        Ok((self.rates.transpose_scaled_add_diag(1.0 / nu, &stay)?, nu))
+    }
+
+    /// Shared uniformisation setup: validates `factor`, computes ν and
+    /// the self-loop probabilities `1 − qᵢ/ν` (empty when ν = 0).
+    fn uniformisation_diagonal(&self, factor: f64) -> Result<(f64, Vec<f64>), MarkovError> {
         if !(factor >= 1.0) {
             return Err(MarkovError::InvalidArgument(format!(
                 "uniformisation factor must be ≥ 1, got {factor}"
@@ -217,28 +340,17 @@ impl Ctmc {
         }
         let nu = self.max_exit_rate() * factor;
         if nu == 0.0 {
-            // All states absorbing: P = I.
-            let eye: Vec<_> = (0..self.n).map(|i| (i, i, 1.0)).collect();
-            return Ok((CsrMatrix::from_triplets(self.n, self.n, eye)?, 0.0));
+            return Ok((0.0, Vec::new()));
         }
-        let mut trip: Vec<(usize, usize, f64)> = Vec::with_capacity(self.rates.nnz() + self.n);
-        for (i, j, r) in self.rates.iter() {
-            trip.push((i, j, r / nu));
-        }
-        for i in 0..self.n {
-            let stay = 1.0 - self.exit[i] / nu;
-            if stay != 0.0 {
-                trip.push((i, i, stay));
-            }
-        }
-        Ok((CsrMatrix::from_triplets(self.n, self.n, trip)?, nu))
+        Ok((nu, self.exit.iter().map(|&q| 1.0 - q / nu).collect()))
     }
 
     /// Graphviz/DOT rendering of the chain with labels and rates, for
     /// documentation and debugging of workload models.
     pub fn to_dot(&self) -> String {
         let mut out = String::from("digraph ctmc {\n  rankdir=LR;\n");
-        for (i, l) in self.labels.iter().enumerate() {
+        for i in 0..self.n {
+            let l = self.state_label(i);
             out.push_str(&format!("  {i} [label=\"{l}\"];\n"));
         }
         for (i, j, r) in self.rates.iter() {
@@ -392,6 +504,77 @@ mod tests {
         // Fastest state keeps positive self-loop thanks to factor > 1.
         assert!(p.get(1, 1) > 0.0);
         assert!(c.uniformised(0.5).is_err());
+    }
+
+    #[test]
+    fn uniformised_transposed_is_transpose_of_uniformised() {
+        let mut b = CtmcBuilder::new(4);
+        for (f, t, r) in [
+            (0usize, 1usize, 1.2),
+            (0, 3, 0.4),
+            (1, 2, 2.3),
+            (2, 3, 1.7),
+            (3, 0, 0.9),
+        ] {
+            b.rate(f, t, r).unwrap();
+        }
+        let c = b.build().unwrap();
+        let (p, nu) = c.uniformised(1.02).unwrap();
+        let (pt, nu_t) = c.uniformised_transposed(1.02).unwrap();
+        assert_eq!(nu, nu_t);
+        assert_eq!(pt, p.transpose());
+        // Columns of Pᵀ sum to 1 (rows of the stochastic P).
+        let col_sums = pt.vec_mul(&[1.0; 4]).unwrap();
+        for s in col_sums {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        assert!(c.uniformised_transposed(0.5).is_err());
+        // All-absorbing: Pᵀ = I with ν = 0.
+        let absorbing = CtmcBuilder::new(2).build().unwrap();
+        let (pt, nu) = absorbing.uniformised_transposed(1.0).unwrap();
+        assert_eq!(nu, 0.0);
+        assert_eq!(pt.get(0, 0), 1.0);
+        assert_eq!(pt.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn from_rate_matrix_validates_generator_invariants() {
+        let rates = CsrMatrix::from_triplets(2, 2, vec![(0, 1, 2.0), (1, 0, 3.0)]).unwrap();
+        let c = Ctmc::from_rate_matrix(rates).unwrap();
+        assert_eq!(c.n_states(), 2);
+        assert_eq!(c.exit_rate(0), 2.0);
+        assert_eq!(c.state_label(1), "s1");
+
+        let self_loop = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.0)]).unwrap();
+        assert!(matches!(
+            Ctmc::from_rate_matrix(self_loop),
+            Err(MarkovError::SelfLoop { state: 0 })
+        ));
+        let negative = CsrMatrix::from_triplets(2, 2, vec![(0, 1, -1.0)]).unwrap();
+        assert!(matches!(
+            Ctmc::from_rate_matrix(negative),
+            Err(MarkovError::InvalidRate { .. })
+        ));
+        let rect = CsrMatrix::zeros(2, 3);
+        assert!(Ctmc::from_rate_matrix(rect).is_err());
+        assert!(matches!(
+            Ctmc::from_rate_matrix(CsrMatrix::zeros(0, 0)),
+            Err(MarkovError::EmptyChain)
+        ));
+    }
+
+    #[test]
+    fn default_labels_are_lazy_but_searchable() {
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.state_label(0), "s0");
+        assert_eq!(c.state_label(2), "s2");
+        assert_eq!(c.find_state("s1"), Some(1));
+        assert_eq!(c.find_state("s3"), None, "out of range");
+        assert_eq!(c.find_state("s01"), None, "non-canonical spelling");
+        assert_eq!(c.find_state("x0"), None);
+        assert!(c.to_dot().contains("\"s2\""));
     }
 
     #[test]

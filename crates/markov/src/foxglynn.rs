@@ -67,92 +67,187 @@ impl PoissonWeights {
 /// assert!((w.weights.iter().sum::<f64>() - 1.0).abs() < 1e-14);
 /// ```
 pub fn poisson_weights(lambda: f64, epsilon: f64) -> Result<PoissonWeights, MarkovError> {
-    if !lambda.is_finite() || lambda < 0.0 {
-        return Err(MarkovError::InvalidArgument(format!(
-            "Poisson rate must be finite and non-negative, got {lambda}"
-        )));
-    }
-    if !(epsilon > 0.0 && epsilon < 1.0) {
-        return Err(MarkovError::InvalidArgument(format!(
-            "epsilon must lie in (0, 1), got {epsilon}"
-        )));
-    }
-    if lambda == 0.0 {
-        return Ok(PoissonWeights {
-            left: 0,
-            right: 0,
-            weights: vec![1.0],
-            mass_covered: 1.0,
-        });
+    let mut cache = FoxGlynnCache::new();
+    cache.compute(lambda, epsilon)?;
+    Ok(cache.to_weights())
+}
+
+/// A reusable Fox–Glynn workspace for evaluating many Poisson windows
+/// with **zero allocations after the first** — the curve engine's answer
+/// to "don't recompute the weights from scratch per time point".
+///
+/// [`measure_curve`](crate::transient::measure_curve) computes the window
+/// once at the largest rate `λ_max = ν·t_max` (which also bounds every
+/// smaller window's right truncation point, sizing the sweep), then
+/// derives each smaller-`t` window into the same buffers: the recurrence
+/// is re-anchored at the new mode — the numerically robust formulation —
+/// but the `O(√λ)` storage and the two tail scratch vectors are reused
+/// across all time points.
+///
+/// # Examples
+///
+/// ```
+/// use markov::foxglynn::FoxGlynnCache;
+///
+/// let mut cache = FoxGlynnCache::new();
+/// cache.compute(4000.0, 1e-10).unwrap();
+/// let right_max = cache.right();
+/// cache.compute(400.0, 1e-10).unwrap(); // reuses the buffers
+/// assert!(cache.right() <= right_max);
+/// assert!((cache.weights().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FoxGlynnCache {
+    left: usize,
+    right: usize,
+    mass_covered: f64,
+    weights: Vec<f64>,
+    right_scratch: Vec<f64>,
+}
+
+impl FoxGlynnCache {
+    /// An empty cache; buffers grow on the first [`compute`](Self::compute).
+    pub fn new() -> Self {
+        FoxGlynnCache::default()
     }
 
-    let mode = lambda.floor() as usize;
-    let p_mode = poisson_ln_pmf(lambda, mode as u64).exp();
+    /// First retained index of the last computed window.
+    pub fn left(&self) -> usize {
+        self.left
+    }
 
-    // Expand right from the mode until the right tail is provably < ε/2:
-    // once past the mode the pmf decays at ratio ρ = λ/(n+1) < 1, so the
-    // remaining tail is bounded by w·ρ/(1−ρ).
-    let tail_bound = epsilon / 2.0;
-    let mut right_weights = Vec::new();
-    let mut w = p_mode;
-    let mut n = mode;
-    loop {
-        right_weights.push(w);
-        let ratio = lambda / (n + 1) as f64;
-        let next = w * ratio;
-        if ratio < 1.0 {
-            let tail = next / (1.0 - ratio);
-            if tail < tail_bound || next < f64::MIN_POSITIVE {
-                break;
+    /// Last retained index (inclusive) of the last computed window.
+    pub fn right(&self) -> usize {
+        self.right
+    }
+
+    /// Probability mass captured before renormalisation (`≥ 1 − ε`).
+    pub fn mass_covered(&self) -> f64 {
+        self.mass_covered
+    }
+
+    /// The renormalised weights of the last computed window;
+    /// `weights()[i] ≈ Pr{Poisson(λ) = left() + i}`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The weight of index `n`, zero outside the window.
+    pub fn weight(&self, n: usize) -> f64 {
+        if n < self.left || n > self.right {
+            0.0
+        } else {
+            self.weights[n - self.left]
+        }
+    }
+
+    /// Copies the last computed window out as an owned [`PoissonWeights`].
+    pub fn to_weights(&self) -> PoissonWeights {
+        PoissonWeights {
+            left: self.left,
+            right: self.right,
+            weights: self.weights.clone(),
+            mass_covered: self.mass_covered,
+        }
+    }
+
+    /// Computes the truncated, renormalised Poisson window for `lambda`
+    /// into the cache's buffers, replacing the previous window. Semantics
+    /// and error conditions are exactly those of [`poisson_weights`].
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] when `lambda` is negative/NaN or
+    /// `epsilon ∉ (0, 1)`.
+    pub fn compute(&mut self, lambda: f64, epsilon: f64) -> Result<(), MarkovError> {
+        if !lambda.is_finite() || lambda < 0.0 {
+            return Err(MarkovError::InvalidArgument(format!(
+                "Poisson rate must be finite and non-negative, got {lambda}"
+            )));
+        }
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(MarkovError::InvalidArgument(format!(
+                "epsilon must lie in (0, 1), got {epsilon}"
+            )));
+        }
+        if lambda == 0.0 {
+            self.left = 0;
+            self.right = 0;
+            self.mass_covered = 1.0;
+            self.weights.clear();
+            self.weights.push(1.0);
+            return Ok(());
+        }
+
+        let mode = lambda.floor() as usize;
+        let p_mode = poisson_ln_pmf(lambda, mode as u64).exp();
+
+        // Expand right from the mode until the right tail is provably
+        // < ε/2: once past the mode the pmf decays at ratio
+        // ρ = λ/(n+1) < 1, so the remaining tail is bounded by w·ρ/(1−ρ).
+        let tail_bound = epsilon / 2.0;
+        let right_weights = &mut self.right_scratch;
+        right_weights.clear();
+        let mut w = p_mode;
+        let mut n = mode;
+        loop {
+            right_weights.push(w);
+            let ratio = lambda / (n + 1) as f64;
+            let next = w * ratio;
+            if ratio < 1.0 {
+                let tail = next / (1.0 - ratio);
+                if tail < tail_bound || next < f64::MIN_POSITIVE {
+                    break;
+                }
+            }
+            n += 1;
+            w = next;
+            // Hard stop far beyond any realistic window (10⁹ keeps us
+            // safe from pathological ε while bounding memory).
+            if right_weights.len() > 1_000_000_000 {
+                return Err(MarkovError::NoConvergence(
+                    "right truncation point not found".into(),
+                ));
             }
         }
-        n += 1;
-        w = next;
-        // Hard stop far beyond any realistic window (10⁹ keeps us safe from
-        // pathological ε while bounding memory).
-        if right_weights.len() > 1_000_000_000 {
-            return Err(MarkovError::NoConvergence(
-                "right truncation point not found".into(),
-            ));
-        }
-    }
-    let right = n;
+        let right = n;
 
-    // Expand left similarly (ratio n/λ < 1 below the mode).
-    let mut left_weights = Vec::new();
-    let mut w = p_mode;
-    let mut m = mode;
-    while m > 0 {
-        let ratio = m as f64 / lambda;
-        let prev = w * ratio;
-        if ratio < 1.0 {
-            let tail = prev / (1.0 - ratio);
-            if tail < tail_bound || prev < f64::MIN_POSITIVE {
-                break;
+        // Expand left similarly (ratio n/λ < 1 below the mode), directly
+        // into the output buffer, then reverse it into index order.
+        let left_buf = &mut self.weights;
+        left_buf.clear();
+        let mut w = p_mode;
+        let mut m = mode;
+        while m > 0 {
+            let ratio = m as f64 / lambda;
+            let prev = w * ratio;
+            if ratio < 1.0 {
+                let tail = prev / (1.0 - ratio);
+                if tail < tail_bound || prev < f64::MIN_POSITIVE {
+                    break;
+                }
             }
+            m -= 1;
+            w = prev;
+            left_buf.push(w);
         }
-        m -= 1;
-        w = prev;
-        left_weights.push(w);
-    }
-    let left = m;
+        let left = m;
 
-    // Stitch: left_weights holds indices mode−1, mode−2, … ; reverse them.
-    let mut weights = Vec::with_capacity(left_weights.len() + right_weights.len());
-    weights.extend(left_weights.into_iter().rev());
-    weights.extend(right_weights);
+        // Stitch: left_buf holds indices mode−1, mode−2, …; reverse in
+        // place, then append the right expansion.
+        left_buf.reverse();
+        left_buf.extend_from_slice(right_weights);
 
-    let mass: f64 = weights.iter().sum();
-    debug_assert!(mass > 0.0);
-    for w in &mut weights {
-        *w /= mass;
+        let mass: f64 = self.weights.iter().sum();
+        debug_assert!(mass > 0.0);
+        for w in &mut self.weights {
+            *w /= mass;
+        }
+        self.left = left;
+        self.right = right;
+        self.mass_covered = mass;
+        Ok(())
     }
-    Ok(PoissonWeights {
-        left,
-        right,
-        weights,
-        mass_covered: mass,
-    })
 }
 
 #[cfg(test)]
@@ -237,6 +332,32 @@ mod tests {
         assert!(poisson_weights(f64::NAN, 1e-10).is_err());
         assert!(poisson_weights(1.0, 0.0).is_err());
         assert!(poisson_weights(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn cache_reuse_matches_fresh_computation() {
+        // One workspace, many rates — the measure_curve usage pattern:
+        // largest λ first, then smaller windows into the same buffers.
+        let mut cache = FoxGlynnCache::new();
+        cache.compute(46_000.0, 1e-10).unwrap();
+        let right_max = cache.right();
+        for &lambda in &[17.3, 400.0, 4_000.0, 46_000.0] {
+            cache.compute(lambda, 1e-10).unwrap();
+            let fresh = poisson_weights(lambda, 1e-10).unwrap();
+            assert_eq!(cache.left(), fresh.left, "λ = {lambda}");
+            assert_eq!(cache.right(), fresh.right, "λ = {lambda}");
+            assert_eq!(cache.weights(), fresh.weights.as_slice(), "λ = {lambda}");
+            assert_eq!(cache.mass_covered(), fresh.mass_covered);
+            assert!(cache.right() <= right_max, "λ_max bounds every window");
+            assert_eq!(cache.weight(fresh.left), fresh.weights[0]);
+            assert_eq!(cache.weight(fresh.right + 1), 0.0);
+            assert_eq!(cache.to_weights(), fresh);
+        }
+        // Degenerate and invalid inputs behave like poisson_weights.
+        cache.compute(0.0, 1e-10).unwrap();
+        assert_eq!(cache.weights(), &[1.0]);
+        assert!(cache.compute(-1.0, 1e-10).is_err());
+        assert!(cache.compute(1.0, 1.0).is_err());
     }
 
     #[test]

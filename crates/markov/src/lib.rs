@@ -48,6 +48,7 @@ pub mod ctmc;
 pub mod dtmc;
 pub mod foxglynn;
 pub mod mrm;
+pub mod pool;
 pub mod reachability;
 pub mod sericola;
 pub mod sparse;

@@ -57,8 +57,14 @@ pub fn time_bounded_reachability(
     // Build the absorbing transformation: cut all outgoing transitions of
     // target states.
     let mut builder = CtmcBuilder::new(n);
+    // Default-labelled chains re-derive identical labels for free; only
+    // explicitly named states are worth copying (a million-state derived
+    // chain must not materialise a label vector here).
+    let copy_labels = ctmc.has_custom_labels();
     for i in 0..n {
-        builder.label(i, ctmc.state_label(i));
+        if copy_labels {
+            builder.label(i, ctmc.state_label(i).as_ref());
+        }
         if targets[i] {
             continue;
         }

@@ -7,10 +7,19 @@
 //! row-parallel product using `std::thread::scope`.
 
 use crate::MarkovError;
+use std::ops::Range;
+
+/// Row count below which parallel SpMV never pays for itself: both the
+/// spawn-per-call path ([`CsrMatrix::mul_vec_parallel`]) and the
+/// persistent-pool engines fall back to the sequential kernel for
+/// smaller matrices. One shared constant so the engines, the legacy
+/// path and the benchmark metadata cannot drift apart.
+pub const PARALLEL_SPMV_MIN_ROWS: usize = 4096;
 
 /// A sparse `rows × cols` matrix in compressed-sparse-row format.
 ///
-/// Built from `(row, col, value)` triplets; duplicate entries are summed.
+/// Built from `(row, col, value)` triplets; duplicate entries are summed
+/// and any cell whose merged sum is exactly zero is dropped.
 ///
 /// # Examples
 ///
@@ -31,8 +40,40 @@ pub struct CsrMatrix {
 }
 
 impl CsrMatrix {
+    /// Assembles a matrix from already-validated CSR arrays. Callers must
+    /// guarantee the CSR invariants: `row_ptr` has `rows + 1` monotone
+    /// entries ending at `col_idx.len()`, every row's columns are strictly
+    /// increasing and `< cols`, and `col_idx.len() == values.len()`.
+    pub(crate) fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), rows + 1);
+        debug_assert_eq!(col_idx.len(), values.len());
+        debug_assert_eq!(*row_ptr.last().expect("row_ptr nonempty"), col_idx.len());
+        debug_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!((0..rows).all(|r| {
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            row.windows(2).all(|w| w[0] < w[1]) && row.iter().all(|&c| (c as usize) < cols)
+        }));
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
     /// Builds a CSR matrix from triplets, merging duplicates by summation
-    /// and dropping explicit zeros.
+    /// and dropping cells whose merged value is exactly zero (including
+    /// duplicates that cancel, e.g. `+1.0` then `−1.0` at the same cell).
+    ///
+    /// Assembly is two-pass counted scatter — `O(nnz)` up to the sort of
+    /// each (small) row — rather than a global `O(nnz log nnz)` sort.
     ///
     /// # Errors
     ///
@@ -41,62 +82,22 @@ impl CsrMatrix {
     pub fn from_triplets(
         rows: usize,
         cols: usize,
-        mut triplets: Vec<(usize, usize, f64)>,
+        triplets: Vec<(usize, usize, f64)>,
     ) -> Result<Self, MarkovError> {
-        if cols > u32::MAX as usize {
-            return Err(MarkovError::InvalidArgument(format!(
-                "column count {cols} exceeds u32 index range"
-            )));
-        }
-        for &(r, c, v) in &triplets {
-            if r >= rows || c >= cols {
+        let mut assembler = CsrAssembler::new(rows, cols)?;
+        for &(r, _, _) in &triplets {
+            if r >= rows {
                 return Err(MarkovError::InvalidArgument(format!(
-                    "triplet ({r}, {c}) out of bounds for {rows}x{cols}"
+                    "triplet row {r} out of bounds for {rows}x{cols}"
                 )));
             }
-            if !v.is_finite() {
-                return Err(MarkovError::InvalidArgument(format!(
-                    "non-finite value {v} at ({r}, {c})"
-                )));
-            }
+            assembler.count(r);
         }
-        triplets.sort_unstable_by_key(|t| (t.0, t.1));
-
-        let mut row_ptr = Vec::with_capacity(rows + 1);
-        let mut col_idx = Vec::with_capacity(triplets.len());
-        let mut values = Vec::with_capacity(triplets.len());
-        row_ptr.push(0);
-        let mut current_row = 0usize;
+        let mut filler = assembler.into_filler();
         for (r, c, v) in triplets {
-            while current_row < r {
-                row_ptr.push(col_idx.len());
-                current_row += 1;
-            }
-            // Merge with the previous entry only when it lies in the same
-            // row (row_ptr.last() is the start of the current row) and the
-            // same column.
-            let row_start = *row_ptr.last().expect("row_ptr nonempty");
-            if col_idx.len() > row_start && *col_idx.last().expect("nonempty") == c as u32 {
-                *values.last_mut().expect("nonempty") += v;
-                continue;
-            }
-            if v != 0.0 {
-                col_idx.push(c as u32);
-                values.push(v);
-            }
+            filler.entry(r, c, v)?;
         }
-        while current_row < rows {
-            row_ptr.push(col_idx.len());
-            current_row += 1;
-        }
-        debug_assert_eq!(row_ptr.len(), rows + 1);
-        Ok(CsrMatrix {
-            rows,
-            cols,
-            row_ptr,
-            col_idx,
-            values,
-        })
+        filler.finish()
     }
 
     /// An empty (all-zero) matrix.
@@ -182,20 +183,196 @@ impl CsrMatrix {
                 self.rows
             )));
         }
-        for r in 0..self.rows {
+        self.mul_vec_range_into(x, y, 0..self.rows);
+        Ok(())
+    }
+
+    /// The shared row-block kernel: computes `y_block[i] = (A·x)[rows.start + i]`
+    /// for the given row range. `y_block.len()` must equal `rows.len()` and
+    /// `x.len()` must equal `cols`. Every row is accumulated left-to-right by
+    /// exactly one caller, so any disjoint partition of the rows produces
+    /// output bit-identical to the sequential kernel.
+    #[inline]
+    pub fn mul_vec_range_into(&self, x: &[f64], y_block: &mut [f64], rows: Range<usize>) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y_block.len(), rows.len());
+        debug_assert!(rows.end <= self.rows);
+        let start = rows.start;
+        for (offset, out) in y_block.iter_mut().enumerate() {
+            let r = start + offset;
             let lo = self.row_ptr[r];
             let hi = self.row_ptr[r + 1];
             let mut acc = 0.0;
             for k in lo..hi {
                 acc += self.values[k] * x[self.col_idx[k] as usize];
             }
-            y[r] = acc;
+            *out = acc;
         }
-        Ok(())
     }
 
-    /// Row-parallel `y = A·x` using `threads` OS threads. Falls back to the
-    /// sequential kernel for small matrices or `threads <= 1`.
+    /// Fused row-block kernel: computes the row range of `y = A·x` like
+    /// [`CsrMatrix::mul_vec_range_into`] **and** returns the partial dot
+    /// `Σ_i measure_block[i]·y_block[i]` in the same pass, so measuring a
+    /// linear functional of the iterate costs no extra sweep over `y`.
+    /// `measure_block` is the same row range of the measure vector.
+    #[inline]
+    pub fn mul_vec_dot_range(
+        &self,
+        x: &[f64],
+        y_block: &mut [f64],
+        measure_block: &[f64],
+        rows: Range<usize>,
+    ) -> f64 {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y_block.len(), rows.len());
+        debug_assert_eq!(measure_block.len(), rows.len());
+        debug_assert!(rows.end <= self.rows);
+        let start = rows.start;
+        let mut dot = 0.0;
+        for (offset, (out, &m)) in y_block.iter_mut().zip(measure_block).enumerate() {
+            let r = start + offset;
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            *out = acc;
+            dot += m * acc;
+        }
+        dot
+    }
+
+    /// Row-block kernel fused with the steady-state detector for square
+    /// iteration matrices: computes the row range of `y = A·x` and
+    /// returns the partial sup-norm `max_i |y[i] − x[i]|` from the same
+    /// pass (no measure dot). See [`CsrMatrix::mul_vec_dot_sup_range`]
+    /// for the variant that also accumulates a measure.
+    #[inline]
+    pub fn mul_vec_sup_range(&self, x: &[f64], y_block: &mut [f64], rows: Range<usize>) -> f64 {
+        debug_assert_eq!(self.rows, self.cols, "sup-norm needs a square matrix");
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y_block.len(), rows.len());
+        debug_assert!(rows.end <= self.rows);
+        let start = rows.start;
+        let mut sup = 0.0f64;
+        for (offset, out) in y_block.iter_mut().enumerate() {
+            let r = start + offset;
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            *out = acc;
+            sup = sup.max((acc - x[r]).abs());
+        }
+        sup
+    }
+
+    /// Fully fused row-block kernel for square iteration matrices:
+    /// computes the row range of `y = A·x`, the partial dot
+    /// `Σ_i measure_block[i]·y_block[i]` **and** the partial sup-norm
+    /// `max_i |y[i] − x[i]|` over the range, all in one pass. The
+    /// sup-norm is the uniformisation engines' steady-state detector —
+    /// fusing it saves a third full sweep over the iterate per product
+    /// (at 10⁶ states that is 16 MB of avoided memory traffic per
+    /// iteration).
+    ///
+    /// Requires `rows == cols` (the sup-norm compares `y[r]` with
+    /// `x[r]`).
+    #[inline]
+    pub fn mul_vec_dot_sup_range(
+        &self,
+        x: &[f64],
+        y_block: &mut [f64],
+        measure_block: &[f64],
+        rows: Range<usize>,
+    ) -> (f64, f64) {
+        debug_assert_eq!(self.rows, self.cols, "sup-norm needs a square matrix");
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y_block.len(), rows.len());
+        debug_assert_eq!(measure_block.len(), rows.len());
+        debug_assert!(rows.end <= self.rows);
+        let start = rows.start;
+        let mut dot = 0.0;
+        let mut sup = 0.0f64;
+        for (offset, (out, &m)) in y_block.iter_mut().zip(measure_block).enumerate() {
+            let r = start + offset;
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            *out = acc;
+            dot += m * acc;
+            sup = sup.max((acc - x[r]).abs());
+        }
+        (dot, sup)
+    }
+
+    /// Fused sequential `y = A·x` returning `measure·y` from the same pass.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] on dimension mismatch.
+    pub fn mul_vec_dot_into(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        measure: &[f64],
+    ) -> Result<f64, MarkovError> {
+        if x.len() != self.cols || y.len() != self.rows || measure.len() != self.rows {
+            return Err(MarkovError::InvalidArgument(format!(
+                "mul_vec_dot: x has {} (need {}), y has {} (need {}), measure has {} (need {})",
+                x.len(),
+                self.cols,
+                y.len(),
+                self.rows,
+                measure.len(),
+                self.rows
+            )));
+        }
+        Ok(self.mul_vec_dot_range(x, y, measure, 0..self.rows))
+    }
+
+    /// Splits the row space into `parts` contiguous ranges balanced by
+    /// **non-zero count** rather than row count, so each range carries
+    /// roughly `nnz / parts` of the multiply work even when the sparsity
+    /// is skewed (e.g. absorbing rows are empty). Ranges are disjoint, in
+    /// order, cover `0..rows`, and may be empty when the matrix has fewer
+    /// populated rows than `parts`.
+    pub fn nnz_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        let parts = parts.max(1);
+        let total = self.nnz();
+        let mut ranges = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for p in 1..=parts {
+            let end = if p == parts {
+                self.rows
+            } else {
+                // First row boundary whose cumulative nnz reaches the
+                // ideal p-th cut. row_ptr is monotone, so binary search.
+                let target = (total as u128 * p as u128 / parts as u128) as usize;
+                self.row_ptr
+                    .partition_point(|&v| v < target)
+                    .clamp(start, self.rows)
+            };
+            ranges.push(start..end);
+            start = end;
+        }
+        ranges
+    }
+
+    /// Row-parallel `y = A·x` using `threads` OS threads spawned **per
+    /// call**. Falls back to the sequential kernel for small matrices or
+    /// `threads <= 1`.
+    ///
+    /// This is the legacy spawn-per-call path (retained as the benchmark
+    /// baseline); repeated products should use a persistent
+    /// [`SpmvPool`](crate::pool::SpmvPool) instead, which spawns its
+    /// workers once and partitions rows by nnz.
     ///
     /// # Errors
     ///
@@ -215,7 +392,7 @@ impl CsrMatrix {
                 self.rows
             )));
         }
-        if threads <= 1 || self.rows < 4096 {
+        if threads <= 1 || self.rows < PARALLEL_SPMV_MIN_ROWS {
             return self.mul_vec_into(x, y);
         }
         let chunk = self.rows.div_ceil(threads);
@@ -223,17 +400,9 @@ impl CsrMatrix {
         std::thread::scope(|scope| {
             for (block, y_block) in y.chunks_mut(chunk).enumerate() {
                 let start = block * chunk;
+                let end = start + y_block.len();
                 scope.spawn(move || {
-                    for (offset, out) in y_block.iter_mut().enumerate() {
-                        let r = start + offset;
-                        let lo = self.row_ptr[r];
-                        let hi = self.row_ptr[r + 1];
-                        let mut acc = 0.0;
-                        for k in lo..hi {
-                            acc += self.values[k] * x[self.col_idx[k] as usize];
-                        }
-                        *out = acc;
-                    }
+                    self.mul_vec_range_into(x, y_block, start..end);
                 });
             }
         });
@@ -292,13 +461,163 @@ impl CsrMatrix {
                 values[pos] = self.values[k];
             }
         }
-        CsrMatrix {
-            rows: self.cols,
-            cols: self.rows,
-            row_ptr,
-            col_idx,
-            values,
+        CsrMatrix::from_parts(self.cols, self.rows, row_ptr, col_idx, values)
+    }
+
+    /// Builds `scale·A + diag(d)` directly in CSR form, in `O(nnz + n)`
+    /// with no triplet temporary or sort: each row of `A` is already
+    /// column-sorted, so the diagonal entry is spliced in at its ordered
+    /// position (merged if the row already stores the diagonal). Entries
+    /// whose merged value is exactly zero are dropped.
+    ///
+    /// This is the uniformisation assembly primitive: `P = I + Q/ν` is
+    /// `scaled_add_diag(1/ν, stay)` over the off-diagonal rate matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] when the matrix is not square or
+    /// `d.len()` differs from the dimension.
+    pub fn scaled_add_diag(&self, scale: f64, d: &[f64]) -> Result<CsrMatrix, MarkovError> {
+        if self.rows != self.cols || d.len() != self.rows {
+            return Err(MarkovError::InvalidArgument(format!(
+                "scaled_add_diag: matrix is {}x{}, diagonal has {} entries",
+                self.rows,
+                self.cols,
+                d.len()
+            )));
         }
+        let n = self.rows;
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(self.nnz() + n);
+        let mut values = Vec::with_capacity(self.nnz() + n);
+        row_ptr.push(0);
+        for r in 0..n {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let rc = r as u32;
+            let mut diag_pending = d[r] != 0.0;
+            for k in lo..hi {
+                let c = self.col_idx[k];
+                let mut v = scale * self.values[k];
+                if c == rc {
+                    // The row stores an explicit diagonal: merge.
+                    v += d[r];
+                    diag_pending = false;
+                } else if diag_pending && c > rc {
+                    col_idx.push(rc);
+                    values.push(d[r]);
+                    diag_pending = false;
+                }
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            if diag_pending {
+                col_idx.push(rc);
+                values.push(d[r]);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix::from_parts(n, n, row_ptr, col_idx, values))
+    }
+
+    /// Builds `(scale·A + diag(d))ᵀ` directly in CSR form, in `O(nnz + n)`
+    /// with a single counting-scatter pass — no intermediate untransposed
+    /// matrix, no triplet temporary, no sort.
+    ///
+    /// This is the uniformisation hot-path primitive: the transient engines
+    /// iterate `vᵀP`, i.e. repeated products with `Pᵀ`, and this emits `Pᵀ`
+    /// straight from the off-diagonal rate matrix, eliminating both
+    /// full-matrix copies of the old `uniformised()` → `transpose()`
+    /// round-trip.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] when the matrix is not square or
+    /// `d.len()` differs from the dimension.
+    pub fn transpose_scaled_add_diag(
+        &self,
+        scale: f64,
+        d: &[f64],
+    ) -> Result<CsrMatrix, MarkovError> {
+        if self.rows != self.cols || d.len() != self.rows {
+            return Err(MarkovError::InvalidArgument(format!(
+                "transpose_scaled_add_diag: matrix is {}x{}, diagonal has {} entries",
+                self.rows,
+                self.cols,
+                d.len()
+            )));
+        }
+        let n = self.rows;
+        // Output row j holds {scale·A[i][j] : i} ∪ {d[j] if non-zero}.
+        // The counting and scatter passes share one predicate per entry:
+        // a stored entry (i, c) survives iff its *final* value
+        // scale·v (+ d[i] when c == i, the merged diagonal) is non-zero,
+        // and d[r] is emitted separately iff non-zero and not merged —
+        // so exact cancellations are dropped, matching
+        // [`CsrMatrix::scaled_add_diag`].
+        let final_value = |i: usize, c: usize, v: f64| {
+            let scaled = scale * v;
+            if c == i {
+                scaled + d[i]
+            } else {
+                scaled
+            }
+        };
+        let mut counts = vec![0usize; n + 1];
+        for r in 0..n {
+            if d[r] != 0.0 && self.get(r, r) == 0.0 {
+                counts[r + 1] += 1;
+            }
+        }
+        for r in 0..n {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            for k in lo..hi {
+                let c = self.col_idx[k] as usize;
+                if final_value(r, c, self.values[k]) != 0.0 {
+                    counts[c + 1] += 1;
+                }
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr = counts.clone();
+        let nnz_out = row_ptr[n];
+        let mut col_idx = vec![0u32; nnz_out];
+        let mut values = vec![0.0; nnz_out];
+        let mut cursor = counts;
+        // Scatter in increasing source-row order; within each output row
+        // the entries then arrive with strictly increasing column (source
+        // row) index. The diagonal d[i] belongs to output row i with
+        // column i, so it is emitted at step i, before row i's own
+        // entries are scattered (those go to output rows ≠ i only when A
+        // has an empty diagonal; an explicit A[i][i] is merged instead).
+        for i in 0..n {
+            if d[i] != 0.0 {
+                let pos = cursor[i];
+                if self.get(i, i) == 0.0 {
+                    cursor[i] += 1;
+                    col_idx[pos] = i as u32;
+                    values[pos] = d[i];
+                }
+            }
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            for k in lo..hi {
+                let c = self.col_idx[k] as usize;
+                let v = final_value(i, c, self.values[k]);
+                if v != 0.0 {
+                    let pos = cursor[c];
+                    cursor[c] += 1;
+                    col_idx[pos] = i as u32;
+                    values[pos] = v;
+                }
+            }
+        }
+        Ok(CsrMatrix::from_parts(n, n, row_ptr, col_idx, values))
     }
 
     /// Sum of each row (e.g. exit rates when the matrix stores off-diagonal
@@ -327,6 +646,207 @@ impl CsrMatrix {
     /// Iterates over all `(row, col, value)` entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.rows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
+    }
+}
+
+/// First pass of two-pass counted CSR assembly: tally how many entries
+/// each row will receive, with no per-entry storage at all.
+///
+/// Generators that can enumerate their entries twice (like the paper's
+/// discretised battery chain, whose transitions are pure arithmetic on
+/// the state index) build matrices through this instead of a triplet
+/// vector: pass 1 [`count`](CsrAssembler::count)s each emission, pass 2
+/// [`entry`](CsrFiller::entry)s the same emissions, and
+/// [`finish`](CsrFiller::finish) merges duplicates per row. Total cost is
+/// `O(nnz)` (rows are sorted individually and are short in practice) and
+/// the peak memory is the final matrix plus one small per-row scratch —
+/// no `O(nnz)` triplet temporary, no global sort.
+///
+/// # Examples
+///
+/// ```
+/// use markov::sparse::CsrAssembler;
+///
+/// let mut a = CsrAssembler::new(2, 2).unwrap();
+/// a.count(0);
+/// a.count(1);
+/// let mut f = a.into_filler();
+/// f.entry(0, 1, 2.0).unwrap();
+/// f.entry(1, 0, 3.0).unwrap();
+/// let m = f.finish().unwrap();
+/// assert_eq!(m.get(0, 1), 2.0);
+/// assert_eq!(m.get(1, 0), 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrAssembler {
+    rows: usize,
+    cols: usize,
+    /// `counts[r + 1]` = number of entries counted for row `r` (offset by
+    /// one so the prefix sum can run in place).
+    counts: Vec<usize>,
+}
+
+impl CsrAssembler {
+    /// Starts counting for a `rows × cols` matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] when `cols` exceeds `u32` range.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, MarkovError> {
+        if cols > u32::MAX as usize {
+            return Err(MarkovError::InvalidArgument(format!(
+                "column count {cols} exceeds u32 index range"
+            )));
+        }
+        Ok(CsrAssembler {
+            rows,
+            cols,
+            counts: vec![0; rows + 1],
+        })
+    }
+
+    /// Registers one future entry in row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row >= rows`; the filling pass re-validates the full
+    /// `(row, col, value)` triple with a proper error.
+    #[inline]
+    pub fn count(&mut self, row: usize) {
+        self.counts[row + 1] += 1;
+    }
+
+    /// Total entries counted so far.
+    pub fn counted(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Seals the counts: prefix-sums them into row offsets and allocates
+    /// the value storage for the filling pass.
+    pub fn into_filler(mut self) -> CsrFiller {
+        for i in 0..self.rows {
+            self.counts[i + 1] += self.counts[i];
+        }
+        let nnz = self.counts[self.rows];
+        CsrFiller {
+            rows: self.rows,
+            cols: self.cols,
+            cursor: self.counts[..self.rows].to_vec(),
+            row_ptr: self.counts,
+            col_idx: vec![0; nnz],
+            values: vec![0.0; nnz],
+        }
+    }
+}
+
+/// Second pass of two-pass counted CSR assembly; see [`CsrAssembler`].
+#[derive(Debug, Clone)]
+pub struct CsrFiller {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    cursor: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrFiller {
+    /// Scatters one entry into its counted slot. Entries may arrive in any
+    /// order; duplicates of a cell are merged (summed) by
+    /// [`finish`](CsrFiller::finish).
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] when the index is out of bounds,
+    /// the value is not finite, or row `row` receives more entries than
+    /// were counted for it.
+    #[inline]
+    pub fn entry(&mut self, row: usize, col: usize, value: f64) -> Result<(), MarkovError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(MarkovError::InvalidArgument(format!(
+                "entry ({row}, {col}) out of bounds for {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        if !value.is_finite() {
+            return Err(MarkovError::InvalidArgument(format!(
+                "non-finite value {value} at ({row}, {col})"
+            )));
+        }
+        let pos = self.cursor[row];
+        if pos >= self.row_ptr[row + 1] {
+            return Err(MarkovError::InvalidArgument(format!(
+                "row {row} received more entries than counted ({})",
+                self.row_ptr[row + 1] - self.row_ptr[row]
+            )));
+        }
+        self.cursor[row] = pos + 1;
+        self.col_idx[pos] = col as u32;
+        self.values[pos] = value;
+        Ok(())
+    }
+
+    /// Sorts each row by column, merges duplicate cells by summation,
+    /// drops cells whose merged value is exactly zero, and returns the
+    /// finished matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] when any row received fewer
+    /// entries than were counted for it.
+    pub fn finish(mut self) -> Result<CsrMatrix, MarkovError> {
+        for r in 0..self.rows {
+            if self.cursor[r] != self.row_ptr[r + 1] {
+                return Err(MarkovError::InvalidArgument(format!(
+                    "row {r} received {} entries but {} were counted",
+                    self.cursor[r] - self.row_ptr[r],
+                    self.row_ptr[r + 1] - self.row_ptr[r]
+                )));
+            }
+        }
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        let mut write = 0usize;
+        let mut out_row_ptr = vec![0usize; self.rows + 1];
+        for r in 0..self.rows {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            scratch.clear();
+            scratch.extend(
+                self.col_idx[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(self.values[lo..hi].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|e| e.0);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut acc = 0.0;
+                while i < scratch.len() && scratch[i].0 == c {
+                    acc += scratch[i].1;
+                    i += 1;
+                }
+                if acc != 0.0 {
+                    // Compaction only moves entries left, so the write
+                    // cursor never overtakes the read window.
+                    self.col_idx[write] = c;
+                    self.values[write] = acc;
+                    write += 1;
+                }
+            }
+            out_row_ptr[r + 1] = write;
+        }
+        self.col_idx.truncate(write);
+        self.values.truncate(write);
+        self.col_idx.shrink_to_fit();
+        self.values.shrink_to_fit();
+        Ok(CsrMatrix::from_parts(
+            self.rows,
+            self.cols,
+            out_row_ptr,
+            self.col_idx,
+            self.values,
+        ))
     }
 }
 
@@ -368,6 +888,116 @@ mod tests {
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.get(0, 0), 3.5);
         assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn cancelling_duplicates_drop_the_entry() {
+        // Regression: +1.0 then −1.0 at the same cell used to leave a
+        // stored 0.0 behind.
+        let m = CsrMatrix::from_triplets(
+            2,
+            2,
+            vec![(0, 1, 1.0), (0, 1, -1.0), (1, 0, 2.0), (1, 0, -0.5)],
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 1, "cancelled cell must not be stored");
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 0), 1.5);
+        // A zero entry followed by a real one still merges correctly.
+        let m = CsrMatrix::from_triplets(1, 2, vec![(0, 0, 0.0), (0, 0, 4.0)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn assembler_two_pass_matches_from_triplets() {
+        let trip = vec![
+            (2, 1, 4.0),
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (2, 0, 3.0),
+            (0, 2, 1.5), // duplicate, merged
+            (1, 1, 0.0), // explicit zero, dropped
+        ];
+        let mut a = CsrAssembler::new(3, 3).unwrap();
+        for &(r, _, _) in &trip {
+            a.count(r);
+        }
+        assert_eq!(a.counted(), 6);
+        let mut f = a.into_filler();
+        for &(r, c, v) in &trip {
+            f.entry(r, c, v).unwrap();
+        }
+        let m = f.finish().unwrap();
+        assert_eq!(m, CsrMatrix::from_triplets(3, 3, trip).unwrap());
+        assert_eq!(m.get(0, 2), 3.5);
+        assert_eq!(m.nnz(), 4);
+    }
+
+    #[test]
+    fn assembler_validates_bounds_counts_and_values() {
+        assert!(CsrAssembler::new(1, u32::MAX as usize + 1).is_err());
+        let mut a = CsrAssembler::new(2, 2).unwrap();
+        a.count(0);
+        let mut f = a.into_filler();
+        assert!(f.entry(5, 0, 1.0).is_err(), "row out of bounds");
+        assert!(f.entry(0, 5, 1.0).is_err(), "col out of bounds");
+        assert!(f.entry(0, 0, f64::NAN).is_err(), "non-finite value");
+        f.entry(0, 0, 1.0).unwrap();
+        assert!(f.entry(0, 1, 1.0).is_err(), "row over-filled");
+        // Under-filled rows are caught at finish().
+        let mut a = CsrAssembler::new(2, 2).unwrap();
+        a.count(1);
+        assert!(a.clone().into_filler().finish().is_err());
+        let mut f = a.into_filler();
+        f.entry(1, 0, 2.0).unwrap();
+        assert_eq!(f.finish().unwrap().get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn scaled_add_diag_splices_diagonal_in_order() {
+        let m = sample(); // diag entry only at (0,0)
+        let p = m.scaled_add_diag(2.0, &[10.0, 20.0, 30.0]).unwrap();
+        // (0,0) merges 2·1 + 10; rows 1 and 2 gain fresh diagonals.
+        assert_eq!(p.get(0, 0), 12.0);
+        assert_eq!(p.get(0, 2), 4.0);
+        assert_eq!(p.get(1, 1), 20.0);
+        assert_eq!(p.get(2, 2), 30.0);
+        assert_eq!(p.get(2, 0), 6.0);
+        assert_eq!(p.nnz(), m.nnz() + 2);
+        // Zero diagonal entries are not stored; exact cancellation drops
+        // the merged cell.
+        let q = m.scaled_add_diag(1.0, &[-1.0, 0.0, 5.0]).unwrap();
+        assert_eq!(q.get(0, 0), 0.0);
+        assert_eq!(q.nnz(), m.nnz()); // −1 cancels (0,0), row 2 gains (2,2)
+        assert!(m.scaled_add_diag(1.0, &[1.0]).is_err());
+        let rect = CsrMatrix::zeros(2, 3);
+        assert!(rect.scaled_add_diag(1.0, &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_scaled_add_diag_is_transpose_of_scaled_add_diag() {
+        let m = sample();
+        let d = [0.5, -2.0, 7.0];
+        let direct = m.transpose_scaled_add_diag(3.0, &d).unwrap();
+        let reference = m.scaled_add_diag(3.0, &d).unwrap().transpose();
+        // Full structural equality, not just get(): stored zeros or
+        // miscounted rows would differ in nnz/row_ptr.
+        assert_eq!(direct, reference);
+        assert!(m.transpose_scaled_add_diag(1.0, &[1.0]).is_err());
+        // Exact cancellation of a merged diagonal drops the cell on both
+        // paths (regression: the scatter pass used to store a 0.0).
+        let one = CsrMatrix::from_triplets(1, 1, vec![(0, 0, 1.0)]).unwrap();
+        let cancelled = one.transpose_scaled_add_diag(1.0, &[-1.0]).unwrap();
+        assert_eq!(cancelled.nnz(), 0);
+        assert_eq!(
+            cancelled,
+            one.scaled_add_diag(1.0, &[-1.0]).unwrap().transpose()
+        );
+        // scale = 0 zeroes every off-diagonal entry; only diagonals stay.
+        let zeroed = m.transpose_scaled_add_diag(0.0, &d).unwrap();
+        assert_eq!(zeroed, m.scaled_add_diag(0.0, &d).unwrap().transpose());
+        assert_eq!(zeroed.nnz(), 3);
     }
 
     #[test]

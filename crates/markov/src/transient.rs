@@ -15,9 +15,19 @@
 //! which each point only needs its own Poisson weights. It also detects
 //! stationarity of the iterate sequence (all interesting chains here are
 //! absorbing) and stops multiplying once `v_n` has converged.
+//!
+//! Both engines run on the zero-respawn hot path: `Pᵀ` is emitted
+//! directly from the generator ([`Ctmc::uniformised_transposed`], no
+//! `uniformised()` + `transpose()` round-trip), the worker pool is
+//! spawned **once per call** and fed nnz-balanced row blocks
+//! ([`crate::pool::SpmvPool`]), the curve engine's per-iteration measure
+//! is folded into the product (fused SpMV+dot), and Poisson windows for
+//! the individual time points reuse one Fox–Glynn workspace
+//! ([`crate::foxglynn::FoxGlynnCache`]).
 
 use crate::ctmc::Ctmc;
-use crate::foxglynn::poisson_weights;
+use crate::foxglynn::FoxGlynnCache;
+use crate::pool::SpmvPool;
 use crate::MarkovError;
 
 /// Options for the uniformisation engines.
@@ -32,7 +42,9 @@ pub struct TransientOptions {
     /// Consecutive-iterate sup-norm threshold for steady-state detection;
     /// set to 0 to disable.
     pub steady_state_tolerance: f64,
-    /// Worker threads for the sparse matrix–vector products.
+    /// Worker threads for the sparse matrix–vector products. The workers
+    /// are spawned once per solve (persistent pool), not per product;
+    /// `<= 1` keeps everything on the calling thread.
     pub threads: usize,
 }
 
@@ -110,7 +122,8 @@ pub fn transient_distribution_with(
             "time must be finite and non-negative, got {t}"
         )));
     }
-    let (p, nu) = ctmc.uniformised(opts.uniformisation_factor)?;
+    // Pᵀ straight from the generator: no P temporary, no transpose copy.
+    let (pt, nu) = ctmc.uniformised_transposed(opts.uniformisation_factor)?;
     if nu == 0.0 || t == 0.0 {
         return Ok(TransientSolution {
             distribution: alpha.to_vec(),
@@ -118,29 +131,36 @@ pub fn transient_distribution_with(
             nu,
         });
     }
-    let pt = p.transpose();
-    let w = poisson_weights(nu * t, opts.epsilon)?;
+    let mut fg = FoxGlynnCache::new();
+    fg.compute(nu * t, opts.epsilon)?;
+
+    // One pool for the whole solve: workers spawn here, are fed one
+    // nnz-balanced row block per iteration, and exit on drop.
+    let pool = SpmvPool::new(effective_threads(opts.threads, &pt));
+    let partition = pt.nnz_partition(pool.threads());
 
     let n_states = ctmc.n_states();
     let mut v = alpha.to_vec();
     let mut next = vec![0.0; n_states];
     let mut out = vec![0.0; n_states];
     let mut iterations = 0;
-    if w.left == 0 {
-        accumulate(&mut out, &v, w.weight(0));
+    if fg.left() == 0 {
+        accumulate(&mut out, &v, fg.weight(0));
     }
-    for n in 1..=w.right {
-        pt.mul_vec_parallel(&v, &mut next, opts.threads)?;
+    for n in 1..=fg.right() {
+        // Fused product + steady-state sup-norm: no separate O(n)
+        // convergence sweep over the iterate.
+        let sup = pool.mul_vec_sup(&pt, &partition, &v, &mut next)?;
         std::mem::swap(&mut v, &mut next);
         iterations += 1;
-        let wn = w.weight(n);
+        let wn = fg.weight(n);
         if wn > 0.0 {
             accumulate(&mut out, &v, wn);
         }
-        if opts.steady_state_tolerance > 0.0 && sup_diff(&v, &next) < opts.steady_state_tolerance {
+        if opts.steady_state_tolerance > 0.0 && sup < opts.steady_state_tolerance {
             // Iterates are stationary: the remaining Poisson mass applies
             // to the converged vector.
-            let remaining: f64 = (n + 1..=w.right).map(|m| w.weight(m)).sum();
+            let remaining: f64 = (n + 1..=fg.right()).map(|m| fg.weight(m)).sum();
             accumulate(&mut out, &v, remaining);
             break;
         }
@@ -190,7 +210,8 @@ pub fn measure_curve(
         ));
     }
 
-    let (p, nu) = ctmc.uniformised(opts.uniformisation_factor)?;
+    // Pᵀ straight from the generator: no P temporary, no transpose copy.
+    let (pt, nu) = ctmc.uniformised_transposed(opts.uniformisation_factor)?;
     let t_max = times.iter().cloned().fold(0.0, f64::max);
     if nu == 0.0 || t_max == 0.0 {
         let value = dot(alpha, measure);
@@ -201,12 +222,21 @@ pub fn measure_curve(
             nu,
         });
     }
-    let pt = p.transpose();
-    let w_max = poisson_weights(nu * t_max, opts.epsilon)?;
-    let n_max = w_max.right;
+    // One Fox–Glynn workspace serves every window: sized once at
+    // λ_max = ν·t_max (whose right point bounds all smaller windows),
+    // then re-filled per time point with no further allocation.
+    let mut fg = FoxGlynnCache::new();
+    fg.compute(nu * t_max, opts.epsilon)?;
+    let n_max = fg.right();
+
+    // One pool for the whole sweep: workers spawn here — not once per
+    // product — and each owns an nnz-balanced row block.
+    let pool = SpmvPool::new(effective_threads(opts.threads, &pt));
+    let partition = pt.nnz_partition(pool.threads());
 
     // Sweep: cache s_n = measure·v_n for n = 0..=n_max (or until the
-    // iterates converge).
+    // iterates converge). The fused kernel returns measure·v_{n+1} from
+    // the same pass that computes v_{n+1}.
     let mut s = Vec::with_capacity(n_max + 1);
     let mut v = alpha.to_vec();
     let mut next = vec![0.0; ctmc.n_states()];
@@ -214,28 +244,32 @@ pub fn measure_curve(
     let mut converged_at = None;
     let mut iterations = 0;
     for n in 1..=n_max {
-        pt.mul_vec_parallel(&v, &mut next, opts.threads)?;
+        // One fully fused pass: v_{n+1} = Pᵀ·v_n, s_{n+1} = measure·v_{n+1}
+        // and the steady-state sup-norm |v_{n+1} − v_n|_∞, with no
+        // separate dot or convergence sweep over the iterate.
+        let (s_n, sup) = pool.mul_vec_dot_sup(&pt, &partition, &v, &mut next, measure)?;
         std::mem::swap(&mut v, &mut next);
         iterations += 1;
-        s.push(dot(&v, measure));
-        if opts.steady_state_tolerance > 0.0 && sup_diff(&v, &next) < opts.steady_state_tolerance {
+        s.push(s_n);
+        if opts.steady_state_tolerance > 0.0 && sup < opts.steady_state_tolerance {
             converged_at = Some(n);
             break;
         }
     }
     let s_last = *s.last().expect("at least one cached value");
 
-    // Each time point mixes the cached scalars with its own Poisson window.
+    // Each time point mixes the cached scalars with its own Poisson
+    // window, derived into the shared workspace.
     let mut points = Vec::with_capacity(times.len());
     for &t in times {
         if t == 0.0 {
             points.push((t, s[0]));
             continue;
         }
-        let w = poisson_weights(nu * t, opts.epsilon)?;
+        fg.compute(nu * t, opts.epsilon)?;
         let mut value = 0.0;
-        for (i, &wi) in w.weights.iter().enumerate() {
-            let n = w.left + i;
+        for (i, &wi) in fg.weights().iter().enumerate() {
+            let n = fg.left() + i;
             value += wi * s.get(n).copied().unwrap_or(s_last);
         }
         points.push((t, value));
@@ -248,6 +282,17 @@ pub fn measure_curve(
     })
 }
 
+/// Caps the worker count at something useful for the matrix: tiny chains
+/// never leave the calling thread (pool setup would dominate), matching
+/// the old spawn-path threshold.
+fn effective_threads(threads: usize, matrix: &crate::sparse::CsrMatrix) -> usize {
+    if matrix.rows() < crate::sparse::PARALLEL_SPMV_MIN_ROWS {
+        1
+    } else {
+        threads
+    }
+}
+
 #[inline]
 fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
@@ -258,14 +303,6 @@ fn accumulate(out: &mut [f64], v: &[f64], w: f64) {
     for (o, &x) in out.iter_mut().zip(v) {
         *o += w * x;
     }
-}
-
-#[inline]
-fn sup_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]
