@@ -5,15 +5,24 @@
 //! Two artefacts, both on the paper's Fig. 8 two-well chain:
 //!
 //! * **spmv** — ns/op medians for one `Pᵀ·v` product through each
-//!   kernel: the sequential reference, the legacy spawn-per-call path
+//!   kernel: the sequential CSR reference, the sequential banded (DIA)
+//!   kernel, the legacy spawn-per-call path
 //!   ([`CsrMatrix::mul_vec_parallel`]), the persistent worker pool
 //!   ([`SpmvPool`]), and the fused SpMV+dot pool kernel.
 //! * **uniformisation** — ns/op medians for a whole
-//!   `Pr[battery empty at t]` curve through the legacy engine
-//!   (re-created here: `uniformised()` + `transpose()`, spawn-per-call
-//!   products, separate dot pass, per-point Fox–Glynn recomputation)
-//!   versus the current zero-respawn engine, plus the sup-distance
-//!   between the two curves (must be ≤ 1e-12).
+//!   `Pr[battery empty at t]` curve through the representation/window
+//!   engine matrix at several `Δ`: the PR 2 CSR engine
+//!   (`persistent_pool_fused`), the banded engine over the full state
+//!   space (`banded_full`), and the banded engine with the active
+//!   window (`banded_windowed`); the legacy spawn-per-call engine rides
+//!   along on chains small enough to afford it. Each engine reports its
+//!   `touched_entries` total, so the window savings are visible in the
+//!   committed trajectory, and the windowed curve is asserted against
+//!   the CSR engine's.
+//!
+//! `--quick` is the CI smoke mode: one tiny `Δ`, a single repetition,
+//! and a tightened ε so the banded-windowed vs CSR agreement assertion
+//! at 1e-12 is backed by the engines' error *bounds* rather than luck.
 //!
 //! The JSON is deliberately flat and stable so CI diffs of committed
 //! baselines stay readable: each kernel/engine carries
@@ -24,10 +33,8 @@ use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
 use kibamrm::model::KibamRm;
 use kibamrm::report::write_file;
 use kibamrm::workload::Workload;
-use markov::ctmc::Ctmc;
-use markov::foxglynn::poisson_weights;
 use markov::pool::SpmvPool;
-use markov::transient::{measure_curve, TransientOptions};
+use markov::transient::{measure_curve, CurveSolution, Representation, TransientOptions};
 use std::path::PathBuf;
 use std::time::Instant;
 use units::{Charge, Current, Frequency, Rate};
@@ -94,19 +101,31 @@ fn write_json(cfg: &Config, name: &str, body: &str) -> Result<(), String> {
 }
 
 fn spmv_baseline(cfg: &Config, threads: usize) -> Result<(), String> {
-    let deltas: &[f64] = if cfg.fast {
+    let deltas: &[f64] = if cfg.quick {
+        &[300.0]
+    } else if cfg.fast {
         &[50.0]
     } else {
         // Δ = 5 is the paper's million-state configuration.
         &[50.0, 5.0]
     };
-    let reps = if cfg.fast { 7 } else { 11 };
+    let reps = if cfg.quick {
+        1
+    } else if cfg.fast {
+        7
+    } else {
+        11
+    };
     let mut configs = Vec::new();
     for &delta in deltas {
         let disc = discretise(delta)?;
         let (pt, _nu) = disc
             .chain()
             .uniformised_transposed(1.02)
+            .map_err(|e| e.to_string())?;
+        let (pt_banded, _nu) = disc
+            .chain()
+            .uniformised_transposed_banded(1.02)
             .map_err(|e| e.to_string())?;
         let states = pt.rows();
         let nnz = pt.nnz();
@@ -116,6 +135,9 @@ fn spmv_baseline(cfg: &Config, threads: usize) -> Result<(), String> {
 
         let sequential = median_ns(reps, || {
             pt.mul_vec_into(&x, &mut y).expect("dims");
+        });
+        let banded_seq = median_ns(reps, || {
+            pt_banded.mul_vec_range_into(&x, &mut y, 0..states);
         });
         let spawn = median_ns(reps, || {
             pt.mul_vec_parallel(&x, &mut y, threads).expect("dims");
@@ -132,19 +154,24 @@ fn spmv_baseline(cfg: &Config, threads: usize) -> Result<(), String> {
 
         println!(
             "spmv Δ={delta}: {states} states, {nnz} nnz — seq {sequential:.0} ns, \
-             spawn_x{threads} {spawn:.0} ns, pool_x{threads} {pooled:.0} ns, \
-             fused {fused:.0} ns (pool is {:.2}x vs spawn)",
-            spawn / pooled
+             banded_seq {banded_seq:.0} ns, spawn_x{threads} {spawn:.0} ns, \
+             pool_x{threads} {pooled:.0} ns, fused {fused:.0} ns \
+             (pool is {:.2}x vs spawn, banded is {:.2}x vs seq)",
+            spawn / pooled,
+            sequential / banded_seq
         );
         configs.push(format!(
             "    {{\n      \"delta\": {delta},\n      \"states\": {states},\n      \
              \"nnz\": {nnz},\n      \"kernels\": [\n        \
              {{\"name\": \"sequential\", \"median_ns_per_op\": {sequential:.0}}},\n        \
+             {{\"name\": \"banded_sequential\", \"median_ns_per_op\": {banded_seq:.0}}},\n        \
              {{\"name\": \"spawn_x{threads}\", \"median_ns_per_op\": {spawn:.0}}},\n        \
              {{\"name\": \"pool_x{threads}\", \"median_ns_per_op\": {pooled:.0}}},\n        \
              {{\"name\": \"fused_pool_x{threads}\", \"median_ns_per_op\": {fused:.0}}}\n      ],\n      \
-             \"speedup_pool_vs_spawn\": {:.3}\n    }}",
-            spawn / pooled
+             \"speedup_pool_vs_spawn\": {:.3},\n      \
+             \"speedup_banded_vs_sequential\": {:.3}\n    }}",
+            spawn / pooled,
+            sequential / banded_seq
         ));
     }
     let body = format!(
@@ -155,101 +182,212 @@ fn spmv_baseline(cfg: &Config, threads: usize) -> Result<(), String> {
     write_json(cfg, "BENCH_spmv.json", &body)
 }
 
+/// One engine configuration of the uniformisation matrix.
+struct Engine {
+    name: &'static str,
+    opts: TransientOptions,
+}
+
 fn uniformisation_baseline(cfg: &Config, threads: usize) -> Result<(), String> {
-    let delta = if cfg.fast { 300.0 } else { 50.0 };
-    let reps = if cfg.fast { 3 } else { 7 };
-    let t_query = 8000.0;
-    let disc = discretise(delta)?;
-    let states = disc.stats().states;
-    let nnz = disc.stats().generator_nonzeros;
-    let opts = TransientOptions {
-        threads,
-        ..TransientOptions::default()
-    };
-    // What the engine will actually run with: SpmvPool clamps to the
-    // machine's cores, and chains below the small-matrix threshold stay
-    // inline. On a single-core box the engine side is therefore the
-    // sequential fused path while the legacy side still pays 4 spawned
-    // threads per product — exactly the old engine's behaviour, but the
-    // JSON must say so rather than imply a 4-worker pool ran.
-    let engine_workers = if states < markov::sparse::PARALLEL_SPMV_MIN_ROWS {
-        1
+    // Quick mode is the CI smoke: correctness assertions at a tightened
+    // ε (so the 1e-12 agreement bound follows from the engines' error
+    // budgets, not chance), one repetition, tiny chain.
+    let deltas: &[f64] = if cfg.quick || cfg.fast {
+        &[300.0]
     } else {
-        SpmvPool::clamped_threads(threads)
+        &[300.0, 50.0, 10.0]
     };
+    let epsilon = if cfg.quick { 1e-13 } else { 1e-10 };
+    // Each engine is within ε of the true curve, so their distance is
+    // provably ≤ 2ε; assert that bound (with 5× slack in quick mode)
+    // rather than ε itself, so a run where both engines land near their
+    // budgets on opposite sides cannot fail spuriously. The committed
+    // JSON records the measured distance, which sits orders of
+    // magnitude below this.
+    let agreement_bound = if cfg.quick { 1e-12 } else { 2.0 * epsilon };
+    let t_query = 8000.0;
+    let mut configs = Vec::new();
+    for &delta in deltas {
+        let reps = match () {
+            _ if cfg.quick => 1,
+            _ if cfg.fast || delta < 50.0 => 3,
+            _ => 7,
+        };
+        let disc = discretise(delta)?;
+        let states = disc.stats().states;
+        let nnz = disc.stats().generator_nonzeros;
+        let base = TransientOptions {
+            threads,
+            epsilon,
+            ..TransientOptions::default()
+        };
+        // What the engines actually run with: SpmvPool clamps to the
+        // machine's cores, and chains below the small-matrix threshold
+        // stay inline. On a single-core box every engine is therefore
+        // sequential while the legacy side still pays 4 spawned threads
+        // per product — exactly the old engine's behaviour, but the
+        // JSON must say so rather than imply a 4-worker pool ran.
+        let engine_workers = if states < markov::sparse::PARALLEL_SPMV_MIN_ROWS {
+            1
+        } else {
+            SpmvPool::clamped_threads(threads)
+        };
+        let engines = [
+            Engine {
+                name: "persistent_pool_fused",
+                opts: TransientOptions {
+                    representation: Representation::Csr,
+                    active_window: false,
+                    ..base
+                },
+            },
+            Engine {
+                name: "banded_full",
+                opts: TransientOptions {
+                    representation: Representation::Banded,
+                    active_window: false,
+                    ..base
+                },
+            },
+            Engine {
+                name: "banded_windowed",
+                opts: TransientOptions {
+                    representation: Representation::Banded,
+                    active_window: true,
+                    ..base
+                },
+            },
+        ];
+        let mut curves: Vec<CurveSolution> = Vec::new();
+        let mut medians: Vec<f64> = Vec::new();
+        for engine in &engines {
+            let run = || {
+                measure_curve(
+                    disc.chain(),
+                    disc.alpha(),
+                    &[t_query],
+                    disc.empty_measure(),
+                    &engine.opts,
+                )
+                .expect("engine curve")
+            };
+            curves.push(run());
+            medians.push(median_ns(reps, || {
+                run();
+            }));
+        }
+        let csr = &curves[0];
+        let windowed = &curves[2];
+        let max_diff = (csr.points[0].1 - windowed.points[0].1).abs();
+        if max_diff > agreement_bound {
+            return Err(format!(
+                "banded-windowed engine disagrees with the CSR engine at Δ = {delta}: \
+                 sup-distance {max_diff:e} > {agreement_bound:e}"
+            ));
+        }
+        let banded_diff = (csr.points[0].1 - curves[1].points[0].1).abs();
+        if banded_diff > 1e-12 {
+            return Err(format!(
+                "banded-full engine disagrees with the CSR engine at Δ = {delta}: \
+                 sup-distance {banded_diff:e}"
+            ));
+        }
 
-    // Current engine: direct Pᵀ, persistent pool, fused dot, reusable
-    // Fox–Glynn workspace.
-    let engine_curve = measure_curve(
-        disc.chain(),
-        disc.alpha(),
-        &[t_query],
-        disc.empty_measure(),
-        &opts,
-    )
-    .map_err(|e| e.to_string())?;
-    let engine = median_ns(reps, || {
-        measure_curve(
-            disc.chain(),
-            disc.alpha(),
-            &[t_query],
-            disc.empty_measure(),
-            &opts,
-        )
-        .expect("engine curve");
-    });
+        // The legacy spawn-per-call engine rides along where the chain
+        // is small enough to afford its per-product spawn storm.
+        let legacy = if !cfg.quick && states <= 50_000 {
+            let legacy_curve = legacy_measure_curve(
+                disc.chain(),
+                disc.alpha(),
+                &[t_query],
+                disc.empty_measure(),
+                &base,
+            )?;
+            let legacy_diff = (csr.points[0].1 - legacy_curve[0].1).abs();
+            if legacy_diff > 1e-12 {
+                return Err(format!(
+                    "CSR engine disagrees with the legacy baseline: sup-distance {legacy_diff:e}"
+                ));
+            }
+            Some(median_ns(reps, || {
+                legacy_measure_curve(
+                    disc.chain(),
+                    disc.alpha(),
+                    &[t_query],
+                    disc.empty_measure(),
+                    &base,
+                )
+                .expect("legacy curve");
+            }))
+        } else {
+            None
+        };
 
-    // Legacy engine, reconstructed: spawn-per-call products, separate
-    // dot pass, uniformise-then-transpose setup.
-    let legacy_curve = legacy_measure_curve(
-        disc.chain(),
-        disc.alpha(),
-        &[t_query],
-        disc.empty_measure(),
-        &opts,
-    )?;
-    let legacy = median_ns(reps, || {
-        legacy_measure_curve(
-            disc.chain(),
-            disc.alpha(),
-            &[t_query],
-            disc.empty_measure(),
-            &opts,
-        )
-        .expect("legacy curve");
-    });
-
-    let max_diff = engine_curve
-        .points
-        .iter()
-        .zip(&legacy_curve)
-        .map(|(&(_, a), &(_, b))| (a - b).abs())
-        .fold(0.0f64, f64::max);
-    if max_diff > 1e-12 {
-        return Err(format!(
-            "engine disagrees with the legacy baseline: sup-distance {max_diff:e}"
+        let speedup_windowed = medians[0] / medians[2];
+        println!(
+            "uniformisation Δ={delta}: {states} states, {} iterations — csr {:.0} ns, \
+             banded {:.0} ns, windowed {:.0} ns ({speedup_windowed:.2}x vs csr, touched \
+             {} vs {}), sup-distance {max_diff:.2e}{}",
+            csr.iterations,
+            medians[0],
+            medians[1],
+            medians[2],
+            windowed.touched_entries,
+            csr.touched_entries,
+            match legacy {
+                Some(l) => format!(", legacy {l:.0} ns"),
+                None => String::new(),
+            }
+        );
+        let mut engine_rows: Vec<String> = Vec::new();
+        if let Some(l) = legacy {
+            engine_rows.push(format!(
+                "        {{\"name\": \"legacy_spawn_per_call\", \"requested_threads\": {threads}, \
+                 \"median_ns_per_op\": {l:.0}}}"
+            ));
+        }
+        for (engine, (median, curve)) in engines.iter().zip(medians.iter().zip(&curves)) {
+            engine_rows.push(format!(
+                "        {{\"name\": \"{}\", \"requested_threads\": {threads}, \
+                 \"effective_row_workers\": {engine_workers}, \
+                 \"median_ns_per_op\": {median:.0}, \
+                 \"touched_entries\": {}, \"window_deficit\": {:e}}}",
+                engine.name, curve.touched_entries, curve.window_deficit
+            ));
+        }
+        configs.push(format!(
+            "    {{\n      \"delta\": {delta},\n      \"states\": {states},\n      \
+             \"nnz\": {nnz},\n      \"t_seconds\": {t_query},\n      \
+             \"iterations\": {},\n      \"engines\": [\n{}\n      ],\n      \
+             \"speedup_windowed_vs_csr\": {speedup_windowed:.3},\n      \
+             \"max_abs_curve_difference\": {max_diff:e}\n    }}",
+            csr.iterations,
+            engine_rows.join(",\n")
         ));
     }
-    println!(
-        "uniformisation Δ={delta}: {states} states, {} iterations — legacy x{threads} \
-         {legacy:.0} ns, engine x{engine_workers} {engine:.0} ns ({:.2}x), \
-         sup-distance {max_diff:.2e}",
-        engine_curve.iterations,
-        legacy / engine
-    );
+    // The note describes the machine that actually generated the file,
+    // so regenerating on real hardware cannot leave a stale 1-core
+    // claim next to multi-worker engine rows.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let note = if cores == 1 {
+        "generated on a 1-core machine: every engine runs its sequential kernel \
+         (effective_row_workers 1), so the comparison isolates representation/window gains \
+         and under-sells multi-core pool gains; regenerate with bench-harness baseline \
+         --threads N --out . on real hardware"
+            .to_owned()
+    } else {
+        format!(
+            "generated on a {cores}-core machine with --threads {threads}; each engine row's \
+             effective_row_workers records the worker count that engine actually ran with"
+        )
+    };
     let body = format!(
         "{{\n  \"bench\": \"uniformisation\",\n  \"generated_by\": \"bench-harness baseline\",\n  \
-         \"threads\": {threads},\n  \"configs\": [\n    {{\n      \"delta\": {delta},\n      \
-         \"states\": {states},\n      \"nnz\": {nnz},\n      \"t_seconds\": {t_query},\n      \
-         \"iterations\": {},\n      \"engines\": [\n        \
-         {{\"name\": \"legacy_spawn_per_call\", \"requested_threads\": {threads}, \
-         \"median_ns_per_op\": {legacy:.0}}},\n        \
-         {{\"name\": \"persistent_pool_fused\", \"requested_threads\": {threads}, \
-         \"effective_row_workers\": {engine_workers}, \
-         \"median_ns_per_op\": {engine:.0}}}\n      ],\n      \
-         \"speedup_vs_legacy\": {:.3},\n      \"max_abs_curve_difference\": {max_diff:e}\n    }}\n  ]\n}}\n",
-        engine_curve.iterations,
-        legacy / engine
+         \"threads\": {threads},\n  \"note\": \"{note}\",\n  \
+         \"configs\": [\n{}\n  ]\n}}\n",
+        configs.join(",\n")
     );
     write_json(cfg, "BENCH_uniformisation.json", &body)
 }
@@ -259,12 +397,13 @@ fn uniformisation_baseline(cfg: &Config, threads: usize) -> Result<(), String> {
 /// copies), `mul_vec_parallel` (spawn+join per product), a separate dot
 /// pass per iteration, and a fresh Fox–Glynn computation per time point.
 fn legacy_measure_curve(
-    ctmc: &Ctmc,
+    ctmc: &markov::ctmc::Ctmc,
     alpha: &[f64],
     times: &[f64],
     measure: &[f64],
     opts: &TransientOptions,
 ) -> Result<Vec<(f64, f64)>, String> {
+    use markov::foxglynn::poisson_weights;
     fn dot(a: &[f64], b: &[f64]) -> f64 {
         a.iter().zip(b).map(|(x, y)| x * y).sum()
     }

@@ -8,6 +8,11 @@ use markov::transient::TransientOptions;
 pub struct Config {
     /// Trade fidelity for runtime (coarser Δ, fewer simulation runs).
     pub fast: bool,
+    /// CI smoke mode: minimal sizes and repetitions, correctness
+    /// assertions only (timings are measured but not meaningful). The
+    /// `baseline` experiment uses this to assert banded-windowed vs CSR
+    /// engine agreement on every push without a multi-minute run.
+    pub quick: bool,
     /// Output directory for CSV results.
     pub out_dir: String,
     /// Worker threads for sparse matrix–vector products.
@@ -18,6 +23,7 @@ impl Default for Config {
     fn default() -> Self {
         Config {
             fast: false,
+            quick: false,
             out_dir: "results".into(),
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())

@@ -1,4 +1,4 @@
-//! One module per regenerated table/figure; see DESIGN.md §5 for the
+//! One module per regenerated table/figure; see DESIGN.md §6 for the
 //! experiment index.
 
 pub mod baseline;
@@ -12,6 +12,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod table1;
+pub mod window;
 
 use config::Config;
 use kibamrm::report::{write_file, Curve};

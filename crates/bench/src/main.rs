@@ -2,7 +2,7 @@
 //! *Computing Battery Lifetime Distributions* (DSN'07).
 //!
 //! ```text
-//! bench-harness <experiment> [--fast] [--out DIR] [--threads N]
+//! bench-harness <experiment> [--fast] [--quick] [--out DIR] [--threads N]
 //!
 //! experiments:
 //!   fig2        KiBaM well trajectories under a slow square wave
@@ -15,11 +15,14 @@
 //!   complexity  state/non-zero/iteration counts of §5.3 & §6.1
 //!   calibrate   re-derive λ_burst = 182/h from P[send] = ¼
 //!   baseline    machine-readable BENCH_spmv.json / BENCH_uniformisation.json
+//!   window      active-window savings: touched entries & deficit per Δ
 //!   all         everything above
 //! ```
 //!
 //! `--fast` trades fidelity for runtime (coarser Δ, fewer simulation
-//! runs); the default settings match the paper's parameters exactly.
+//! runs); `--quick` is the CI smoke mode (tiny sizes, correctness
+//! assertions only). The default settings match the paper's parameters
+//! exactly.
 //! Results are written as CSV under `--out` (default `results/`).
 
 mod experiments;
@@ -33,6 +36,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => config.fast = true,
+            "--quick" => config.quick = true,
             "--out" => {
                 config.out_dir = args
                     .next()
@@ -63,8 +67,9 @@ fn main() {
         "complexity" => experiments::complexity::run(&config),
         "calibrate" => experiments::calibrate::run(&config),
         "baseline" => experiments::baseline::run(&config),
+        "window" => experiments::window::run(&config),
         "all" => {
-            let runs: [(&str, fn(&Config) -> Result<(), String>); 10] = [
+            let runs: [(&str, fn(&Config) -> Result<(), String>); 11] = [
                 ("fig2", experiments::fig2::run),
                 ("table1", experiments::table1::run),
                 ("fig7", experiments::fig7::run),
@@ -75,6 +80,7 @@ fn main() {
                 ("complexity", experiments::complexity::run),
                 ("calibrate", experiments::calibrate::run),
                 ("baseline", experiments::baseline::run),
+                ("window", experiments::window::run),
             ];
             let mut status = Ok(());
             for (name, f) in runs {
@@ -98,7 +104,7 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: bench-harness <fig2|table1|fig7|fig8|fig9|fig10|fig11|complexity|calibrate|\
-         baseline|all> [--fast] [--out DIR] [--threads N]"
+         baseline|window|all> [--fast] [--quick] [--out DIR] [--threads N]"
     );
     std::process::exit(2);
 }

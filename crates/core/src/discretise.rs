@@ -80,6 +80,16 @@ pub struct CtmcStats {
     pub off_diagonal_nonzeros: usize,
     /// Number of non-zero generator entries including the diagonal.
     pub generator_nonzeros: usize,
+    /// Number of distinct diagonals the off-diagonal rate matrix
+    /// occupies. The lattice structure makes this a small constant
+    /// (workload hops, consumption, recovery — each a fixed index
+    /// delta), which is what lets the transient engines switch to
+    /// banded (DIA) storage.
+    pub band_offsets: usize,
+    /// Largest `|column − row|` over the stored rates — how far one
+    /// uniformisation product can move probability mass, i.e. the
+    /// per-iteration growth bound of the active window.
+    pub bandwidth: usize,
 }
 
 /// The paper's derived CTMC for one KiBaMRM and one `Δ`.
@@ -203,10 +213,13 @@ impl DiscretisedModel {
         // Diagonal entries exist for every state with outgoing rate plus
         // nothing for absorbing rows (their diagonal is zero).
         let diagonal_nonzeros = (0..n_states).filter(|&s| chain.exit_rate(s) > 0.0).count();
+        let offsets = markov::banded::BandedMatrix::detect_offsets(chain.rates());
         let stats = CtmcStats {
             states: n_states,
             off_diagonal_nonzeros: off_diagonal,
             generator_nonzeros: chain.n_transitions() + diagonal_nonzeros,
+            band_offsets: offsets.len(),
+            bandwidth: offsets.iter().map(|o| o.unsigned_abs()).max().unwrap_or(0),
         };
         Ok(DiscretisedModel {
             chain,
@@ -420,6 +433,24 @@ mod tests {
         // Δ = 5 would give 901 × 541 × 2 = 974 882 states and ≈ 3.2·10⁶
         // non-zeros (checked in the bench harness, too slow for a unit
         // test build).
+    }
+
+    #[test]
+    fn bandwidth_metadata_reflects_the_lattice_stencil() {
+        // Two-well on/off at Δ = 300: j2_levels = 10, 2 workload states.
+        // Offsets: workload hop ±1, consumption −(10·2), recovery +(9·2).
+        let d = on_off_two_well(300.0);
+        assert_eq!(d.stats().band_offsets, 4);
+        assert_eq!(d.stats().bandwidth, 20);
+        // Linear chain: no recovery, consumption hops one j1 level
+        // (j2_levels = 1, so offset −2); workload hop ±1.
+        let lin = on_off_linear(300.0);
+        assert_eq!(lin.stats().band_offsets, 3);
+        assert_eq!(lin.stats().bandwidth, 2);
+        // The stencil is Δ-independent even though the state count grows.
+        let fine = on_off_two_well(100.0);
+        assert_eq!(fine.stats().band_offsets, 4);
+        assert_eq!(fine.stats().bandwidth, 2 * fine.j2_levels());
     }
 
     #[test]

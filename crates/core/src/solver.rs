@@ -37,7 +37,7 @@ use crate::distribution::{LifetimeDistribution, SolveDiagnostics};
 use crate::scenario::Scenario;
 use crate::simulate::lifetime_study;
 use crate::KibamRmError;
-use markov::transient::TransientOptions;
+use markov::transient::{Representation, TransientOptions};
 use std::time::Instant;
 use units::Time;
 
@@ -65,6 +65,13 @@ pub struct SolverOptions {
     /// i.e. no cap beyond the machine itself, leaving each backend's
     /// own thread configuration in charge).
     pub row_threads: usize,
+    /// Storage-format selection for uniformisation-based backends
+    /// (default [`Representation::Auto`]: lattice chains iterate banded
+    /// matrices with the active window, unstructured ones generic CSR).
+    /// A non-`Auto` value overrides whatever the backend was configured
+    /// with; `Auto` defers to the backend's own
+    /// [`TransientOptions::representation`].
+    pub representation: Representation,
 }
 
 impl Default for SolverOptions {
@@ -75,6 +82,7 @@ impl Default for SolverOptions {
         SolverOptions {
             scenario_threads: cores,
             row_threads: cores,
+            representation: Representation::Auto,
         }
     }
 }
@@ -86,6 +94,7 @@ impl SolverOptions {
         SolverOptions {
             scenario_threads: 1,
             row_threads: 1,
+            representation: Representation::Auto,
         }
     }
 
@@ -279,9 +288,14 @@ impl LifetimeSolver for DiscretisationSolver {
         // Row-level parallelism is this backend's SpMV pool: the budget
         // the registry hands down (already divided among concurrent
         // sweep workers) acts as a cap — it never raises a thread count
-        // this solver was explicitly configured with.
+        // this solver was explicitly configured with. An explicit
+        // (non-Auto) representation in the budget overrides the
+        // backend's; Auto leaves the backend's own choice in place.
         let mut solver = self.clone();
         solver.transient.threads = solver.transient.threads.min(options.row_threads.max(1));
+        if options.representation != Representation::Auto {
+            solver.transient.representation = options.representation;
+        }
         solver.solve(scenario)
     }
 }
@@ -840,6 +854,7 @@ mod tests {
         let opts = SolverOptions {
             scenario_threads: 4,
             row_threads: 8,
+            ..Default::default()
         };
         // 4 active sweep workers each get a cap of 8/4 = 2 row threads.
         assert_eq!(opts.row_threads_per_solve(4), 2);
@@ -871,6 +886,106 @@ mod tests {
         let a = sim.solve_with(&s, &opts).unwrap();
         let b = sim.solve(&s).unwrap();
         assert!(a.max_difference(&b).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn representation_override_flows_through_solve_with() {
+        // SolverOptions can pin the storage format; the curve must not
+        // depend on which representation computed it (within ε).
+        let s = two_well()
+            .with_delta(Charge::from_milliamp_hours(50.0))
+            .with_simulation(10, 1);
+        let solver = DiscretisationSolver::new();
+        let auto = solver.solve(&s).unwrap();
+        let forced_csr = solver
+            .solve_with(
+                &s,
+                &SolverOptions {
+                    representation: Representation::Csr,
+                    ..SolverOptions::sequential()
+                },
+            )
+            .unwrap();
+        let forced_banded = solver
+            .solve_with(
+                &s,
+                &SolverOptions {
+                    representation: Representation::Banded,
+                    ..SolverOptions::sequential()
+                },
+            )
+            .unwrap();
+        // Auto and forced-banded both run the active window (ε split),
+        // so the provable bound against the full-ε CSR engine is 2ε
+        // with the default ε = 1e-10.
+        assert!(auto.max_difference(&forced_csr).unwrap() < 2e-10);
+        assert!(forced_banded.max_difference(&forced_csr).unwrap() < 2e-10);
+        // Auto in the budget defers to the backend's own configuration.
+        let opts = SolverOptions::sequential();
+        assert_eq!(opts.representation, Representation::Auto);
+    }
+
+    #[test]
+    fn duplicate_time_grids_fail_cleanly_through_sweep() {
+        // Scenario validation (the first line of defence) rejects
+        // duplicate/unsorted grids at every construction path…
+        let s = small_linear();
+        let t = Time::from_seconds(10.0);
+        assert!(s.with_times(vec![t, t]).is_err(), "with_times duplicates");
+        assert!(
+            s.with_times(vec![Time::from_seconds(20.0), t]).is_err(),
+            "with_times unsorted"
+        );
+        // …including the config round-trip.
+        let cfg: String = s
+            .to_config_string()
+            .unwrap()
+            .lines()
+            .map(|l| {
+                if l.starts_with("times_s") {
+                    "times_s 10 10 20\n".to_owned()
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        assert!(
+            Scenario::from_config_str(&cfg).is_err(),
+            "config duplicates"
+        );
+
+        // And the second line: a backend that hands the facade a
+        // duplicated grid gets a per-scenario error out of sweep(),
+        // without poisoning the neighbouring scenarios (regression for
+        // LifetimeDistribution construction from bad grids).
+        struct DuplicateGrid;
+        impl LifetimeSolver for DuplicateGrid {
+            fn name(&self) -> &'static str {
+                "duplicate-grid"
+            }
+            fn capability(&self, _s: &Scenario) -> Capability {
+                Capability::Exact
+            }
+            fn solve(&self, _s: &Scenario) -> Result<LifetimeDistribution, KibamRmError> {
+                let t = Time::from_seconds(5.0);
+                LifetimeDistribution::new(
+                    "duplicate-grid",
+                    vec![(t, 0.1), (t, 0.2)],
+                    SolveDiagnostics::default(),
+                )
+            }
+        }
+        let mut registry = SolverRegistry::empty();
+        registry.register(Box::new(DuplicateGrid));
+        let results = registry.sweep_with_threads(&[s.clone(), s], 2);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            let err = r.as_ref().expect_err("duplicated grid must fail");
+            assert!(
+                err.to_string().contains("strictly increasing"),
+                "unexpected error: {err}"
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! (`q_{ii} = −q_i`). This matches the workload models of the paper
 //! (Figs. 3–5) as well as the huge derived chains of Section 5.
 
+use crate::banded::{BandedMatrix, TransitionMatrix};
 use crate::sparse::CsrMatrix;
 use crate::MarkovError;
 
@@ -330,6 +331,60 @@ impl Ctmc {
         Ok((self.rates.transpose_scaled_add_diag(1.0 / nu, &stay)?, nu))
     }
 
+    /// [`Ctmc::uniformised_transposed`] with automatic representation
+    /// selection: when the rate matrix occupies a small fixed set of
+    /// diagonals (every discretised battery lattice does — workload hop,
+    /// consumption, recovery are constant index deltas), `Pᵀ` is emitted
+    /// **directly in banded (DIA) form** and the generic CSR matrix is
+    /// never materialised on the hot path. Unstructured chains fall back
+    /// to the CSR emission unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] when `factor < 1`.
+    pub fn uniformised_transposed_auto(
+        &self,
+        factor: f64,
+    ) -> Result<(TransitionMatrix, f64), MarkovError> {
+        let (nu, stay) = self.uniformisation_diagonal(factor)?;
+        if nu == 0.0 {
+            let (eye, _) = self.uniformised_transposed(factor)?;
+            return Ok((TransitionMatrix::Csr(eye), 0.0));
+        }
+        match BandedMatrix::transposed_scaled_add_diag(&self.rates, 1.0 / nu, &stay)? {
+            Some(banded) => Ok((TransitionMatrix::Banded(banded), nu)),
+            None => Ok((
+                TransitionMatrix::Csr(self.rates.transpose_scaled_add_diag(1.0 / nu, &stay)?),
+                nu,
+            )),
+        }
+    }
+
+    /// [`Ctmc::uniformised_transposed_auto`] forced to banded storage,
+    /// regardless of profitability (benchmark baselines compare the
+    /// representations; production code should use the auto variant).
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] when `factor < 1`.
+    pub fn uniformised_transposed_banded(
+        &self,
+        factor: f64,
+    ) -> Result<(BandedMatrix, f64), MarkovError> {
+        let (nu, stay) = self.uniformisation_diagonal(factor)?;
+        if nu == 0.0 {
+            let (eye, _) = self.uniformised_transposed(factor)?;
+            return Ok((BandedMatrix::from_csr(&eye)?, 0.0));
+        }
+        match BandedMatrix::transposed_scaled_add_diag(&self.rates, 1.0 / nu, &stay)? {
+            Some(banded) => Ok((banded, nu)),
+            None => {
+                let pt = self.rates.transpose_scaled_add_diag(1.0 / nu, &stay)?;
+                Ok((BandedMatrix::from_csr(&pt)?, nu))
+            }
+        }
+    }
+
     /// Shared uniformisation setup: validates `factor`, computes ν and
     /// the self-loop probabilities `1 − qᵢ/ν` (empty when ν = 0).
     fn uniformisation_diagonal(&self, factor: f64) -> Result<(f64, Vec<f64>), MarkovError> {
@@ -535,6 +590,54 @@ mod tests {
         assert_eq!(nu, 0.0);
         assert_eq!(pt.get(0, 0), 1.0);
         assert_eq!(pt.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn auto_representation_picks_banded_for_lattices_only() {
+        // A birth–death lattice: 2 offsets on many states → banded.
+        let n = 64;
+        let mut b = CtmcBuilder::new(n);
+        for i in 1..n {
+            b.rate(i, i - 1, 1.0).unwrap();
+            if i + 1 < n {
+                b.rate(i, i + 1, 0.5).unwrap();
+            }
+        }
+        let lattice = b.build().unwrap();
+        let (auto, nu) = lattice.uniformised_transposed_auto(1.02).unwrap();
+        let (csr, nu_csr) = lattice.uniformised_transposed(1.02).unwrap();
+        assert_eq!(nu, nu_csr);
+        let banded = auto.as_banded().expect("lattice goes banded");
+        assert_eq!(banded.to_csr(), csr, "same matrix either way");
+        // The forced-banded variant agrees too.
+        let (forced, nu_b) = lattice.uniformised_transposed_banded(1.02).unwrap();
+        assert_eq!(nu_b, nu);
+        assert_eq!(&forced, banded);
+
+        // A tiny dense-ish chain scatters over too many diagonals for
+        // its size: auto falls back to CSR (forced banded still works).
+        let mut b = CtmcBuilder::new(4);
+        for (f, t, r) in [(0usize, 1usize, 1.2), (0, 3, 0.4), (1, 2, 2.3), (3, 0, 0.9)] {
+            b.rate(f, t, r).unwrap();
+        }
+        let dense = b.build().unwrap();
+        let (auto, _) = dense.uniformised_transposed_auto(1.02).unwrap();
+        assert!(auto.as_banded().is_none(), "unstructured chain stays CSR");
+        let (pt_csr, _) = dense.uniformised_transposed(1.02).unwrap();
+        let (forced, _) = dense.uniformised_transposed_banded(1.02).unwrap();
+        assert_eq!(forced.to_csr(), pt_csr);
+
+        // All-absorbing: identity at ν = 0, in both variants.
+        let absorbing = CtmcBuilder::new(3).build().unwrap();
+        let (eye, nu) = absorbing.uniformised_transposed_auto(1.0).unwrap();
+        assert_eq!(nu, 0.0);
+        assert_eq!(eye.rows(), 3);
+        assert_eq!(eye.entries_per_product(), 3);
+        let (eye_b, nu_b) = absorbing.uniformised_transposed_banded(1.0).unwrap();
+        assert_eq!(nu_b, 0.0);
+        assert_eq!(eye_b.offsets(), &[0]);
+        assert!(absorbing.uniformised_transposed_auto(0.5).is_err());
+        assert!(absorbing.uniformised_transposed_banded(0.5).is_err());
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //!
 //! * [`sparse`] — compressed-sparse-row matrices with sequential and
 //!   multi-threaded matrix–vector products;
+//! * [`banded`] — DIA-style diagonal storage for the lattice-structured
+//!   chains of the discretisation, with branch-free fused kernels and
+//!   automatic conversion from CSR;
 //! * [`ctmc`] — validated CTMC construction (generators, exit rates,
 //!   uniformisation, Graphviz export);
 //! * [`foxglynn`] — Poisson probability weights with left/right truncation
@@ -44,6 +47,7 @@
 //! ```
 
 pub mod absorbing;
+pub mod banded;
 pub mod ctmc;
 pub mod dtmc;
 pub mod foxglynn;

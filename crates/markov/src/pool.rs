@@ -10,12 +10,19 @@
 //! worker owns a contiguous row range balanced by non-zeros
 //! ([`CsrMatrix::nnz_partition`]).
 //!
+//! The pool dispatches on matrix **representation**: every kernel takes
+//! anything convertible to a [`MatrixRef`], so generic CSR chains and
+//! banded lattice chains ([`crate::banded::BandedMatrix`]) run through
+//! the same engine.
+//!
 //! The pool also exposes the fused SpMV+dot kernel
 //! ([`SpmvPool::mul_vec_dot`]): each worker returns the partial dot of
 //! its output block with a measure vector, so evaluating
 //! `sₙ = measure·vₙ` costs no extra pass over the iterate. Partial dots
 //! are reduced in worker order, making the result deterministic for a
-//! fixed thread count.
+//! fixed thread count. The `*_window` variants restrict a product to the
+//! active row range of the windowed transient engine, partitioning just
+//! those rows across the workers per call.
 //!
 //! With zero workers (`threads <= 1`) every method runs the sequential
 //! kernel inline, bit-compatible with [`CsrMatrix::mul_vec_into`]. The
@@ -25,11 +32,41 @@
 //! partition (each partial is summed in row order, partials are combined
 //! in range order).
 
+use crate::banded::{split_evenly, MatrixRef};
 use crate::sparse::CsrMatrix;
 use crate::MarkovError;
 use std::ops::Range;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
+
+/// The matrix pointer a [`Job`] carries: the raw-pointer twin of
+/// [`MatrixRef`] (a borrowed enum cannot cross the channel, the referent
+/// outlives the job by the dispatch contract).
+#[derive(Clone, Copy)]
+enum JobMatrix {
+    Csr(*const CsrMatrix),
+    Banded(*const crate::banded::BandedMatrix),
+}
+
+impl JobMatrix {
+    fn of(matrix: MatrixRef<'_>) -> JobMatrix {
+        match matrix {
+            MatrixRef::Csr(m) => JobMatrix::Csr(m),
+            MatrixRef::Banded(m) => JobMatrix::Banded(m),
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The referent must outlive the returned borrow (guaranteed by the
+    /// dispatch handshake: the caller blocks until the worker is done).
+    unsafe fn as_ref<'a>(self) -> MatrixRef<'a> {
+        match self {
+            JobMatrix::Csr(m) => MatrixRef::Csr(&*m),
+            JobMatrix::Banded(m) => MatrixRef::Banded(&*m),
+        }
+    }
+}
 
 /// One unit of work: compute `y[rows] = (A·x)[rows]` and (optionally) the
 /// partial dot with `measure[rows]`.
@@ -40,7 +77,7 @@ use std::thread::JoinHandle;
 /// on exactly that). Each job writes only `y[rows]`, and the dispatched
 /// ranges are disjoint, so no two workers alias the same output memory.
 struct Job {
-    matrix: *const CsrMatrix,
+    matrix: JobMatrix,
     x: *const f64,
     x_len: usize,
     y: *mut f64,
@@ -139,7 +176,7 @@ impl SpmvPool {
 
     fn check_dims(
         &self,
-        matrix: &CsrMatrix,
+        matrix: MatrixRef<'_>,
         partition: &[Range<usize>],
         x: &[f64],
         y: &[f64],
@@ -183,7 +220,7 @@ impl SpmvPool {
         {
             return Err(MarkovError::InvalidArgument(format!(
                 "pool mul_vec: partition must be {} contiguous ranges covering 0..{} \
-                 (use CsrMatrix::nnz_partition(pool.threads()))",
+                 (use matrix.partition(pool.threads()))",
                 self.job_txs.len(),
                 matrix.rows()
             )));
@@ -196,7 +233,7 @@ impl SpmvPool {
     /// (0.0 for plain products), reduced in partition order.
     fn dispatch(
         &self,
-        matrix: &CsrMatrix,
+        matrix: MatrixRef<'_>,
         partition: &[Range<usize>],
         x: &[f64],
         y: &mut [f64],
@@ -207,7 +244,7 @@ impl SpmvPool {
         let y_ptr = y.as_mut_ptr();
         for (tx, rows) in self.job_txs.iter().zip(partition) {
             let job = Job {
-                matrix,
+                matrix: JobMatrix::of(matrix),
                 x: x.as_ptr(),
                 x_len: x.len(),
                 y: y_ptr,
@@ -233,7 +270,7 @@ impl SpmvPool {
     }
 
     /// `y = A·x` over the pool. `partition` must come from
-    /// [`CsrMatrix::nnz_partition`]`(pool.threads())` for this matrix (or
+    /// [`MatrixRef::partition`]`(pool.threads())` for this matrix (or
     /// any contiguous disjoint cover of the rows with one range per
     /// worker). Bit-identical to the sequential kernel.
     ///
@@ -241,13 +278,14 @@ impl SpmvPool {
     ///
     /// [`MarkovError::InvalidArgument`] on dimension or partition
     /// mismatch.
-    pub fn mul_vec(
+    pub fn mul_vec<'a>(
         &self,
-        matrix: &CsrMatrix,
+        matrix: impl Into<MatrixRef<'a>>,
         partition: &[Range<usize>],
         x: &[f64],
         y: &mut [f64],
     ) -> Result<(), MarkovError> {
+        let matrix = matrix.into();
         self.check_dims(matrix, partition, x, y, None)?;
         if self.is_sequential() {
             matrix.mul_vec_range_into(x, y, 0..matrix.rows());
@@ -266,14 +304,15 @@ impl SpmvPool {
     ///
     /// [`MarkovError::InvalidArgument`] on dimension or partition
     /// mismatch.
-    pub fn mul_vec_dot(
+    pub fn mul_vec_dot<'a>(
         &self,
-        matrix: &CsrMatrix,
+        matrix: impl Into<MatrixRef<'a>>,
         partition: &[Range<usize>],
         x: &[f64],
         y: &mut [f64],
         measure: &[f64],
     ) -> Result<f64, MarkovError> {
+        let matrix = matrix.into();
         self.check_dims(matrix, partition, x, y, Some(measure))?;
         if self.is_sequential() {
             return Ok(matrix.mul_vec_dot_range(x, y, measure, 0..matrix.rows()));
@@ -293,20 +332,15 @@ impl SpmvPool {
     ///
     /// [`MarkovError::InvalidArgument`] on dimension or partition
     /// mismatch, or when the matrix is not square.
-    pub fn mul_vec_sup(
+    pub fn mul_vec_sup<'a>(
         &self,
-        matrix: &CsrMatrix,
+        matrix: impl Into<MatrixRef<'a>>,
         partition: &[Range<usize>],
         x: &[f64],
         y: &mut [f64],
     ) -> Result<f64, MarkovError> {
-        if matrix.rows() != matrix.cols() {
-            return Err(MarkovError::InvalidArgument(format!(
-                "mul_vec_sup needs a square matrix, got {}x{}",
-                matrix.rows(),
-                matrix.cols()
-            )));
-        }
+        let matrix = matrix.into();
+        require_square(matrix, "mul_vec_sup")?;
         self.check_dims(matrix, partition, x, y, None)?;
         if self.is_sequential() {
             return Ok(matrix.mul_vec_sup_range(x, y, 0..matrix.rows()));
@@ -325,27 +359,122 @@ impl SpmvPool {
     ///
     /// [`MarkovError::InvalidArgument`] on dimension or partition
     /// mismatch, or when the matrix is not square.
-    pub fn mul_vec_dot_sup(
+    pub fn mul_vec_dot_sup<'a>(
         &self,
-        matrix: &CsrMatrix,
+        matrix: impl Into<MatrixRef<'a>>,
         partition: &[Range<usize>],
         x: &[f64],
         y: &mut [f64],
         measure: &[f64],
     ) -> Result<(f64, f64), MarkovError> {
-        if matrix.rows() != matrix.cols() {
-            return Err(MarkovError::InvalidArgument(format!(
-                "mul_vec_dot_sup needs a square matrix, got {}x{}",
-                matrix.rows(),
-                matrix.cols()
-            )));
-        }
+        let matrix = matrix.into();
+        require_square(matrix, "mul_vec_dot_sup")?;
         self.check_dims(matrix, partition, x, y, Some(measure))?;
         if self.is_sequential() {
             return Ok(matrix.mul_vec_dot_sup_range(x, y, measure, 0..matrix.rows()));
         }
         Ok(self.dispatch(matrix, partition, x, y, Some(measure), true))
     }
+
+    /// [`SpmvPool::mul_vec_sup`] restricted to the row range `window`:
+    /// only `y[window]` is written, everything else is left untouched,
+    /// and the sup-norm covers the window rows only. The window is
+    /// split evenly across the workers per call (it changes every
+    /// iteration in the active-window engine, so there is no static
+    /// partition to reuse).
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] on dimension mismatch, a window
+    /// beyond the rows, or a non-square matrix.
+    pub fn mul_vec_sup_window<'a>(
+        &self,
+        matrix: impl Into<MatrixRef<'a>>,
+        x: &[f64],
+        y: &mut [f64],
+        window: Range<usize>,
+    ) -> Result<f64, MarkovError> {
+        let matrix = matrix.into();
+        require_square(matrix, "mul_vec_sup_window")?;
+        check_window(matrix, x, y, None, &window)?;
+        if self.is_sequential() || window.len() < self.threads() {
+            return Ok(matrix.mul_vec_sup_range(x, &mut y[window.clone()], window));
+        }
+        let partition = split_evenly(window, self.threads());
+        Ok(self.dispatch(matrix, &partition, x, y, None, true).1)
+    }
+
+    /// [`SpmvPool::mul_vec_dot_sup`] restricted to the row range
+    /// `window`; see [`SpmvPool::mul_vec_sup_window`] for the window
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] on dimension mismatch, a window
+    /// beyond the rows, or a non-square matrix.
+    pub fn mul_vec_dot_sup_window<'a>(
+        &self,
+        matrix: impl Into<MatrixRef<'a>>,
+        x: &[f64],
+        y: &mut [f64],
+        measure: &[f64],
+        window: Range<usize>,
+    ) -> Result<(f64, f64), MarkovError> {
+        let matrix = matrix.into();
+        require_square(matrix, "mul_vec_dot_sup_window")?;
+        check_window(matrix, x, y, Some(measure), &window)?;
+        if self.is_sequential() || window.len() < self.threads() {
+            return Ok(matrix.mul_vec_dot_sup_range(
+                x,
+                &mut y[window.clone()],
+                &measure[window.clone()],
+                window,
+            ));
+        }
+        let partition = split_evenly(window, self.threads());
+        Ok(self.dispatch(matrix, &partition, x, y, Some(measure), true))
+    }
+}
+
+fn require_square(matrix: MatrixRef<'_>, what: &str) -> Result<(), MarkovError> {
+    if matrix.rows() != matrix.cols() {
+        return Err(MarkovError::InvalidArgument(format!(
+            "{what} needs a square matrix, got {}x{}",
+            matrix.rows(),
+            matrix.cols()
+        )));
+    }
+    Ok(())
+}
+
+fn check_window(
+    matrix: MatrixRef<'_>,
+    x: &[f64],
+    y: &[f64],
+    measure: Option<&[f64]>,
+    window: &Range<usize>,
+) -> Result<(), MarkovError> {
+    if x.len() != matrix.cols()
+        || y.len() != matrix.rows()
+        || measure.is_some_and(|m| m.len() != matrix.rows())
+    {
+        return Err(MarkovError::InvalidArgument(format!(
+            "windowed mul_vec: x has {} (need {}), y has {} (need {})",
+            x.len(),
+            matrix.cols(),
+            y.len(),
+            matrix.rows()
+        )));
+    }
+    if window.start > window.end || window.end > matrix.rows() {
+        return Err(MarkovError::InvalidArgument(format!(
+            "window {}..{} out of range for {} rows",
+            window.start,
+            window.end,
+            matrix.rows()
+        )));
+    }
+    Ok(())
 }
 
 impl Drop for SpmvPool {
@@ -366,7 +495,7 @@ fn worker_loop(index: usize, jobs: &Receiver<Job>, done: &Sender<(usize, f64, f6
         // in-flight job's range, giving exclusive access to that part of
         // `y` (an empty range yields a zero-length slice, which is fine).
         let (partial_dot, partial_sup) = unsafe {
-            let matrix = &*job.matrix;
+            let matrix = job.matrix.as_ref();
             let x = std::slice::from_raw_parts(job.x, job.x_len);
             let y_block = std::slice::from_raw_parts_mut(job.y.add(job.rows.start), job.rows.len());
             if job.measure.is_null() {
@@ -397,6 +526,7 @@ fn worker_loop(index: usize, jobs: &Receiver<Job>, done: &Sender<(usize, f64, f6
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::banded::BandedMatrix;
 
     fn banded(n: usize) -> CsrMatrix {
         let mut trip = Vec::new();
@@ -475,6 +605,91 @@ mod tests {
     }
 
     #[test]
+    fn banded_representation_matches_csr_through_the_pool() {
+        // Representation dispatch: the same products through MatrixRef
+        // views of both formats give the same output.
+        let n = 700;
+        let csr = banded(n);
+        let dia = BandedMatrix::from_csr(&csr).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.021).sin()).collect();
+        let measure: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) * 0.1).collect();
+        for threads in [1, 3, 6] {
+            let pool = SpmvPool::with_exact_threads(threads);
+            let pc = MatrixRef::from(&csr).partition(pool.threads());
+            let pb = MatrixRef::from(&dia).partition(pool.threads());
+            let mut yc = vec![0.0; n];
+            let mut yb = vec![0.0; n];
+            let (dc, sc) = pool
+                .mul_vec_dot_sup(&csr, &pc, &x, &mut yc, &measure)
+                .unwrap();
+            let (db, sb) = pool
+                .mul_vec_dot_sup(&dia, &pb, &x, &mut yb, &measure)
+                .unwrap();
+            assert_eq!(yc, yb, "threads = {threads}");
+            assert!((dc - db).abs() <= 1e-12 * dc.abs().max(1.0));
+            assert_eq!(sc, sb);
+        }
+    }
+
+    #[test]
+    fn windowed_products_touch_only_the_window() {
+        let n = 600;
+        let csr = banded(n);
+        let dia = BandedMatrix::from_csr(&csr).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.017).cos()).collect();
+        let measure: Vec<f64> = (0..n).map(|i| ((i % 4) as f64) * 0.3).collect();
+        let mut full = vec![0.0; n];
+        csr.mul_vec_into(&x, &mut full).unwrap();
+        for threads in [1, 2, 5] {
+            let pool = SpmvPool::with_exact_threads(threads);
+            for window in [0..n, 100..400, 0..3, 595..600, 50..50] {
+                let sentinel = -7.5;
+                let mut y = vec![sentinel; n];
+                let (dot, sup) = pool
+                    .mul_vec_dot_sup_window(&dia, &x, &mut y, &measure, window.clone())
+                    .unwrap();
+                let mut expect_dot = 0.0;
+                let mut expect_sup = 0.0f64;
+                for r in 0..n {
+                    if window.contains(&r) {
+                        assert_eq!(
+                            y[r], full[r],
+                            "threads {threads}, window {window:?}, row {r}"
+                        );
+                        expect_dot += measure[r] * full[r];
+                        expect_sup = expect_sup.max((full[r] - x[r]).abs());
+                    } else {
+                        assert_eq!(y[r], sentinel, "row {r} outside window must be untouched");
+                    }
+                }
+                assert!((dot - expect_dot).abs() <= 1e-12 * expect_dot.abs().max(1.0));
+                assert_eq!(sup, expect_sup);
+                // Sup-only variant agrees.
+                let mut y2 = vec![sentinel; n];
+                let sup2 = pool
+                    .mul_vec_sup_window(&dia, &x, &mut y2, window.clone())
+                    .unwrap();
+                assert_eq!(sup2, expect_sup);
+            }
+            // Bad windows are rejected.
+            let mut y = vec![0.0; n];
+            assert!(pool.mul_vec_sup_window(&dia, &x, &mut y, 0..n + 1).is_err());
+            #[allow(clippy::reversed_empty_ranges)]
+            let backwards = 10..5;
+            assert!(pool
+                .mul_vec_dot_sup_window(&dia, &x, &mut y, &measure, backwards)
+                .is_err());
+            assert!(pool
+                .mul_vec_dot_sup_window(&dia, &x[..5], &mut y, &measure, 0..n)
+                .is_err());
+            let rect = CsrMatrix::zeros(4, 8);
+            let xr = vec![0.0; 8];
+            let mut yr = vec![0.0; 4];
+            assert!(pool.mul_vec_sup_window(&rect, &xr, &mut yr, 0..4).is_err());
+        }
+    }
+
+    #[test]
     // Malformed (reversed/overshooting) ranges are the point of this test.
     #[allow(clippy::reversed_empty_ranges)]
     fn dimension_and_partition_validation() {
@@ -522,7 +737,8 @@ mod tests {
         /// The satellite property: across random banded matrices and
         /// thread counts 1–8, the nnz-partitioned pool product is
         /// bit-identical to the sequential kernel and the fused SpMV+dot
-        /// agrees with the two-pass reference to 1e-12.
+        /// agrees with the two-pass reference to 1e-12 — through both
+        /// the CSR and the DIA representation.
         #[test]
         fn pooled_and_fused_match_sequential(
             n in 64usize..320,
@@ -544,6 +760,7 @@ mod tests {
                 }
             }
             let m = CsrMatrix::from_triplets(n, n, trip).unwrap();
+            let dia = BandedMatrix::from_csr(&m).unwrap();
             let x: Vec<f64> = (0..n).map(|i| ((i as f64 + seed) * 0.37).sin()).collect();
             let measure: Vec<f64> = (0..n).map(|i| ((i as f64 - seed) * 0.11).cos()).collect();
 
@@ -595,6 +812,27 @@ mod tests {
                     (dot_s - seq_dot).abs() <= 1e-12 * seq_dot.abs().max(1.0),
                     "fused dot+sup {} vs {} at {} threads", dot_s, seq_dot, threads
                 );
+                // The DIA representation through the same pool: identical
+                // output vector, dot within reassociation tolerance, and
+                // the windowed kernel over the full window agrees too.
+                let pb = MatrixRef::from(&dia).partition(pool.threads());
+                let mut y_dia = vec![0.0; n];
+                let (dot_b, sup_b) = pool
+                    .mul_vec_dot_sup(&dia, &pb, &x, &mut y_dia, &measure)
+                    .unwrap();
+                prop_assert_eq!(&seq, &y_dia);
+                prop_assert_eq!(sup_b, seq_sup);
+                prop_assert!(
+                    (dot_b - seq_dot).abs() <= 1e-12 * seq_dot.abs().max(1.0),
+                    "dia dot {} vs {} at {} threads", dot_b, seq_dot, threads
+                );
+                let mut y_win = vec![0.0; n];
+                let (dot_w, sup_w) = pool
+                    .mul_vec_dot_sup_window(&dia, &x, &mut y_win, &measure, 0..n)
+                    .unwrap();
+                prop_assert_eq!(&seq, &y_win);
+                prop_assert_eq!(sup_w, seq_sup);
+                prop_assert!((dot_w - seq_dot).abs() <= 1e-12 * seq_dot.abs().max(1.0));
             }
         }
     }
