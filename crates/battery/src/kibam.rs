@@ -254,7 +254,7 @@ impl Kibam {
 
     /// Calibrates the flow constant `k` so that the continuous-load
     /// lifetime at `current` equals `target` (the paper fits `k` against
-    /// the experimental 0.96 A lifetime of ref. [9] this way).
+    /// the experimental 0.96 A lifetime of ref. \[9\] this way).
     ///
     /// # Errors
     ///

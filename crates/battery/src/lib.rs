@@ -8,12 +8,12 @@
 //! * [`kibam`] — the Kinetic Battery Model of Manwell & McGowan: the
 //!   two-well ODE system (paper eq. (1)), its closed-form constant-current
 //!   solution, exact depletion detection and parameter calibration;
-//! * [`modified`] — the modified KiBaM of Rao et al. (paper ref. [9]):
+//! * [`modified`] — the modified KiBaM of Rao et al. (paper ref. \[9\]):
 //!   recovery additionally scaled by the bound-charge height, evaluated
 //!   both deterministically (adaptive ODE integration) and as a
 //!   stochastic quantised-recovery process;
 //! * [`stochastic_cell`] — the discrete stochastic battery of
-//!   Chiasserini & Rao (paper ref. [6]), the Markovian precursor whose
+//!   Chiasserini & Rao (paper ref. \[6\]), the Markovian precursor whose
 //!   pulsed-discharge result motivates the whole line of work;
 //! * [`load`] — deterministic load profiles (constant, square-wave as in
 //!   Table 1/Fig. 2, arbitrary piecewise-constant);

@@ -1,4 +1,4 @@
-//! The modified Kinetic Battery Model of Rao et al. (paper ref. [9]).
+//! The modified Kinetic Battery Model of Rao et al. (paper ref. \[9\]).
 //!
 //! Rao et al. observed that the plain KiBaM cannot reproduce the
 //! frequency-dependence of measured lifetimes (Table 1 of the paper) and
@@ -26,7 +26,7 @@
 //!   with probability `h₂/C` (the modification factor), so the *expected*
 //!   drift equals the modified ODE while individual runs fluctuate.
 //!
-//! The exact construction of ref. [9] is under-specified in the DSN paper
+//! The exact construction of ref. \[9\] is under-specified in the DSN paper
 //! (whose authors report an unresolved discrepancy with it); DESIGN.md
 //! documents this substitution.
 

@@ -1,5 +1,5 @@
 //! The stochastic discrete-charge battery model of Chiasserini & Rao
-//! (paper ref. [6], "Pulsed battery discharge in communication devices").
+//! (paper ref. \[6\], "Pulsed battery discharge in communication devices").
 //!
 //! This is the model family the paper's §3 cites as the stochastic
 //! precursor of the KiBaM approach: battery charge is discretised into

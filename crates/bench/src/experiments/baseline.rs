@@ -7,7 +7,7 @@
 //! * **spmv** — ns/op medians for one `Pᵀ·v` product through each
 //!   kernel: the sequential CSR reference, the sequential banded (DIA)
 //!   kernel, the legacy spawn-per-call path
-//!   ([`CsrMatrix::mul_vec_parallel`]), the persistent worker pool
+//!   ([`markov::sparse::CsrMatrix::mul_vec_parallel`]), the persistent worker pool
 //!   ([`SpmvPool`]), and the fused SpMV+dot pool kernel.
 //! * **uniformisation** — ns/op medians for a whole
 //!   `Pr[battery empty at t]` curve through the representation/window
@@ -29,15 +29,9 @@
 //! `median_ns_per_op`, each config carries `states` and `nnz`.
 
 use super::config::Config;
-use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
-use kibamrm::model::KibamRm;
-use kibamrm::report::write_file;
-use kibamrm::workload::Workload;
+use super::{discretise_fig8 as discretise, median_ns, write_json};
 use markov::pool::SpmvPool;
 use markov::transient::{measure_curve, CurveSolution, Representation, TransientOptions};
-use std::path::PathBuf;
-use std::time::Instant;
-use units::{Charge, Current, Frequency, Rate};
 
 /// Runs the experiment.
 ///
@@ -55,49 +49,6 @@ pub fn run(cfg: &Config) -> Result<(), String> {
     let threads = cfg.threads.max(4);
     spmv_baseline(cfg, threads)?;
     uniformisation_baseline(cfg, threads)
-}
-
-fn fig8_model() -> Result<KibamRm, String> {
-    let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
-        .map_err(|e| e.to_string())?;
-    KibamRm::new(
-        w,
-        Charge::from_amp_seconds(7200.0),
-        0.625,
-        Rate::per_second(4.5e-5),
-    )
-    .map_err(|e| e.to_string())
-}
-
-fn discretise(delta: f64) -> Result<DiscretisedModel, String> {
-    let model = fig8_model()?;
-    DiscretisedModel::build(
-        &model,
-        &DiscretisationOptions::with_delta(Charge::from_amp_seconds(delta)),
-    )
-    .map_err(|e| e.to_string())
-}
-
-/// Median wall time of `reps` calls, in ns per call.
-fn median_ns(reps: usize, mut op: impl FnMut()) -> f64 {
-    // One warm-up call outside the samples.
-    op();
-    let mut samples: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            op();
-            t.elapsed().as_nanos() as f64
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    samples[samples.len() / 2]
-}
-
-fn write_json(cfg: &Config, name: &str, body: &str) -> Result<(), String> {
-    let path = PathBuf::from(&cfg.out_dir).join(name);
-    write_file(&path, body).map_err(|e| format!("writing {}: {e}", path.display()))?;
-    println!("wrote {}", path.display());
-    Ok(())
 }
 
 fn spmv_baseline(cfg: &Config, threads: usize) -> Result<(), String> {

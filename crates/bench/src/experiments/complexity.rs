@@ -7,7 +7,7 @@
 //! * on/off `c = 0.625`, `Δ = 5` → **≈ 3.2·10⁶ non-zeros**; `t = 10⁴ s` →
 //!   **> 2.3·10⁴ iterations**, `t = 2·10⁴ s` → **> 4.6·10⁴**.
 //!
-//! Chains come from [`DiscretisationSolver::discretise`] so the
+//! Chains come from [`kibamrm::solver::DiscretisationSolver::discretise`] so the
 //! accounting shares the solver facade's Δ/option plumbing.
 
 use super::config::Config;

@@ -17,6 +17,15 @@ pub struct Config {
     pub out_dir: String,
     /// Worker threads for sparse matrix–vector products.
     pub threads: usize,
+    /// Directory holding the committed `BENCH_*.json` baselines the
+    /// `regress` gate diffs against (default: the current directory,
+    /// i.e. the repository root in CI).
+    pub against: String,
+    /// Override for the tightened ε of the `regress` accuracy check
+    /// (default 1e-13). Loosening it (e.g. `--epsilon 1e-6`) makes the
+    /// engines drift past the 1e-12 bound — the supported way to verify
+    /// the gate actually fails.
+    pub epsilon: Option<f64>,
 }
 
 impl Default for Config {
@@ -28,6 +37,8 @@ impl Default for Config {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            against: ".".into(),
+            epsilon: None,
         }
     }
 }

@@ -1,0 +1,314 @@
+//! `bench-harness regress --against DIR` — the CI perf/accuracy
+//! regression gate.
+//!
+//! Re-runs the quick engine configurations and diffs them against the
+//! **committed** baselines (`BENCH_uniformisation.json`,
+//! `BENCH_sweep.json` in `--against`, default `.`), failing on:
+//!
+//! * **structure drift** — the derived chain's `states`/`nnz` no longer
+//!   match the committed config (someone changed the discretisation
+//!   without regenerating baselines);
+//! * **accuracy drift** — the banded-windowed and banded-full engines
+//!   disagree with the CSR engine by more than `1e-12` at a tightened
+//!   ε (`--epsilon`, default `1e-13`, makes the bound follow from the
+//!   engines' error budgets; loosening it is how the gate is verified
+//!   to fire);
+//! * **work growth** — any engine's `touched_entries` exceeds the
+//!   committed value by more than 10 % (shrinking is an improvement and
+//!   passes);
+//! * **planner drift** — the quick sweep grid's planned results are not
+//!   bit-identical to naive per-scenario solves (sup-distance must be
+//!   exactly 0), or the plan no longer forms the committed number of
+//!   groups.
+//!
+//! A machine-readable verdict is always written to
+//! `REGRESS_report.json` under `--out` (the CI artifact), then the run
+//! exits non-zero if any check failed. Timings are deliberately **not**
+//! gated — CI boxes are too noisy; the gate watches the
+//! machine-independent counters instead.
+
+use super::config::Config;
+use super::{discretise_fig8, sweep as sweep_experiment, write_json};
+use crate::json::Json;
+use markov::transient::{measure_curve, Representation, TransientOptions};
+use std::path::Path;
+
+/// The tolerated relative growth in `touched_entries`.
+const TOUCHED_GROWTH_LIMIT: f64 = 0.10;
+/// The accuracy-drift bound on engine sup-distances.
+const DRIFT_BOUND: f64 = 1e-12;
+/// Committed Δ configs above this state count are skipped (the gate must
+/// stay a quick smoke, not a multi-minute bench re-run).
+const MAX_GATED_STATES: usize = 50_000;
+
+struct Report {
+    checks: Vec<(String, bool, String)>,
+}
+
+impl Report {
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        println!("{} {name}: {detail}", if ok { "PASS" } else { "FAIL" });
+        self.checks.push((name.to_owned(), ok, detail));
+    }
+
+    fn failures(&self) -> Vec<&str> {
+        self.checks
+            .iter()
+            .filter(|(_, ok, _)| !ok)
+            .map(|(name, _, _)| name.as_str())
+            .collect()
+    }
+}
+
+fn load(dir: &Path, name: &str) -> Result<Json, String> {
+    let path = dir.join(name);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read committed baseline {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Runs the gate.
+///
+/// # Errors
+///
+/// A summary of the failed checks (after writing the report artifact).
+pub fn run(cfg: &Config) -> Result<(), String> {
+    let against = Path::new(&cfg.against);
+    let mut report = Report { checks: Vec::new() };
+
+    // A missing/corrupt committed baseline — or an engine erroring out
+    // mid-gate — is itself a gate failure that must still end up in the
+    // report artifact, not an early abort that leaves CI without one.
+    let uni = load(against, "BENCH_uniformisation.json")
+        .and_then(|committed| uniformisation_gate(cfg, &committed, &mut report));
+    if let Err(e) = uni {
+        report.check("uniformisation gate execution", false, e);
+    }
+    let sweep = load(against, "BENCH_sweep.json")
+        .and_then(|committed| sweep_gate(cfg, &committed, &mut report));
+    if let Err(e) = sweep {
+        report.check("sweep gate execution", false, e);
+    }
+
+    let rows: Vec<String> = report
+        .checks
+        .iter()
+        .map(|(name, ok, detail)| {
+            format!(
+                "    {{\"check\": \"{name}\", \"ok\": {ok}, \"detail\": \"{}\"}}",
+                detail.replace('\\', "\\\\").replace('"', "\\\"")
+            )
+        })
+        .collect();
+    let failures = report.failures();
+    let body = format!(
+        "{{\n  \"bench\": \"regress\",\n  \"generated_by\": \"bench-harness regress\",\n  \
+         \"against\": \"{}\",\n  \"ok\": {},\n  \"checks\": [\n{}\n  ]\n}}\n",
+        cfg.against.replace('\\', "\\\\").replace('"', "\\\""),
+        failures.is_empty(),
+        rows.join(",\n")
+    );
+    write_json(cfg, "REGRESS_report.json", &body)?;
+
+    if failures.is_empty() {
+        println!("regress: all {} checks passed", report.checks.len());
+        Ok(())
+    } else {
+        Err(format!("regression gate failed: {}", failures.join(", ")))
+    }
+}
+
+/// Re-runs the engine matrix at each committed Δ (small enough to gate)
+/// and diffs structure, accuracy and touched-entry counters.
+fn uniformisation_gate(cfg: &Config, committed: &Json, report: &mut Report) -> Result<(), String> {
+    let configs = committed
+        .get("configs")
+        .and_then(Json::as_array)
+        .ok_or("committed BENCH_uniformisation.json has no 'configs' array")?;
+    let t_query = 8000.0;
+    let tight_epsilon = cfg.epsilon.unwrap_or(1e-13);
+    for config in configs {
+        let delta = config
+            .num("delta")
+            .ok_or("committed config without 'delta'")?;
+        let committed_states = config.num("states").unwrap_or(0.0) as usize;
+        if committed_states > MAX_GATED_STATES {
+            println!(
+                "skip Δ={delta}: {committed_states} states exceeds the quick-gate \
+                 budget ({MAX_GATED_STATES})"
+            );
+            continue;
+        }
+        let disc = discretise_fig8(delta)?;
+        let stats = disc.stats();
+        report.check(
+            &format!("structure Δ={delta}"),
+            stats.states == committed_states
+                && stats.generator_nonzeros == config.num("nnz").unwrap_or(0.0) as usize,
+            format!(
+                "states {} vs committed {}, nnz {} vs {}",
+                stats.states,
+                committed_states,
+                stats.generator_nonzeros,
+                config.num("nnz").unwrap_or(0.0) as usize
+            ),
+        );
+
+        // The committed counters were produced at the baseline ε; re-run
+        // with the same settings so touched_entries are comparable.
+        let base = TransientOptions {
+            threads: cfg.threads.max(4),
+            epsilon: 1e-10,
+            ..TransientOptions::default()
+        };
+        let engines: [(&str, TransientOptions); 3] = [
+            (
+                "persistent_pool_fused",
+                TransientOptions {
+                    representation: Representation::Csr,
+                    active_window: false,
+                    ..base
+                },
+            ),
+            (
+                "banded_full",
+                TransientOptions {
+                    representation: Representation::Banded,
+                    active_window: false,
+                    ..base
+                },
+            ),
+            (
+                "banded_windowed",
+                TransientOptions {
+                    representation: Representation::Banded,
+                    active_window: true,
+                    ..base
+                },
+            ),
+        ];
+        let committed_engines = config
+            .get("engines")
+            .and_then(Json::as_array)
+            .ok_or("committed config without 'engines'")?;
+        for (name, opts) in &engines {
+            let curve = measure_curve(
+                disc.chain(),
+                disc.alpha(),
+                &[t_query],
+                disc.empty_measure(),
+                opts,
+            )
+            .map_err(|e| e.to_string())?;
+            let Some(row) = committed_engines
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+            else {
+                // Engines added after the baseline was committed have no
+                // reference yet — regenerate the baseline to gate them.
+                println!("skip engine {name} at Δ={delta}: not in the committed baseline");
+                continue;
+            };
+            let committed_touched = row.num("touched_entries").unwrap_or(0.0);
+            let fresh = curve.touched_entries as f64;
+            let growth = if committed_touched > 0.0 {
+                fresh / committed_touched - 1.0
+            } else {
+                0.0
+            };
+            report.check(
+                &format!("touched {name} Δ={delta}"),
+                growth <= TOUCHED_GROWTH_LIMIT,
+                format!(
+                    "{fresh:.0} vs committed {committed_touched:.0} ({:+.1}%)",
+                    growth * 100.0
+                ),
+            );
+        }
+
+        // Accuracy drift at a tightened ε: each engine is within ε of the
+        // true curve, so at ε = 1e-13 any sup-distance beyond 1e-12 means
+        // an engine broke, not that the budgets added up unluckily.
+        let tight = TransientOptions {
+            epsilon: tight_epsilon,
+            ..base
+        };
+        let solve = |representation, active_window| {
+            measure_curve(
+                disc.chain(),
+                disc.alpha(),
+                &[t_query],
+                disc.empty_measure(),
+                &TransientOptions {
+                    representation,
+                    active_window,
+                    ..tight
+                },
+            )
+            .map_err(|e| e.to_string())
+        };
+        let csr = solve(Representation::Csr, false)?;
+        let banded = solve(Representation::Banded, false)?;
+        let windowed = solve(Representation::Banded, true)?;
+        let full_diff = (csr.points[0].1 - banded.points[0].1).abs();
+        let window_diff = (csr.points[0].1 - windowed.points[0].1).abs();
+        report.check(
+            &format!("accuracy Δ={delta}"),
+            full_diff <= DRIFT_BOUND && window_diff <= DRIFT_BOUND,
+            format!(
+                "banded-full {full_diff:e}, banded-windowed {window_diff:e} vs CSR \
+                 at ε={tight_epsilon:e} (bound {DRIFT_BOUND:e})"
+            ),
+        );
+    }
+    Ok(())
+}
+
+/// Re-runs the quick sweep grid: bit-identity planned-vs-naive, and the
+/// plan still forms the committed number of groups.
+fn sweep_gate(_cfg: &Config, committed: &Json, report: &mut Report) -> Result<(), String> {
+    use kibamrm::solver::{SolverOptions, SolverRegistry};
+    use kibamrm::sweep::SweepPlan;
+
+    let registry = SolverRegistry::with_default_backends().with_options(SolverOptions {
+        scenario_threads: 1,
+        row_threads: 1,
+        representation: Representation::Csr,
+    });
+    let base = sweep_experiment::base_scenario()?;
+    let grid = sweep_experiment::build_grid(8, &base)?;
+    let scenarios = grid.expand().map_err(|e| e.to_string())?;
+    let plan = SweepPlan::build(&registry, &scenarios);
+    let naive = registry.sweep_naive(&scenarios);
+    let planned = registry.sweep(&scenarios);
+    let sup = sweep_experiment::sup_distance(&planned, &naive)?;
+    report.check(
+        "sweep bit-identity (8-point grid)",
+        sup == 0.0,
+        format!("planned-vs-naive sup-distance {sup:e} (must be exactly 0)"),
+    );
+
+    let committed_row = committed
+        .get("grids")
+        .and_then(Json::as_array)
+        .and_then(|grids| grids.iter().find(|g| g.num("points") == Some(8.0)));
+    match committed_row {
+        Some(row) => {
+            let committed_groups = row.num("groups").unwrap_or(0.0) as usize;
+            report.check(
+                "sweep plan shape (8-point grid)",
+                plan.groups().len() == committed_groups,
+                format!(
+                    "{} groups vs committed {committed_groups}",
+                    plan.groups().len()
+                ),
+            );
+        }
+        None => report.check(
+            "sweep plan shape (8-point grid)",
+            false,
+            "committed BENCH_sweep.json has no 8-point grid entry".into(),
+        ),
+    }
+    Ok(())
+}

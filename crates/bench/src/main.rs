@@ -16,16 +16,20 @@
 //!   calibrate   re-derive λ_burst = 182/h from P[send] = ¼
 //!   baseline    machine-readable BENCH_spmv.json / BENCH_uniformisation.json
 //!   window      active-window savings: touched entries & deficit per Δ
-//!   all         everything above
+//!   sweep       planned vs naive batched sweeps → BENCH_sweep.json
+//!   regress     CI gate: diff quick engines against committed BENCH_*.json
+//!   all         everything above except regress
 //! ```
 //!
 //! `--fast` trades fidelity for runtime (coarser Δ, fewer simulation
 //! runs); `--quick` is the CI smoke mode (tiny sizes, correctness
-//! assertions only). The default settings match the paper's parameters
-//! exactly.
+//! assertions only). `--against DIR` points `regress` at the committed
+//! baselines (default `.`); `--epsilon X` loosens/tightens its accuracy
+//! check. The default settings match the paper's parameters exactly.
 //! Results are written as CSV under `--out` (default `results/`).
 
 mod experiments;
+mod json;
 
 use experiments::config::Config;
 
@@ -48,6 +52,19 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("missing/invalid N after --threads"))
             }
+            "--against" => {
+                config.against = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing DIR after --against"))
+            }
+            "--epsilon" => {
+                config.epsilon = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&e: &f64| e > 0.0 && e < 1.0)
+                        .unwrap_or_else(|| usage("missing/invalid X after --epsilon")),
+                )
+            }
             name if experiment.is_none() && !name.starts_with('-') => {
                 experiment = Some(name.to_owned())
             }
@@ -68,8 +85,10 @@ fn main() {
         "calibrate" => experiments::calibrate::run(&config),
         "baseline" => experiments::baseline::run(&config),
         "window" => experiments::window::run(&config),
+        "sweep" => experiments::sweep::run(&config),
+        "regress" => experiments::regress::run(&config),
         "all" => {
-            let runs: [(&str, fn(&Config) -> Result<(), String>); 11] = [
+            let runs: [(&str, fn(&Config) -> Result<(), String>); 12] = [
                 ("fig2", experiments::fig2::run),
                 ("table1", experiments::table1::run),
                 ("fig7", experiments::fig7::run),
@@ -81,6 +100,7 @@ fn main() {
                 ("calibrate", experiments::calibrate::run),
                 ("baseline", experiments::baseline::run),
                 ("window", experiments::window::run),
+                ("sweep", experiments::sweep::run),
             ];
             let mut status = Ok(());
             for (name, f) in runs {
@@ -104,7 +124,8 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: bench-harness <fig2|table1|fig7|fig8|fig9|fig10|fig11|complexity|calibrate|\
-         baseline|window|all> [--fast] [--quick] [--out DIR] [--threads N]"
+         baseline|window|sweep|regress|all> [--fast] [--quick] [--out DIR] [--threads N] \
+         [--against DIR] [--epsilon X]"
     );
     std::process::exit(2);
 }

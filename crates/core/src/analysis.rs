@@ -6,7 +6,7 @@
 //! charge is a plain accumulated reward `Y(t) = ∫ I_{X(s)} ds` of a
 //! *homogeneous* MRM, and since consumption is monotone,
 //! `Pr[battery empty at t] = Pr{Y(t) ≥ C}` **exactly**. The paper uses
-//! this (uniformisation-based algorithm of Sericola, its ref. [25]) for
+//! this (uniformisation-based algorithm of Sericola, its ref. \[25\]) for
 //! the rightmost curve of Fig. 10; we bridge to the implementation in
 //! [`markov::sericola`].
 

@@ -106,6 +106,174 @@ pub struct DiscretisedModel {
     delta: f64,
 }
 
+/// The value-free description of one discretisation: dimensions, rates
+/// inputs and the transition enumeration. Both the from-scratch build and
+/// the template-based refill speak through this, so the emitted entries —
+/// and therefore the assembled values — are identical bit for bit.
+struct LatticeSpec {
+    n_workload: usize,
+    j1_levels: usize,
+    j2_levels: usize,
+    delta: f64,
+    c: f64,
+    k: f64,
+    currents: Vec<f64>,
+    workload_rates: Vec<Vec<(usize, f64)>>,
+    recovery_from_empty: bool,
+}
+
+impl LatticeSpec {
+    fn new(model: &KibamRm, opts: &DiscretisationOptions) -> Result<Self, KibamRmError> {
+        let delta = opts.delta.value();
+        if !(delta > 0.0) || !opts.delta.is_finite() {
+            return Err(KibamRmError::InvalidDiscretisation(format!(
+                "Δ must be positive, got {}",
+                opts.delta
+            )));
+        }
+        let c = model.c();
+        let capacity = model.capacity().value();
+        let j1_levels = level_count(c * capacity, delta, "available well (c·C)")?;
+        let j2_levels = level_count((1.0 - c) * capacity, delta, "bound well ((1−c)·C)")?;
+        let n_workload = model.workload().n_states();
+        Ok(LatticeSpec {
+            n_workload,
+            j1_levels,
+            j2_levels,
+            delta,
+            c,
+            k: model.k().value(),
+            currents: model.workload().currents_amps(),
+            workload_rates: (0..n_workload)
+                .map(|i| model.workload().ctmc().rates().row(i).collect())
+                .collect(),
+            recovery_from_empty: opts.recovery_from_empty,
+        })
+    }
+
+    fn n_states(&self) -> usize {
+        self.n_workload * self.j1_levels * self.j2_levels
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j1: usize, j2: usize) -> usize {
+        (j1 * self.j2_levels + j2) * self.n_workload + i
+    }
+
+    /// Enumerates every transition of the derived chain, in a fixed
+    /// deterministic order. The transition structure is pure arithmetic
+    /// on the state index, so the generator can be enumerated repeatedly:
+    /// twice for two-pass counted CSR assembly (no triplet temporary —
+    /// the Fig. 8 chain at Δ = 5 has ≈ 3.2·10⁶ entries — and no global
+    /// sort), and once more per sweep-group member to refill values
+    /// through a recorded slot permutation.
+    fn emit_all(&self, emit: &mut dyn FnMut(usize, usize, f64)) {
+        let (c, k, delta) = (self.c, self.k, self.delta);
+        // Optional paper extension (§5.2): recovery transitions out of
+        // the empty states. The device is dead there — no workload
+        // moves, no consumption — but bound charge keeps equalising.
+        if self.recovery_from_empty && k > 0.0 && self.j1_levels > 1 {
+            for j2 in 1..self.j2_levels {
+                let rate = k * (j2 as f64 / (1.0 - c));
+                for i in 0..self.n_workload {
+                    emit(self.index(i, 0, j2), self.index(i, 1, j2 - 1), rate);
+                }
+            }
+        }
+        for j1 in 1..self.j1_levels {
+            // j1 = 0 rows stay absorbing (unless recovery_from_empty).
+            for j2 in 0..self.j2_levels {
+                for i in 0..self.n_workload {
+                    let from = self.index(i, j1, j2);
+                    // 1. Workload transitions.
+                    for &(to_state, rate) in &self.workload_rates[i] {
+                        emit(from, self.index(to_state, j1, j2), rate);
+                    }
+                    // 2. Consumption of one charge quantum.
+                    if self.currents[i] > 0.0 {
+                        emit(from, self.index(i, j1 - 1, j2), self.currents[i] / delta);
+                    }
+                    // 3. Bound → available transfer.
+                    if k > 0.0 && j2 > 0 && j1 + 1 < self.j1_levels {
+                        let rate = k * (j2 as f64 / (1.0 - c) - j1 as f64 / c);
+                        if rate > 0.0 {
+                            emit(from, self.index(i, j1 + 1, j2 - 1), rate);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A 64-bit FNV-1a fingerprint of everything that determines the
+    /// derived chain's **sparsity pattern** (not its values): lattice
+    /// dimensions, the workload CTMC's transition pattern, which states
+    /// draw current, whether transfer happens at all, the
+    /// available-charge fraction `c` (whose exact value decides which
+    /// lattice cells have a positive transfer rate), and the
+    /// recovery-from-empty flag. Equal fingerprints ⇒ identical pattern,
+    /// which is what sweep plans group scenarios by.
+    fn fingerprint(&self, workload_ctmc: &Ctmc) -> u64 {
+        markov::sparse::fnv1a_u64(
+            [
+                workload_ctmc.structural_fingerprint(),
+                self.n_workload as u64,
+                self.j1_levels as u64,
+                self.j2_levels as u64,
+                self.c.to_bits(),
+                u64::from(self.k > 0.0),
+                u64::from(self.recovery_from_empty),
+            ]
+            .into_iter()
+            .chain(self.currents.iter().map(|&cur| u64::from(cur > 0.0))),
+        )
+    }
+}
+
+/// The structural fingerprint of the chain [`DiscretisedModel::build`]
+/// would derive for `model` at `opts`, computable without building it.
+/// Scenarios with equal fingerprints share their lattice sparsity pattern
+/// — the grouping key of the sweep planner.
+///
+/// # Errors
+///
+/// The same validation errors as [`DiscretisedModel::build`] (bad `Δ`).
+pub fn structural_fingerprint(
+    model: &KibamRm,
+    opts: &DiscretisationOptions,
+) -> Result<u64, KibamRmError> {
+    let spec = LatticeSpec::new(model, opts)?;
+    Ok(spec.fingerprint(model.workload().ctmc()))
+}
+
+/// The reusable structural skeleton of a derived chain: the CSR pattern
+/// (carried by the representative chain), the emit-order → CSR-slot
+/// permutation, the DIA/bandwidth metadata and the lattice dimensions.
+/// Built once per sweep-plan group from its first member
+/// ([`DiscretisedModel::template`]); every later member refills only the
+/// numeric rate values ([`DiscretisedModel::build_with_template`]) — no
+/// counting pass, no per-row sorts, no offset detection.
+#[derive(Debug, Clone)]
+pub struct DiscretisationTemplate {
+    fingerprint: u64,
+    chain: Ctmc,
+    /// For each emitted transition (in [`LatticeSpec::emit_all`] order),
+    /// the CSR slot its rate lands in.
+    slots: Vec<u32>,
+    stats: CtmcStats,
+    n_workload: usize,
+    j1_levels: usize,
+    j2_levels: usize,
+}
+
+impl DiscretisationTemplate {
+    /// The grouping key this template serves
+    /// (see [`structural_fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
 impl DiscretisedModel {
     /// Builds the derived CTMC.
     ///
@@ -116,77 +284,14 @@ impl DiscretisedModel {
     /// (within 10⁻⁶ relative); [`KibamRmError::Markov`] if assembly
     /// fails.
     pub fn build(model: &KibamRm, opts: &DiscretisationOptions) -> Result<Self, KibamRmError> {
-        let delta = opts.delta.value();
-        if !(delta > 0.0) || !opts.delta.is_finite() {
-            return Err(KibamRmError::InvalidDiscretisation(format!(
-                "Δ must be positive, got {}",
-                opts.delta
-            )));
-        }
-        let c = model.c();
-        let capacity = model.capacity().value();
-        let u1 = c * capacity;
-        let u2 = (1.0 - c) * capacity;
-        let j1_levels = level_count(u1, delta, "available well (c·C)")?;
-        let j2_levels = level_count(u2, delta, "bound well ((1−c)·C)")?;
-        let n_workload = model.workload().n_states();
-        let n_states = n_workload * j1_levels * j2_levels;
-
-        let workload_rates: Vec<Vec<(usize, f64)>> = (0..n_workload)
-            .map(|i| model.workload().ctmc().rates().row(i).collect())
-            .collect();
-        let currents = model.workload().currents_amps();
-        let k = model.k().value();
-
-        let index = |i: usize, j1: usize, j2: usize| (j1 * j2_levels + j2) * n_workload + i;
-
-        // The transition structure is pure arithmetic on the state index,
-        // so the generator can be enumerated twice for two-pass counted
-        // CSR assembly: pass 1 counts each row's entries, pass 2 scatters
-        // them straight into the final arrays. No triplet temporary (the
-        // Fig. 8 chain at Δ = 5 has ≈ 3.2·10⁶ entries), no global sort.
-        let emit_all = |emit: &mut dyn FnMut(usize, usize, f64)| {
-            // Optional paper extension (§5.2): recovery transitions out of
-            // the empty states. The device is dead there — no workload
-            // moves, no consumption — but bound charge keeps equalising.
-            if opts.recovery_from_empty && k > 0.0 && j1_levels > 1 {
-                for j2 in 1..j2_levels {
-                    let rate = k * (j2 as f64 / (1.0 - c));
-                    for i in 0..n_workload {
-                        emit(index(i, 0, j2), index(i, 1, j2 - 1), rate);
-                    }
-                }
-            }
-            for j1 in 1..j1_levels {
-                // j1 = 0 rows stay absorbing (unless recovery_from_empty).
-                for j2 in 0..j2_levels {
-                    for i in 0..n_workload {
-                        let from = index(i, j1, j2);
-                        // 1. Workload transitions.
-                        for &(to_state, rate) in &workload_rates[i] {
-                            emit(from, index(to_state, j1, j2), rate);
-                        }
-                        // 2. Consumption of one charge quantum.
-                        if currents[i] > 0.0 {
-                            emit(from, index(i, j1 - 1, j2), currents[i] / delta);
-                        }
-                        // 3. Bound → available transfer.
-                        if k > 0.0 && j2 > 0 && j1 + 1 < j1_levels {
-                            let rate = k * (j2 as f64 / (1.0 - c) - j1 as f64 / c);
-                            if rate > 0.0 {
-                                emit(from, index(i, j1 + 1, j2 - 1), rate);
-                            }
-                        }
-                    }
-                }
-            }
-        };
+        let spec = LatticeSpec::new(model, opts)?;
+        let n_states = spec.n_states();
         let mut assembler = CsrAssembler::new(n_states, n_states).map_err(KibamRmError::Markov)?;
-        emit_all(&mut |from, _to, _rate| assembler.count(from));
+        spec.emit_all(&mut |from, _to, _rate| assembler.count(from));
         let off_diagonal = assembler.counted();
         let mut filler = assembler.into_filler();
         let mut fill_err = None;
-        emit_all(&mut |from, to, rate| {
+        spec.emit_all(&mut |from, to, rate| {
             if fill_err.is_none() {
                 fill_err = filler.entry(from, to, rate).err();
             }
@@ -197,19 +302,6 @@ impl DiscretisedModel {
         let rates = filler.finish().map_err(KibamRmError::Markov)?;
         let chain = Ctmc::from_rate_matrix(rates).map_err(KibamRmError::Markov)?;
 
-        // Initial distribution: workload initial × full battery (top
-        // levels of both wells).
-        let mut alpha = vec![0.0; n_states];
-        for (i, &a) in model.workload().initial().iter().enumerate() {
-            alpha[index(i, j1_levels - 1, j2_levels - 1)] = a;
-        }
-        // The battery is empty in every state with j1 = 0.
-        let mut empty_measure = vec![0.0; n_states];
-        for j2 in 0..j2_levels {
-            for i in 0..n_workload {
-                empty_measure[index(i, 0, j2)] = 1.0;
-            }
-        }
         // Diagonal entries exist for every state with outgoing rate plus
         // nothing for absorbing rows (their diagonal is zero).
         let diagonal_nonzeros = (0..n_states).filter(|&s| chain.exit_rate(s) > 0.0).count();
@@ -221,17 +313,167 @@ impl DiscretisedModel {
             band_offsets: offsets.len(),
             bandwidth: offsets.iter().map(|o| o.unsigned_abs()).max().unwrap_or(0),
         };
-        Ok(DiscretisedModel {
+        Ok(DiscretisedModel::assemble(chain, stats, &spec, model, opts))
+    }
+
+    /// Shared tail of the build paths: initial distribution, empty
+    /// measure and the value struct.
+    fn assemble(
+        chain: Ctmc,
+        stats: CtmcStats,
+        spec: &LatticeSpec,
+        model: &KibamRm,
+        opts: &DiscretisationOptions,
+    ) -> Self {
+        let n_states = spec.n_states();
+        // Initial distribution: workload initial × full battery (top
+        // levels of both wells).
+        let mut alpha = vec![0.0; n_states];
+        for (i, &a) in model.workload().initial().iter().enumerate() {
+            alpha[spec.index(i, spec.j1_levels - 1, spec.j2_levels - 1)] = a;
+        }
+        // The battery is empty in every state with j1 = 0.
+        let mut empty_measure = vec![0.0; n_states];
+        for j2 in 0..spec.j2_levels {
+            for i in 0..spec.n_workload {
+                empty_measure[spec.index(i, 0, j2)] = 1.0;
+            }
+        }
+        DiscretisedModel {
             chain,
             alpha,
             empty_measure,
             stats,
             transient: opts.transient,
-            n_workload,
-            j1_levels,
-            j2_levels,
-            delta,
+            n_workload: spec.n_workload,
+            j1_levels: spec.j1_levels,
+            j2_levels: spec.j2_levels,
+            delta: spec.delta,
+        }
+    }
+
+    /// Extracts this model's reusable structural skeleton. `model` and
+    /// `opts` must be the pair the model was built from; the emitted
+    /// transitions are re-enumerated once to record where each rate lives
+    /// in the CSR value array.
+    ///
+    /// # Errors
+    ///
+    /// [`KibamRmError::InvalidDiscretisation`] when `model`/`opts` do not
+    /// reproduce this model's structure.
+    pub fn template(
+        &self,
+        model: &KibamRm,
+        opts: &DiscretisationOptions,
+    ) -> Result<DiscretisationTemplate, KibamRmError> {
+        let spec = LatticeSpec::new(model, opts)?;
+        let mut slots = Vec::with_capacity(self.chain.n_transitions());
+        let mut missing = None;
+        spec.emit_all(
+            &mut |from, to, _rate| match self.chain.rates().value_index(from, to) {
+                Some(slot) => slots.push(slot as u32),
+                None => missing = Some((from, to)),
+            },
+        );
+        if let Some((from, to)) = missing {
+            return Err(KibamRmError::InvalidDiscretisation(format!(
+                "template extraction: emitted transition ({from}, {to}) is not \
+                 stored in the built chain — model/opts do not match this model"
+            )));
+        }
+        if slots.len() != self.chain.n_transitions() {
+            return Err(KibamRmError::InvalidDiscretisation(format!(
+                "template extraction: {} emitted transitions but the chain \
+                 stores {}",
+                slots.len(),
+                self.chain.n_transitions()
+            )));
+        }
+        Ok(DiscretisationTemplate {
+            fingerprint: spec.fingerprint(model.workload().ctmc()),
+            chain: self.chain.clone(),
+            slots,
+            stats: self.stats,
+            n_workload: self.n_workload,
+            j1_levels: self.j1_levels,
+            j2_levels: self.j2_levels,
         })
+    }
+
+    /// Builds the derived CTMC for a model that shares `template`'s
+    /// structure ([`structural_fingerprint`] equality): only the numeric
+    /// rate values are recomputed — one enumeration pass scattered
+    /// through the recorded slot permutation into the pattern-reuse
+    /// constructor [`Ctmc::with_rate_values`]. The result is bit-identical
+    /// to [`DiscretisedModel::build`] on the same inputs (same emitted
+    /// values, same CSR layout).
+    ///
+    /// # Errors
+    ///
+    /// [`KibamRmError::InvalidDiscretisation`] when the model's structure
+    /// does not match the template (callers fall back to
+    /// [`DiscretisedModel::build`]); plus the usual validation errors.
+    pub fn build_with_template(
+        model: &KibamRm,
+        opts: &DiscretisationOptions,
+        template: &DiscretisationTemplate,
+    ) -> Result<Self, KibamRmError> {
+        let spec = LatticeSpec::new(model, opts)?;
+        if spec.fingerprint(model.workload().ctmc()) != template.fingerprint
+            || spec.n_states() != template.stats.states
+            || spec.n_workload != template.n_workload
+            || spec.j1_levels != template.j1_levels
+            || spec.j2_levels != template.j2_levels
+        {
+            return Err(KibamRmError::InvalidDiscretisation(
+                "scenario structure does not match the sweep-group template".into(),
+            ));
+        }
+        let mut values = vec![0.0; template.slots.len()];
+        let mut emitted = 0usize;
+        let mut mismatch = None;
+        let pattern = template.chain.rates();
+        spec.emit_all(&mut |from, to, rate| {
+            match template.slots.get(emitted) {
+                // The fingerprint is a 64-bit hash, not a proof: verify
+                // every emitted cell really owns its recorded slot, so a
+                // collision errors out instead of silently scattering
+                // rates into the wrong cells.
+                Some(&slot) if pattern.value_index(from, to) == Some(slot as usize) => {
+                    values[slot as usize] = rate;
+                }
+                _ => {
+                    if mismatch.is_none() {
+                        mismatch = Some((from, to));
+                    }
+                }
+            }
+            emitted += 1;
+        });
+        if let Some((from, to)) = mismatch {
+            return Err(KibamRmError::InvalidDiscretisation(format!(
+                "template refill: emitted transition ({from}, {to}) does not \
+                 match the template's pattern (fingerprint collision)"
+            )));
+        }
+        if emitted != template.slots.len() {
+            return Err(KibamRmError::InvalidDiscretisation(format!(
+                "template refill: {emitted} emitted transitions for a template \
+                 of {} slots",
+                template.slots.len()
+            )));
+        }
+        let chain = template
+            .chain
+            .with_rate_values(values)
+            .map_err(KibamRmError::Markov)?;
+        Ok(DiscretisedModel::assemble(
+            chain,
+            template.stats,
+            &spec,
+            model,
+            opts,
+        ))
     }
 
     /// The derived CTMC.
@@ -279,6 +521,31 @@ impl DiscretisedModel {
             &secs,
             &self.empty_measure,
             &self.transient,
+        )?)
+    }
+
+    /// [`DiscretisedModel::empty_probability_curve`] with an explicit
+    /// cross-solve cache — bit-identical results, but structurally
+    /// identical solves in a sweep-plan group share the worker pool, the
+    /// Fox–Glynn workspace and (for rate-rescaled families) the whole
+    /// uniformisation sweep. See [`markov::transient::CurveCache`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates uniformisation errors (bad times, Fox–Glynn failure).
+    pub fn empty_probability_curve_cached(
+        &self,
+        times: &[Time],
+        cache: &mut markov::transient::CurveCache,
+    ) -> Result<CurveSolution, KibamRmError> {
+        let secs: Vec<f64> = times.iter().map(|t| t.as_seconds()).collect();
+        Ok(markov::transient::measure_curve_cached(
+            &self.chain,
+            &self.alpha,
+            &secs,
+            &self.empty_measure,
+            &self.transient,
+            cache,
         )?)
     }
 
@@ -451,6 +718,84 @@ mod tests {
         let fine = on_off_two_well(100.0);
         assert_eq!(fine.stats().band_offsets, 4);
         assert_eq!(fine.stats().bandwidth, 2 * fine.j2_levels());
+    }
+
+    #[test]
+    fn template_refill_is_bit_identical_to_a_direct_build() {
+        let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+            .unwrap();
+        let model = |current_scale: f64, k: f64| {
+            let w2 = Workload::new(
+                w.ctmc().clone(),
+                w.currents()
+                    .iter()
+                    .map(|c| Current::from_amps(c.as_amps() * current_scale))
+                    .collect(),
+                w.initial().to_vec(),
+            )
+            .unwrap();
+            KibamRm::new(
+                w2,
+                Charge::from_amp_seconds(7200.0),
+                0.625,
+                Rate::per_second(k),
+            )
+            .unwrap()
+        };
+        let opts = DiscretisationOptions::with_delta(Charge::from_amp_seconds(300.0));
+        let base = model(1.0, 4.5e-5);
+        let built = DiscretisedModel::build(&base, &opts).unwrap();
+        let template = built.template(&base, &opts).unwrap();
+        assert_eq!(
+            template.fingerprint(),
+            structural_fingerprint(&base, &opts).unwrap()
+        );
+
+        // Same structure, different values (scaled currents and k): the
+        // refilled chain equals the direct build bit for bit.
+        for (scale, k) in [(1.0, 4.5e-5), (0.5, 4.5e-5), (2.0, 9e-5)] {
+            let member = model(scale, k);
+            let direct = DiscretisedModel::build(&member, &opts).unwrap();
+            let refilled =
+                DiscretisedModel::build_with_template(&member, &opts, &template).unwrap();
+            assert_eq!(
+                refilled.chain().rates(),
+                direct.chain().rates(),
+                "{scale}/{k}"
+            );
+            assert_eq!(refilled.alpha(), direct.alpha());
+            assert_eq!(refilled.empty_measure(), direct.empty_measure());
+            assert_eq!(refilled.stats(), direct.stats());
+            assert!(refilled
+                .chain()
+                .rates()
+                .same_pattern(template.chain.rates()));
+        }
+
+        // Structural mismatches are rejected (callers fall back to a
+        // fresh build): a different Δ changes the lattice dimensions…
+        let finer = DiscretisationOptions::with_delta(Charge::from_amp_seconds(100.0));
+        assert!(DiscretisedModel::build_with_template(&base, &finer, &template).is_err());
+        // …k = 0 removes the transfer band…
+        let no_transfer = model(1.0, 0.0);
+        assert!(DiscretisedModel::build_with_template(&no_transfer, &opts, &template).is_err());
+        // …and a zeroed current removes its consumption band.
+        let idle = model(0.0, 4.5e-5);
+        assert!(DiscretisedModel::build_with_template(&idle, &opts, &template).is_err());
+        // The fingerprints say so up front.
+        assert_ne!(
+            structural_fingerprint(&base, &opts).unwrap(),
+            structural_fingerprint(&no_transfer, &opts).unwrap()
+        );
+        assert_ne!(
+            structural_fingerprint(&base, &opts).unwrap(),
+            structural_fingerprint(&base, &finer).unwrap()
+        );
+        // Value-only variation keeps the fingerprint.
+        assert_eq!(
+            structural_fingerprint(&base, &opts).unwrap(),
+            structural_fingerprint(&model(2.0, 9e-5), &opts).unwrap()
+        );
     }
 
     #[test]

@@ -27,7 +27,12 @@
 //!    (Sericola's exact algorithm, `c = 1` only).
 //!    [`solver::SolverRegistry::auto`] selects the best applicable
 //!    backend; [`solver::SolverRegistry::sweep`] batch-solves scenario
-//!    grids across worker threads;
+//!    grids through a structure-sharing [`sweep::SweepPlan`]
+//!    (deduplication, per-group pattern reuse, shared uniformisation
+//!    sweeps for rate-rescaled families — bit-identical to independent
+//!    solves under a matching thread budget);
+//!    [`sweep::ScenarioGrid`] builds labelled cartesian
+//!    families for it, and
 //!    [`solver::SolverRegistry::cross_validate`] runs every applicable
 //!    method and reports how far apart they are.
 //! 3. **Work with the distribution.** Solvers return a
@@ -75,14 +80,16 @@ pub mod report;
 pub mod scenario;
 pub mod simulate;
 pub mod solver;
+pub mod sweep;
 pub mod workload;
 
 mod error;
 
-pub use distribution::{LifetimeDistribution, SolveDiagnostics};
+pub use distribution::{LifetimeDistribution, SolveDiagnostics, SweepEntry, SweepResultSet};
 pub use error::KibamRmError;
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use solver::{
     Capability, CrossValidation, DiscretisationSolver, LifetimeSolver, SericolaSolver,
     SimulationSolver, SolverRegistry,
 };
+pub use sweep::{ScenarioGrid, SweepPlan};

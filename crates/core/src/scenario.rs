@@ -240,6 +240,30 @@ impl Scenario {
         })
     }
 
+    /// A copy describing the same device run at `gamma×` speed: every
+    /// workload transition rate, every current and the flow constant `k`
+    /// are scaled by `gamma` (the query grid is untouched). The coupled
+    /// process is the base process on a rescaled clock, so the lifetime
+    /// CDF of the copy at `t` equals the base CDF at `γt` — and the
+    /// derived generator is exactly `γ·Q`, which is the family the sweep
+    /// planner's rate-rescale fast path collapses to a single
+    /// uniformisation sweep (bit-exactly so when `gamma` is a power of
+    /// two, since `P = I + Q/ν` is then unchanged).
+    ///
+    /// # Errors
+    ///
+    /// [`KibamRmError::InvalidWorkload`] when `gamma` is not positive and
+    /// finite; battery validation errors otherwise.
+    pub fn with_rate_scale(&self, gamma: f64) -> Result<Scenario, KibamRmError> {
+        let s = Scenario {
+            workload: self.workload.with_rate_scale(gamma)?,
+            k: Rate::per_second(self.k.as_per_second() * gamma),
+            ..self.clone()
+        };
+        s.to_model()?;
+        Ok(s)
+    }
+
     /// A copy with different simulation settings. Not validated here
     /// (see [`Scenario::with_delta`]); `runs = 0` fails at solve time
     /// with a precise error.

@@ -32,12 +32,13 @@
 //! ```
 
 use crate::analysis::exact_linear_curve;
-use crate::discretise::{DiscretisationOptions, DiscretisedModel};
+use crate::discretise::{DiscretisationOptions, DiscretisationTemplate, DiscretisedModel};
 use crate::distribution::{LifetimeDistribution, SolveDiagnostics};
 use crate::scenario::Scenario;
 use crate::simulate::lifetime_study;
+use crate::sweep::SweepPlan;
 use crate::KibamRmError;
-use markov::transient::{Representation, TransientOptions};
+use markov::transient::{CurveCache, Representation, TransientOptions};
 use std::time::Instant;
 use units::Time;
 
@@ -172,6 +173,37 @@ pub trait LifetimeSolver: Send + Sync {
         let _ = options;
         self.solve(scenario)
     }
+
+    /// A fingerprint of the solver-relevant **structure** of the
+    /// scenario: two scenarios with equal fingerprints may share
+    /// assembled artefacts (matrix patterns, workspaces, whole
+    /// uniformisation sweeps) when solved through
+    /// [`LifetimeSolver::solve_group`], and the sweep planner
+    /// ([`crate::sweep::SweepPlan`]) groups a batch by this key. `None`
+    /// (the default) opts the backend out of grouping — every scenario
+    /// solves independently.
+    fn sweep_fingerprint(&self, scenario: &Scenario) -> Option<u64> {
+        let _ = scenario;
+        None
+    }
+
+    /// Solves a group of structurally identical scenarios (equal
+    /// [`LifetimeSolver::sweep_fingerprint`]), returning one result per
+    /// scenario in order. Backends that can amortise shared structure
+    /// override this; the default solves each member independently.
+    /// Implementations must return results **bit-identical** to
+    /// [`LifetimeSolver::solve_with`] on the same options — grouping is
+    /// an optimisation, never an approximation.
+    fn solve_group(
+        &self,
+        scenarios: &[&Scenario],
+        options: &SolverOptions,
+    ) -> Vec<Result<LifetimeDistribution, KibamRmError>> {
+        scenarios
+            .iter()
+            .map(|s| self.solve_with(s, options))
+            .collect()
+    }
 }
 
 // --------------------------------------------------------------------
@@ -231,10 +263,93 @@ impl DiscretisationSolver {
     /// Propagates model and discretisation errors.
     pub fn discretise(&self, scenario: &Scenario) -> Result<DiscretisedModel, KibamRmError> {
         let model = scenario.to_model()?;
+        let opts = self.discretisation_options(scenario)?;
+        DiscretisedModel::build(&model, &opts)
+    }
+
+    fn discretisation_options(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<DiscretisationOptions, KibamRmError> {
         let mut opts = DiscretisationOptions::with_delta(scenario.effective_delta()?);
         opts.transient = self.transient;
         opts.recovery_from_empty = self.recovery_from_empty;
-        DiscretisedModel::build(&model, &opts)
+        Ok(opts)
+    }
+
+    /// One member of a sweep-plan group: discretise through the group's
+    /// shared [`DiscretisationTemplate`] (building it on the first
+    /// member) and solve through the group's [`CurveCache`]. Results are
+    /// bit-identical to [`DiscretisationSolver::solve`]; the sharing only
+    /// skips work whose outcome is provably the same bits.
+    fn solve_grouped_one(
+        &self,
+        scenario: &Scenario,
+        template: &mut Option<DiscretisationTemplate>,
+        cache: &mut CurveCache,
+    ) -> Result<LifetimeDistribution, KibamRmError> {
+        if self.recovery_from_empty {
+            return self.solve(scenario); // same refusal as the solo path
+        }
+        let started = Instant::now();
+        let model = scenario.to_model()?;
+        let opts = self.discretisation_options(scenario)?;
+        let disc = match template.as_ref() {
+            // A template mismatch (planner grouped too eagerly, or a
+            // fingerprint collision) falls back to a fresh build — the
+            // fallback also reproduces genuine validation errors.
+            Some(t) => DiscretisedModel::build_with_template(&model, &opts, t)
+                .or_else(|_| DiscretisedModel::build(&model, &opts))?,
+            None => {
+                let d = DiscretisedModel::build(&model, &opts)?;
+                *template = d.template(&model, &opts).ok();
+                d
+            }
+        };
+        let curve = disc.empty_probability_curve_cached(scenario.times(), cache)?;
+        self.distribution_from_curve(scenario, &disc, &curve, started)
+    }
+
+    /// Shared result assembly of the solo and grouped solve paths: the
+    /// curve zipped back onto the query grid plus the size/iteration
+    /// diagnostics.
+    fn distribution_from_curve(
+        &self,
+        scenario: &Scenario,
+        disc: &DiscretisedModel,
+        curve: &markov::transient::CurveSolution,
+        started: Instant,
+    ) -> Result<LifetimeDistribution, KibamRmError> {
+        let stats = disc.stats();
+        let points = scenario
+            .times()
+            .iter()
+            .zip(&curve.points)
+            .map(|(&t, &(_, p))| (t, p))
+            .collect();
+        LifetimeDistribution::new(
+            self.name(),
+            points,
+            SolveDiagnostics {
+                states: Some(stats.states),
+                generator_nonzeros: Some(stats.generator_nonzeros),
+                iterations: Some(curve.iterations),
+                delta: Some(scenario.effective_delta()?),
+                runs: None,
+                wall_seconds: started.elapsed().as_secs_f64(),
+            },
+        )
+    }
+
+    /// The solver with a sweep-level thread budget applied, mirroring
+    /// what [`LifetimeSolver::solve_with`] does before solving.
+    fn with_budget(&self, options: &SolverOptions) -> DiscretisationSolver {
+        let mut solver = self.clone();
+        solver.transient.threads = solver.transient.threads.min(options.row_threads.max(1));
+        if options.representation != Representation::Auto {
+            solver.transient.representation = options.representation;
+        }
+        solver
     }
 }
 
@@ -259,25 +374,7 @@ impl LifetimeSolver for DiscretisationSolver {
         let started = Instant::now();
         let disc = self.discretise(scenario)?;
         let curve = disc.empty_probability_curve(scenario.times())?;
-        let stats = disc.stats();
-        let points = scenario
-            .times()
-            .iter()
-            .zip(&curve.points)
-            .map(|(&t, &(_, p))| (t, p))
-            .collect();
-        LifetimeDistribution::new(
-            self.name(),
-            points,
-            SolveDiagnostics {
-                states: Some(stats.states),
-                generator_nonzeros: Some(stats.generator_nonzeros),
-                iterations: Some(curve.iterations),
-                delta: Some(scenario.effective_delta()?),
-                runs: None,
-                wall_seconds: started.elapsed().as_secs_f64(),
-            },
-        )
+        self.distribution_from_curve(scenario, &disc, &curve, started)
     }
 
     fn solve_with(
@@ -291,12 +388,37 @@ impl LifetimeSolver for DiscretisationSolver {
         // this solver was explicitly configured with. An explicit
         // (non-Auto) representation in the budget overrides the
         // backend's; Auto leaves the backend's own choice in place.
-        let mut solver = self.clone();
-        solver.transient.threads = solver.transient.threads.min(options.row_threads.max(1));
-        if options.representation != Representation::Auto {
-            solver.transient.representation = options.representation;
+        self.with_budget(options).solve(scenario)
+    }
+
+    fn sweep_fingerprint(&self, scenario: &Scenario) -> Option<u64> {
+        if self.recovery_from_empty {
+            // solve() refuses this configuration; don't group refusals.
+            return None;
         }
-        solver.solve(scenario)
+        let model = scenario.to_model().ok()?;
+        let opts = self.discretisation_options(scenario).ok()?;
+        crate::discretise::structural_fingerprint(&model, &opts).ok()
+    }
+
+    fn solve_group(
+        &self,
+        scenarios: &[&Scenario],
+        options: &SolverOptions,
+    ) -> Vec<Result<LifetimeDistribution, KibamRmError>> {
+        // One budget application, one template, one curve cache for the
+        // whole group: the banded pattern, DIA offsets, state labels and
+        // Fox–Glynn workspace are assembled on the first member; later
+        // members refill numeric values, and rate-rescaled members reuse
+        // the whole uniformisation sweep (see
+        // [`markov::transient::CurveCache`]).
+        let solver = self.with_budget(options);
+        let mut template = None;
+        let mut cache = CurveCache::new();
+        scenarios
+            .iter()
+            .map(|s| solver.solve_grouped_one(s, &mut template, &mut cache))
+            .collect()
     }
 }
 
@@ -529,20 +651,26 @@ impl SolverRegistry {
     /// [`KibamRmError::InvalidWorkload`] when no backend supports the
     /// scenario; the message collects each backend's refusal reason.
     pub fn auto(&self, scenario: &Scenario) -> Result<&dyn LifetimeSolver, KibamRmError> {
-        let mut best: Option<(&dyn LifetimeSolver, u8)> = None;
+        self.auto_index(scenario).map(|i| self.solvers[i].as_ref())
+    }
+
+    /// [`SolverRegistry::auto`] returning the backend's registry index —
+    /// what the sweep planner keys its groups by.
+    pub(crate) fn auto_index(&self, scenario: &Scenario) -> Result<usize, KibamRmError> {
+        let mut best: Option<(usize, u8)> = None;
         let mut reasons = Vec::new();
-        for solver in self.solvers() {
+        for (i, solver) in self.solvers().enumerate() {
             match solver.capability(scenario) {
                 Capability::Unsupported(why) => reasons.push(format!("{}: {why}", solver.name())),
                 cap => {
                     let rank = cap.rank();
                     if best.is_none_or(|(_, r)| rank > r) {
-                        best = Some((solver, rank));
+                        best = Some((i, rank));
                     }
                 }
             }
         }
-        best.map(|(s, _)| s).ok_or_else(|| {
+        best.map(|(i, _)| i).ok_or_else(|| {
             KibamRmError::InvalidWorkload(format!(
                 "no registered solver supports scenario '{}': {}",
                 scenario.name(),
@@ -555,6 +683,11 @@ impl SolverRegistry {
         })
     }
 
+    /// The backend at registry index `i` (sweep-plan execution).
+    pub(crate) fn solver_at(&self, i: usize) -> &dyn LifetimeSolver {
+        self.solvers[i].as_ref()
+    }
+
     /// Auto-selects a backend and solves.
     ///
     /// # Errors
@@ -565,9 +698,20 @@ impl SolverRegistry {
         self.auto(scenario)?.solve_with(scenario, &self.options)
     }
 
-    /// Solves a whole scenario grid, auto-selecting per scenario and
-    /// fanning the work out over the registry's scenario-thread budget.
-    /// Results come back in input order; per-scenario failures do not
+    /// Solves a whole scenario grid through a structure-sharing
+    /// [`SweepPlan`]: byte-identical scenarios are deduplicated (one
+    /// solve, one result **per input slot**), structurally identical
+    /// scenarios are grouped so each group assembles its lattice pattern,
+    /// DIA offsets and Fox–Glynn workspace once (and rate-rescaled
+    /// families share a single uniformisation sweep), and the groups fan
+    /// out over the registry's scenario-thread budget. Results come back
+    /// in input order, **bit-identical** to solving each scenario
+    /// independently under the same per-solve thread budget (the cached
+    /// fast paths are exact; only a *different* effective row-worker
+    /// count can move last bits, because the fused-dot reduction order
+    /// follows the worker count — with `row_threads = 1`, or chains
+    /// below the parallel-SpMV threshold, planned and independent solves
+    /// agree bit for bit unconditionally); per-scenario failures do not
     /// abort the batch.
     pub fn sweep(&self, scenarios: &[Scenario]) -> Vec<Result<LifetimeDistribution, KibamRmError>> {
         self.sweep_with_threads(scenarios, self.options.scenario_threads)
@@ -575,11 +719,37 @@ impl SolverRegistry {
 
     /// [`SolverRegistry::sweep`] with an explicit worker count.
     ///
+    /// The plan's groups are striped across the workers, and the
+    /// registry's row-thread budget is divided by the active worker
+    /// count, so scenario-level and row-level parallelism compose
+    /// without oversubscribing the machine.
+    pub fn sweep_with_threads(
+        &self,
+        scenarios: &[Scenario],
+        threads: usize,
+    ) -> Vec<Result<LifetimeDistribution, KibamRmError>> {
+        let plan = SweepPlan::build(self, scenarios);
+        self.execute_plan(&plan, scenarios, threads)
+    }
+
+    /// The pre-planner per-scenario sweep: auto-select and solve every
+    /// scenario independently, with no deduplication and no structure
+    /// sharing. Kept as the reference baseline the planner is benchmarked
+    /// (and property-tested) against.
+    pub fn sweep_naive(
+        &self,
+        scenarios: &[Scenario],
+    ) -> Vec<Result<LifetimeDistribution, KibamRmError>> {
+        self.sweep_naive_with_threads(scenarios, self.options.scenario_threads)
+    }
+
+    /// [`SolverRegistry::sweep_naive`] with an explicit worker count.
+    ///
     /// Each worker owns a disjoint slice of the result vector (no result
     /// mutex), and the registry's row-thread budget is divided by the
     /// active worker count, so scenario-level and row-level parallelism
     /// compose without oversubscribing the machine.
-    pub fn sweep_with_threads(
+    pub fn sweep_naive_with_threads(
         &self,
         scenarios: &[Scenario],
         threads: usize,
@@ -621,6 +791,112 @@ impl SolverRegistry {
         results
             .into_iter()
             .map(|r| r.expect("every chunk filled"))
+            .collect()
+    }
+
+    /// Expands a [`crate::sweep::ScenarioGrid`] and solves it through the
+    /// planned sweep, returning the labelled result set.
+    ///
+    /// # Errors
+    ///
+    /// Grid expansion errors (invalid axis values); per-point solve
+    /// failures are reported inside the result set instead.
+    pub fn sweep_grid(
+        &self,
+        grid: &crate::sweep::ScenarioGrid,
+    ) -> Result<crate::distribution::SweepResultSet, KibamRmError> {
+        let scenarios = grid.expand()?;
+        let labels = scenarios.iter().map(|s| s.name().to_owned()).collect();
+        let results = self.sweep(&scenarios);
+        crate::distribution::SweepResultSet::new(labels, results)
+    }
+
+    /// Runs an already-built plan over `scenarios` (the slice the plan
+    /// was built from) with `threads` sweep workers.
+    fn execute_plan(
+        &self,
+        plan: &SweepPlan,
+        scenarios: &[Scenario],
+        threads: usize,
+    ) -> Vec<Result<LifetimeDistribution, KibamRmError>> {
+        let groups = plan.groups();
+        let workers = threads.max(1).min(groups.len().max(1));
+        let per_solve = SolverOptions {
+            row_threads: self.options.row_threads_per_solve(workers),
+            ..self.options
+        };
+        let run_group =
+            |group: &crate::sweep::PlanGroup| -> Vec<(usize, Result<LifetimeDistribution, KibamRmError>)> {
+                let solver = self.solver_at(group.solver_index());
+                let members: Vec<&Scenario> =
+                    group.members().iter().map(|&i| &scenarios[i]).collect();
+                let mut results = if members.len() == 1 {
+                    vec![solver.solve_with(members[0], &per_solve)]
+                } else {
+                    solver.solve_group(&members, &per_solve)
+                };
+                // A malformed backend returning the wrong count must not
+                // poison unrelated slots.
+                while results.len() < members.len() {
+                    results.push(Err(KibamRmError::InvalidWorkload(format!(
+                        "backend '{}' returned {} results for a group of {}",
+                        solver.name(),
+                        results.len(),
+                        members.len()
+                    ))));
+                }
+                results.truncate(members.len());
+                group.members().iter().copied().zip(results).collect()
+            };
+
+        let mut results: Vec<Option<Result<LifetimeDistribution, KibamRmError>>> =
+            (0..scenarios.len()).map(|_| None).collect();
+        if workers <= 1 || groups.len() <= 1 {
+            for group in groups {
+                for (i, r) in run_group(group) {
+                    results[i] = Some(r);
+                }
+            }
+        } else {
+            // Groups are striped across workers (group k → worker
+            // k mod workers): cheap static balancing that spreads a
+            // cost-sorted grid's expensive groups over all workers.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let run_group = &run_group;
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            for group in groups.iter().skip(w).step_by(workers) {
+                                out.extend(run_group(group));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (i, r) in handle.join().expect("sweep worker panicked") {
+                        results[i] = Some(r);
+                    }
+                }
+            });
+        }
+        // Duplicates copy their canonical slot's result; unsupported
+        // scenarios report the selection error. Canonical slots always
+        // precede their duplicates, so one ascending pass settles both.
+        for i in 0..scenarios.len() {
+            match plan.slot(i) {
+                crate::sweep::PlanSlot::Grouped => {}
+                crate::sweep::PlanSlot::Unsupported(e) => results[i] = Some(Err(e.clone())),
+                crate::sweep::PlanSlot::DuplicateOf(j) => {
+                    let r = results[*j].clone().expect("canonical slot filled first");
+                    results[i] = Some(r);
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
             .collect()
     }
 

@@ -282,6 +282,45 @@ impl Workload {
         Workload::new(ctmc, vec![Current::ZERO, idle, idle, send, send], initial)
     }
 
+    /// The workload with every transition rate **and** every current
+    /// scaled by `gamma` — one axis of a time-rescaled scenario family:
+    /// together with scaling the battery's flow constant `k`
+    /// ([`crate::scenario::Scenario::with_rate_scale`]), the coupled
+    /// model becomes the base process run at `gamma×` speed, so its
+    /// derived generator is exactly `γ·Q`. The CTMC's transition
+    /// *pattern* (and labels) are preserved through the pattern-reuse
+    /// constructor [`markov::ctmc::Ctmc::with_rate_values`], which keeps
+    /// the whole family in one sweep-plan group.
+    ///
+    /// # Errors
+    ///
+    /// [`KibamRmError::InvalidWorkload`] when `gamma` is not positive and
+    /// finite.
+    pub fn with_rate_scale(&self, gamma: f64) -> Result<Workload, KibamRmError> {
+        if !(gamma > 0.0) || !gamma.is_finite() {
+            return Err(KibamRmError::InvalidWorkload(format!(
+                "rate scale must be positive and finite, got {gamma}"
+            )));
+        }
+        let values: Vec<f64> = self
+            .ctmc
+            .rates()
+            .values()
+            .iter()
+            .map(|&r| r * gamma)
+            .collect();
+        let ctmc = self
+            .ctmc
+            .with_rate_values(values)
+            .map_err(|e| KibamRmError::InvalidWorkload(e.to_string()))?;
+        let currents = self
+            .currents
+            .iter()
+            .map(|c| Current::from_amps(c.as_amps() * gamma))
+            .collect();
+        Workload::new(ctmc, currents, self.initial.clone())
+    }
+
     /// Indices of the sending states (current = the maximal current), for
     /// steady-state comparisons between models.
     pub fn send_states(&self) -> Vec<usize> {

@@ -193,6 +193,48 @@ impl Ctmc {
         })
     }
 
+    /// Pattern-reuse constructor: a chain with this chain's transition
+    /// **pattern** (same state count, same `(from, to)` pairs in the same
+    /// CSR order) and new rate `values`. Exit rates are recomputed in one
+    /// `O(nnz)` pass; labels carry over; the structural arrays are shared
+    /// by clone — no assembly, no sort, no self-loop re-scan (the pattern
+    /// was validated when this chain was built). Sweep planners key calls
+    /// to this on [`Ctmc::structural_fingerprint`].
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] when `values.len()` differs from
+    /// [`Ctmc::n_transitions`] or a value is non-finite;
+    /// [`MarkovError::InvalidRate`] for a negative rate.
+    pub fn with_rate_values(&self, values: Vec<f64>) -> Result<Ctmc, MarkovError> {
+        let rates = self.rates.with_values(values)?;
+        for (i, j, r) in rates.iter() {
+            if r < 0.0 {
+                return Err(MarkovError::InvalidRate {
+                    from: i,
+                    to: j,
+                    rate: r,
+                });
+            }
+        }
+        let exit = rates.row_sums();
+        Ok(Ctmc {
+            n: self.n,
+            rates,
+            exit,
+            labels: self.labels.clone(),
+        })
+    }
+
+    /// A 64-bit fingerprint of the chain's transition **structure** (the
+    /// rate matrix's sparsity pattern; values excluded). Chains with equal
+    /// fingerprints can share every pattern-derived artefact — CSR
+    /// layout, DIA offsets, active-window growth bounds — which is what
+    /// the sweep planner groups scenarios by.
+    pub fn structural_fingerprint(&self) -> u64 {
+        self.rates.pattern_fingerprint()
+    }
+
     /// Number of states.
     #[inline]
     pub fn n_states(&self) -> usize {
@@ -383,6 +425,38 @@ impl Ctmc {
                 Ok((BandedMatrix::from_csr(&pt)?, nu))
             }
         }
+    }
+
+    /// [`Ctmc::uniformised_transposed_banded`] with the diagonal offsets
+    /// supplied by the caller — the pattern-reuse fast path for sweep
+    /// plans: the offsets were detected once on a structurally identical
+    /// chain (equal [`Ctmc::structural_fingerprint`]) and every later
+    /// member emits its `Pᵀ` straight onto them, skipping detection and
+    /// the profitability probe. A structural mismatch (an entry on a
+    /// missing diagonal) is an error; callers fall back to
+    /// [`Ctmc::uniformised_transposed_auto`].
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] when `factor < 1` or the offsets
+    /// do not cover this chain's transposed pattern.
+    pub fn uniformised_transposed_banded_with_offsets(
+        &self,
+        factor: f64,
+        offsets: &[isize],
+    ) -> Result<(BandedMatrix, f64), MarkovError> {
+        let (nu, stay) = self.uniformisation_diagonal(factor)?;
+        if nu == 0.0 {
+            let (eye, _) = self.uniformised_transposed(factor)?;
+            return Ok((BandedMatrix::from_csr(&eye)?, 0.0));
+        }
+        let banded = BandedMatrix::transposed_scaled_add_diag_with_offsets(
+            &self.rates,
+            1.0 / nu,
+            &stay,
+            offsets,
+        )?;
+        Ok((banded, nu))
     }
 
     /// Shared uniformisation setup: validates `factor`, computes ν and
@@ -664,6 +738,29 @@ mod tests {
             Ctmc::from_rate_matrix(CsrMatrix::zeros(0, 0)),
             Err(MarkovError::EmptyChain)
         ));
+    }
+
+    #[test]
+    fn with_rate_values_reuses_the_pattern() {
+        let c = two_state();
+        let scaled = c.with_rate_values(vec![4.0, 6.0]).unwrap();
+        assert_eq!(scaled.rates().get(0, 1), 4.0);
+        assert_eq!(scaled.rates().get(1, 0), 6.0);
+        assert_eq!(scaled.exit_rate(0), 4.0);
+        assert_eq!(scaled.exit_rate(1), 6.0);
+        // Labels and the structural fingerprint carry over.
+        assert_eq!(scaled.state_label(0), "on");
+        assert_eq!(c.structural_fingerprint(), scaled.structural_fingerprint());
+        assert!(c.rates().same_pattern(scaled.rates()));
+        // Validation still applies to the new values.
+        assert!(c.with_rate_values(vec![1.0]).is_err());
+        assert!(c.with_rate_values(vec![-1.0, 2.0]).is_err());
+        assert!(c.with_rate_values(vec![f64::INFINITY, 2.0]).is_err());
+        // A structurally different chain fingerprints differently.
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 2.0).unwrap();
+        let one_way = b.build().unwrap();
+        assert_ne!(c.structural_fingerprint(), one_way.structural_fingerprint());
     }
 
     #[test]

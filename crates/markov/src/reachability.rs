@@ -1,8 +1,8 @@
 //! Time-bounded reachability for CTMCs.
 //!
 //! `Pr[reach B within t]` is the workhorse query of CSRL model checking —
-//! the line of work this paper's algorithm grew out of (its refs. [15],
-//! [16]) — and the battery-lifetime distribution itself is exactly such a
+//! the line of work this paper's algorithm grew out of (its refs. \[15\],
+//! \[16\]) — and the battery-lifetime distribution itself is exactly such a
 //! query on the derived chain (`B` = the battery-empty states). This
 //! module exposes the standard reduction for *any* CTMC and target set:
 //! make `B` absorbing, then the transient probability of sitting in `B`

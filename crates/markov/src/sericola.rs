@@ -4,7 +4,7 @@
 //! This is the uniformisation-based algorithm of B. Sericola ("Occupation
 //! times in Markov processes", *Stochastic Models* 16(5), 2000; also
 //! Nabli & Sericola, *IEEE Trans. Computers* 45(4), 1996), which the paper
-//! cites as [25] and uses for the exact `C = 800 mAh, c = 1` lifetime
+//! cites as \[25\] and uses for the exact `C = 800 mAh, c = 1` lifetime
 //! curve in Fig. 10.
 //!
 //! # How it works

@@ -16,6 +16,23 @@ use std::ops::Range;
 /// path and the benchmark metadata cannot drift apart.
 pub const PARALLEL_SPMV_MIN_ROWS: usize = 4096;
 
+/// 64-bit FNV-1a over a sequence of `u64` words — the one hash fold
+/// behind every structural fingerprint in the workspace
+/// ([`CsrMatrix::pattern_fingerprint`], the discretiser's lattice
+/// fingerprint), so widening or swapping the hash is a single change.
+pub fn fnv1a_u64(words: impl IntoIterator<Item = u64>) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
 /// A sparse `rows × cols` matrix in compressed-sparse-row format.
 ///
 /// Built from `(row, col, value)` triplets; duplicate entries are summed
@@ -142,6 +159,21 @@ impl CsrMatrix {
             .iter()
             .zip(&self.values[lo..hi])
             .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// The position of entry `(r, c)` within [`CsrMatrix::values`], when
+    /// stored. This is the slot a pattern-reuse refill
+    /// ([`CsrMatrix::with_values`]) writes the cell's new value to.
+    pub fn value_index(&self, r: usize, c: usize) -> Option<usize> {
+        if r >= self.rows || c >= self.cols {
+            return None;
+        }
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .binary_search(&(c as u32))
+            .ok()
+            .map(|pos| lo + pos)
     }
 
     /// Looks up entry `(r, c)` (zero when absent).
@@ -643,6 +675,70 @@ impl CsrMatrix {
         }
     }
 
+    /// The stored values in CSR order (row-major, columns increasing
+    /// within each row) — the numeric half that pattern-sharing sweep
+    /// plans re-solve per member while the structure stays fixed.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the **sparsity pattern** only:
+    /// dimensions, row extents and column indices — not the values. Two
+    /// matrices with different fingerprints never share a pattern; equal
+    /// fingerprints make [`CsrMatrix::same_pattern`] worth the exact
+    /// check. Sweep planners key their pattern-reuse caches on this.
+    pub fn pattern_fingerprint(&self) -> u64 {
+        fnv1a_u64(
+            [self.rows as u64, self.cols as u64]
+                .into_iter()
+                .chain(self.row_ptr.iter().map(|&p| p as u64))
+                .chain(self.col_idx.iter().map(|&c| u64::from(c))),
+        )
+    }
+
+    /// Whether `other` stores exactly the same sparsity pattern
+    /// (dimensions, row extents, column indices) — the certain companion
+    /// of [`CsrMatrix::pattern_fingerprint`].
+    pub fn same_pattern(&self, other: &CsrMatrix) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+    }
+
+    /// Pattern-reuse constructor: a matrix with this matrix's sparsity
+    /// pattern and new `values` (in CSR order, as laid out by
+    /// [`CsrMatrix::values`]). The structural arrays are shared by clone;
+    /// no counting pass, no per-row sort, no column validation is
+    /// repeated.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidArgument`] when `values.len() != nnz()` or a
+    /// value is not finite.
+    pub fn with_values(&self, values: Vec<f64>) -> Result<CsrMatrix, MarkovError> {
+        if values.len() != self.values.len() {
+            return Err(MarkovError::InvalidArgument(format!(
+                "with_values: {} values for a pattern of {} entries",
+                values.len(),
+                self.values.len()
+            )));
+        }
+        if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
+            return Err(MarkovError::InvalidArgument(format!(
+                "with_values: value {bad} is not finite"
+            )));
+        }
+        Ok(CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values,
+        })
+    }
+
     /// Iterates over all `(row, col, value)` entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.rows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
@@ -1069,6 +1165,34 @@ mod tests {
     }
 
     #[test]
+    fn pattern_reuse_constructor_validates_and_shares_structure() {
+        let m =
+            CsrMatrix::from_triplets(3, 3, vec![(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)]).unwrap();
+        assert_eq!(m.values(), &[2.0, 3.0, 4.0]);
+        let swapped = m.with_values(vec![5.0, 6.0, 7.0]).unwrap();
+        assert!(m.same_pattern(&swapped));
+        assert_eq!(m.pattern_fingerprint(), swapped.pattern_fingerprint());
+        assert_eq!(swapped.get(0, 1), 5.0);
+        assert_eq!(swapped.get(2, 0), 7.0);
+        // Wrong length and non-finite values are rejected.
+        assert!(m.with_values(vec![1.0]).is_err());
+        assert!(m.with_values(vec![1.0, f64::NAN, 2.0]).is_err());
+        // A different pattern fingerprints differently and fails the
+        // exact check, even at equal nnz.
+        let other =
+            CsrMatrix::from_triplets(3, 3, vec![(0, 2, 2.0), (1, 2, 3.0), (2, 0, 4.0)]).unwrap();
+        assert!(!m.same_pattern(&other));
+        assert_ne!(m.pattern_fingerprint(), other.pattern_fingerprint());
+        // Dimensions are part of the pattern.
+        let wide = CsrMatrix::zeros(3, 4);
+        assert!(!CsrMatrix::zeros(3, 3).same_pattern(&wide));
+        assert_ne!(
+            CsrMatrix::zeros(3, 3).pattern_fingerprint(),
+            wide.pattern_fingerprint()
+        );
+    }
+
+    #[test]
     fn iter_yields_all_entries() {
         let m = sample();
         let entries: Vec<_> = m.iter().collect();
@@ -1119,6 +1243,21 @@ mod tests {
             let asx = m.mul_vec(&sx).unwrap();
             for i in 0..8 {
                 prop_assert!((asx[i] - s * ax[i]).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn with_values_round_trips_under_any_pattern(
+            trip in proptest::collection::vec((0usize..6, 0usize..6, 0.1f64..5.0), 1..20),
+        ) {
+            let mut seen = std::collections::HashSet::new();
+            let trip: Vec<_> = trip.into_iter().filter(|&(r, c, _)| seen.insert((r, c))).collect();
+            let m = CsrMatrix::from_triplets(6, 6, trip).unwrap();
+            let doubled = m.with_values(m.values().iter().map(|v| v * 2.0).collect()).unwrap();
+            prop_assert!(m.same_pattern(&doubled));
+            prop_assert_eq!(m.pattern_fingerprint(), doubled.pattern_fingerprint());
+            for (r, c, v) in m.iter() {
+                prop_assert_eq!(doubled.get(r, c), 2.0 * v);
             }
         }
 

@@ -319,6 +319,132 @@ pub fn measure_curve(
     measure: &[f64],
     opts: &TransientOptions,
 ) -> Result<CurveSolution, MarkovError> {
+    measure_curve_cached(ctmc, alpha, times, measure, opts, &mut CurveCache::new())
+}
+
+/// Cross-solve cache for [`measure_curve_cached`]: what a sweep-plan
+/// group shares between structurally identical solves.
+///
+/// Three layers, reused under progressively stronger conditions:
+///
+/// 1. **Workspaces** — the Fox–Glynn buffers and the SpMV worker pool
+///    survive across solves whenever the state-space size and thread
+///    budget match (always true within a plan group), so a group spawns
+///    its workers once, not once per member.
+/// 2. **The pattern** — when the cached iteration matrix is banded, its
+///    diagonal offsets seed
+///    [`BandedMatrix::transposed_scaled_add_diag_with_offsets`](crate::banded::BandedMatrix::transposed_scaled_add_diag_with_offsets),
+///    so later members emit `Pᵀ` without re-detecting the lattice
+///    structure.
+/// 3. **The iterate scalars** `s_n = m·(αPⁿ)` — the expensive part, and
+///    reused only when bitwise identity with an independent solve is
+///    provable: the member's `Pᵀ` must equal the cached one bit for bit
+///    (true across rate-rescaled scenario families, `Q' = γQ` with `γ` a
+///    power of two, since `P = I + Q/ν` is then unchanged), `α`, the
+///    measure and the [`TransientOptions`] must match, and either the
+///    active window is off (the iterates never depend on the horizon) or
+///    ν and the largest time agree too (the window's per-iteration trim
+///    allowance is horizon-dependent). A member needing a larger Poisson
+///    right point **extends** the cached sweep from the stored last
+///    iterate instead of restarting it, so a whole rescale family costs
+///    one sweep to the family's largest `ν·t` plus a Poisson remix per
+///    member.
+///
+/// Reused members report only the matrix products *this call* performed
+/// in `iterations`/`touched_entries` (zero for a pure remix) and inherit
+/// the group sweep's `window_deficit`.
+#[derive(Debug, Default)]
+pub struct CurveCache {
+    state: Option<CacheState>,
+    fg: FoxGlynnCache,
+    pool: Option<SpmvPool>,
+    last_shared: bool,
+}
+
+/// The cached sweep itself (everything keyed by the reuse conditions).
+#[derive(Debug)]
+struct CacheState {
+    opts: TransientOptions,
+    /// Structural fingerprint of the source chain `pt` was built from —
+    /// the key gating offset reuse across cache entries.
+    source_fp: u64,
+    pt: TransitionMatrix,
+    nu: f64,
+    t_max: f64,
+    alpha: Vec<f64>,
+    measure: Vec<f64>,
+    /// `s[n] = measure · (alpha Pⁿ)` for `n = 0..=iterations`.
+    s: Vec<f64>,
+    /// The iterate `alpha P^{iterations}`, kept so a later member with a
+    /// larger right truncation point can continue the sweep.
+    v: Vec<f64>,
+    converged_at: Option<usize>,
+    window_deficit: f64,
+}
+
+impl CurveCache {
+    /// An empty cache; everything is built on the first solve.
+    pub fn new() -> Self {
+        CurveCache::default()
+    }
+
+    /// Whether the last [`measure_curve_cached`] call reused the cached
+    /// iterate scalars (possibly extending them) instead of running its
+    /// own sweep from scratch — the sweep planner's fast-path telemetry.
+    pub fn last_solve_shared(&self) -> bool {
+        self.last_shared
+    }
+}
+
+/// Builds the member's `Pᵀ`, seeding banded construction with the cached
+/// offsets when the cache was built under the same options **for the
+/// same chain structure** (`Ctmc::structural_fingerprint` equality — a
+/// chain with a different pattern could scatter onto a superset of the
+/// cached offsets and end up on a different representation/window
+/// schedule than an independent `Auto` probe would pick); falls back to
+/// the generic path on any mismatch.
+fn build_transposed_cached(
+    ctmc: &Ctmc,
+    member_fp: u64,
+    opts: &TransientOptions,
+    cache: &CurveCache,
+) -> Result<(TransitionMatrix, f64), MarkovError> {
+    if let Some(state) = &cache.state {
+        if state.opts == *opts
+            && state.source_fp == member_fp
+            && opts.representation != Representation::Csr
+        {
+            if let TransitionMatrix::Banded(band) = &state.pt {
+                if let Ok((m, nu)) = ctmc.uniformised_transposed_banded_with_offsets(
+                    opts.uniformisation_factor,
+                    band.offsets(),
+                ) {
+                    if nu > 0.0 {
+                        return Ok((TransitionMatrix::Banded(m), nu));
+                    }
+                }
+            }
+        }
+    }
+    build_transposed(ctmc, opts)
+}
+
+/// [`measure_curve`] with an explicit cross-solve [`CurveCache`] — the
+/// engine entry point of the sweep planner. Results are **bit-identical**
+/// to [`measure_curve`] on the same inputs: the cache only short-circuits
+/// work whose outcome is provably the same bits (see [`CurveCache`]).
+///
+/// # Errors
+///
+/// As for [`measure_curve`].
+pub fn measure_curve_cached(
+    ctmc: &Ctmc,
+    alpha: &[f64],
+    times: &[f64],
+    measure: &[f64],
+    opts: &TransientOptions,
+    cache: &mut CurveCache,
+) -> Result<CurveSolution, MarkovError> {
     ctmc.check_distribution(alpha)?;
     if measure.len() != ctmc.n_states() {
         return Err(MarkovError::InvalidArgument(format!(
@@ -337,10 +463,13 @@ pub fn measure_curve(
             "times must be finite and ≥ 0".into(),
         ));
     }
+    cache.last_shared = false;
 
     // Pᵀ straight from the generator: banded for lattice chains, CSR
-    // otherwise — never a P temporary, never a transpose copy.
-    let (pt, nu) = build_transposed(ctmc, opts)?;
+    // otherwise — never a P temporary, never a transpose copy. Within a
+    // plan group the cached offsets skip structure detection.
+    let member_fp = ctmc.structural_fingerprint();
+    let (pt, nu) = build_transposed_cached(ctmc, member_fp, opts, cache)?;
     let t_max = times.iter().cloned().fold(0.0, f64::max);
     if nu == 0.0 || t_max == 0.0 {
         let value = dot(alpha, measure);
@@ -363,66 +492,128 @@ pub fn measure_curve(
     // One Fox–Glynn workspace serves every window: sized once at
     // λ_max = ν·t_max (whose right point bounds all smaller windows),
     // then re-filled per distinct time point with no further allocation.
-    let mut fg = FoxGlynnCache::new();
-    fg.compute(nu * t_max, fg_epsilon)?;
-    let n_max = fg.right();
+    cache.fg.compute(nu * t_max, fg_epsilon)?;
+    let n_max = cache.fg.right();
 
-    // One pool for the whole sweep: workers spawn here — not once per
-    // product — and each owns a row block.
-    let pool = SpmvPool::new(effective_threads(opts.threads, pt.rows()));
+    // One pool per group: workers spawn on the first member — not once
+    // per product, not once per member — and each owns a row block.
+    let threads = effective_threads(opts.threads, pt.rows());
+    if cache
+        .pool
+        .as_ref()
+        .is_none_or(|p| p.threads() != SpmvPool::clamped_threads(threads))
+    {
+        cache.pool = Some(SpmvPool::new(threads));
+    }
+    let pool = cache.pool.as_ref().expect("pool just ensured");
 
-    // Sweep: cache s_n = measure·v_n for n = 0..=n_max (or until the
-    // iterates converge). The fused kernel returns measure·v_{n+1} from
-    // the same pass that computes v_{n+1}.
-    let mut s = Vec::with_capacity(n_max + 1);
-    let mut v = alpha.to_vec();
-    let mut next = vec![0.0; ctmc.n_states()];
-    s.push(dot(&v, measure));
-    let mut converged_at = None;
+    // Can the cached sweep stand in for this member's? Only when the
+    // iterates are provably the same bits an independent solve would
+    // produce: identical P (bitwise), α, measure and options — and, for
+    // the active-window engine, identical ν and horizon too, because the
+    // per-iteration trim allowance depends on the Poisson right point.
+    let reusable = cache.state.as_ref().is_some_and(|st| {
+        st.opts == *opts
+            && st.pt == pt
+            && st.alpha == alpha
+            && st.measure == measure
+            && (!windowed || (st.nu == nu && st.t_max == t_max))
+    });
+
     let mut iterations = 0;
     let mut touched: u64 = 0;
-    let mut deficit = 0.0;
-    if let Some(band) = if windowed { pt.as_banded() } else { None } {
-        // Active-window sweep; see the module docs for the invariants
-        // (both buffers are exactly zero outside their windows, so the
-        // windowed dot and sup-norm equal their full-space values).
-        let allowance = trim_budget / (n_max as f64 + 1.0);
-        let mut v_win = support_range(&v);
-        let mut next_win = 0..0;
-        for n in 1..=n_max {
-            let grown = band.grow_window(&v_win);
-            zero_outside(&mut next, &next_win, &grown);
-            let (s_n, sup) =
-                pool.mul_vec_dot_sup_window(band, &v, &mut next, measure, grown.clone())?;
-            touched += band.entries_in(&grown) as u64;
-            std::mem::swap(&mut v, &mut next);
-            next_win = std::mem::replace(&mut v_win, grown);
-            iterations += 1;
-            s.push(s_n);
-            if opts.steady_state_tolerance > 0.0 && sup < opts.steady_state_tolerance {
-                converged_at = Some(n);
-                break;
+    if !reusable {
+        // Full sweep: cache s_n = measure·v_n for n = 0..=n_max (or until
+        // the iterates converge). The fused kernel returns measure·v_{n+1}
+        // from the same pass that computes v_{n+1}.
+        let mut s = Vec::with_capacity(n_max + 1);
+        let mut v = alpha.to_vec();
+        let mut next = vec![0.0; ctmc.n_states()];
+        s.push(dot(&v, measure));
+        let mut converged_at = None;
+        let mut deficit = 0.0;
+        if let Some(band) = if windowed { pt.as_banded() } else { None } {
+            // Active-window sweep; see the module docs for the invariants
+            // (both buffers are exactly zero outside their windows, so the
+            // windowed dot and sup-norm equal their full-space values).
+            let allowance = trim_budget / (n_max as f64 + 1.0);
+            let mut v_win = support_range(&v);
+            let mut next_win = 0..0;
+            for n in 1..=n_max {
+                let grown = band.grow_window(&v_win);
+                zero_outside(&mut next, &next_win, &grown);
+                let (s_n, sup) =
+                    pool.mul_vec_dot_sup_window(band, &v, &mut next, measure, grown.clone())?;
+                touched += band.entries_in(&grown) as u64;
+                std::mem::swap(&mut v, &mut next);
+                next_win = std::mem::replace(&mut v_win, grown);
+                iterations += 1;
+                s.push(s_n);
+                if opts.steady_state_tolerance > 0.0 && sup < opts.steady_state_tolerance {
+                    converged_at = Some(n);
+                    break;
+                }
+                deficit += trim_window(&mut v, &mut v_win, allowance);
             }
-            deficit += trim_window(&mut v, &mut v_win, allowance);
+        } else {
+            let partition = pt.as_ref().partition(pool.threads());
+            let per_product = pt.entries_per_product() as u64;
+            for n in 1..=n_max {
+                // One fully fused pass: v_{n+1} = Pᵀ·v_n, s_{n+1} =
+                // measure·v_{n+1} and the steady-state sup-norm
+                // |v_{n+1} − v_n|_∞, with no separate dot or convergence
+                // sweep over the iterate.
+                let (s_n, sup) = pool.mul_vec_dot_sup(&pt, &partition, &v, &mut next, measure)?;
+                touched += per_product;
+                std::mem::swap(&mut v, &mut next);
+                iterations += 1;
+                s.push(s_n);
+                if opts.steady_state_tolerance > 0.0 && sup < opts.steady_state_tolerance {
+                    converged_at = Some(n);
+                    break;
+                }
+            }
         }
+        cache.state = Some(CacheState {
+            opts: *opts,
+            source_fp: member_fp,
+            pt,
+            nu,
+            t_max,
+            alpha: alpha.to_vec(),
+            measure: measure.to_vec(),
+            s,
+            v,
+            converged_at,
+            window_deficit: deficit,
+        });
     } else {
-        let partition = pt.as_ref().partition(pool.threads());
-        let per_product = pt.entries_per_product() as u64;
-        for n in 1..=n_max {
-            // One fully fused pass: v_{n+1} = Pᵀ·v_n, s_{n+1} = measure·v_{n+1}
-            // and the steady-state sup-norm |v_{n+1} − v_n|_∞, with no
-            // separate dot or convergence sweep over the iterate.
-            let (s_n, sup) = pool.mul_vec_dot_sup(&pt, &partition, &v, &mut next, measure)?;
-            touched += per_product;
-            std::mem::swap(&mut v, &mut next);
-            iterations += 1;
-            s.push(s_n);
-            if opts.steady_state_tolerance > 0.0 && sup < opts.steady_state_tolerance {
-                converged_at = Some(n);
-                break;
+        cache.last_shared = true;
+        let state = cache.state.as_mut().expect("reusable implies cached");
+        // Extend the cached sweep when this member's Poisson window
+        // reaches past it (only the horizon-independent engines get
+        // here, so the continued iterates are exactly the ones an
+        // independent solve would have computed at those n).
+        if state.converged_at.is_none() && state.s.len() <= n_max {
+            let partition = state.pt.as_ref().partition(pool.threads());
+            let per_product = state.pt.entries_per_product() as u64;
+            let mut next = vec![0.0; ctmc.n_states()];
+            for n in state.s.len()..=n_max {
+                let (s_n, sup) =
+                    pool.mul_vec_dot_sup(&state.pt, &partition, &state.v, &mut next, measure)?;
+                touched += per_product;
+                std::mem::swap(&mut state.v, &mut next);
+                iterations += 1;
+                state.s.push(s_n);
+                if opts.steady_state_tolerance > 0.0 && sup < opts.steady_state_tolerance {
+                    state.converged_at = Some(n);
+                    break;
+                }
             }
         }
     }
+    let state = cache.state.as_ref().expect("sweep just ran or was reused");
+    let s = &state.s;
     let s_last = *s.last().expect("at least one cached value");
 
     // Each time point mixes the cached scalars with its own Poisson
@@ -441,10 +632,10 @@ pub fn measure_curve(
                 if t == 0.0 {
                     s[0]
                 } else {
-                    fg.compute(nu * t, fg_epsilon)?;
+                    cache.fg.compute(nu * t, fg_epsilon)?;
                     let mut value = 0.0;
-                    for (i, &wi) in fg.weights().iter().enumerate() {
-                        let n = fg.left() + i;
+                    for (i, &wi) in cache.fg.weights().iter().enumerate() {
+                        let n = cache.fg.left() + i;
                         value += wi * s.get(n).copied().unwrap_or(s_last);
                     }
                     value
@@ -457,10 +648,10 @@ pub fn measure_curve(
     Ok(CurveSolution {
         points,
         iterations,
-        converged_at,
+        converged_at: state.converged_at,
         nu,
         touched_entries: touched,
-        window_deficit: deficit,
+        window_deficit: state.window_deficit,
     })
 }
 
@@ -879,6 +1070,151 @@ mod tests {
         assert!(windowed.touched_entries < csr.touched_entries);
     }
 
+    /// The chain scaled by `gamma` (a power of two keeps `P = I + Q/ν`
+    /// bitwise identical, which is what the cache's rescale fast path
+    /// detects).
+    fn scaled_chain(chain: &Ctmc, gamma: f64) -> Ctmc {
+        chain
+            .with_rate_values(chain.rates().values().iter().map(|v| v * gamma).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn cached_remix_is_bit_identical_across_rescaled_chains() {
+        let n = 200;
+        let chain = lattice_chain(n, 1.0, 0.3);
+        let alpha = point_mass(n, n - 1);
+        let mut measure = vec![0.0; n];
+        measure[0] = 1.0;
+        let times = [10.0, 60.0, 150.0];
+        // Non-windowed engines: the iterate scalars are horizon-free, so
+        // the whole rescale family shares one (extendable) sweep.
+        for repr in [Representation::Csr, Representation::Banded] {
+            let opts = TransientOptions {
+                representation: repr,
+                active_window: false,
+                ..Default::default()
+            };
+            let mut cache = CurveCache::new();
+            // Ascending ν: each member extends the previous sweep.
+            for gamma in [0.25, 0.5, 1.0, 2.0] {
+                let member = scaled_chain(&chain, gamma);
+                let cached =
+                    measure_curve_cached(&member, &alpha, &times, &measure, &opts, &mut cache)
+                        .unwrap();
+                let independent = measure_curve(&member, &alpha, &times, &measure, &opts).unwrap();
+                assert_eq!(
+                    cached.points, independent.points,
+                    "γ = {gamma} ({repr:?}) must be bit-identical"
+                );
+                if gamma > 0.25 {
+                    assert!(cache.last_solve_shared(), "γ = {gamma} should share");
+                    // Extension only runs the *extra* iterations.
+                    assert!(
+                        cached.iterations < independent.iterations,
+                        "γ = {gamma}: {} vs {}",
+                        cached.iterations,
+                        independent.iterations
+                    );
+                }
+            }
+            // Descending after the family maximum: pure remix, zero products.
+            let half = scaled_chain(&chain, 0.5);
+            let remixed =
+                measure_curve_cached(&half, &alpha, &times, &measure, &opts, &mut cache).unwrap();
+            assert_eq!(remixed.iterations, 0, "{repr:?}");
+            assert_eq!(remixed.touched_entries, 0);
+            assert_eq!(
+                remixed.points,
+                measure_curve(&half, &alpha, &times, &measure, &opts)
+                    .unwrap()
+                    .points
+            );
+        }
+    }
+
+    #[test]
+    fn cached_windowed_engine_only_shares_exact_repeats() {
+        let n = 200;
+        let chain = lattice_chain(n, 1.0, 0.3);
+        let alpha = point_mass(n, n - 1);
+        let mut measure = vec![0.0; n];
+        measure[0] = 1.0;
+        let times = [10.0, 60.0];
+        let opts = TransientOptions {
+            representation: Representation::Banded,
+            active_window: true,
+            ..Default::default()
+        };
+        let mut cache = CurveCache::new();
+        let first =
+            measure_curve_cached(&chain, &alpha, &times, &measure, &opts, &mut cache).unwrap();
+        assert!(!cache.last_solve_shared());
+        // An exact repeat (same ν, same horizon) reuses the whole sweep…
+        let repeat =
+            measure_curve_cached(&chain, &alpha, &times, &measure, &opts, &mut cache).unwrap();
+        assert!(cache.last_solve_shared());
+        assert_eq!(repeat.iterations, 0);
+        assert_eq!(repeat.points, first.points);
+        assert_eq!(repeat.window_deficit, first.window_deficit);
+        // …but a rescaled member must NOT reuse it: the window's trim
+        // allowance depends on the horizon's Poisson right point, so only
+        // a fresh sweep is bit-identical to an independent solve.
+        let double = scaled_chain(&chain, 2.0);
+        let cached =
+            measure_curve_cached(&double, &alpha, &times, &measure, &opts, &mut cache).unwrap();
+        assert!(!cache.last_solve_shared());
+        let independent = measure_curve(&double, &alpha, &times, &measure, &opts).unwrap();
+        assert_eq!(cached.points, independent.points);
+        assert_eq!(cached.iterations, independent.iterations);
+    }
+
+    #[test]
+    fn cache_misses_on_changed_alpha_measure_or_options() {
+        let n = 80;
+        let chain = lattice_chain(n, 0.8, 0.2);
+        let alpha = point_mass(n, n - 1);
+        let mut measure = vec![0.0; n];
+        measure[0] = 1.0;
+        let times = [20.0];
+        let opts = TransientOptions {
+            representation: Representation::Csr,
+            ..Default::default()
+        };
+        let mut cache = CurveCache::new();
+        measure_curve_cached(&chain, &alpha, &times, &measure, &opts, &mut cache).unwrap();
+        // Different initial distribution: full solve, correct answer.
+        let alpha2 = point_mass(n, n / 2);
+        let fresh =
+            measure_curve_cached(&chain, &alpha2, &times, &measure, &opts, &mut cache).unwrap();
+        assert!(!cache.last_solve_shared());
+        assert_eq!(
+            fresh.points,
+            measure_curve(&chain, &alpha2, &times, &measure, &opts)
+                .unwrap()
+                .points
+        );
+        // Different measure: miss again.
+        let mut measure2 = vec![0.0; n];
+        measure2[1] = 1.0;
+        measure_curve_cached(&chain, &alpha2, &times, &measure2, &opts, &mut cache).unwrap();
+        assert!(!cache.last_solve_shared());
+        // Different ε: miss (the Fox–Glynn share changes the mix).
+        let tighter = TransientOptions {
+            epsilon: 1e-12,
+            ..opts
+        };
+        let t =
+            measure_curve_cached(&chain, &alpha2, &times, &measure2, &tighter, &mut cache).unwrap();
+        assert!(!cache.last_solve_shared());
+        assert_eq!(
+            t.points,
+            measure_curve(&chain, &alpha2, &times, &measure2, &tighter)
+                .unwrap()
+                .points
+        );
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
 
@@ -892,7 +1228,7 @@ mod tests {
             down in 0.3f64..2.0,
             up in 0.0f64..1.0,
             t in 5.0f64..80.0,
-            threads in 1usize..8,
+            threads in 1usize..=8,
         ) {
             use proptest::prelude::*;
             let chain = lattice_chain(n, down, up);

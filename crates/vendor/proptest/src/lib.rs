@@ -189,7 +189,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Lengths accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+    /// Lengths accepted by [`vec()`]: a fixed `usize` or a `Range<usize>`.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
