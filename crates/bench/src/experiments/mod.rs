@@ -11,6 +11,7 @@ pub mod fig2;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod mc;
 pub mod regress;
 pub mod sweep;
 pub mod table1;

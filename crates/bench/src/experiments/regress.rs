@@ -19,7 +19,14 @@
 //! * **planner drift** — the quick sweep grid's planned results are not
 //!   bit-identical to naive per-scenario solves (sup-distance must be
 //!   exactly 0), or the plan no longer forms the committed number of
-//!   groups.
+//!   groups;
+//! * **Monte Carlo drift** (`BENCH_mc.json`) — the streaming simulation
+//!   engine's gate configuration is no longer bit-identical across
+//!   worker-pool sizes, or its fixed-seed curve leaves the Wilson band
+//!   around the exact reference, or the committed facts themselves were
+//!   recorded failing. (The sup distance is *not* compared against the
+//!   committed value bit for bit: `exp`/`ln` may differ across libm
+//!   builds; the band re-derived on this machine is the contract.)
 //!
 //! A machine-readable verdict is always written to
 //! `REGRESS_report.json` under `--out` (the CI artifact), then the run
@@ -88,6 +95,10 @@ pub fn run(cfg: &Config) -> Result<(), String> {
         .and_then(|committed| sweep_gate(cfg, &committed, &mut report));
     if let Err(e) = sweep {
         report.check("sweep gate execution", false, e);
+    }
+    let mc = load(against, "BENCH_mc.json").and_then(|committed| mc_gate(&committed, &mut report));
+    if let Err(e) = mc {
+        report.check("mc gate execution", false, e);
     }
 
     let rows: Vec<String> = report
@@ -261,6 +272,72 @@ fn uniformisation_gate(cfg: &Config, committed: &Json, report: &mut Report) -> R
             ),
         );
     }
+    Ok(())
+}
+
+/// Re-runs the Monte Carlo gate configuration: the streaming engine must
+/// stay bit-identical across worker-pool sizes and inside the Wilson
+/// band of the exact curve, and the committed facts must have been
+/// recorded passing (a baseline regenerated in a broken state fails the
+/// gate rather than laundering the breakage).
+fn mc_gate(committed: &Json, report: &mut Report) -> Result<(), String> {
+    use super::mc;
+    use crate::json::Json as J;
+
+    let gate = committed
+        .get("gate")
+        .ok_or("committed BENCH_mc.json has no 'gate' object")?;
+    let committed_runs = gate.num("runs").ok_or("gate without 'runs'")? as usize;
+    let committed_seed = gate.num("seed").ok_or("gate without 'seed'")? as u64;
+    report.check(
+        "mc committed facts",
+        gate.get("bit_identical_across_threads") == Some(&J::Bool(true))
+            && gate.get("within_band") == Some(&J::Bool(true)),
+        format!(
+            "committed bit_identical {:?}, within_band {:?}",
+            gate.get("bit_identical_across_threads"),
+            gate.get("within_band")
+        ),
+    );
+
+    // Validate the committed configuration against the in-code gate
+    // constants BEFORE running anything: a stale/corrupt baseline must
+    // not steer CI into re-deriving facts at a size or seed the code
+    // does not certify (or into an unbounded amount of work).
+    let config_ok = committed_runs == mc::GATE_RUNS && committed_seed == mc::GATE_SEED;
+    report.check(
+        "mc gate configuration",
+        config_ok,
+        format!(
+            "committed runs {committed_runs} / seed {committed_seed} vs code \
+             {} / {}",
+            mc::GATE_RUNS,
+            mc::GATE_SEED
+        ),
+    );
+    if !config_ok {
+        return Ok(()); // the failed check above already gates the run
+    }
+
+    let facts = mc::gate_facts(mc::GATE_RUNS, mc::GATE_SEED)?;
+    report.check(
+        "mc thread bit-identity",
+        facts.bit_identical,
+        format!(
+            "streaming studies across worker pools 1/2/4/8 at {} runs",
+            facts.runs
+        ),
+    );
+    report.check(
+        "mc CI-band agreement",
+        facts.within_band(),
+        format!(
+            "sup-distance {:.4e} vs Wilson band {:.4e} (committed {:.4e})",
+            facts.sup_distance,
+            facts.wilson_band,
+            gate.num("sup_distance_vs_exact").unwrap_or(f64::NAN)
+        ),
+    );
     Ok(())
 }
 

@@ -17,6 +17,7 @@
 //!   baseline    machine-readable BENCH_spmv.json / BENCH_uniformisation.json
 //!   window      active-window savings: touched entries & deficit per Δ
 //!   sweep       planned vs naive batched sweeps → BENCH_sweep.json
+//!   mc          streaming Monte Carlo engine certification → BENCH_mc.json
 //!   regress     CI gate: diff quick engines against committed BENCH_*.json
 //!   all         everything above except regress
 //! ```
@@ -86,9 +87,10 @@ fn main() {
         "baseline" => experiments::baseline::run(&config),
         "window" => experiments::window::run(&config),
         "sweep" => experiments::sweep::run(&config),
+        "mc" => experiments::mc::run(&config),
         "regress" => experiments::regress::run(&config),
         "all" => {
-            let runs: [(&str, fn(&Config) -> Result<(), String>); 12] = [
+            let runs: [(&str, fn(&Config) -> Result<(), String>); 13] = [
                 ("fig2", experiments::fig2::run),
                 ("table1", experiments::table1::run),
                 ("fig7", experiments::fig7::run),
@@ -101,6 +103,7 @@ fn main() {
                 ("baseline", experiments::baseline::run),
                 ("window", experiments::window::run),
                 ("sweep", experiments::sweep::run),
+                ("mc", experiments::mc::run),
             ];
             let mut status = Ok(());
             for (name, f) in runs {
@@ -124,7 +127,7 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: bench-harness <fig2|table1|fig7|fig8|fig9|fig10|fig11|complexity|calibrate|\
-         baseline|window|sweep|regress|all> [--fast] [--quick] [--out DIR] [--threads N] \
+         baseline|window|sweep|mc|regress|all> [--fast] [--quick] [--out DIR] [--threads N] \
          [--against DIR] [--epsilon X]"
     );
     std::process::exit(2);

@@ -183,9 +183,8 @@ pub struct MethodComparison {
 ///
 /// # Errors
 ///
-/// Propagates discretisation/simulation errors;
-/// [`KibamRmError::InvalidWorkload`] if no simulated run depletes within
-/// the horizon (extend the grid).
+/// Propagates discretisation/simulation errors (an all-censored
+/// simulation study is the valid all-zero curve, not an error).
 #[deprecated(since = "0.1.0", note = "use `SolverRegistry::cross_validate` instead")]
 #[allow(deprecated)]
 pub fn compare_methods(

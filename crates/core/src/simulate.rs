@@ -5,12 +5,25 @@
 //! within each sojourn — where the current is constant — the KiBaM wells
 //! evolve by the *closed-form* solution, with exact depletion detection.
 //! No discretisation error enters at all; the only error is statistical.
+//!
+//! Two drivers share [`simulate_lifetime`]:
+//!
+//! * [`lifetime_study`] — the exact-order-statistics reference: every
+//!   observed lifetime is kept (O(runs) memory);
+//! * [`streaming_lifetime_study`] — the production path: replications
+//!   run on a [`sim::engine::McPool`] worker pool and fold into a
+//!   fixed-grid [`StreamingLifetimeStudy`] (O(grid) memory,
+//!   bit-identical for any thread count), with an optional adaptive
+//!   Wilson-half-width stopping rule.
 
 use crate::model::KibamRm;
 use crate::KibamRmError;
+use sim::engine::{EngineError, McOptions, McPool, Replication};
 use sim::replication::{run_replications, LifetimeStudy};
 use sim::rng::SimRng;
+use sim::streaming::StreamingLifetimeStudy;
 use sim::trajectory::{next_state, sample_initial};
+use std::sync::Mutex;
 use units::Time;
 
 /// Simulates one battery lifetime, up to `horizon`.
@@ -57,18 +70,27 @@ pub fn simulate_lifetime(
 }
 
 /// Runs `runs` independent lifetime simulations (the paper uses 1000) and
-/// returns the empirical study.
+/// returns the empirical study with every observed lifetime kept.
+///
+/// A study where no run depleted is returned as the valid all-zero curve
+/// (`depleted_runs() == 0`), **not** an error — one long-lived scenario
+/// must not abort a whole sweep.
 ///
 /// # Errors
 ///
 /// Propagates the first simulation error; [`KibamRmError::InvalidWorkload`]
-/// if no run depleted within the horizon (extend it).
+/// for a zero replication count.
 pub fn lifetime_study(
     model: &KibamRm,
     horizon: Time,
     runs: usize,
     seed: u64,
 ) -> Result<LifetimeStudy, KibamRmError> {
+    if runs == 0 {
+        return Err(KibamRmError::InvalidWorkload(
+            "a lifetime study needs at least one replication".into(),
+        ));
+    }
     let outcomes: Vec<Result<Option<f64>, KibamRmError>> = run_replications(runs, seed, |rng| {
         simulate_lifetime(model, horizon, rng).map(|o| o.map(|t| t.as_seconds()))
     });
@@ -77,8 +99,55 @@ pub fn lifetime_study(
         flat.push(o?);
     }
     LifetimeStudy::new(&flat, horizon.as_seconds()).map_err(|e| {
-        KibamRmError::InvalidWorkload(format!("no simulated run depleted within the horizon: {e}"))
+        // Only NaN lifetimes reach this branch now (all-censored is a
+        // valid study and `runs > 0` was checked above).
+        KibamRmError::InvalidWorkload(format!("simulated lifetimes are malformed: {e}"))
     })
+}
+
+/// Runs the parallel streaming study: replications on `pool`'s workers,
+/// folded into a fixed-grid accumulator over `grid` (O(grid) memory),
+/// under `opts`' stopping rule. Results are bit-identical for any
+/// worker count, and agree replication by replication with
+/// [`lifetime_study`] on the same seed (both draw replication `i` from
+/// [`SimRng::stream`]`(seed, i)`).
+///
+/// # Errors
+///
+/// [`KibamRmError::InvalidWorkload`] on empty/unsorted grids, a horizon
+/// short of the grid, or inconsistent engine options; the first
+/// per-replication simulation error otherwise.
+pub fn streaming_lifetime_study(
+    model: &KibamRm,
+    grid: &[Time],
+    horizon: Time,
+    seed: u64,
+    opts: &McOptions,
+    pool: &McPool,
+) -> Result<StreamingLifetimeStudy, KibamRmError> {
+    // The engine sees a plain `Replication`; the actual error object
+    // crosses back through this mutex (first writer wins).
+    let first_error: Mutex<Option<KibamRmError>> = Mutex::new(None);
+    let experiment = |rng: &mut SimRng| match simulate_lifetime(model, horizon, rng) {
+        Ok(Some(t)) => Replication::Depleted(t.as_seconds()),
+        Ok(None) => Replication::Censored,
+        Err(e) => {
+            let mut slot = first_error.lock().expect("error mutex poisoned");
+            slot.get_or_insert(e);
+            Replication::Abort
+        }
+    };
+    let grid_seconds: Vec<f64> = grid.iter().map(|t| t.as_seconds()).collect();
+    pool.run_study(grid_seconds, horizon.as_seconds(), seed, opts, &experiment)
+        .map_err(|e| match e {
+            EngineError::Aborted => first_error
+                .into_inner()
+                .expect("error mutex poisoned")
+                .unwrap_or_else(|| {
+                    KibamRmError::InvalidWorkload("simulation aborted without an error".into())
+                }),
+            other => KibamRmError::InvalidWorkload(format!("simulation engine: {other}")),
+        })
 }
 
 #[cfg(test)]
@@ -121,7 +190,7 @@ mod tests {
             300,
             "all runs must deplete by 25 000 s"
         );
-        let mean = study.mean_observed_lifetime();
+        let mean = study.mean_observed_lifetime().unwrap();
         assert!((mean - 15_000.0).abs() < 300.0, "mean = {mean}");
         // The paper notes the distribution is close to deterministic: the
         // 5%—95% spread stays within ±10 % of the mean.
@@ -170,10 +239,12 @@ mod tests {
         let horizon = Time::from_seconds(25_000.0);
         let m_lin = lifetime_study(&linear, horizon, 150, 5)
             .unwrap()
-            .mean_observed_lifetime();
+            .mean_observed_lifetime()
+            .unwrap();
         let m_two = lifetime_study(&two_well, horizon, 150, 5)
             .unwrap()
-            .mean_observed_lifetime();
+            .mean_observed_lifetime()
+            .unwrap();
         assert!(m_two < m_lin, "two-well {m_two} vs linear {m_lin}");
         // But longer than the available-charge-only battery (recovery
         // transfers bound charge): 4500 As / 0.48 A = 9375 s.
@@ -181,11 +252,78 @@ mod tests {
     }
 
     #[test]
-    fn survives_short_horizon() {
+    fn survives_short_horizon_as_a_zero_curve() {
         let m = on_off_linear();
         let out =
             simulate_lifetime(&m, Time::from_seconds(100.0), &mut SimRng::seed_from(1)).unwrap();
         assert_eq!(out, None);
-        assert!(lifetime_study(&m, Time::from_seconds(100.0), 10, 1).is_err());
+        // Regression: an all-censored study used to abort with an error;
+        // it is the valid all-zero curve.
+        let study = lifetime_study(&m, Time::from_seconds(100.0), 10, 1).unwrap();
+        assert_eq!(study.total_runs(), 10);
+        assert_eq!(study.depleted_runs(), 0);
+        assert_eq!(study.empty_probability(100.0), 0.0);
+        assert_eq!(study.mean_observed_lifetime(), None);
+        assert_eq!(study.lifetime_quantile(0.5), None);
+        // Zero replications stay an error.
+        assert!(lifetime_study(&m, Time::from_seconds(100.0), 0, 1).is_err());
+    }
+
+    #[test]
+    fn streaming_study_matches_the_exact_study_at_grid_points() {
+        let m = on_off_linear();
+        let horizon = Time::from_seconds(25_000.0);
+        let grid: Vec<Time> = (1..=10)
+            .map(|i| Time::from_seconds(i as f64 * 2500.0))
+            .collect();
+        let opts = McOptions {
+            runs: 300,
+            ..McOptions::default()
+        };
+        let pool = McPool::with_exact_threads(1);
+        let streaming = streaming_lifetime_study(&m, &grid, horizon, 1234, &opts, &pool).unwrap();
+        let exact = lifetime_study(&m, horizon, 300, 1234).unwrap();
+        assert_eq!(streaming.total_runs(), 300);
+        for (i, t) in grid.iter().enumerate() {
+            assert_eq!(
+                streaming.depleted_at(i) as usize,
+                exact.depleted_at(t.as_seconds()),
+                "same replications, same counts at t = {t}"
+            );
+        }
+        let (a, b) = (
+            streaming.mean_observed_lifetime().unwrap(),
+            exact.mean_observed_lifetime().unwrap(),
+        );
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn streaming_study_is_bit_identical_across_thread_counts() {
+        let m = on_off_linear();
+        let horizon = Time::from_seconds(25_000.0);
+        let grid: Vec<Time> = (1..=5)
+            .map(|i| Time::from_seconds(i as f64 * 5000.0))
+            .collect();
+        let opts = McOptions {
+            runs: 120,
+            batch: 32,
+            ..McOptions::default()
+        };
+        let reference =
+            streaming_lifetime_study(&m, &grid, horizon, 7, &opts, &McPool::with_exact_threads(1))
+                .unwrap();
+        for threads in [2, 4] {
+            let study = streaming_lifetime_study(
+                &m,
+                &grid,
+                horizon,
+                7,
+                &opts,
+                &McPool::with_exact_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(study, reference, "threads = {threads}");
+        }
     }
 }

@@ -8,8 +8,10 @@
 //! * [`DiscretisationSolver`] — builds the derived CTMC at the
 //!   scenario's `Δ` and solves it by uniformisation; applies to every
 //!   scenario;
-//! * [`SimulationSolver`] — Monte Carlo over the exact KiBaMRM dynamics;
-//!   applies to every scenario, statistical error only;
+//! * [`SimulationSolver`] — parallel streaming Monte Carlo over the
+//!   exact KiBaMRM dynamics; applies to every scenario, statistical
+//!   error only (with an optional adaptive stopping rule that runs
+//!   until the Wilson confidence band is tight enough);
 //! * [`SericolaSolver`] — the exact algorithm; applies only to linear
 //!   (`c = 1`) scenarios, where it is the gold standard.
 //!
@@ -35,10 +37,11 @@ use crate::analysis::exact_linear_curve;
 use crate::discretise::{DiscretisationOptions, DiscretisationTemplate, DiscretisedModel};
 use crate::distribution::{LifetimeDistribution, SolveDiagnostics};
 use crate::scenario::Scenario;
-use crate::simulate::lifetime_study;
+use crate::simulate::{lifetime_study, streaming_lifetime_study};
 use crate::sweep::SweepPlan;
 use crate::KibamRmError;
 use markov::transient::{CurveCache, Representation, TransientOptions};
+use sim::engine::{McOptions, McPool};
 use std::time::Instant;
 use units::Time;
 
@@ -426,14 +429,47 @@ impl LifetimeSolver for DiscretisationSolver {
 // Simulation backend (paper §6's validation baseline).
 // --------------------------------------------------------------------
 
-/// Monte Carlo over the exact KiBaMRM dynamics as a solver.
-#[derive(Debug, Clone, Copy, Default)]
+/// Monte Carlo over the exact KiBaMRM dynamics as a solver — the
+/// parallel streaming engine ([`sim::engine::McPool`]).
+///
+/// Replications run on a worker pool in fixed batches whose partial
+/// accumulators merge in batch order, with per-replication
+/// counter-derived RNG streams — so a solve's result is **bit-identical
+/// for any thread count** (the same guarantee the SpMV pool gives the
+/// uniformisation engine). Memory is O(time-grid), independent of the
+/// replication count, which makes 10⁶–10⁷ replications practical.
+///
+/// The default stopping rule runs exactly the scenario's
+/// [`sim_runs`](Scenario::sim_runs); [`SimulationSolver::with_adaptive`]
+/// instead doubles the replication count until the largest 95 % Wilson
+/// half-width over the query grid drops below a target (or a cap).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimulationSolver {
     horizon: Option<Time>,
+    threads: usize,
+    batch: u64,
+    target_half_width: Option<f64>,
+    max_runs: u64,
+}
+
+impl Default for SimulationSolver {
+    fn default() -> Self {
+        let defaults = McOptions::default();
+        SimulationSolver {
+            horizon: None,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            batch: defaults.batch,
+            target_half_width: None,
+            max_runs: defaults.max_runs,
+        }
+    }
 }
 
 impl SimulationSolver {
-    /// A solver simulating up to the scenario's last query time.
+    /// A solver simulating up to the scenario's last query time, using
+    /// every available core.
     pub fn new() -> Self {
         SimulationSolver::default()
     }
@@ -450,18 +486,45 @@ impl SimulationSolver {
         self
     }
 
-    /// The empirical study behind a solve (quantiles of *observed*
-    /// lifetimes, confidence intervals, …).
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation errors; fails when no run depletes within
-    /// the horizon.
-    pub fn study(
-        &self,
-        scenario: &Scenario,
-    ) -> Result<sim::replication::LifetimeStudy, KibamRmError> {
-        let model = scenario.to_model()?;
+    /// Sets the worker-thread count for replication batches (results do
+    /// not depend on it — that is the engine's bit-identity guarantee).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables adaptive stopping: after the scenario's `sim_runs`
+    /// initial replications, the engine keeps doubling the replication
+    /// count until the largest 95 % Wilson half-width over the query
+    /// grid is at most `target_half_width`, or `max_runs` replications
+    /// have been spent. The solve's `runs` diagnostic reports the count
+    /// actually used.
+    #[must_use]
+    pub fn with_adaptive(mut self, target_half_width: f64, max_runs: u64) -> Self {
+        self.target_half_width = Some(target_half_width);
+        self.max_runs = max_runs;
+        self
+    }
+
+    /// Sets the replications-per-batch scheduling quantum (the merge
+    /// unit of the parallel engine; results do not depend on it beyond
+    /// floating-point reassociation of the moment sketches).
+    #[must_use]
+    pub fn with_batch(mut self, batch: u64) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// The simulation horizon for `scenario`: never short of the query
+    /// grid (empirical CDF values past the horizon would be silently
+    /// wrong).
+    fn effective_horizon(&self, scenario: &Scenario) -> Time {
+        self.horizon
+            .map_or(scenario.horizon(), |h| h.max(scenario.horizon()))
+    }
+
+    fn engine_options(&self, scenario: &Scenario) -> Result<McOptions, KibamRmError> {
         if scenario.sim_runs() == 0 {
             return Err(KibamRmError::InvalidWorkload(
                 "scenario requests zero simulation replications; set a positive \
@@ -469,12 +532,117 @@ impl SimulationSolver {
                     .into(),
             ));
         }
-        // Never simulate short of the query grid: empirical CDF values
-        // past the horizon would be silently wrong.
-        let horizon = self
-            .horizon
-            .map_or(scenario.horizon(), |h| h.max(scenario.horizon()));
-        lifetime_study(&model, horizon, scenario.sim_runs(), scenario.sim_seed())
+        let runs = scenario.sim_runs() as u64;
+        Ok(McOptions {
+            runs,
+            batch: self.batch.max(1),
+            target_half_width: self.target_half_width,
+            // The cap never truncates the initial round the scenario
+            // asked for.
+            max_runs: self.max_runs.max(runs),
+        })
+    }
+
+    /// The exact empirical reference study (order-statistics quantiles
+    /// of *observed* lifetimes, confidence intervals, …). Keeps every
+    /// lifetime — O(runs) memory — and always runs **exactly** the
+    /// scenario's `sim_runs` replications: the adaptive stopping rule
+    /// applies only to the streaming paths
+    /// ([`LifetimeSolver::solve`] / [`SimulationSolver::streaming_study`]),
+    /// so under `with_adaptive` this study describes the solve's *initial
+    /// round*, not its full replication count. An all-censored study is
+    /// returned as the valid all-zero curve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors and the zero-replication refusal.
+    pub fn study(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<sim::replication::LifetimeStudy, KibamRmError> {
+        let model = scenario.to_model()?;
+        self.engine_options(scenario)?; // zero-runs refusal
+        lifetime_study(
+            &model,
+            self.effective_horizon(scenario),
+            scenario.sim_runs(),
+            scenario.sim_seed(),
+        )
+    }
+
+    /// The streaming study behind a solve: fixed-grid depletion counts
+    /// over the scenario's query times plus moment sketches, produced by
+    /// the parallel engine under this solver's stopping rule (O(grid)
+    /// memory, bit-identical for any thread count).
+    ///
+    /// # Errors
+    ///
+    /// As for [`LifetimeSolver::solve`].
+    pub fn streaming_study(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<sim::streaming::StreamingLifetimeStudy, KibamRmError> {
+        let pool = McPool::new(self.threads);
+        self.streaming_study_on(scenario, &pool)
+    }
+
+    /// [`SimulationSolver::streaming_study`] on an existing worker pool
+    /// (what [`LifetimeSolver::solve_group`] shares across a sweep
+    /// group).
+    fn streaming_study_on(
+        &self,
+        scenario: &Scenario,
+        pool: &McPool,
+    ) -> Result<sim::streaming::StreamingLifetimeStudy, KibamRmError> {
+        let model = scenario.to_model()?;
+        let opts = self.engine_options(scenario)?;
+        streaming_lifetime_study(
+            &model,
+            scenario.times(),
+            self.effective_horizon(scenario),
+            scenario.sim_seed(),
+            &opts,
+            pool,
+        )
+    }
+
+    /// One solve on a given pool (shared result assembly of the solo and
+    /// grouped paths).
+    fn solve_on(
+        &self,
+        scenario: &Scenario,
+        pool: &McPool,
+    ) -> Result<LifetimeDistribution, KibamRmError> {
+        let started = Instant::now();
+        let study = self.streaming_study_on(scenario, pool)?;
+        // One prefix pass over the buckets, not per-point re-summing.
+        let n = study.total_runs() as f64;
+        let points = scenario
+            .times()
+            .iter()
+            .zip(study.cumulative_counts())
+            .map(|(&t, count)| (t, if n > 0.0 { count as f64 / n } else { 0.0 }))
+            .collect();
+        LifetimeDistribution::new(
+            self.name(),
+            points,
+            SolveDiagnostics {
+                states: None,
+                generator_nonzeros: None,
+                iterations: None,
+                delta: None,
+                runs: Some(study.total_runs() as usize),
+                wall_seconds: started.elapsed().as_secs_f64(),
+            },
+        )
+    }
+
+    /// The solver with a sweep-level thread budget applied: the budget
+    /// caps this backend's worker count, it never raises it.
+    fn with_budget(&self, options: &SolverOptions) -> SimulationSolver {
+        let mut solver = *self;
+        solver.threads = solver.threads.min(options.row_threads.max(1));
+        solver
     }
 }
 
@@ -488,25 +656,47 @@ impl LifetimeSolver for SimulationSolver {
     }
 
     fn solve(&self, scenario: &Scenario) -> Result<LifetimeDistribution, KibamRmError> {
-        let started = Instant::now();
-        let study = self.study(scenario)?;
-        let points = scenario
-            .times()
+        self.solve_on(scenario, &McPool::new(self.threads))
+    }
+
+    fn solve_with(
+        &self,
+        scenario: &Scenario,
+        options: &SolverOptions,
+    ) -> Result<LifetimeDistribution, KibamRmError> {
+        // Replication-level parallelism is this backend's worker pool:
+        // the row-thread budget (already divided among concurrent sweep
+        // workers) caps it, exactly as it caps the SpMV pool of the
+        // discretisation backend. The answer does not depend on the cap
+        // — only the wall time does.
+        self.with_budget(options).solve(scenario)
+    }
+
+    fn sweep_fingerprint(&self, scenario: &Scenario) -> Option<u64> {
+        if scenario.sim_runs() == 0 {
+            // solve() refuses this scenario; don't group refusals.
+            return None;
+        }
+        // Every simulation-backed scenario shares the same trajectory
+        // machinery (the worker pool); grouping them into one plan group
+        // lets a sweep spawn the pool once instead of once per scenario.
+        // Seeds are per-scenario counter-derived streams, so sharing the
+        // pool cannot couple members — results stay bit-identical to
+        // independent solves by construction.
+        Some(u64::from_le_bytes(*b"MCPOOL\0\0"))
+    }
+
+    fn solve_group(
+        &self,
+        scenarios: &[&Scenario],
+        options: &SolverOptions,
+    ) -> Vec<Result<LifetimeDistribution, KibamRmError>> {
+        let solver = self.with_budget(options);
+        let pool = McPool::new(solver.threads);
+        scenarios
             .iter()
-            .map(|&t| (t, study.empty_probability(t.as_seconds())))
-            .collect();
-        LifetimeDistribution::new(
-            self.name(),
-            points,
-            SolveDiagnostics {
-                states: None,
-                generator_nonzeros: None,
-                iterations: None,
-                delta: None,
-                runs: Some(study.total_runs()),
-                wall_seconds: started.elapsed().as_secs_f64(),
-            },
-        )
+            .map(|s| solver.solve_on(s, &pool))
+            .collect()
     }
 }
 
@@ -1262,6 +1452,123 @@ mod tests {
                 "unexpected error: {err}"
             );
         }
+    }
+
+    #[test]
+    fn all_censored_scenario_yields_zero_curve_through_sweep() {
+        // Regression: a scenario whose battery outlives every simulated
+        // run used to abort with StatsError::Empty, poisoning its sweep
+        // slot. It must come back as the valid all-zero curve.
+        let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+            .unwrap();
+        let long_lived = Scenario::builder()
+            .name("long-lived")
+            .workload(w)
+            .capacity(Charge::from_amp_seconds(7200.0)) // ~15 000 s life
+            .linear()
+            .times(
+                (1..=8)
+                    .map(|i| Time::from_seconds(i as f64 * 10.0))
+                    .collect(), // grid ends at 80 s: nothing depletes
+            )
+            .simulation(25, 3)
+            .build()
+            .unwrap();
+        let normal = small_linear().with_simulation(50, 2);
+
+        let mut registry = SolverRegistry::empty();
+        registry.register(Box::new(SimulationSolver::new()));
+        let results = registry.sweep(&[long_lived.clone(), normal]);
+        assert_eq!(results.len(), 2);
+        let zero = results[0].as_ref().expect("all-censored must not fail");
+        assert!(zero.points().iter().all(|&(_, p)| p == 0.0));
+        assert_eq!(zero.diagnostics().runs, Some(25));
+        assert!(results[1].as_ref().unwrap().points().last().unwrap().1 > 0.5);
+
+        // The study views agree: zero depletions, unidentified
+        // quantiles, but a real (positive) confidence band.
+        let solver = SimulationSolver::new();
+        let study = solver.study(&long_lived).unwrap();
+        assert_eq!(study.depleted_runs(), 0);
+        assert_eq!(study.lifetime_quantile(0.5), None);
+        let streaming = solver.streaming_study(&long_lived).unwrap();
+        assert_eq!(streaming.depleted_runs(), 0);
+        assert!(streaming.max_half_width() > 0.0);
+    }
+
+    #[test]
+    fn simulation_groups_share_one_pool_and_match_independent_solves() {
+        // The sweep planner groups every simulation-backed scenario into
+        // one pool-sharing group; results must be bit-identical to
+        // independent solves (per-scenario counter-derived streams make
+        // this hold by construction).
+        let mut registry = SolverRegistry::empty();
+        registry.register(Box::new(SimulationSolver::new()));
+        let base = small_linear();
+        let batch = vec![
+            base.with_simulation(60, 1),
+            base.with_simulation(60, 2), // same runs, different stream family
+            base.with_simulation(90, 1),
+            base.clone(),
+        ];
+        let plan = crate::sweep::SweepPlan::build(&registry, &batch);
+        assert_eq!(plan.groups().len(), 1, "one pool-sharing group");
+        assert_eq!(plan.groups()[0].members().len(), 4);
+
+        let swept = registry.sweep_with_threads(&batch, 2);
+        for (s, r) in batch.iter().zip(&swept) {
+            let independent = SimulationSolver::new()
+                .solve_with(s, &SolverOptions::sequential())
+                .unwrap();
+            let r = r.as_ref().unwrap();
+            assert_eq!(
+                r.points(),
+                independent.points(),
+                "scenario {} differs from its independent solve",
+                s.name()
+            );
+        }
+        // Different seeds really gave different curves (streams are
+        // per-scenario, not shared through the pool).
+        assert_ne!(
+            swept[0].as_ref().unwrap().points(),
+            swept[1].as_ref().unwrap().points()
+        );
+        // A zero-run scenario opts out of grouping entirely.
+        assert_eq!(
+            SimulationSolver::new().sweep_fingerprint(&base.with_simulation(0, 1)),
+            None
+        );
+    }
+
+    #[test]
+    fn adaptive_stopping_meets_the_band_and_reports_true_runs() {
+        let s = small_linear().with_simulation(100, 7);
+        let solver = SimulationSolver::new()
+            .with_adaptive(0.02, 1 << 16)
+            .with_batch(64);
+        let dist = solver.solve(&s).unwrap();
+        let runs = dist.diagnostics().runs.unwrap();
+        assert!(
+            runs > 100,
+            "adaptive rule must extend past the initial round"
+        );
+        assert!(runs <= 1 << 16);
+        let study = solver.streaming_study(&s).unwrap();
+        assert_eq!(study.total_runs() as usize, runs);
+        assert!(
+            study.max_half_width() <= 0.02,
+            "band {} misses the target",
+            study.max_half_width()
+        );
+        // More replications than requested, but the curve still matches
+        // the fixed-run solve statistically (same model, same streams up
+        // to the shared prefix).
+        let fixed = SimulationSolver::new().solve(&s).unwrap();
+        assert!(dist.max_difference(&fixed).unwrap() < 0.1);
+        // The adaptive solve is itself deterministic.
+        let again = solver.solve(&s).unwrap();
+        assert_eq!(dist.points(), again.points());
     }
 
     #[test]

@@ -112,9 +112,15 @@ impl EmpiricalCdf {
 
     /// `F(x) = (#samples ≤ x) / n`.
     pub fn eval(&self, x: f64) -> f64 {
-        // partition_point gives the count of elements ≤ x.
-        let count = self.sorted.partition_point(|&s| s <= x);
-        count as f64 / self.sorted.len() as f64
+        self.count_le(x) as f64 / self.sorted.len() as f64
+    }
+
+    /// The exact number of samples `≤ x` — the binomial success count
+    /// behind [`EmpiricalCdf::eval`]. Confidence intervals must be built
+    /// from this integer, not from a rounded `p̂·n` reconstruction
+    /// (which is lossy near ties).
+    pub fn count_le(&self, x: f64) -> usize {
+        self.sorted.partition_point(|&s| s <= x)
     }
 
     /// The `q`-quantile (inverse CDF) for `q ∈ [0, 1]`, using the
@@ -173,10 +179,14 @@ impl EmpiricalCdf {
 }
 
 /// Two-sided `(1−α)` Wald confidence half-width for a binomial proportion
-/// estimated by `successes/trials` — the error bars on every simulated
-/// `Pr[battery empty at t]` point.
+/// estimated by `successes/trials`.
 ///
-/// Returns 0 for `trials = 0`.
+/// Returns 0 for `trials = 0`. **Degenerates to zero width at
+/// `p̂ ∈ {0, 1}`** — a 0-out-of-n observation is reported as "exactly 0
+/// with no uncertainty", which is wrong for every finite `n`. The
+/// simulation error bars therefore use [`wilson_ci_half_width`]; the Wald
+/// form is kept as the textbook reference (and for callers that need the
+/// classical interval).
 pub fn binomial_ci_half_width(successes: u64, trials: u64, z: f64) -> f64 {
     if trials == 0 {
         return 0.0;
@@ -186,8 +196,163 @@ pub fn binomial_ci_half_width(successes: u64, trials: u64, z: f64) -> f64 {
     z * (p * (1.0 - p) / n).sqrt()
 }
 
+/// Two-sided `(1−α)` **Wilson score** confidence half-width for a
+/// binomial proportion estimated by `successes/trials` — the error bars
+/// on every simulated `Pr[battery empty at t]` point.
+///
+/// Unlike the Wald interval, the Wilson interval stays strictly positive
+/// at `p̂ ∈ {0, 1}` (`half-width → z²/(2n)/(1 + z²/n)`), never leaves
+/// `[0, 1]`, and keeps close-to-nominal coverage at small `n` — exactly
+/// the regimes a lifetime curve hits at its head (`p̂ = 0` before the
+/// first depletion) and tail (`p̂ = 1` once every run depleted).
+///
+/// The interval is centred at `(p̂ + z²/2n) / (1 + z²/n)`, not at `p̂`;
+/// this function returns its half-width
+/// `z/(1 + z²/n) · √(p̂(1−p̂)/n + z²/4n²)`. Returns 0 for `trials = 0`.
+pub fn wilson_ci_half_width(successes: u64, trials: u64, z: f64) -> f64 {
+    if trials == 0 {
+        return 0.0;
+    }
+    debug_assert!(successes <= trials, "{successes} successes of {trials}");
+    let n = trials as f64;
+    let p = (successes.min(trials)) as f64 / n;
+    let z2 = z * z;
+    z / (1.0 + z2 / n) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt()
+}
+
 /// The 97.5 % standard-normal quantile, for 95 % two-sided intervals.
 pub const Z_95: f64 = 1.959963984540054;
+
+/// Streaming (single-pass) sample moments: count, mean, min/max and the
+/// centred sum of squares, updated by Welford's recurrence and mergeable
+/// by Chan's pairwise rule — the `O(1)`-memory replacement for collecting
+/// samples into a `Vec` first.
+///
+/// Merging is **deterministic**: `a.merge(&b)` is a fixed sequence of
+/// floating-point operations, so folding the same partition of a sample
+/// in the same order always reproduces the same bits (the parallel
+/// simulation engine relies on this for its thread-count-independence
+/// guarantee). Merging is *not* bit-wise associative — reorder or
+/// repartition the stream and last bits may move, like any other
+/// floating-point summation.
+///
+/// # Examples
+///
+/// ```
+/// use numerics::stats::StreamingMoments;
+///
+/// let mut m = StreamingMoments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.count(), 8);
+/// assert_eq!(m.mean(), Some(5.0));
+/// assert!((m.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingMoments {
+    count: u64,
+    mean: f64,
+    /// Centred sum of squares `Σ (x − mean)²` (a.k.a. Welford's `M2`).
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for StreamingMoments {
+    fn default() -> Self {
+        // Not derivable: min/max must start at ±∞, not 0.0, or the
+        // first pushed sample loses the extrema race.
+        StreamingMoments::new()
+    }
+}
+
+impl StreamingMoments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StreamingMoments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one sample in (Welford's recurrence).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on NaN (a NaN would silently poison every
+    /// later estimate).
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "streaming moments fed NaN");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator in (Chan's parallel update). The
+    /// result equals folding `other`'s samples after `self`'s, up to
+    /// floating-point reassociation; the operation itself is
+    /// deterministic bit for bit.
+    pub fn merge(&mut self, other: &StreamingMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n2 / n);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / n);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance (n−1 denominator; 0 for singletons,
+    /// `None` when empty) — matches [`variance`] on the same samples.
+    pub fn variance(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            1 => Some(0.0),
+            n => Some(self.m2 / (n - 1) as f64),
+        }
+    }
+
+    /// Sample standard deviation (`None` when empty).
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -265,8 +430,102 @@ mod tests {
         // p = 0.5, n = 100 → half width ≈ 1.96 · 0.05 = 0.098.
         let hw = binomial_ci_half_width(50, 100, Z_95);
         assert!((hw - 0.0979981992).abs() < 1e-6);
-        // Degenerate proportions give zero width.
+        // Degenerate proportions give zero width — the Wald failure mode
+        // the Wilson interval exists to fix.
         assert_eq!(binomial_ci_half_width(100, 100, Z_95), 0.0);
+    }
+
+    #[test]
+    fn wilson_ci_stays_positive_at_degenerate_proportions() {
+        assert_eq!(wilson_ci_half_width(0, 0, Z_95), 0.0);
+        // At p̂ ∈ {0, 1} the half-width is z²/(2n)/(1 + z²/n) > 0.
+        let n = 100u64;
+        let expect = Z_95 * Z_95 / (2.0 * n as f64) / (1.0 + Z_95 * Z_95 / n as f64);
+        for successes in [0, n] {
+            let hw = wilson_ci_half_width(successes, n, Z_95);
+            assert!((hw - expect).abs() < 1e-12, "p̂ degenerate: {hw}");
+            assert!(hw > 0.0);
+        }
+        // Mid-range it agrees with Wald to O(1/n).
+        let wald = binomial_ci_half_width(500, 1000, Z_95);
+        let wilson = wilson_ci_half_width(500, 1000, Z_95);
+        assert!((wald - wilson).abs() < 2e-4, "{wald} vs {wilson}");
+        // The interval never leaves [0, 1]: centre ± hw fits.
+        let n = 10u64;
+        for s in 0..=n {
+            let p = s as f64 / n as f64;
+            let z2 = Z_95 * Z_95;
+            let centre = (p + z2 / (2.0 * n as f64)) / (1.0 + z2 / n as f64);
+            let hw = wilson_ci_half_width(s, n, Z_95);
+            assert!(centre - hw >= -1e-12 && centre + hw <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn count_le_is_the_exact_success_count() {
+        let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(cdf.count_le(0.5), 0);
+        assert_eq!(cdf.count_le(1.0), 1);
+        assert_eq!(cdf.count_le(2.0), 3);
+        assert_eq!(cdf.count_le(3.9), 3);
+        assert_eq!(cdf.count_le(4.0), 4);
+    }
+
+    #[test]
+    fn streaming_moments_match_batch_estimators() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut m = StreamingMoments::new();
+        assert_eq!(m.mean(), None);
+        assert_eq!(m.variance(), None);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+        for x in xs {
+            m.push(x);
+        }
+        assert_eq!(m.count(), 8);
+        assert!((m.mean().unwrap() - mean(&xs).unwrap()).abs() < 1e-12);
+        assert!((m.variance().unwrap() - variance(&xs).unwrap()).abs() < 1e-12);
+        assert!((m.std_dev().unwrap() - std_dev(&xs).unwrap()).abs() < 1e-12);
+        assert_eq!(m.min(), Some(2.0));
+        assert_eq!(m.max(), Some(9.0));
+        // Singletons have zero variance, matching `variance`.
+        let mut one = StreamingMoments::new();
+        one.push(3.0);
+        assert_eq!(one.variance(), Some(0.0));
+    }
+
+    #[test]
+    fn streaming_moments_merge_is_deterministic_and_accurate() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+        let mut whole = StreamingMoments::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        // Merge a fixed partition twice: bit-identical both times.
+        let merge_parts = |chunk: usize| {
+            let mut acc = StreamingMoments::new();
+            for part in xs.chunks(chunk) {
+                let mut p = StreamingMoments::new();
+                for &x in part {
+                    p.push(x);
+                }
+                acc.merge(&p);
+            }
+            acc
+        };
+        assert_eq!(merge_parts(64), merge_parts(64));
+        // And close to the un-partitioned fold.
+        let merged = merge_parts(64);
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert!((merged.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-9);
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        // Merging an empty accumulator is the identity.
+        let mut m = merge_parts(128);
+        let before = m.clone();
+        m.merge(&StreamingMoments::new());
+        assert_eq!(m, before);
     }
 
     proptest! {

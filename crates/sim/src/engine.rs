@@ -1,0 +1,739 @@
+//! The parallel streaming Monte Carlo engine.
+//!
+//! [`McPool`] executes replications on a persistent worker pool (spawned
+//! once, reused across studies — the zero-respawn discipline of
+//! `markov::pool::SpmvPool`) and folds them into a
+//! [`StreamingLifetimeStudy`], making 10⁶–10⁷ replications practical:
+//! memory stays O(time-grid + threads), never O(runs).
+//!
+//! # Determinism: bit-identical for any thread count
+//!
+//! Three choices make a study's result a pure function of
+//! `(grid, horizon, seed, options, experiment)` — independent of how
+//! many workers computed it:
+//!
+//! 1. **Counter-derived streams.** Replication `r` always draws from
+//!    [`SimRng::stream`]`(master_seed, r)`; workers claim replication
+//!    *indices*, they never share a sequential generator.
+//! 2. **Fixed batch schedule.** Replications are grouped into batches of
+//!    [`McOptions::batch`] consecutive indices. The schedule depends
+//!    only on the round structure, never on the worker count.
+//! 3. **In-order merging.** Batch partials are merged into the study in
+//!    batch-index order (out-of-order completions wait in a bounded
+//!    buffer). The sequential path uses the *same* batch-then-merge
+//!    structure, so `threads = 1` and `threads = 8` perform the exact
+//!    same floating-point operations in the same order.
+//!
+//! # The adaptive stopping rule
+//!
+//! With [`McOptions::target_half_width`] set, the engine runs in
+//! *rounds*: the first round is [`McOptions::runs`] replications, and
+//! while the largest 95 % Wilson half-width over the grid exceeds the
+//! target, the replication count doubles (capped at
+//! [`McOptions::max_runs`]). Round boundaries are fixed checkpoints
+//! derived from the merged study, so the stopping decision — and hence
+//! the final replication count — is itself deterministic across thread
+//! counts.
+
+use crate::rng::SimRng;
+use crate::streaming::{StreamingError, StreamingLifetimeStudy};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Range;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One replication's outcome, as reported by the experiment closure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Replication {
+    /// The battery emptied at the given time (`≤` horizon).
+    Depleted(f64),
+    /// The battery outlived the horizon.
+    Censored,
+    /// Abort the whole study (the caller records the underlying error
+    /// itself — e.g. in a mutex the experiment closure captures — and
+    /// the engine returns [`EngineError::Aborted`]).
+    Abort,
+}
+
+/// Errors from the streaming engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The experiment returned [`Replication::Abort`].
+    Aborted,
+    /// A grid/lifetime/merge error from the accumulator.
+    Streaming(StreamingError),
+    /// Inconsistent [`McOptions`].
+    InvalidOptions(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Aborted => write!(f, "experiment aborted the study"),
+            EngineError::Streaming(e) => write!(f, "{e}"),
+            EngineError::InvalidOptions(why) => write!(f, "invalid engine options: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StreamingError> for EngineError {
+    fn from(e: StreamingError) -> Self {
+        EngineError::Streaming(e)
+    }
+}
+
+/// Replication budget and stopping rule for one study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McOptions {
+    /// Replications of the first round (the paper's default is 1000).
+    /// With no target half-width this is the exact total.
+    pub runs: u64,
+    /// Replications per batch — the scheduling and merge quantum. Small
+    /// enough for load balancing, large enough that claiming a batch
+    /// (one channel send/recv) is negligible against simulating it.
+    pub batch: u64,
+    /// Adaptive stopping: keep doubling the replication count until the
+    /// largest 95 % Wilson half-width over the grid drops to this
+    /// target (or `max_runs` is hit). `None` runs exactly `runs`.
+    pub target_half_width: Option<f64>,
+    /// Hard replication cap for the adaptive rule.
+    pub max_runs: u64,
+}
+
+impl Default for McOptions {
+    fn default() -> Self {
+        McOptions {
+            runs: 1000,
+            batch: 256,
+            target_half_width: None,
+            max_runs: 1 << 20,
+        }
+    }
+}
+
+impl McOptions {
+    fn validate(&self) -> Result<(), EngineError> {
+        let bad = |why: String| Err(EngineError::InvalidOptions(why));
+        if self.runs == 0 {
+            return bad("runs must be positive".into());
+        }
+        if self.batch == 0 {
+            return bad("batch must be positive".into());
+        }
+        if let Some(target) = self.target_half_width {
+            if !(target > 0.0) || !target.is_finite() {
+                return bad(format!("target half-width must be positive, got {target}"));
+            }
+            if self.max_runs < self.runs {
+                return bad(format!(
+                    "max_runs {} below the initial round of {} runs",
+                    self.max_runs, self.runs
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One unit of work: fold replications `reps` (streams derived from
+/// `master_seed`) into a fresh partial over the shared grid.
+///
+/// The experiment reference is lifetime-erased to `'static` because the
+/// pool outlives any single borrow; the *caller* guarantees the
+/// referent stays alive until the completion message for this job
+/// arrives ([`McPool::run_study`] blocks on exactly that, draining
+/// every in-flight job even on failure).
+struct Job {
+    experiment: &'static (dyn Fn(&mut SimRng) -> Replication + Sync),
+    grid: Arc<[f64]>,
+    horizon: f64,
+    master_seed: u64,
+    batch_index: usize,
+    reps: Range<u64>,
+}
+
+/// Why a batch produced no partial: an engine error, or a panic that
+/// unwound out of the experiment closure (its payload is carried back so
+/// the dispatcher can re-raise it on the caller's thread *after* every
+/// in-flight job is drained — re-raising earlier would end the
+/// experiment borrow while workers still hold it).
+enum BatchFailure {
+    Error(EngineError),
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+type Completion = (usize, Result<StreamingLifetimeStudy, BatchFailure>);
+
+/// A persistent pool of Monte Carlo workers; see the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use sim::engine::{McOptions, McPool, Replication};
+///
+/// // Lifetimes ~ Exp(1), censored at 4.0.
+/// let experiment = |rng: &mut sim::rng::SimRng| {
+///     let t = rng.exponential(1.0);
+///     if t <= 4.0 { Replication::Depleted(t) } else { Replication::Censored }
+/// };
+/// let pool = McPool::with_exact_threads(2);
+/// let opts = McOptions { runs: 4000, ..McOptions::default() };
+/// let study = pool
+///     .run_study(vec![0.5, 1.0, 2.0], 4.0, 7, &opts, &experiment)
+///     .unwrap();
+/// assert_eq!(study.total_runs(), 4000);
+/// let p = study.empty_probability(1); // ≈ 1 − e⁻¹
+/// assert!((p - 0.632).abs() < 0.03);
+/// ```
+#[derive(Debug)]
+pub struct McPool {
+    /// Shared job queue: workers race to claim the next batch.
+    job_tx: Option<Sender<Job>>,
+    done_rx: Receiver<Completion>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl McPool {
+    /// Spawns up to `threads` workers, clamped to the machine's
+    /// available parallelism (replication simulation is compute-bound);
+    /// none when the effective count is ≤ 1 — the caller's thread then
+    /// runs the same batch schedule inline.
+    pub fn new(threads: usize) -> McPool {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        McPool::with_exact_threads(threads.min(cores))
+    }
+
+    /// [`McPool::new`] without the available-parallelism clamp (the
+    /// thread-count bit-identity tests exercise real worker pools on
+    /// any machine).
+    pub fn with_exact_threads(threads: usize) -> McPool {
+        let workers = if threads > 1 { threads } else { 0 };
+        let (done_tx, done_rx) = channel::<Completion>();
+        let (job_tx, job_rx) = channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = Arc::clone(&job_rx);
+            let done = done_tx.clone();
+            handles.push(std::thread::spawn(move || worker_loop(&rx, &done)));
+        }
+        McPool {
+            job_tx: (workers > 0).then_some(job_tx),
+            done_rx,
+            handles,
+        }
+    }
+
+    /// Worker count (1 when the pool runs inline on the caller's
+    /// thread).
+    pub fn threads(&self) -> usize {
+        self.handles.len().max(1)
+    }
+
+    /// `true` when every batch runs inline on the caller's thread.
+    pub fn is_sequential(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Runs a study: replications drawn from counter-derived streams of
+    /// `master_seed`, folded into a [`StreamingLifetimeStudy`] over
+    /// `grid` (censoring `horizon`), under `opts`' stopping rule. The
+    /// result is **bit-identical for any thread count** — see the
+    /// module docs for why.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidOptions`] and grid validation errors
+    /// up front; [`EngineError::Aborted`] when the experiment returns
+    /// [`Replication::Abort`] (the caller records the underlying error
+    /// itself); [`EngineError::Streaming`] on NaN/negative lifetimes.
+    pub fn run_study(
+        &self,
+        grid: Vec<f64>,
+        horizon: f64,
+        master_seed: u64,
+        opts: &McOptions,
+        experiment: &(dyn Fn(&mut SimRng) -> Replication + Sync),
+    ) -> Result<StreamingLifetimeStudy, EngineError> {
+        opts.validate()?;
+        let mut merged = StreamingLifetimeStudy::new(grid, horizon)?;
+        let mut total: u64 = 0;
+        let mut round_end = opts.runs;
+        loop {
+            self.run_round(&mut merged, total..round_end, master_seed, opts, experiment)?;
+            total = round_end;
+            let Some(target) = opts.target_half_width else {
+                break;
+            };
+            if merged.max_half_width() <= target || total >= opts.max_runs {
+                break;
+            }
+            // Doubling keeps the number of stopping checks logarithmic
+            // and the total work within 2× of the minimal sufficient
+            // count; checkpoints are fixed, so the stopping decision is
+            // thread-count independent.
+            round_end = total.saturating_mul(2).min(opts.max_runs);
+        }
+        Ok(merged)
+    }
+
+    /// Executes replications `reps` as consecutive batches and merges
+    /// them into `merged` in batch order.
+    fn run_round(
+        &self,
+        merged: &mut StreamingLifetimeStudy,
+        reps: Range<u64>,
+        master_seed: u64,
+        opts: &McOptions,
+        experiment: &(dyn Fn(&mut SimRng) -> Replication + Sync),
+    ) -> Result<(), EngineError> {
+        let batches: Vec<Range<u64>> = {
+            let mut out = Vec::new();
+            let mut start = reps.start;
+            while start < reps.end {
+                let end = (start + opts.batch).min(reps.end);
+                out.push(start..end);
+                start = end;
+            }
+            out
+        };
+        let Some(job_tx) = &self.job_tx else {
+            // Inline path: same batch-partial-then-merge structure as
+            // the workers, so the floating-point operation sequence is
+            // identical — this is the bit-identity anchor.
+            for batch in batches {
+                let partial = batch_partial(
+                    merged.shared_grid(),
+                    merged.horizon(),
+                    master_seed,
+                    batch,
+                    experiment,
+                )?;
+                merged.merge(&partial)?;
+            }
+            return Ok(());
+        };
+
+        // Workers claim batches from the shared queue; completions are
+        // merged in batch order. Dispatch stays at most `cap` batches
+        // ahead of the merge watermark, so out-of-order completions
+        // wait in a buffer of at most `cap` partials — memory is
+        // O(threads · grid) regardless of the replication count.
+        let cap = 2 * self.handles.len();
+        let mut next = 0usize; // next batch to dispatch
+        let mut watermark = 0usize; // batches merged so far
+        let mut in_flight = 0usize;
+        let mut pending: BTreeMap<usize, StreamingLifetimeStudy> = BTreeMap::new();
+        let mut failure: Option<BatchFailure> = None;
+        loop {
+            while failure.is_none() && next < batches.len() && next < watermark + cap {
+                // SAFETY: lifetime erasure only — the referent outlives
+                // every job because this function collects all in-flight
+                // acknowledgements before returning (even on failure).
+                let experiment: &'static (dyn Fn(&mut SimRng) -> Replication + Sync) =
+                    unsafe { std::mem::transmute(experiment) };
+                let job = Job {
+                    experiment,
+                    grid: merged.shared_grid(),
+                    horizon: merged.horizon(),
+                    master_seed,
+                    batch_index: next,
+                    reps: batches[next].clone(),
+                };
+                job_tx.send(job).expect("mc worker hung up");
+                next += 1;
+                in_flight += 1;
+            }
+            if in_flight == 0 {
+                break;
+            }
+            // Collect every acknowledgement before returning — even on
+            // failure — so no worker still holds the experiment pointer
+            // when the borrow ends (this is what makes `Job` sound).
+            let (index, result) = self.done_rx.recv().expect("mc worker died");
+            in_flight -= 1;
+            match result {
+                Err(f) => {
+                    // First failure wins, except that a panic always
+                    // displaces a plain error — swallowing a panic
+                    // payload would hide the bug that caused it.
+                    let panicked = matches!(f, BatchFailure::Panicked(_));
+                    if failure.is_none()
+                        || (panicked && !matches!(failure, Some(BatchFailure::Panicked(_))))
+                    {
+                        failure = Some(f);
+                    }
+                }
+                Ok(partial) => {
+                    pending.insert(index, partial);
+                }
+            }
+            if failure.is_none() {
+                while let Some(partial) = pending.remove(&watermark) {
+                    if let Err(e) = merged.merge(&partial) {
+                        failure.get_or_insert(BatchFailure::Error(e.into()));
+                        break;
+                    }
+                    watermark += 1;
+                }
+            }
+        }
+        match failure {
+            Some(BatchFailure::Error(e)) => Err(e),
+            // Every in-flight job is drained by now (the loop above only
+            // exits at in_flight == 0), so the experiment borrow is free
+            // and the worker's panic can resume on the caller's thread —
+            // the same observable behaviour as the inline path.
+            Some(BatchFailure::Panicked(payload)) => std::panic::resume_unwind(payload),
+            None => {
+                debug_assert_eq!(watermark, batches.len(), "every batch merged");
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Drop for McPool {
+    fn drop(&mut self) {
+        // Closing the job queue ends every worker loop.
+        self.job_tx = None;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Folds the replications of one batch into a fresh partial. Shared by
+/// the inline and worker paths — bit-identity across thread counts
+/// reduces to "same batches, same merge order".
+fn batch_partial(
+    grid: Arc<[f64]>,
+    horizon: f64,
+    master_seed: u64,
+    reps: Range<u64>,
+    experiment: &(dyn Fn(&mut SimRng) -> Replication + Sync),
+) -> Result<StreamingLifetimeStudy, EngineError> {
+    let mut partial = StreamingLifetimeStudy::from_shared_grid(grid, horizon);
+    for r in reps {
+        let mut rng = SimRng::stream(master_seed, r);
+        match experiment(&mut rng) {
+            Replication::Depleted(t) => partial.fold(Some(t))?,
+            Replication::Censored => partial.fold(None)?,
+            Replication::Abort => return Err(EngineError::Aborted),
+        }
+    }
+    Ok(partial)
+}
+
+fn worker_loop(jobs: &Arc<Mutex<Receiver<Job>>>, done: &Sender<Completion>) {
+    loop {
+        // Hold the queue lock only for the claim, not the computation.
+        let claimed = { jobs.lock().expect("mc queue poisoned").recv() };
+        let Ok(job) = claimed else { return };
+        // The experiment referent is alive for the whole computation:
+        // the dispatcher blocks until our completion message (the
+        // `'static` on the field is erasure, not a real lifetime). A
+        // panicking experiment must still produce that message — a
+        // swallowed unwind would leave the dispatcher waiting forever —
+        // so the unwind is caught here and re-raised on the caller's
+        // thread once every in-flight job has drained. (AssertUnwindSafe:
+        // the only state crossing the boundary is the experiment's own
+        // captured state, which the panic already exposes on the inline
+        // path too.)
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            batch_partial(
+                job.grid,
+                job.horizon,
+                job.master_seed,
+                job.reps,
+                job.experiment,
+            )
+        }));
+        let result = match result {
+            Ok(Ok(partial)) => Ok(partial),
+            Ok(Err(e)) => Err(BatchFailure::Error(e)),
+            Err(payload) => Err(BatchFailure::Panicked(payload)),
+        };
+        if done.send((job.batch_index, result)).is_err() {
+            return; // pool dropped mid-flight
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exp(rate) lifetimes censored at `horizon`.
+    fn exponential_experiment(
+        rate: f64,
+        horizon: f64,
+    ) -> impl Fn(&mut SimRng) -> Replication + Sync {
+        move |rng: &mut SimRng| {
+            let t = rng.exponential(rate);
+            if t <= horizon {
+                Replication::Depleted(t)
+            } else {
+                Replication::Censored
+            }
+        }
+    }
+
+    #[test]
+    fn study_results_are_bit_identical_across_thread_counts() {
+        let grid = vec![0.25, 0.5, 1.0, 2.0, 3.0];
+        let opts = McOptions {
+            runs: 5000,
+            batch: 128,
+            ..McOptions::default()
+        };
+        let experiment = exponential_experiment(1.0, 3.0);
+        let reference = McPool::with_exact_threads(1)
+            .run_study(grid.clone(), 3.0, 2024, &opts, &experiment)
+            .unwrap();
+        for threads in 2..=8 {
+            let pool = McPool::with_exact_threads(threads);
+            assert!(!pool.is_sequential());
+            assert_eq!(pool.threads(), threads);
+            let study = pool
+                .run_study(grid.clone(), 3.0, 2024, &opts, &experiment)
+                .unwrap();
+            // PartialEq covers counts AND the f64 moment state: this is
+            // bit-identity, not statistical agreement.
+            assert_eq!(study, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_studies_and_matches_theory() {
+        let pool = McPool::with_exact_threads(4);
+        let experiment = exponential_experiment(1.0, 5.0);
+        let opts = McOptions {
+            runs: 20_000,
+            ..McOptions::default()
+        };
+        for seed in 0..5 {
+            let study = pool
+                .run_study(vec![0.5, 1.0, 2.0], 5.0, seed, &opts, &experiment)
+                .unwrap();
+            assert_eq!(study.total_runs(), 20_000);
+            for (i, &t) in [0.5f64, 1.0, 2.0].iter().enumerate() {
+                let theory = 1.0 - (-t).exp();
+                let p = study.empty_probability(i);
+                assert!((p - theory).abs() < 0.02, "seed {seed}, t {t}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_rule_stops_at_the_target_and_is_deterministic() {
+        let grid = vec![0.5, 1.0, 2.0];
+        let opts = McOptions {
+            runs: 500,
+            batch: 64,
+            target_half_width: Some(0.01),
+            max_runs: 1 << 17,
+        };
+        let experiment = exponential_experiment(1.0, 2.0);
+        let a = McPool::with_exact_threads(1)
+            .run_study(grid.clone(), 2.0, 7, &opts, &experiment)
+            .unwrap();
+        // The target is met (it is reachable within the cap)…
+        assert!(a.max_half_width() <= 0.01, "{}", a.max_half_width());
+        // …and needed more than the initial round.
+        assert!(a.total_runs() > 500, "{} runs", a.total_runs());
+        assert!(a.total_runs() <= 1 << 17);
+        // The stopping decision is part of the determinism guarantee.
+        let b = McPool::with_exact_threads(3)
+            .run_study(grid, 2.0, 7, &opts, &experiment)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_rule_respects_the_run_cap() {
+        let opts = McOptions {
+            runs: 100,
+            batch: 32,
+            target_half_width: Some(1e-6), // unreachable
+            max_runs: 1000,
+        };
+        let study = McPool::with_exact_threads(2)
+            .run_study(vec![1.0], 2.0, 1, &opts, &exponential_experiment(1.0, 2.0))
+            .unwrap();
+        assert_eq!(study.total_runs(), 1000);
+        assert!(study.max_half_width() > 1e-6);
+    }
+
+    #[test]
+    fn abort_propagates_and_the_pool_stays_usable() {
+        let pool = McPool::with_exact_threads(2);
+        let opts = McOptions {
+            runs: 1000,
+            batch: 16,
+            ..McOptions::default()
+        };
+        let aborting = |rng: &mut SimRng| {
+            if rng.uniform() < 0.01 {
+                Replication::Abort
+            } else {
+                Replication::Censored
+            }
+        };
+        let err = pool
+            .run_study(vec![1.0], 2.0, 5, &opts, &aborting)
+            .expect_err("must abort");
+        assert_eq!(err, EngineError::Aborted);
+        // The pool drained all in-flight work and accepts new studies.
+        let ok = pool
+            .run_study(vec![1.0], 2.0, 5, &opts, &exponential_experiment(1.0, 2.0))
+            .unwrap();
+        assert_eq!(ok.total_runs(), 1000);
+    }
+
+    #[test]
+    fn a_panicking_experiment_propagates_and_does_not_deadlock() {
+        // Regression: a panic unwinding out of a pooled experiment used
+        // to swallow the worker's completion message, deadlocking the
+        // dispatcher. It must propagate to the caller (like the inline
+        // path) and leave the pool serviceable.
+        let pool = McPool::with_exact_threads(3);
+        let opts = McOptions {
+            runs: 500,
+            batch: 16,
+            ..McOptions::default()
+        };
+        let panicking = |rng: &mut SimRng| {
+            if rng.uniform() < 0.05 {
+                panic!("boom in replication");
+            }
+            Replication::Censored
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_study(vec![1.0], 2.0, 9, &opts, &panicking)
+        }));
+        let payload = result.expect_err("panic must propagate, not deadlock");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom in replication"));
+        // Workers caught the unwind and keep serving new studies.
+        let ok = pool
+            .run_study(vec![1.0], 2.0, 9, &opts, &exponential_experiment(1.0, 2.0))
+            .unwrap();
+        assert_eq!(ok.total_runs(), 500);
+    }
+
+    #[test]
+    fn options_and_grid_are_validated() {
+        let pool = McPool::with_exact_threads(1);
+        let experiment = exponential_experiment(1.0, 2.0);
+        let run =
+            |opts: McOptions, grid: Vec<f64>| pool.run_study(grid, 2.0, 1, &opts, &experiment);
+        let default = McOptions::default();
+        assert!(matches!(
+            run(McOptions { runs: 0, ..default }, vec![1.0]),
+            Err(EngineError::InvalidOptions(_))
+        ));
+        assert!(matches!(
+            run(
+                McOptions {
+                    batch: 0,
+                    ..default
+                },
+                vec![1.0]
+            ),
+            Err(EngineError::InvalidOptions(_))
+        ));
+        assert!(matches!(
+            run(
+                McOptions {
+                    target_half_width: Some(-0.5),
+                    ..default
+                },
+                vec![1.0]
+            ),
+            Err(EngineError::InvalidOptions(_))
+        ));
+        assert!(matches!(
+            run(
+                McOptions {
+                    runs: 100,
+                    target_half_width: Some(0.1),
+                    max_runs: 50,
+                    ..default
+                },
+                vec![1.0]
+            ),
+            Err(EngineError::InvalidOptions(_))
+        ));
+        // Grid validation flows through from the accumulator.
+        assert!(matches!(
+            run(default, vec![2.0, 1.0]),
+            Err(EngineError::Streaming(StreamingError::InvalidGrid(_)))
+        ));
+        // Errors display.
+        assert!(EngineError::Aborted.to_string().contains("aborted"));
+        assert!(EngineError::InvalidOptions("x".into())
+            .to_string()
+            .contains("x"));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        /// The satellite property: across random seeds, batch sizes,
+        /// replication counts and stopping rules, the study a worker
+        /// pool of 2–8 threads produces is bit-identical to the inline
+        /// single-threaded study — counts, totals AND the f64 moment
+        /// sketches.
+        #[test]
+        fn studies_are_bit_identical_across_thread_counts(
+            threads in 2usize..=8,
+            seed in 0u64..1000,
+            batch in 1u64..200,
+            runs in 1u64..2000,
+            adaptive_sel in 0u64..2,
+        ) {
+            use proptest::prelude::*;
+            let grid = vec![0.25, 0.5, 1.0, 2.0];
+            let opts = McOptions {
+                runs,
+                batch,
+                target_half_width: (adaptive_sel == 1).then_some(0.05),
+                max_runs: runs.max(4000),
+            };
+            let experiment = exponential_experiment(1.0, 2.0);
+            let reference = McPool::with_exact_threads(1)
+                .run_study(grid.clone(), 2.0, seed, &opts, &experiment)
+                .unwrap();
+            let study = McPool::with_exact_threads(threads)
+                .run_study(grid, 2.0, seed, &opts, &experiment)
+                .unwrap();
+            prop_assert!(study == reference,
+                "threads {} differ from inline: {:?} vs {:?}", threads, study, reference);
+        }
+    }
+
+    #[test]
+    fn short_final_batch_and_tiny_runs_work() {
+        // runs not a multiple of batch, fewer runs than workers.
+        let opts = McOptions {
+            runs: 7,
+            batch: 3,
+            ..McOptions::default()
+        };
+        let experiment = exponential_experiment(2.0, 10.0);
+        let a = McPool::with_exact_threads(8)
+            .run_study(vec![1.0, 2.0], 10.0, 3, &opts, &experiment)
+            .unwrap();
+        assert_eq!(a.total_runs(), 7);
+        let b = McPool::with_exact_threads(1)
+            .run_study(vec![1.0, 2.0], 10.0, 3, &opts, &experiment)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

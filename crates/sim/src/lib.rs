@@ -7,12 +7,20 @@
 //! model-independent pieces:
 //!
 //! * [`rng`] — seedable random streams with exponential and categorical
-//!   sampling (built on `rand`'s `StdRng` so replications are exactly
-//!   reproducible);
+//!   sampling, plus the counter-derived per-replication streams
+//!   ([`rng::SimRng::stream`]) the parallel engine's determinism rests
+//!   on;
 //! * [`trajectory`] — CTMC path sampling: states, sojourn times, jump
 //!   counting, time-bounded generation;
 //! * [`replication`] — replication management: fixed-count experiments,
-//!   empirical lifetime distributions and confidence intervals.
+//!   exact empirical lifetime distributions and Wilson confidence
+//!   intervals (O(runs) memory — the order-statistics reference);
+//! * [`streaming`] — O(grid)-memory lifetime studies: fixed-grid
+//!   depletion counts plus moment sketches, mergeable in batch order;
+//! * [`engine`] — the parallel streaming Monte Carlo engine: a
+//!   persistent worker pool executing replication batches, with an
+//!   adaptive Wilson-half-width stopping rule, **bit-identical for any
+//!   thread count**.
 //!
 //! # Examples
 //!
@@ -31,7 +39,27 @@
 //! let path = sample_path(&chain, 0, 100.0, &mut rng).unwrap();
 //! assert!(path.total_time() >= 100.0 - 1e-12);
 //! ```
+//!
+//! Streaming a million exponential lifetimes through the parallel
+//! engine in O(grid) memory:
+//!
+//! ```
+//! use sim::engine::{McOptions, McPool, Replication};
+//!
+//! let pool = McPool::new(4);
+//! let opts = McOptions { runs: 1_000_000, ..McOptions::default() };
+//! let study = pool
+//!     .run_study(vec![0.5, 1.0, 2.0], 4.0, 7, &opts, &|rng| {
+//!         let t = rng.exponential(1.0);
+//!         if t <= 4.0 { Replication::Depleted(t) } else { Replication::Censored }
+//!     })
+//!     .unwrap();
+//! assert_eq!(study.total_runs(), 1_000_000);
+//! assert!((study.empty_probability(1) - (1.0 - (-1.0f64).exp())).abs() < 2e-3);
+//! ```
 
+pub mod engine;
 pub mod replication;
 pub mod rng;
+pub mod streaming;
 pub mod trajectory;

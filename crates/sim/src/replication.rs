@@ -2,15 +2,28 @@
 //!
 //! The paper's simulation curves are empirical CDFs over 1000 independent
 //! runs. [`run_replications`] drives any per-replication experiment with
-//! independent seeded streams; [`LifetimeStudy`] turns (possibly censored)
-//! lifetime samples into the curve `t ↦ P̂r[battery empty at t]` with
-//! binomial confidence intervals.
+//! independent counter-derived streams; [`LifetimeStudy`] turns (possibly
+//! censored) lifetime samples into the curve `t ↦ P̂r[battery empty at t]`
+//! with Wilson-score binomial confidence intervals.
+//!
+//! `LifetimeStudy` keeps every observed lifetime (O(runs) memory) and is
+//! the exact-order-statistics reference; the streaming engine
+//! ([`crate::streaming::StreamingLifetimeStudy`] driven by
+//! [`crate::engine`]) is the O(grid) production path for 10⁶–10⁷
+//! replications.
 
 use crate::rng::SimRng;
-use numerics::stats::{binomial_ci_half_width, EmpiricalCdf, StatsError, Z_95};
+use numerics::stats::{wilson_ci_half_width, EmpiricalCdf, StatsError, Z_95};
 
 /// Runs `n` independent replications of `experiment`, each with its own
-/// random stream derived from `master_seed`, collecting the results.
+/// counter-derived random stream [`SimRng::stream`]`(master_seed, i)`,
+/// collecting the results.
+///
+/// Because streams are derived from the replication *index* rather than
+/// pulled sequentially from a master generator, replication `i` sees the
+/// same randomness here as it does on any worker of the parallel engine
+/// ([`crate::engine`]) — the sequential and parallel paths agree
+/// replication by replication.
 ///
 /// # Examples
 ///
@@ -25,10 +38,9 @@ pub fn run_replications<T>(
     master_seed: u64,
     mut experiment: impl FnMut(&mut SimRng) -> T,
 ) -> Vec<T> {
-    let mut master = SimRng::seed_from(master_seed);
-    (0..n)
-        .map(|_| {
-            let mut stream = master.fork();
+    (0..n as u64)
+        .map(|i| {
+            let mut stream = SimRng::stream(master_seed, i);
             experiment(&mut stream)
         })
         .collect()
@@ -37,10 +49,15 @@ pub fn run_replications<T>(
 /// An empirical battery-lifetime study built from replication outcomes.
 ///
 /// Each outcome is either an observed lifetime (`Some(t)`) or censored at
-/// the simulation horizon (`None` — the battery outlived the run).
+/// the simulation horizon (`None` — the battery outlived the run). A
+/// study where **no** run depleted is valid: its curve is identically
+/// zero with [`LifetimeStudy::depleted_runs`]` == 0`, every quantile
+/// unidentified and [`LifetimeStudy::mean_observed_lifetime`]` == None`
+/// (one long-lived scenario must not abort a whole sweep).
 #[derive(Debug, Clone)]
 pub struct LifetimeStudy {
-    observed: EmpiricalCdf,
+    /// `None` when every run was censored (empty observed sample).
+    observed: Option<EmpiricalCdf>,
     total_runs: usize,
     horizon: f64,
 }
@@ -50,12 +67,19 @@ impl LifetimeStudy {
     ///
     /// # Errors
     ///
-    /// [`StatsError::Empty`] when no run depleted (the empirical CDF would
-    /// be identically zero — callers should extend the horizon);
-    /// [`StatsError::NotANumber`] on NaN lifetimes.
+    /// [`StatsError::Empty`] when there are no outcomes at all;
+    /// [`StatsError::NotANumber`] on NaN lifetimes. An all-censored
+    /// study is **not** an error — it is the valid all-zero curve.
     pub fn new(outcomes: &[Option<f64>], horizon: f64) -> Result<Self, StatsError> {
+        if outcomes.is_empty() {
+            return Err(StatsError::Empty);
+        }
         let depleted: Vec<f64> = outcomes.iter().filter_map(|o| *o).collect();
-        let observed = EmpiricalCdf::new(depleted)?;
+        let observed = if depleted.is_empty() {
+            None
+        } else {
+            Some(EmpiricalCdf::new(depleted)?)
+        };
         Ok(LifetimeStudy {
             observed,
             total_runs: outcomes.len(),
@@ -70,36 +94,68 @@ impl LifetimeStudy {
 
     /// Number of runs that saw the battery empty.
     pub fn depleted_runs(&self) -> usize {
-        self.observed.len()
+        self.observed.as_ref().map_or(0, EmpiricalCdf::len)
     }
 
-    /// The estimate `P̂r[battery empty at t]`, valid for `t ≤ horizon`.
+    /// The exact number of runs depleted by time `t` — the binomial
+    /// success count behind [`LifetimeStudy::empty_probability`], and
+    /// the integer the confidence interval is built from (reconstructing
+    /// it as `(p̂·n).round()` is lossy near ties).
+    pub fn depleted_at(&self, t: f64) -> usize {
+        self.observed
+            .as_ref()
+            .map_or(0, |o| o.count_le(self.clamp_to_horizon(t)))
+    }
+
+    /// Queries past the censoring horizon answer *at* the horizon: the
+    /// empirical CDF carries no information beyond it (the true curve
+    /// keeps rising there, the estimate would silently flatline), so the
+    /// estimate is clamped and a debug assertion flags the misuse.
+    fn clamp_to_horizon(&self, t: f64) -> f64 {
+        debug_assert!(
+            t <= self.horizon,
+            "empirical lifetime curve queried at t = {t} past the censoring \
+             horizon {}; the estimate is only valid up to the horizon",
+            self.horizon
+        );
+        t.min(self.horizon)
+    }
+
+    /// The estimate `P̂r[battery empty at t]`.
+    ///
+    /// Valid for `t ≤ horizon`; queries beyond the horizon are clamped
+    /// to it (and flagged by a debug assertion) — the censored estimate
+    /// carries no information past the horizon, so extrapolating it
+    /// would silently understate the true curve.
     pub fn empty_probability(&self, t: f64) -> f64 {
         // Censored runs contribute zero to the numerator.
-        self.observed.eval(t) * self.observed.len() as f64 / self.total_runs as f64
+        self.depleted_at(t) as f64 / self.total_runs as f64
     }
 
-    /// 95 % confidence half-width at `t` (binomial/Wald).
+    /// 95 % confidence half-width at `t` (binomial, Wilson score — stays
+    /// positive at `p̂ ∈ {0, 1}` where the Wald interval collapses to
+    /// zero width). Built from the exact depleted-at-`t` count.
     pub fn confidence_half_width(&self, t: f64) -> f64 {
-        let successes = (self.empty_probability(t) * self.total_runs as f64).round() as u64;
-        binomial_ci_half_width(successes, self.total_runs as u64, Z_95)
+        wilson_ci_half_width(self.depleted_at(t) as u64, self.total_runs as u64, Z_95)
     }
 
-    /// Mean observed lifetime (conditional on depletion before the
-    /// horizon).
-    pub fn mean_observed_lifetime(&self) -> f64 {
-        self.observed.mean()
+    /// Mean observed lifetime, conditional on depletion before the
+    /// horizon; `None` when no run depleted.
+    pub fn mean_observed_lifetime(&self) -> Option<f64> {
+        self.observed.as_ref().map(EmpiricalCdf::mean)
     }
 
     /// The `q`-quantile of the lifetime, when identified (i.e. when at
-    /// least a `q` fraction of runs depleted); `None` otherwise.
+    /// least a `q` fraction of runs depleted); `None` otherwise — in
+    /// particular, always `None` for an all-censored study.
     pub fn lifetime_quantile(&self, q: f64) -> Option<f64> {
-        let depleted_fraction = self.observed.len() as f64 / self.total_runs as f64;
+        let observed = self.observed.as_ref()?;
+        let depleted_fraction = observed.len() as f64 / self.total_runs as f64;
         if q > depleted_fraction {
             return None;
         }
         // Rescale q onto the observed sub-distribution.
-        Some(self.observed.quantile(q / depleted_fraction))
+        Some(observed.quantile(q / depleted_fraction))
     }
 
     /// The censoring horizon.
@@ -109,10 +165,17 @@ impl LifetimeStudy {
 
     /// Samples the curve on an equispaced grid of `points+1` times over
     /// `[0, horizon]`, as `(t, probability)` pairs.
+    ///
+    /// `curve(0)` degenerates to the single point
+    /// `(0, empty_probability(0))` — there is no spacing to divide, so
+    /// the grid collapses to the origin rather than dividing by zero.
     pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if points == 0 {
+            return vec![(0.0, self.empty_probability(0.0))];
+        }
         (0..=points)
             .map(|i| {
-                let t = self.horizon * i as f64 / points.max(1) as f64;
+                let t = self.horizon * i as f64 / points as f64;
                 (t, self.empty_probability(t))
             })
             .collect()
@@ -135,6 +198,17 @@ mod tests {
     }
 
     #[test]
+    fn replications_match_counter_streams() {
+        // run_replications(i) must see exactly SimRng::stream(seed, i) —
+        // the contract that makes the sequential and parallel engines
+        // agree replication by replication.
+        let xs = run_replications(20, 42, |rng| rng.uniform());
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(x, SimRng::stream(42, i as u64).uniform(), "replication {i}");
+        }
+    }
+
+    #[test]
     fn study_probabilities() {
         let outcomes = vec![Some(10.0), Some(20.0), None, Some(30.0), None];
         let s = LifetimeStudy::new(&outcomes, 100.0).unwrap();
@@ -144,8 +218,9 @@ mod tests {
         assert_eq!(s.empty_probability(10.0), 0.2);
         assert_eq!(s.empty_probability(25.0), 0.4);
         assert_eq!(s.empty_probability(50.0), 0.6);
+        assert_eq!(s.depleted_at(25.0), 2);
         assert_eq!(s.horizon(), 100.0);
-        assert_eq!(s.mean_observed_lifetime(), 20.0);
+        assert_eq!(s.mean_observed_lifetime(), Some(20.0));
     }
 
     #[test]
@@ -159,8 +234,47 @@ mod tests {
     }
 
     #[test]
-    fn all_censored_is_an_error() {
-        assert!(LifetimeStudy::new(&[None, None], 10.0).is_err());
+    fn all_censored_is_a_valid_zero_curve() {
+        // Regression: this used to be StatsError::Empty, aborting whole
+        // sweeps that contained one long-lived scenario.
+        let s = LifetimeStudy::new(&[None, None], 10.0).unwrap();
+        assert_eq!(s.total_runs(), 2);
+        assert_eq!(s.depleted_runs(), 0);
+        assert_eq!(s.empty_probability(5.0), 0.0);
+        assert_eq!(s.depleted_at(10.0), 0);
+        assert_eq!(s.mean_observed_lifetime(), None);
+        assert_eq!(s.lifetime_quantile(0.5), None);
+        assert!(s.curve(4).iter().all(|&(_, p)| p == 0.0));
+        // The zero estimate still has real uncertainty: Wilson > 0.
+        assert!(s.confidence_half_width(5.0) > 0.0);
+        // No outcomes at all is still an error.
+        assert!(matches!(
+            LifetimeStudy::new(&[], 10.0),
+            Err(StatsError::Empty)
+        ));
+    }
+
+    #[test]
+    fn confidence_uses_exact_counts_and_wilson() {
+        // 3 of 7 runs depleted by t = 25: the exact count must be used,
+        // not (p̂·n).round() (which rounds 2.9999999 ↔ 3 unstably).
+        let outcomes = vec![
+            Some(10.0),
+            Some(20.0),
+            Some(25.0),
+            None,
+            Some(30.0),
+            None,
+            None,
+        ];
+        let s = LifetimeStudy::new(&outcomes, 100.0).unwrap();
+        assert_eq!(s.depleted_at(25.0), 3);
+        let expect = wilson_ci_half_width(3, 7, Z_95);
+        assert_eq!(s.confidence_half_width(25.0), expect);
+        // Degenerate proportions keep a positive width (Wald gave 0).
+        assert!(s.confidence_half_width(5.0) > 0.0, "p̂ = 0");
+        let all = LifetimeStudy::new(&[Some(1.0), Some(2.0)], 10.0).unwrap();
+        assert!(all.confidence_half_width(9.0) > 0.0, "p̂ = 1");
     }
 
     #[test]
@@ -186,6 +300,24 @@ mod tests {
             assert!(w[1].1 >= w[0].1);
         }
         assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn curve_zero_points_is_the_origin_sample() {
+        let outcomes = vec![Some(0.0), Some(5.0), None];
+        let s = LifetimeStudy::new(&outcomes, 10.0).unwrap();
+        // A lifetime of exactly 0 counts at t = 0 (count ≤ 0 is 1 of 3).
+        assert_eq!(s.curve(0), vec![(0.0, 1.0 / 3.0)]);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "past the censoring"))]
+    fn queries_past_the_horizon_are_flagged() {
+        let s = LifetimeStudy::new(&[Some(1.0), None], 10.0).unwrap();
+        // In release builds the query clamps to the horizon value; in
+        // debug builds it panics, catching the invalid extrapolation.
+        let p = s.empty_probability(20.0);
+        assert_eq!(p, s.empty_probability(10.0));
     }
 
     #[test]

@@ -1,0 +1,498 @@
+//! Streaming (O(grid)-memory) lifetime studies.
+//!
+//! [`crate::replication::LifetimeStudy`] keeps every observed lifetime,
+//! so 10⁷ replications cost 80 MB before analysis starts.
+//! [`StreamingLifetimeStudy`] folds each replication outcome into
+//! fixed-size state the moment it is produced:
+//!
+//! * **depletion counts on a fixed time grid** — bucket `i` counts
+//!   lifetimes in `(t_{i−1}, t_i]`, an overflow bucket catches
+//!   depletions between the last grid point and the censoring horizon —
+//!   giving the exact integer `#{lifetimes ≤ t_i}` at every grid point
+//!   (identical to what the exact study reports there);
+//! * **moment sketches** — count/mean/M2/min/max of the observed
+//!   lifetimes via [`numerics::stats::StreamingMoments`].
+//!
+//! Memory is `O(grid)`, independent of the replication count. Two
+//! studies over the same grid [`merge`](StreamingLifetimeStudy::merge)
+//! in O(grid): counts add exactly (integers), moments merge by Chan's
+//! rule. The parallel engine ([`crate::engine`]) exploits this by
+//! folding fixed-size replication batches independently and merging the
+//! partials **in batch order** — a reduction tree that depends only on
+//! the batch schedule, never on which worker computed what, which is
+//! what makes its results bit-identical across thread counts.
+
+use numerics::stats::{wilson_ci_half_width, StreamingMoments, Z_95};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from streaming-study construction and folding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamingError {
+    /// The time grid was empty, non-finite or not strictly increasing,
+    /// or the horizon did not cover it.
+    InvalidGrid(String),
+    /// A folded lifetime was NaN or negative.
+    InvalidLifetime(String),
+    /// Two studies over different grids were merged.
+    GridMismatch,
+}
+
+impl fmt::Display for StreamingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamingError::InvalidGrid(why) => write!(f, "invalid time grid: {why}"),
+            StreamingError::InvalidLifetime(why) => write!(f, "invalid lifetime: {why}"),
+            StreamingError::GridMismatch => {
+                write!(f, "streaming studies over different grids cannot merge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamingError {}
+
+/// A lifetime study folded incrementally on a fixed time grid; see the
+/// module docs. Cheap to clone structurally: the grid is shared behind
+/// an [`Arc`], only the O(grid) counters are copied.
+///
+/// # Examples
+///
+/// ```
+/// use sim::streaming::StreamingLifetimeStudy;
+///
+/// let mut s = StreamingLifetimeStudy::new(vec![10.0, 20.0, 30.0], 50.0).unwrap();
+/// s.fold(Some(12.0)).unwrap();
+/// s.fold(Some(45.0)).unwrap(); // past the grid, before the horizon
+/// s.fold(None).unwrap();       // censored
+/// assert_eq!(s.total_runs(), 3);
+/// assert_eq!(s.depleted_runs(), 2);
+/// assert_eq!(s.depleted_at(1), 1);             // one lifetime ≤ 20
+/// assert_eq!(s.empty_probability(1), 1.0 / 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingLifetimeStudy {
+    /// Strictly increasing query times (shared, never mutated).
+    grid: Arc<[f64]>,
+    /// Censoring horizon (`≥ grid.last()`).
+    horizon: f64,
+    /// `buckets[i]`, `i < grid.len()`: lifetimes in `(grid[i−1], grid[i]]`
+    /// (with `grid[−1] = −∞`); `buckets[grid.len()]`: lifetimes in
+    /// `(grid.last(), horizon]`.
+    buckets: Vec<u64>,
+    /// All replications, censored included.
+    total: u64,
+    /// Moment sketch over the observed (depleted) lifetimes.
+    moments: StreamingMoments,
+}
+
+impl StreamingLifetimeStudy {
+    /// An empty study over `grid` with censoring `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamingError::InvalidGrid`] when the grid is empty, contains
+    /// non-finite or negative values, is not strictly increasing, or
+    /// extends past the horizon.
+    pub fn new(grid: Vec<f64>, horizon: f64) -> Result<Self, StreamingError> {
+        if grid.is_empty() {
+            return Err(StreamingError::InvalidGrid("grid is empty".into()));
+        }
+        if grid.iter().any(|t| !t.is_finite() || *t < 0.0) {
+            return Err(StreamingError::InvalidGrid(
+                "grid times must be finite and non-negative".into(),
+            ));
+        }
+        if grid.windows(2).any(|w| !(w[1] > w[0])) {
+            return Err(StreamingError::InvalidGrid(
+                "grid must be strictly increasing".into(),
+            ));
+        }
+        let last = *grid.last().expect("non-empty");
+        if !horizon.is_finite() || horizon < last {
+            return Err(StreamingError::InvalidGrid(format!(
+                "horizon {horizon} must be finite and cover the last grid time {last}"
+            )));
+        }
+        let buckets = vec![0; grid.len() + 1];
+        Ok(StreamingLifetimeStudy {
+            grid: grid.into(),
+            horizon,
+            buckets,
+            total: 0,
+            moments: StreamingMoments::new(),
+        })
+    }
+
+    /// An empty study sharing this study's grid and horizon (the
+    /// per-batch partial the parallel engine folds into).
+    pub fn fresh_partial(&self) -> StreamingLifetimeStudy {
+        StreamingLifetimeStudy::from_shared_grid(self.shared_grid(), self.horizon)
+    }
+
+    /// The shared grid storage (cheap to hand to worker threads; the
+    /// values behind the [`Arc`] are immutable).
+    pub(crate) fn shared_grid(&self) -> Arc<[f64]> {
+        Arc::clone(&self.grid)
+    }
+
+    /// An empty study over an already-validated shared grid — what
+    /// worker threads build their batch partials from without touching
+    /// (and racing on) the caller's merged study.
+    pub(crate) fn from_shared_grid(grid: Arc<[f64]>, horizon: f64) -> StreamingLifetimeStudy {
+        let buckets = vec![0; grid.len() + 1];
+        StreamingLifetimeStudy {
+            grid,
+            horizon,
+            buckets,
+            total: 0,
+            moments: StreamingMoments::new(),
+        }
+    }
+
+    /// Folds one replication outcome in: an observed lifetime
+    /// (`Some(t)`) or censoring at the horizon (`None`). O(log grid).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamingError::InvalidLifetime`] on NaN or negative lifetimes
+    /// (a lifetime beyond the horizon is clamped into the overflow
+    /// bucket only in release builds; debug builds assert, since the
+    /// experiment's own censoring should have produced `None`).
+    pub fn fold(&mut self, outcome: Option<f64>) -> Result<(), StreamingError> {
+        self.total += 1;
+        let Some(lifetime) = outcome else {
+            return Ok(());
+        };
+        if lifetime.is_nan() || lifetime < 0.0 {
+            return Err(StreamingError::InvalidLifetime(format!(
+                "observed lifetime {lifetime}"
+            )));
+        }
+        debug_assert!(
+            lifetime <= self.horizon * (1.0 + 1e-12),
+            "lifetime {lifetime} beyond the censoring horizon {} — the experiment \
+             should have censored it",
+            self.horizon
+        );
+        // First grid index with grid[i] ≥ lifetime ⇒ bucket i; beyond
+        // the grid ⇒ overflow bucket grid.len().
+        let bucket = self.grid.partition_point(|&g| g < lifetime);
+        self.buckets[bucket] += 1;
+        self.moments.push(lifetime);
+        Ok(())
+    }
+
+    /// Merges another study over the **same** grid in (O(grid)). Counts
+    /// add exactly; moments merge deterministically (Chan), so a fixed
+    /// merge order reproduces fixed bits — see the module docs.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamingError::GridMismatch`] when the grids or horizons
+    /// differ.
+    pub fn merge(&mut self, other: &StreamingLifetimeStudy) -> Result<(), StreamingError> {
+        let same_grid = Arc::ptr_eq(&self.grid, &other.grid) || self.grid == other.grid;
+        if !same_grid || self.horizon != other.horizon {
+            return Err(StreamingError::GridMismatch);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.total += other.total;
+        self.moments.merge(&other.moments);
+        Ok(())
+    }
+
+    /// The query grid.
+    pub fn grid(&self) -> &[f64] {
+        &self.grid
+    }
+
+    /// The censoring horizon.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Number of replications folded in (censored included).
+    pub fn total_runs(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of replications that saw the battery empty (before the
+    /// horizon).
+    pub fn depleted_runs(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The exact number of runs depleted by grid time `grid()[i]` — the
+    /// binomial success count every estimate at that point derives from.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of grid range.
+    pub fn depleted_at(&self, i: usize) -> u64 {
+        assert!(i < self.grid.len(), "grid index {i} out of range");
+        self.buckets[..=i].iter().sum()
+    }
+
+    /// The cumulative depletion counts at every grid point (one prefix
+    /// pass; use this instead of repeated [`depleted_at`] calls when
+    /// scanning the whole curve).
+    ///
+    /// [`depleted_at`]: StreamingLifetimeStudy::depleted_at
+    pub fn cumulative_counts(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.grid
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                acc += self.buckets[i];
+                acc
+            })
+            .collect()
+    }
+
+    /// The estimate `P̂r[battery empty at grid()[i]]` (0 when nothing has
+    /// been folded yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of grid range.
+    pub fn empty_probability(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.depleted_at(i) as f64 / self.total as f64
+    }
+
+    /// 95 % Wilson-score confidence half-width at grid point `i`, built
+    /// from the exact depletion count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of grid range.
+    pub fn confidence_half_width(&self, i: usize) -> f64 {
+        wilson_ci_half_width(self.depleted_at(i), self.total, Z_95)
+    }
+
+    /// The whole curve as `(t, probability)` pairs.
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        let n = self.total as f64;
+        self.cumulative_counts()
+            .into_iter()
+            .zip(self.grid.iter())
+            .map(|(c, &t)| (t, if self.total == 0 { 0.0 } else { c as f64 / n }))
+            .collect()
+    }
+
+    /// The largest 95 % Wilson half-width over the grid — the adaptive
+    /// stopping rule's error measure (0 before any replication).
+    pub fn max_half_width(&self) -> f64 {
+        self.cumulative_counts()
+            .into_iter()
+            .map(|c| wilson_ci_half_width(c, self.total, Z_95))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean observed lifetime (conditional on depletion before the
+    /// horizon); `None` when no run depleted.
+    pub fn mean_observed_lifetime(&self) -> Option<f64> {
+        self.moments.mean()
+    }
+
+    /// Unbiased variance of the observed lifetimes; `None` when no run
+    /// depleted.
+    pub fn variance_observed_lifetime(&self) -> Option<f64> {
+        self.moments.variance()
+    }
+
+    /// Smallest / largest observed lifetime; `None` when no run
+    /// depleted.
+    pub fn observed_range(&self) -> Option<(f64, f64)> {
+        Some((self.moments.min()?, self.moments.max()?))
+    }
+
+    /// The `q`-quantile of the lifetime at **grid resolution**: the
+    /// smallest grid time `t_i` with `P̂r[empty at t_i] ≥ q` (an upper
+    /// bound within one grid cell of the order-statistics quantile).
+    /// `None` when the curve never reaches `q` on the grid — including
+    /// every `q > 0` of an all-censored study, and quantiles crossing
+    /// between the last grid point and the horizon.
+    pub fn lifetime_quantile(&self, q: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&q) || self.total == 0 {
+            return None;
+        }
+        let n = self.total as f64;
+        self.cumulative_counts()
+            .into_iter()
+            .zip(self.grid.iter())
+            .find(|&(c, _)| c as f64 / n >= q)
+            .map(|(_, &t)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<f64> {
+        vec![10.0, 20.0, 30.0, 40.0]
+    }
+
+    #[test]
+    fn validates_grid_and_horizon() {
+        assert!(StreamingLifetimeStudy::new(vec![], 10.0).is_err());
+        assert!(StreamingLifetimeStudy::new(vec![1.0, 1.0], 10.0).is_err());
+        assert!(StreamingLifetimeStudy::new(vec![2.0, 1.0], 10.0).is_err());
+        assert!(StreamingLifetimeStudy::new(vec![-1.0, 1.0], 10.0).is_err());
+        assert!(StreamingLifetimeStudy::new(vec![1.0, f64::NAN], 10.0).is_err());
+        // Horizon must cover the grid.
+        assert!(StreamingLifetimeStudy::new(vec![1.0, 5.0], 4.0).is_err());
+        assert!(StreamingLifetimeStudy::new(vec![1.0, 5.0], f64::INFINITY).is_err());
+        assert!(StreamingLifetimeStudy::new(vec![1.0, 5.0], 5.0).is_ok());
+    }
+
+    #[test]
+    fn counts_match_the_exact_study_at_grid_points() {
+        use crate::replication::LifetimeStudy;
+        let outcomes = [
+            Some(5.0),
+            Some(10.0), // exactly on a grid point: counts at that point
+            Some(15.0),
+            None,
+            Some(35.0),
+            Some(45.0), // between last grid point and horizon
+            None,
+        ];
+        let mut s = StreamingLifetimeStudy::new(grid(), 50.0).unwrap();
+        for o in outcomes {
+            s.fold(o).unwrap();
+        }
+        let exact = LifetimeStudy::new(&outcomes, 50.0).unwrap();
+        assert_eq!(s.total_runs(), 7);
+        assert_eq!(s.depleted_runs(), 5);
+        for (i, &t) in grid().iter().enumerate() {
+            assert_eq!(s.depleted_at(i) as usize, exact.depleted_at(t), "t = {t}");
+            assert_eq!(s.empty_probability(i), exact.empty_probability(t));
+            assert_eq!(s.confidence_half_width(i), exact.confidence_half_width(t));
+        }
+        assert_eq!(
+            s.cumulative_counts(),
+            vec![2, 3, 3, 4],
+            "prefix sums over buckets"
+        );
+        assert_eq!(s.curve()[1], (20.0, 3.0 / 7.0));
+        // Moments agree with the exact study's observed sample.
+        let m = s.mean_observed_lifetime().unwrap();
+        assert!((m - exact.mean_observed_lifetime().unwrap()).abs() < 1e-12);
+        assert_eq!(s.observed_range(), Some((5.0, 45.0)));
+    }
+
+    #[test]
+    fn empty_and_all_censored_studies_are_zero_curves() {
+        let mut s = StreamingLifetimeStudy::new(grid(), 50.0).unwrap();
+        assert_eq!(s.total_runs(), 0);
+        assert_eq!(s.empty_probability(0), 0.0);
+        assert_eq!(s.max_half_width(), 0.0);
+        assert_eq!(s.lifetime_quantile(0.5), None);
+        s.fold(None).unwrap();
+        s.fold(None).unwrap();
+        assert_eq!(s.total_runs(), 2);
+        assert_eq!(s.depleted_runs(), 0);
+        assert!(s.curve().iter().all(|&(_, p)| p == 0.0));
+        assert!(s.max_half_width() > 0.0, "all-zero curve keeps Wilson CI");
+        assert_eq!(s.mean_observed_lifetime(), None);
+        assert_eq!(s.variance_observed_lifetime(), None);
+        assert_eq!(s.observed_range(), None);
+    }
+
+    #[test]
+    fn rejects_bad_lifetimes_and_mismatched_merges() {
+        let mut s = StreamingLifetimeStudy::new(grid(), 50.0).unwrap();
+        assert!(s.fold(Some(f64::NAN)).is_err());
+        assert!(s.fold(Some(-1.0)).is_err());
+        let other = StreamingLifetimeStudy::new(vec![1.0, 2.0], 50.0).unwrap();
+        assert!(matches!(s.merge(&other), Err(StreamingError::GridMismatch)));
+        let horizon = StreamingLifetimeStudy::new(grid(), 60.0).unwrap();
+        assert!(s.merge(&horizon).is_err());
+        // Equal-valued grids merge even without shared storage.
+        let same = StreamingLifetimeStudy::new(grid(), 50.0).unwrap();
+        assert!(s.merge(&same).is_ok());
+        // Errors display something readable.
+        assert!(StreamingError::GridMismatch.to_string().contains("grids"));
+    }
+
+    #[test]
+    fn merge_equals_sequential_fold_on_counts() {
+        let outcomes: Vec<Option<f64>> = (0..200)
+            .map(|i| {
+                if i % 5 == 0 {
+                    None
+                } else {
+                    Some((i % 47) as f64)
+                }
+            })
+            .collect();
+        let mut whole = StreamingLifetimeStudy::new(grid(), 50.0).unwrap();
+        for o in &outcomes {
+            whole.fold(*o).unwrap();
+        }
+        // Fold in two halves through fresh partials, then merge.
+        let mut merged = StreamingLifetimeStudy::new(grid(), 50.0).unwrap();
+        for half in outcomes.chunks(100) {
+            let mut part = merged.fresh_partial();
+            for o in half {
+                part.fold(*o).unwrap();
+            }
+            merged.merge(&part).unwrap();
+        }
+        assert_eq!(merged.total_runs(), whole.total_runs());
+        assert_eq!(merged.cumulative_counts(), whole.cumulative_counts());
+        assert_eq!(merged.depleted_runs(), whole.depleted_runs());
+        // Integer state is exactly equal; moments agree to tolerance.
+        let (a, b) = (
+            merged.mean_observed_lifetime().unwrap(),
+            whole.mean_observed_lifetime().unwrap(),
+        );
+        assert!((a - b).abs() < 1e-9);
+        // And the same partition merged again is bit-identical.
+        let mut again = StreamingLifetimeStudy::new(grid(), 50.0).unwrap();
+        for half in outcomes.chunks(100) {
+            let mut part = again.fresh_partial();
+            for o in half {
+                part.fold(*o).unwrap();
+            }
+            again.merge(&part).unwrap();
+        }
+        assert_eq!(again, merged);
+    }
+
+    #[test]
+    fn quantiles_at_grid_resolution() {
+        let mut s = StreamingLifetimeStudy::new(grid(), 50.0).unwrap();
+        for lifetime in [5.0, 15.0, 25.0, 35.0] {
+            s.fold(Some(lifetime)).unwrap();
+        }
+        s.fold(None).unwrap(); // 4 of 5 depleted
+        assert_eq!(s.lifetime_quantile(0.2), Some(10.0));
+        assert_eq!(s.lifetime_quantile(0.4), Some(20.0));
+        assert_eq!(s.lifetime_quantile(0.8), Some(40.0));
+        // Beyond the depleted fraction: unidentified.
+        assert_eq!(s.lifetime_quantile(0.9), None);
+        assert_eq!(s.lifetime_quantile(1.5), None);
+    }
+
+    #[test]
+    fn memory_is_grid_bound() {
+        // The accumulator's state never grows with the replication
+        // count: buckets + moments only.
+        let mut s = StreamingLifetimeStudy::new(grid(), 50.0).unwrap();
+        let before = s.buckets.len();
+        for i in 0..100_000u64 {
+            s.fold(Some((i % 50) as f64)).unwrap();
+        }
+        assert_eq!(s.buckets.len(), before);
+        assert_eq!(s.total_runs(), 100_000);
+    }
+}

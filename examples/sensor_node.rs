@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let hi = study.lifetime_quantile(0.9).unwrap_or(f64::NAN);
         println!(
             "{k_stages:<4} {:9.0}   {:6.0}",
-            study.mean_observed_lifetime(),
+            study.mean_observed_lifetime().unwrap_or(f64::NAN),
             hi - lo
         );
     }
@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             "fast cycles: battery sees the average current"
         };
-        println!("{f:<8} {:9.0}   {note}", study.mean_observed_lifetime());
+        println!(
+            "{f:<8} {:9.0}   {note}",
+            study.mean_observed_lifetime().unwrap_or(f64::NAN)
+        );
     }
 
     println!(

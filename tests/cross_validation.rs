@@ -118,6 +118,43 @@ fn simulator_consumption_consistency() {
     assert!((exact - sim).abs() < 0.05, "exact {exact} vs sim {sim}");
 }
 
+/// The satellite statistical cross-validation (fixed seed, so the check
+/// is deterministic): the sup distance between the simulated curve and
+/// the discretisation stays within the study's own Wilson confidence
+/// band (3× the largest half-width, plus the discretisation's certified
+/// distance from the exact curve — the two error sources compose
+/// additively).
+#[test]
+fn simulation_stays_within_its_wilson_band_of_the_discretisation() {
+    let scenario = simple_linear().with_simulation(2000, 81);
+    let solver = SimulationSolver::new();
+    let sim = solver.solve(&scenario).unwrap();
+    let study = solver.streaming_study(&scenario).unwrap();
+    assert_eq!(study.total_runs(), 2000);
+    let disc = DiscretisationSolver::new().solve(&scenario).unwrap();
+    let exact = SericolaSolver::new().solve(&scenario).unwrap();
+    let disc_error = exact.max_difference(&disc).unwrap();
+
+    // Pointwise: each simulated point sits within 3 Wilson half-widths
+    // (≈ 3σ) of the discretised curve once its deterministic error is
+    // granted.
+    let mut sup = 0.0f64;
+    for (i, ((t, p_sim), (_, p_disc))) in sim.points().iter().zip(disc.points()).enumerate() {
+        let band = 3.0 * study.confidence_half_width(i) + disc_error;
+        let gap = (p_sim - p_disc).abs();
+        sup = sup.max(gap);
+        assert!(
+            gap <= band,
+            "t = {t}: |sim − disc| = {gap} exceeds the band {band}"
+        );
+    }
+    // And the sup distance respects the global band.
+    let global_band = 3.0 * study.max_half_width() + disc_error;
+    assert!(sup <= global_band, "sup {sup} vs band {global_band}");
+    // The band is meaningful: it is not vacuously ≥ 1.
+    assert!(global_band < 0.15, "band too loose to validate anything");
+}
+
 /// On/off model with two wells: simulation against a fine discretisation
 /// (Fig. 8's message — the approximation approaches simulation from the
 /// pessimistic side as Δ shrinks). Compare medians rather than pointwise

@@ -138,13 +138,18 @@ fn exact_method_guards() {
 
 #[test]
 fn simulation_with_unreachable_depletion() {
-    // A query grid ending long before any depletion yields all-censored
-    // studies: a typed error, not a panic or a bogus curve.
+    // A query grid ending long before any depletion yields an
+    // all-censored study: the valid all-zero curve (with an honest
+    // replication count), not an error — one long-lived scenario must
+    // not abort a sweep (regression for the old StatsError::Empty
+    // abort).
     let scenario = valid_scenario()
         .with_times(vec![Time::from_seconds(1.0)])
         .unwrap()
         .with_simulation(5, 1);
-    assert!(SimulationSolver::new().solve(&scenario).is_err());
+    let dist = SimulationSolver::new().solve(&scenario).unwrap();
+    assert!(dist.points().iter().all(|&(_, p)| p == 0.0));
+    assert_eq!(dist.diagnostics().runs, Some(5));
     // And an explicit horizon *shorter* than the grid is clamped up, not
     // silently applied (a short horizon would flatline the CDF tail).
     let full = valid_scenario().with_simulation(5, 1);
