@@ -13,6 +13,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod mc;
 pub mod regress;
+pub mod service;
 pub mod sweep;
 pub mod table1;
 pub mod window;

@@ -27,6 +27,11 @@
 //!   recorded failing. (The sup distance is *not* compared against the
 //!   committed value bit for bit: `exp`/`ln` may differ across libm
 //!   builds; the band re-derived on this machine is the contract.)
+//! * **service drift** (`BENCH_service.json`) — the resident query
+//!   service's answers on the quick fleet trace are not bit-identical to
+//!   independent fresh solves (sup-distance must be exactly 0), the
+//!   deterministic trace's cache hit rate falls below the committed
+//!   floor, or the committed facts were recorded failing either check.
 //!
 //! A machine-readable verdict is always written to
 //! `REGRESS_report.json` under `--out` (the CI artifact), then the run
@@ -99,6 +104,11 @@ pub fn run(cfg: &Config) -> Result<(), String> {
     let mc = load(against, "BENCH_mc.json").and_then(|committed| mc_gate(&committed, &mut report));
     if let Err(e) = mc {
         report.check("mc gate execution", false, e);
+    }
+    let service = load(against, "BENCH_service.json")
+        .and_then(|committed| service_gate(cfg, &committed, &mut report));
+    if let Err(e) = service {
+        report.check("service gate execution", false, e);
     }
 
     let rows: Vec<String> = report
@@ -336,6 +346,60 @@ fn mc_gate(committed: &Json, report: &mut Report) -> Result<(), String> {
             facts.sup_distance,
             facts.wilson_band,
             gate.num("sup_distance_vs_exact").unwrap_or(f64::NAN)
+        ),
+    );
+    Ok(())
+}
+
+/// Re-runs the quick fleet trace through a fresh resident service: the
+/// served answers must be bit-identical to independent fresh solves
+/// (sup-distance exactly 0) and the deterministic trace's hit rate must
+/// clear the floor — a cache that silently stopped hitting (e.g. a
+/// canonical-key change that no longer erases names) fails here, not in
+/// production. The committed facts are gated too: a baseline regenerated
+/// in a broken state fails rather than laundering the breakage.
+fn service_gate(cfg: &Config, committed: &Json, report: &mut Report) -> Result<(), String> {
+    use super::service;
+
+    let trace = committed
+        .get("trace")
+        .ok_or("committed BENCH_service.json has no 'trace' object")?;
+    let committed_sup = trace
+        .num("max_abs_difference_vs_fresh")
+        .ok_or("trace without 'max_abs_difference_vs_fresh'")?;
+    let committed_hit_rate = trace.num("hit_rate").ok_or("trace without 'hit_rate'")?;
+    report.check(
+        "service committed facts",
+        committed_sup == 0.0 && committed_hit_rate >= service::GATE_HIT_RATE_FLOOR,
+        format!(
+            "committed sup-distance {committed_sup:e} (must be exactly 0), \
+             hit rate {committed_hit_rate:.3} (floor {})",
+            service::GATE_HIT_RATE_FLOOR
+        ),
+    );
+
+    let outcome = service::run_fleet_trace(true, 24, cfg.threads.clamp(1, 4))?;
+    report.check(
+        "service bit-identity (quick trace)",
+        outcome.sup_vs_fresh == 0.0,
+        format!(
+            "served-vs-fresh sup-distance {:e} over {} configurations \
+             (must be exactly 0)",
+            outcome.sup_vs_fresh, outcome.distinct
+        ),
+    );
+    let hit_rate = outcome.stats.hit_rate();
+    report.check(
+        "service hit rate (quick trace)",
+        hit_rate >= service::GATE_HIT_RATE_FLOOR,
+        format!(
+            "{hit_rate:.3} over {} requests ({} hits, {} joined, {} misses) \
+             vs floor {}",
+            outcome.requests,
+            outcome.stats.hits,
+            outcome.stats.joined,
+            outcome.stats.misses,
+            service::GATE_HIT_RATE_FLOOR
         ),
     );
     Ok(())

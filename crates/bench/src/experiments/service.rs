@@ -1,0 +1,266 @@
+//! The resident query service under a synthetic device-fleet trace,
+//! written as `BENCH_service.json`.
+//!
+//! The trace models the service's target shape: a fleet of devices that
+//! are *configured alike* but *labelled apart* — every device re-queries
+//! the same handful of physical configurations (power-of-two rate
+//! rescales × Δ variants of the Fig. 8 two-well scenario) under its own
+//! device name. Requests are drawn from a fixed-seed LCG, so the trace
+//! (and therefore the hit-rate the regression gate checks) is fully
+//! deterministic; `--quick` shrinks it to the CI gate size.
+//!
+//! Measured per run:
+//!
+//! * **hit rate** — the fraction of admitted requests served without a
+//!   fresh solve (result-cache hits + single-flight joins). The name
+//!   erasure in [`Scenario::canonical_bytes`] is what makes per-device
+//!   labels free here.
+//! * **latency percentiles** — p50/p95/p99 over per-request wall times,
+//!   mixing cache hits (~µs) with cold solves (~ms): the p50 *is* the
+//!   service's value proposition, the p99 is the cold-solve cost that
+//!   remains.
+//! * **bit-identity** — after the trace, every distinct configuration is
+//!   re-queried and compared against an independent
+//!   `SolverRegistry::solve` under the same engine configuration; the
+//!   sup-distance must be **exactly 0** (the cross-request cache is an
+//!   optimisation, never an approximation). The same check runs in
+//!   `bench-harness regress` against the committed baseline.
+//!
+//! Both paths run the single-threaded CSR engine configuration the sweep
+//! bench gates on, so grouped (warm-state) and independent solves are
+//! unconditionally comparable.
+
+use super::config::Config;
+use super::{sweep as sweep_experiment, write_json};
+use kibamrm::scenario::Scenario;
+use kibamrm::service::{LifetimeService, ServiceConfig, ServiceStats};
+use kibamrm::solver::{SolverOptions, SolverRegistry};
+use markov::transient::Representation;
+use std::time::Instant;
+use units::Charge;
+
+/// Hit-rate floor the regression gate enforces on the quick trace (the
+/// trace is deterministic: 24 requests over 2 configurations leave at
+/// most 2 misses, so the realised rate is ≥ 22/24 ≈ 0.92 — the floor
+/// leaves slack only for trace-shape edits, not for cache regressions).
+pub(crate) const GATE_HIT_RATE_FLOOR: f64 = 0.85;
+
+/// The engine configuration of both the service and the fresh reference
+/// solves (single-threaded CSR — the sweep bench's gated configuration).
+fn engine_options() -> SolverOptions {
+    SolverOptions {
+        scenario_threads: 1,
+        row_threads: 1,
+        representation: Representation::Csr,
+    }
+}
+
+/// The fleet's distinct physical configurations: power-of-two rate
+/// rescales × Δ variants of the Fig. 8 base (2 in quick mode, 8 in
+/// full mode).
+pub(crate) fn fleet_configurations(quick: bool) -> Result<Vec<Scenario>, String> {
+    let base = sweep_experiment::base_scenario()?;
+    let (scales, deltas): (&[f64], &[f64]) = if quick {
+        (&[1.0, 0.5], &[300.0])
+    } else {
+        (&[1.0, 0.5, 0.25, 0.125], &[300.0, 150.0])
+    };
+    let mut configurations = Vec::new();
+    for &delta in deltas {
+        for &gamma in scales {
+            configurations.push(
+                base.with_delta(Charge::from_amp_seconds(delta))
+                    .with_rate_scale(gamma)
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+    }
+    Ok(configurations)
+}
+
+/// What one trace run produced.
+pub(crate) struct TraceOutcome {
+    pub requests: usize,
+    pub distinct: usize,
+    pub workers: usize,
+    pub stats: ServiceStats,
+    /// Per-request wall times, sorted ascending.
+    pub latencies_ns: Vec<f64>,
+    /// Sup-distance between the service's answers and independent fresh
+    /// solves over every distinct configuration (must be exactly 0).
+    pub sup_vs_fresh: f64,
+}
+
+impl TraceOutcome {
+    pub fn percentile_ns(&self, p: f64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.latencies_ns.len() as f64 - 1.0) * p).round() as usize;
+        self.latencies_ns[idx]
+    }
+}
+
+/// Runs the deterministic fleet trace through a fresh resident service:
+/// `requests` queries drawn by a fixed-seed LCG over the distinct
+/// configurations, each re-labelled with its requesting device's name,
+/// driven by `workers` threads. Afterwards every distinct configuration
+/// is diffed against an independent fresh solve.
+pub(crate) fn run_fleet_trace(
+    quick: bool,
+    requests: usize,
+    workers: usize,
+) -> Result<TraceOutcome, String> {
+    let configurations = fleet_configurations(quick)?;
+    let service = LifetimeService::with_config(
+        SolverRegistry::with_default_backends(),
+        ServiceConfig::default()
+            .with_options(engine_options())
+            // The bench measures caching, not shedding: admit everything.
+            .with_max_in_flight(requests.max(1)),
+    );
+
+    // Fixed-seed LCG (MMIX constants): the trace is part of the gate.
+    let mut lcg_state = 2007u64;
+    let trace: Vec<Scenario> = (0..requests)
+        .map(|device| {
+            lcg_state = lcg_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pick = ((lcg_state >> 33) as usize) % configurations.len();
+            configurations[pick].with_name(format!("device-{device:03}"))
+        })
+        .collect();
+
+    let workers = workers.clamp(1, requests.max(1));
+    let mut latencies_ns: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (service, trace) = (&service, &trace);
+                scope.spawn(move || {
+                    trace
+                        .iter()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|scenario| {
+                            let t = Instant::now();
+                            let answer = service.query(scenario);
+                            let ns = t.elapsed().as_nanos() as f64;
+                            answer.map(|_| ns).map_err(|e| e.to_string())
+                        })
+                        .collect::<Result<Vec<f64>, String>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trace worker panicked"))
+            .collect::<Result<Vec<Vec<f64>>, String>>()
+            .map(|per_worker| per_worker.into_iter().flatten().collect())
+    })?;
+    latencies_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+
+    // Bit-identity: every distinct configuration, served (from cache or
+    // freshly) vs an independent registry solve.
+    let reference = SolverRegistry::with_default_backends().with_options(engine_options());
+    let mut sup_vs_fresh = 0.0f64;
+    for scenario in &configurations {
+        let served = service.query(scenario).map_err(|e| e.to_string())?;
+        let fresh = reference.solve(scenario).map_err(|e| e.to_string())?;
+        let sup = served.max_difference(&fresh).map_err(|e| e.to_string())?;
+        sup_vs_fresh = sup_vs_fresh.max(sup);
+    }
+
+    Ok(TraceOutcome {
+        requests,
+        distinct: configurations.len(),
+        workers,
+        stats: service.stats(),
+        latencies_ns,
+        sup_vs_fresh,
+    })
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any failure — including any
+/// non-zero served-vs-fresh sup-distance (bit-identity is part of the
+/// service's contract, not a tolerance).
+pub fn run(cfg: &Config) -> Result<(), String> {
+    let quick = cfg.quick;
+    let requests = if quick {
+        24
+    } else if cfg.fast {
+        48
+    } else {
+        96
+    };
+    let workers = cfg.threads.clamp(1, 4);
+    let outcome = run_fleet_trace(quick, requests, workers)?;
+    if outcome.sup_vs_fresh != 0.0 {
+        return Err(format!(
+            "service answers differ from independent solves: sup-distance \
+             {:e} (must be exactly 0)",
+            outcome.sup_vs_fresh
+        ));
+    }
+    let stats = outcome.stats;
+    let hit_rate = stats.hit_rate();
+    println!(
+        "service trace: {} requests over {} configurations ({} workers) — \
+         hit rate {:.3} ({} hits, {} joined, {} misses, {} shed), warm \
+         {}h/{}m, p50 {:.0} µs, p95 {:.0} µs, p99 {:.0} µs, sup-distance {:e}",
+        outcome.requests,
+        outcome.distinct,
+        outcome.workers,
+        hit_rate,
+        stats.hits,
+        stats.joined,
+        stats.misses,
+        stats.shed,
+        stats.warm_hits,
+        stats.warm_misses,
+        outcome.percentile_ns(0.50) / 1e3,
+        outcome.percentile_ns(0.95) / 1e3,
+        outcome.percentile_ns(0.99) / 1e3,
+        outcome.sup_vs_fresh,
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let body = format!(
+        "{{\n  \"bench\": \"service\",\n  \"generated_by\": \"bench-harness service\",\n  \
+         \"engine\": \"csr, single-thread per solve (scenario_threads 1, row_threads 1)\",\n  \
+         \"note\": \"generated on a {cores}-core machine; deterministic fixed-seed fleet \
+         trace of per-device relabelled queries over power-of-two rate rescales and \
+         deltas of the Fig. 8 two-well scenario; latencies mix cache hits with cold \
+         solves; served answers are asserted bit-identical to independent fresh solves \
+         on every run\",\n  \
+         \"trace\": {{\n    \"requests\": {},\n    \"distinct_configurations\": {},\n    \
+         \"workers\": {},\n    \"hit_rate\": {:.4},\n    \"hits\": {},\n    \
+         \"joined\": {},\n    \"misses\": {},\n    \"shed\": {},\n    \
+         \"warm_hits\": {},\n    \"warm_misses\": {},\n    \"evictions\": {},\n    \
+         \"cached_bytes\": {},\n    \"p50_ns\": {:.0},\n    \"p95_ns\": {:.0},\n    \
+         \"p99_ns\": {:.0},\n    \"max_abs_difference_vs_fresh\": {:e}\n  }}\n}}\n",
+        outcome.requests,
+        outcome.distinct,
+        outcome.workers,
+        hit_rate,
+        stats.hits,
+        stats.joined,
+        stats.misses,
+        stats.shed,
+        stats.warm_hits,
+        stats.warm_misses,
+        stats.evictions,
+        stats.cached_bytes,
+        outcome.percentile_ns(0.50),
+        outcome.percentile_ns(0.95),
+        outcome.percentile_ns(0.99),
+        outcome.sup_vs_fresh,
+    );
+    write_json(cfg, "BENCH_service.json", &body)
+}

@@ -18,6 +18,7 @@
 //!   window      active-window savings: touched entries & deficit per Δ
 //!   sweep       planned vs naive batched sweeps → BENCH_sweep.json
 //!   mc          streaming Monte Carlo engine certification → BENCH_mc.json
+//!   service     resident query service under a fleet trace → BENCH_service.json
 //!   regress     CI gate: diff quick engines against committed BENCH_*.json
 //!   all         everything above except regress
 //! ```
@@ -88,9 +89,10 @@ fn main() {
         "window" => experiments::window::run(&config),
         "sweep" => experiments::sweep::run(&config),
         "mc" => experiments::mc::run(&config),
+        "service" => experiments::service::run(&config),
         "regress" => experiments::regress::run(&config),
         "all" => {
-            let runs: [(&str, fn(&Config) -> Result<(), String>); 13] = [
+            let runs: [(&str, fn(&Config) -> Result<(), String>); 14] = [
                 ("fig2", experiments::fig2::run),
                 ("table1", experiments::table1::run),
                 ("fig7", experiments::fig7::run),
@@ -104,6 +106,7 @@ fn main() {
                 ("window", experiments::window::run),
                 ("sweep", experiments::sweep::run),
                 ("mc", experiments::mc::run),
+                ("service", experiments::service::run),
             ];
             let mut status = Ok(());
             for (name, f) in runs {
@@ -127,8 +130,8 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: bench-harness <fig2|table1|fig7|fig8|fig9|fig10|fig11|complexity|calibrate|\
-         baseline|window|sweep|mc|regress|all> [--fast] [--quick] [--out DIR] [--threads N] \
-         [--against DIR] [--epsilon X]"
+         baseline|window|sweep|mc|service|regress|all> [--fast] [--quick] [--out DIR] \
+         [--threads N] [--against DIR] [--epsilon X]"
     );
     std::process::exit(2);
 }

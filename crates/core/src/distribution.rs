@@ -13,6 +13,7 @@
 //! [`max_difference`](LifetimeDistribution::max_difference).
 
 use crate::KibamRmError;
+use std::sync::Arc;
 use units::{Charge, Time};
 
 /// What a solve cost: filled in by each backend as applicable.
@@ -34,10 +35,16 @@ pub struct SolveDiagnostics {
 
 /// A battery-lifetime distribution `t ↦ Pr[battery empty at t]` sampled
 /// on a strictly increasing time grid.
+///
+/// The sampled curve is stored behind an [`Arc`], so `Clone` is O(1) and
+/// never copies the grid — a cache hit in
+/// [`crate::service::LifetimeService`] hands out a shared view of the
+/// solved curve, not a deep copy. Equality still compares the sampled
+/// values, not the allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LifetimeDistribution {
     method: &'static str,
-    points: Vec<(Time, f64)>,
+    points: Arc<[(Time, f64)]>,
     diagnostics: SolveDiagnostics,
 }
 
@@ -79,9 +86,18 @@ impl LifetimeDistribution {
         }
         Ok(LifetimeDistribution {
             method,
-            points: clamped,
+            points: clamped.into(),
             diagnostics,
         })
+    }
+
+    /// Approximate resident size of this distribution in bytes: the
+    /// shared curve storage plus the handle itself. This is what the
+    /// [`crate::service::LifetimeService`] LRU budget charges per cached
+    /// entry; cheap clones share the same curve allocation, so the
+    /// service charges it once per cache slot, not once per handle.
+    pub fn size_in_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + std::mem::size_of_val::<[(Time, f64)]>(&self.points)
     }
 
     /// The backend that produced this distribution.
@@ -191,7 +207,7 @@ impl LifetimeDistribution {
             || self
                 .points
                 .iter()
-                .zip(&other.points)
+                .zip(other.points.iter())
                 .any(|((a, _), (b, _))| (a.as_seconds() - b.as_seconds()).abs() > 1e-9)
         {
             return Err(KibamRmError::InvalidDiscretisation(
@@ -201,7 +217,7 @@ impl LifetimeDistribution {
         Ok(self
             .points
             .iter()
-            .zip(&other.points)
+            .zip(other.points.iter())
             .map(|((_, a), (_, b))| (a - b).abs())
             .fold(0.0, f64::max))
     }
@@ -485,6 +501,21 @@ mod tests {
 
         // Length mismatch is rejected.
         assert!(SweepResultSet::new(vec!["x".into()], vec![]).is_err());
+    }
+
+    #[test]
+    fn clones_share_curve_storage_and_size_counts_it_once() {
+        let d = dist(&[(10.0, 0.0), (20.0, 0.5), (30.0, 1.0)]);
+        let c = d.clone();
+        // A clone is a shared view of the same allocation, not a copy —
+        // the cache-hit contract of the resident service.
+        assert!(std::ptr::eq(d.points().as_ptr(), c.points().as_ptr()));
+        assert_eq!(d, c);
+        // The size accessor charges the handle plus the curve samples.
+        let expected =
+            std::mem::size_of::<LifetimeDistribution>() + 3 * std::mem::size_of::<(Time, f64)>();
+        assert_eq!(d.size_in_bytes(), expected);
+        assert_eq!(c.size_in_bytes(), expected);
     }
 
     #[test]

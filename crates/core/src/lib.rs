@@ -78,6 +78,7 @@ pub mod distribution;
 pub mod model;
 pub mod report;
 pub mod scenario;
+pub mod service;
 pub mod simulate;
 pub mod solver;
 pub mod sweep;
@@ -88,8 +89,9 @@ mod error;
 pub use distribution::{LifetimeDistribution, SolveDiagnostics, SweepEntry, SweepResultSet};
 pub use error::KibamRmError;
 pub use scenario::{Scenario, ScenarioBuilder};
+pub use service::{LifetimeService, ServiceConfig, ServiceError, ServiceStats};
 pub use solver::{
-    Capability, CrossValidation, DiscretisationSolver, LifetimeSolver, SericolaSolver,
+    Capability, CrossValidation, DiscretisationSolver, GroupState, LifetimeSolver, SericolaSolver,
     SimulationSolver, SolverRegistry,
 };
 pub use sweep::{ScenarioGrid, SweepPlan};

@@ -356,6 +356,31 @@ impl Scenario {
         Ok(out)
     }
 
+    /// The canonical byte encoding of this scenario — the byte-identity
+    /// key under which [`crate::service::LifetimeService`] deduplicates
+    /// and caches queries.
+    ///
+    /// The encoding reuses the config round-trip
+    /// ([`Scenario::to_config_string`]) with the display name erased:
+    /// the name labels a scenario but never changes the answer, so two
+    /// scenarios differing only in name share one key (and one cached
+    /// solve). Every field that *does* shape the answer — workload
+    /// states/rates/initial distribution, battery parameters, `Δ`, the
+    /// query grid and the simulation budget/seed — rides on the config
+    /// lines, so equal scenarios produce equal keys no matter which
+    /// builder path assembled them.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Scenario::to_config_string`] (workload state labels the
+    /// line format cannot carry); such scenarios are still solvable,
+    /// just not keyable — the service serves them uncached.
+    pub fn canonical_bytes(&self) -> Result<Vec<u8>, KibamRmError> {
+        self.with_name("")
+            .to_config_string()
+            .map(String::into_bytes)
+    }
+
     /// Parses a scenario from the config format written by
     /// [`Scenario::to_config_string`].
     ///
@@ -858,6 +883,74 @@ mod tests {
                 assert_eq!(a.rates().get(i, j), b.rates().get(i, j));
             }
         }
+    }
+
+    #[test]
+    fn canonical_bytes_agree_across_builder_paths() {
+        // Path 1: the builder, field by field.
+        let built = Scenario::builder()
+            .name("path-one")
+            .workload(Workload::simple_model().unwrap())
+            .capacity(Charge::from_milliamp_hours(800.0))
+            .kibam(0.625, Rate::per_second(4.5e-5))
+            .time_grid(Time::from_hours(30.0), 30)
+            .delta(Charge::from_milliamp_hours(10.0))
+            .simulation(DEFAULT_SIM_RUNS, DEFAULT_SIM_SEED)
+            .build()
+            .unwrap();
+        // Path 2: the named constructor plus modifiers — an equal
+        // scenario assembled through a completely different call chain.
+        let modified = Scenario::paper_cell_phone()
+            .unwrap()
+            .with_delta(Charge::from_milliamp_hours(10.0));
+        assert_eq!(
+            built.canonical_bytes().unwrap(),
+            modified.canonical_bytes().unwrap()
+        );
+        // Path 3: the config round-trip itself.
+        let reparsed = Scenario::from_config_str(&built.to_config_string().unwrap()).unwrap();
+        assert_eq!(
+            built.canonical_bytes().unwrap(),
+            reparsed.canonical_bytes().unwrap()
+        );
+
+        // The display name is erased from the key (it never changes the
+        // answer) — even names the config line format cannot carry.
+        for name in ["other", "has space", "-"] {
+            assert_eq!(
+                built.with_name(name).canonical_bytes().unwrap(),
+                built.canonical_bytes().unwrap(),
+                "name {name:?} must not perturb the key"
+            );
+        }
+        // Fields that do shape the answer move the key.
+        assert_ne!(
+            built.with_simulation(7, 7).canonical_bytes().unwrap(),
+            built.canonical_bytes().unwrap()
+        );
+        assert_ne!(
+            built
+                .with_delta(Charge::from_milliamp_hours(20.0))
+                .canonical_bytes()
+                .unwrap(),
+            built.canonical_bytes().unwrap()
+        );
+    }
+
+    #[test]
+    fn canonical_bytes_propagate_unserialisable_state_labels() {
+        let w = crate::builder::WorkloadBuilder::new()
+            .state("has space", Current::ZERO)
+            .build()
+            .unwrap();
+        let s = Scenario::builder()
+            .workload(w)
+            .capacity(Charge::from_coulombs(100.0))
+            .linear()
+            .time_grid(Time::from_hours(1.0), 2)
+            .build()
+            .unwrap();
+        assert!(s.canonical_bytes().is_err(), "unkeyable, not mis-keyed");
     }
 
     #[test]

@@ -1,0 +1,1061 @@
+//! The resident lifetime-distribution query service: one long-lived
+//! process folding many concurrent [`Scenario`] queries into shared
+//! work.
+//!
+//! Batch sweeps ([`crate::sweep::SweepPlan`]) already amortise a *known*
+//! family of scenarios; [`LifetimeService`] does the same for traffic
+//! that arrives online — the north-star's fleet shape of many devices,
+//! few structural fingerprints, repeated re-queries. One query flows
+//! through three layers, all guarded by one small mutex (never held
+//! across a solve):
+//!
+//! 1. **Admission.** At most [`ServiceConfig::max_in_flight`] solves run
+//!    at once. A query that would start a solve beyond that budget is
+//!    shed with [`ServiceError::Overloaded`] — a typed, immediate
+//!    refusal the caller can retry against, instead of an unbounded
+//!    queue quietly eating the machine. Queries answered from cache, or
+//!    joined onto an in-flight solve, are never shed: they cost no new
+//!    work.
+//! 2. **Incremental online planning.** Requests are keyed by
+//!    [`Scenario::canonical_bytes`] (byte-identity, name erased).
+//!    A key already being solved **joins** that flight — single-flight
+//!    semantics: the second identical request blocks on the first solve
+//!    and shares its result (errors included), it never re-solves. A
+//!    new key is routed through
+//!    [`SolverRegistry::auto`](crate::solver::SolverRegistry) selection
+//!    and then joined into the *live group* for its
+//!    `(backend, sweep_fingerprint)`: the same warm
+//!    [`GroupState`] a batch sweep would
+//!    thread through a plan group — one `DiscretisationTemplate` +
+//!    `CurveCache` for a rate-rescale family, one `McPool` for
+//!    simulation traffic — now kept resident across requests. Same-group
+//!    solves serialise on the group state (exactly like a batch group's
+//!    member order); different groups solve concurrently.
+//! 3. **Caching.** Solved distributions land in a bounded LRU keyed by
+//!    the scenario bytes, budgeted in bytes via
+//!    [`LifetimeDistribution::size_in_bytes`] (hits hand out `Arc`
+//!    views, never deep copies). Warm group states live in a second,
+//!    smaller LRU keyed by `(backend, fingerprint)`. Both caches evict
+//!    explicitly (least-recently-used first) and export their counters
+//!    through [`ServiceStats`].
+//!
+//! **Bit-identity invariant.** Every shared fast path — the result
+//! cache, single-flight joins, warm group state — returns the same bits
+//! an independent [`SolverRegistry::solve`] of the same scenario under
+//! the same options would: caching is an optimisation, never an
+//! approximation. The `bench-harness regress` service gate enforces
+//! sup-distance *exactly 0* between cached and fresh answers.
+//!
+//! ```
+//! use kibamrm::scenario::Scenario;
+//! use kibamrm::service::LifetimeService;
+//! use kibamrm::solver::SolverRegistry;
+//!
+//! let service = LifetimeService::new(SolverRegistry::with_default_backends());
+//! let scenario = Scenario::paper_cell_phone().unwrap();
+//! let first = service.query(&scenario).unwrap();   // solves
+//! let second = service.query(&scenario).unwrap();  // cache hit: same bits
+//! assert_eq!(first.points(), second.points());
+//! let stats = service.stats();
+//! assert_eq!((stats.misses, stats.hits), (1, 1));
+//! ```
+
+use crate::distribution::LifetimeDistribution;
+use crate::scenario::Scenario;
+use crate::solver::{GroupState, SolverOptions, SolverRegistry};
+use crate::KibamRmError;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Errors from [`LifetimeService::query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The query was shed: it would have started a new solve while
+    /// [`ServiceConfig::max_in_flight`] solves were already running.
+    /// Nothing was computed; retrying later is safe and cheap.
+    Overloaded {
+        /// Solves running when the query was refused.
+        in_flight: usize,
+        /// The configured admission bound.
+        limit: usize,
+    },
+    /// The underlying solve failed (propagated verbatim, also to every
+    /// request joined onto the failing flight).
+    Solve(KibamRmError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { in_flight, limit } => write!(
+                f,
+                "service overloaded: {in_flight} solves in flight (limit {limit})"
+            ),
+            ServiceError::Solve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Solve(e) => Some(e),
+            ServiceError::Overloaded { .. } => None,
+        }
+    }
+}
+
+impl From<KibamRmError> for ServiceError {
+    fn from(e: KibamRmError) -> Self {
+        ServiceError::Solve(e)
+    }
+}
+
+/// Sizing knobs of a [`LifetimeService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Admission bound: at most this many solves run concurrently;
+    /// further solve-starting queries are shed with
+    /// [`ServiceError::Overloaded`]. Clamped to ≥ 1. Default: twice the
+    /// available parallelism (some headroom for solves blocked on a
+    /// shared group state).
+    pub max_in_flight: usize,
+    /// Byte budget of the solved-distribution LRU, accounted via
+    /// [`LifetimeDistribution::size_in_bytes`]. `0` disables result
+    /// caching (single-flight dedup still applies). Default: 32 MiB.
+    pub cache_capacity_bytes: usize,
+    /// Entry budget of the warm group-state LRU (templates, curve
+    /// caches, worker pools). `0` disables warm-state reuse — every
+    /// solve assembles its own state. Default: 16.
+    pub warm_capacity: usize,
+    /// Per-solve thread budget handed to the backends (see
+    /// [`SolverOptions`]).
+    pub options: SolverOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ServiceConfig {
+            max_in_flight: 2 * cores,
+            cache_capacity_bytes: 32 << 20,
+            warm_capacity: 16,
+            options: SolverOptions::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Replaces the admission bound.
+    #[must_use]
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Replaces the result-cache byte budget.
+    #[must_use]
+    pub fn with_cache_capacity_bytes(mut self, bytes: usize) -> Self {
+        self.cache_capacity_bytes = bytes;
+        self
+    }
+
+    /// Replaces the warm-state entry budget.
+    #[must_use]
+    pub fn with_warm_capacity(mut self, entries: usize) -> Self {
+        self.warm_capacity = entries;
+        self
+    }
+
+    /// Replaces the per-solve thread budget.
+    #[must_use]
+    pub fn with_options(mut self, options: SolverOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// A point-in-time snapshot of the service's counters and occupancy
+/// ([`LifetimeService::stats`]). Counters are cumulative since
+/// construction and survive [`LifetimeService::purge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Queries answered from the result cache (no solve, no wait).
+    pub hits: u64,
+    /// Queries that started a fresh solve.
+    pub misses: u64,
+    /// Queries that joined an in-flight identical solve (single-flight).
+    pub joined: u64,
+    /// Queries shed with [`ServiceError::Overloaded`].
+    pub shed: u64,
+    /// Result-cache entries evicted to make room (LRU order).
+    pub evictions: u64,
+    /// Solves that found a resident warm group state for their
+    /// `(backend, fingerprint)`.
+    pub warm_hits: u64,
+    /// Solves that had to create (or could not use) a warm group state.
+    pub warm_misses: u64,
+    /// Warm group states evicted to make room (LRU order).
+    pub warm_evictions: u64,
+    /// Queries whose scenario has no canonical byte key
+    /// ([`Scenario::canonical_bytes`] failed): admitted and solved, but
+    /// never cached, deduplicated or joined.
+    pub uncacheable: u64,
+    /// Solves that returned an error (errors are never cached).
+    pub errors: u64,
+    /// Solves running right now.
+    pub in_flight: usize,
+    /// Result-cache entries currently resident.
+    pub cached_entries: usize,
+    /// Result-cache bytes currently resident.
+    pub cached_bytes: usize,
+    /// Warm group states currently resident.
+    pub warm_entries: usize,
+}
+
+impl ServiceStats {
+    /// Fraction of admitted queries served without starting a solve:
+    /// `(hits + joined) / (hits + joined + misses + uncacheable)`.
+    /// `0` when nothing was admitted yet.
+    pub fn hit_rate(&self) -> f64 {
+        let served = self.hits + self.joined;
+        let admitted = served + self.misses + self.uncacheable;
+        if admitted == 0 {
+            0.0
+        } else {
+            served as f64 / admitted as f64
+        }
+    }
+}
+
+/// An in-flight solve other requests can join: the first request for a
+/// key publishes its outcome here and wakes every joiner.
+struct Flight {
+    done: Mutex<Option<Result<LifetimeDistribution, ServiceError>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> Result<LifetimeDistribution, ServiceError> {
+        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = done.as_ref() {
+                return result.clone();
+            }
+            done = self.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn complete(&self, result: Result<LifetimeDistribution, ServiceError>) {
+        *self.done.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// One resident result-cache entry.
+struct CacheEntry {
+    dist: LifetimeDistribution,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// One resident warm group state. The `Arc<Mutex<…>>` is the live-group
+/// handle: every same-fingerprint solve locks it for the duration of its
+/// member solve, which serialises the group exactly like a batch plan
+/// group while leaving other groups fully concurrent. Evicting the entry
+/// only unlists it — an in-progress solve keeps its state alive through
+/// the `Arc` and finishes normally.
+struct WarmEntry {
+    state: Arc<Mutex<Box<dyn GroupState>>>,
+    last_used: u64,
+}
+
+/// Everything behind the service mutex. The lock is held only for map
+/// lookups and counter bumps — never across a solve.
+#[derive(Default)]
+struct Inner {
+    cache: HashMap<Vec<u8>, CacheEntry>,
+    cache_bytes: usize,
+    warm: HashMap<(usize, u64), WarmEntry>,
+    flights: HashMap<Vec<u8>, Arc<Flight>>,
+    in_flight: usize,
+    /// Monotone LRU clock: bumped on every cache/warm touch.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    joined: u64,
+    shed: u64,
+    evictions: u64,
+    warm_hits: u64,
+    warm_misses: u64,
+    warm_evictions: u64,
+    uncacheable: u64,
+    errors: u64,
+}
+
+impl Inner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Inserts a solved distribution, evicting least-recently-used
+    /// entries until it fits. Oversized results (bigger than the whole
+    /// budget) are simply not cached.
+    fn insert_cached(&mut self, key: Vec<u8>, dist: LifetimeDistribution, budget: usize) {
+        let bytes = dist.size_in_bytes();
+        if bytes > budget {
+            return;
+        }
+        while self.cache_bytes + bytes > budget {
+            let Some(victim) = self
+                .cache
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(evicted) = self.cache.remove(&victim) {
+                self.cache_bytes -= evicted.bytes;
+                self.evictions += 1;
+            }
+        }
+        let last_used = self.next_tick();
+        self.cache_bytes += bytes;
+        self.cache.insert(
+            key,
+            CacheEntry {
+                dist,
+                bytes,
+                last_used,
+            },
+        );
+    }
+}
+
+/// The resident query service; see the module docs for the lifecycle.
+///
+/// The service is `Sync`: share one instance (e.g. behind an `Arc`)
+/// between all request threads.
+pub struct LifetimeService {
+    registry: SolverRegistry,
+    config: ServiceConfig,
+    inner: Mutex<Inner>,
+}
+
+// One `LifetimeService` is shared by every request thread.
+const _: fn() = || {
+    fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<LifetimeService>();
+};
+
+/// What the admission lock decided for one keyed query.
+enum Admission {
+    Hit(LifetimeDistribution),
+    Join(Arc<Flight>),
+    Solve(Arc<Flight>),
+}
+
+impl LifetimeService {
+    /// A service over `registry` with the default [`ServiceConfig`].
+    pub fn new(registry: SolverRegistry) -> Self {
+        LifetimeService::with_config(registry, ServiceConfig::default())
+    }
+
+    /// A service over `registry` with explicit sizing.
+    pub fn with_config(registry: SolverRegistry, config: ServiceConfig) -> Self {
+        LifetimeService {
+            registry,
+            config,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The service's sizing knobs.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The registry queries are routed through.
+    pub fn registry(&self) -> &SolverRegistry {
+        &self.registry
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A panicking solver thread cannot corrupt the maps (the lock is
+        // never held across backend code), so poisoning is not fatal.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Answers one query: from the result cache when the scenario's
+    /// canonical bytes are resident, by joining an identical in-flight
+    /// solve, or by solving through the live group for its
+    /// `(backend, fingerprint)` — whichever is cheapest. Blocks until
+    /// the answer (or the flight it joined) is ready.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Overloaded`] when the query would start a solve
+    /// beyond the admission bound (nothing was computed);
+    /// [`ServiceError::Solve`] for backend-selection and solve failures
+    /// (shared verbatim with every joined request; never cached).
+    pub fn query(&self, scenario: &Scenario) -> Result<LifetimeDistribution, ServiceError> {
+        let Ok(key) = scenario.canonical_bytes() else {
+            return self.query_uncacheable(scenario);
+        };
+        let admission = {
+            let mut inner = self.lock();
+            if inner.cache.contains_key(&key) {
+                let tick = inner.next_tick();
+                inner.hits += 1;
+                let entry = inner.cache.get_mut(&key).expect("checked key");
+                entry.last_used = tick;
+                Admission::Hit(entry.dist.clone())
+            } else if let Some(flight) = inner.flights.get(&key).map(Arc::clone) {
+                inner.joined += 1;
+                Admission::Join(flight)
+            } else {
+                let limit = self.config.max_in_flight.max(1);
+                if inner.in_flight >= limit {
+                    inner.shed += 1;
+                    return Err(ServiceError::Overloaded {
+                        in_flight: inner.in_flight,
+                        limit,
+                    });
+                }
+                inner.in_flight += 1;
+                inner.misses += 1;
+                let flight = Arc::new(Flight::new());
+                inner.flights.insert(key.clone(), Arc::clone(&flight));
+                Admission::Solve(flight)
+            }
+        };
+        match admission {
+            Admission::Hit(dist) => Ok(dist),
+            Admission::Join(flight) => flight.wait(),
+            Admission::Solve(flight) => self.run_flight(scenario, key, &flight),
+        }
+    }
+
+    /// The owner path of a flight: solve, publish, cache. A guard keeps
+    /// the bookkeeping (and the joiners) correct even if the backend
+    /// panics.
+    fn run_flight(
+        &self,
+        scenario: &Scenario,
+        key: Vec<u8>,
+        flight: &Arc<Flight>,
+    ) -> Result<LifetimeDistribution, ServiceError> {
+        struct FlightGuard<'a> {
+            service: &'a LifetimeService,
+            key: Vec<u8>,
+            flight: &'a Arc<Flight>,
+            done: bool,
+        }
+        impl Drop for FlightGuard<'_> {
+            fn drop(&mut self) {
+                if self.done {
+                    return;
+                }
+                // The solve unwound: unregister the flight and wake the
+                // joiners with an error instead of leaving them parked
+                // forever. The panic keeps propagating to the caller.
+                let mut inner = self.service.lock();
+                inner.flights.remove(&self.key);
+                inner.in_flight -= 1;
+                inner.errors += 1;
+                drop(inner);
+                self.flight
+                    .complete(Err(ServiceError::Solve(KibamRmError::InvalidWorkload(
+                        "solver panicked during a service query".into(),
+                    ))));
+            }
+        }
+
+        let mut guard = FlightGuard {
+            service: self,
+            key,
+            flight,
+            done: false,
+        };
+        let result = self.solve_via_group(scenario);
+        guard.done = true;
+        let mut inner = self.lock();
+        inner.flights.remove(&guard.key);
+        inner.in_flight -= 1;
+        match &result {
+            Ok(dist) => {
+                let key = std::mem::take(&mut guard.key);
+                inner.insert_cached(key, dist.clone(), self.config.cache_capacity_bytes);
+            }
+            Err(_) => inner.errors += 1,
+        }
+        drop(inner);
+        flight.complete(result.clone());
+        result
+    }
+
+    /// A scenario without a canonical key: admitted (and counted against
+    /// the in-flight budget) but never cached, deduplicated or joined.
+    fn query_uncacheable(&self, scenario: &Scenario) -> Result<LifetimeDistribution, ServiceError> {
+        {
+            let mut inner = self.lock();
+            let limit = self.config.max_in_flight.max(1);
+            if inner.in_flight >= limit {
+                inner.shed += 1;
+                return Err(ServiceError::Overloaded {
+                    in_flight: inner.in_flight,
+                    limit,
+                });
+            }
+            inner.in_flight += 1;
+            inner.uncacheable += 1;
+        }
+        let result = self.solve_via_group(scenario);
+        let mut inner = self.lock();
+        inner.in_flight -= 1;
+        if result.is_err() {
+            inner.errors += 1;
+        }
+        result
+    }
+
+    /// One solve through the live group for the scenario's
+    /// `(backend, fingerprint)`: lock the group's warm state (creating
+    /// or resurrecting it as needed) and run the same grouped member
+    /// solve a batch sweep would. Backends without a fingerprint or warm
+    /// state solve independently.
+    fn solve_via_group(&self, scenario: &Scenario) -> Result<LifetimeDistribution, ServiceError> {
+        let index = self.registry.auto_index(scenario)?;
+        let solver = self.registry.solver_at(index);
+        let options = self.config.options;
+        let slot = solver
+            .sweep_fingerprint(scenario)
+            .and_then(|fp| self.warm_slot(index, fp, |opts| solver.new_group_state(opts)));
+        let result = match slot {
+            Some(slot) => {
+                // Serialises same-group solves, exactly like a batch
+                // group's member order. A poisoned state (an earlier
+                // member panicked mid-solve) is replaced wholesale: a
+                // half-updated cache could violate bit-identity.
+                let mut state = match slot.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => {
+                        let mut guard = poisoned.into_inner();
+                        if let Some(fresh) = solver.new_group_state(&options) {
+                            *guard = fresh;
+                        }
+                        guard
+                    }
+                };
+                solver.solve_in_group(scenario, &options, state.as_mut())
+            }
+            None => solver.solve_with(scenario, &options),
+        };
+        result.map_err(ServiceError::Solve)
+    }
+
+    /// The live-group handle for `(backend index, fingerprint)`:
+    /// resident state when there is one, a freshly created (and
+    /// LRU-inserted) state otherwise. `None` when the backend has no
+    /// warm state or warm caching is disabled.
+    fn warm_slot(
+        &self,
+        index: usize,
+        fingerprint: u64,
+        make: impl FnOnce(&SolverOptions) -> Option<Box<dyn GroupState>>,
+    ) -> Option<Arc<Mutex<Box<dyn GroupState>>>> {
+        if self.config.warm_capacity == 0 {
+            return None;
+        }
+        let mut inner = self.lock();
+        let tick = inner.next_tick();
+        if let Some(entry) = inner.warm.get_mut(&(index, fingerprint)) {
+            entry.last_used = tick;
+            let state = Arc::clone(&entry.state);
+            inner.warm_hits += 1;
+            return Some(state);
+        }
+        inner.warm_misses += 1;
+        // Create outside the lock? State construction is cheap for the
+        // current backends (pool workers spawn lazily on first use for
+        // small thread counts) — and creating inside the lock guarantees
+        // at most one state per group ever exists, which is the whole
+        // point of a live group.
+        let state = Arc::new(Mutex::new(make(&self.config.options)?));
+        while inner.warm.len() >= self.config.warm_capacity {
+            let Some(victim) = inner
+                .warm
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+            else {
+                break;
+            };
+            inner.warm.remove(&victim);
+            inner.warm_evictions += 1;
+        }
+        inner.warm.insert(
+            (index, fingerprint),
+            WarmEntry {
+                state: Arc::clone(&state),
+                last_used: tick,
+            },
+        );
+        Some(state)
+    }
+
+    /// A snapshot of the counters and current occupancy.
+    pub fn stats(&self) -> ServiceStats {
+        let inner = self.lock();
+        ServiceStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            joined: inner.joined,
+            shed: inner.shed,
+            evictions: inner.evictions,
+            warm_hits: inner.warm_hits,
+            warm_misses: inner.warm_misses,
+            warm_evictions: inner.warm_evictions,
+            uncacheable: inner.uncacheable,
+            errors: inner.errors,
+            in_flight: inner.in_flight,
+            cached_entries: inner.cache.len(),
+            cached_bytes: inner.cache_bytes,
+            warm_entries: inner.warm.len(),
+        }
+    }
+
+    /// Drops every cached distribution and warm group state (counters
+    /// and in-flight solves are untouched; dropped entries do not count
+    /// as evictions). In-progress solves keep their group state alive
+    /// through their own handles and finish normally.
+    pub fn purge(&self) {
+        let mut inner = self.lock();
+        inner.cache.clear();
+        inner.cache_bytes = 0;
+        inner.warm.clear();
+    }
+}
+
+impl fmt::Debug for LifetimeService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LifetimeService")
+            .field("registry", &self.registry)
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{Capability, LifetimeSolver};
+    use crate::workload::Workload;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use units::{Charge, Current, Frequency, Time};
+
+    /// A cheap linear scenario (Sericola backend, no warm state).
+    fn linear(seed: u64) -> Scenario {
+        let w = Workload::on_off_erlang(Frequency::from_hertz(1.0), 1, Current::from_amps(0.96))
+            .unwrap();
+        Scenario::builder()
+            .name("svc-linear")
+            .workload(w)
+            .capacity(Charge::from_amp_seconds(72.0))
+            .linear()
+            .times(
+                (1..=8)
+                    .map(|i| Time::from_seconds(i as f64 * 20.0))
+                    .collect(),
+            )
+            .delta(Charge::from_amp_seconds(0.5))
+            .simulation(50, seed)
+            .build()
+            .unwrap()
+    }
+
+    /// A counting backend: exact, instant, records every solve.
+    struct Counting {
+        solves: Arc<AtomicUsize>,
+    }
+    impl LifetimeSolver for Counting {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn capability(&self, _s: &Scenario) -> Capability {
+            Capability::Exact
+        }
+        fn solve(&self, s: &Scenario) -> Result<LifetimeDistribution, KibamRmError> {
+            self.solves.fetch_add(1, Ordering::SeqCst);
+            let points = s
+                .times()
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (t, (i as f64 + 1.0) / (s.times().len() as f64 + 1.0)))
+                .collect();
+            LifetimeDistribution::new("counting", points, Default::default())
+        }
+    }
+
+    /// A backend that parks inside solve() until released — the load
+    /// generator for shedding and single-flight tests.
+    struct Blocking {
+        solves: Arc<AtomicUsize>,
+        entered: mpsc::Sender<()>,
+        release: Arc<(Mutex<bool>, Condvar)>,
+    }
+    impl Blocking {
+        fn release(gate: &Arc<(Mutex<bool>, Condvar)>) {
+            let (lock, cv) = &**gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+    }
+    impl LifetimeSolver for Blocking {
+        fn name(&self) -> &'static str {
+            "blocking"
+        }
+        fn capability(&self, _s: &Scenario) -> Capability {
+            Capability::Exact
+        }
+        fn solve(&self, s: &Scenario) -> Result<LifetimeDistribution, KibamRmError> {
+            self.solves.fetch_add(1, Ordering::SeqCst);
+            let _ = self.entered.send(());
+            let (lock, cv) = &*self.release;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            drop(open);
+            let points = s.times().iter().map(|&t| (t, 0.5)).collect();
+            LifetimeDistribution::new("blocking", points, Default::default())
+        }
+    }
+
+    fn counting_service(budget_bytes: usize) -> (LifetimeService, Arc<AtomicUsize>) {
+        let solves = Arc::new(AtomicUsize::new(0));
+        let mut registry = SolverRegistry::empty();
+        registry.register(Box::new(Counting {
+            solves: Arc::clone(&solves),
+        }));
+        let service = LifetimeService::with_config(
+            registry,
+            ServiceConfig::default().with_cache_capacity_bytes(budget_bytes),
+        );
+        (service, solves)
+    }
+
+    #[test]
+    fn cache_hits_share_bits_and_storage() {
+        let (service, solves) = counting_service(32 << 20);
+        let s = linear(1);
+        let a = service.query(&s).unwrap();
+        let b = service.query(&s).unwrap();
+        assert_eq!(solves.load(Ordering::SeqCst), 1, "second query is a hit");
+        assert_eq!(a.points(), b.points());
+        // The hit is a shared view, not a copy.
+        assert!(std::ptr::eq(a.points().as_ptr(), b.points().as_ptr()));
+        // A name-only variant hits too: the canonical key erases names.
+        let c = service.query(&s.with_name("other-label")).unwrap();
+        assert_eq!(solves.load(Ordering::SeqCst), 1);
+        assert_eq!(c.points(), a.points());
+        let stats = service.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 2));
+        assert_eq!(stats.cached_entries, 1);
+        assert_eq!(stats.cached_bytes, a.size_in_bytes());
+        assert!(stats.hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn eviction_follows_lru_order() {
+        let probe = {
+            let (service, _) = counting_service(usize::MAX);
+            service.query(&linear(1)).unwrap().size_in_bytes()
+        };
+        // Room for exactly two entries.
+        let (service, solves) = counting_service(2 * probe);
+        let (a, b, c) = (linear(1), linear(2), linear(3));
+        service.query(&a).unwrap();
+        service.query(&b).unwrap();
+        service.query(&a).unwrap(); // touch a: b is now least recent
+        service.query(&c).unwrap(); // evicts b
+        assert_eq!(service.stats().evictions, 1);
+        assert_eq!(service.stats().cached_entries, 2);
+        let before = solves.load(Ordering::SeqCst);
+        service.query(&a).unwrap(); // still resident
+        assert_eq!(solves.load(Ordering::SeqCst), before, "a stayed cached");
+        service.query(&b).unwrap(); // evicted: must re-solve
+        assert_eq!(solves.load(Ordering::SeqCst), before + 1, "b was evicted");
+        // Re-querying b evicted the next LRU victim (c after a's touch…
+        // a was touched last, so c goes).
+        assert_eq!(service.stats().evictions, 2);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching_but_not_dedup() {
+        let (service, solves) = counting_service(0);
+        let s = linear(1);
+        service.query(&s).unwrap();
+        service.query(&s).unwrap();
+        assert_eq!(solves.load(Ordering::SeqCst), 2, "nothing cached");
+        let stats = service.stats();
+        assert_eq!(stats.cached_entries, 0);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn shed_under_load_is_typed_and_harmless() {
+        let solves = Arc::new(AtomicUsize::new(0));
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut registry = SolverRegistry::empty();
+        registry.register(Box::new(Blocking {
+            solves: Arc::clone(&solves),
+            entered: entered_tx,
+            release: Arc::clone(&gate),
+        }));
+        let service = Arc::new(LifetimeService::with_config(
+            registry,
+            ServiceConfig::default().with_max_in_flight(1),
+        ));
+
+        let occupant = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || service.query(&linear(1)))
+        };
+        entered_rx.recv().expect("first query reached the backend");
+        // The budget is full: a *different* scenario is shed…
+        let err = service.query(&linear(2)).expect_err("must shed");
+        assert!(matches!(
+            err,
+            ServiceError::Overloaded {
+                in_flight: 1,
+                limit: 1
+            }
+        ));
+        assert!(err.to_string().contains("overloaded"));
+        Blocking::release(&gate);
+        let first = occupant.join().unwrap().expect("occupant succeeds");
+        assert_eq!(first.points().len(), 8);
+        let stats = service.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(
+            solves.load(Ordering::SeqCst),
+            1,
+            "shed query computed nothing"
+        );
+        // After the flight drains, the same scenario is admitted again.
+        assert!(service.query(&linear(2)).is_ok());
+    }
+
+    #[test]
+    fn identical_concurrent_queries_join_instead_of_shedding() {
+        let solves = Arc::new(AtomicUsize::new(0));
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut registry = SolverRegistry::empty();
+        registry.register(Box::new(Blocking {
+            solves: Arc::clone(&solves),
+            entered: entered_tx,
+            release: Arc::clone(&gate),
+        }));
+        // max_in_flight = 1: joiners must not count against the budget.
+        let service = Arc::new(LifetimeService::with_config(
+            registry,
+            ServiceConfig::default().with_max_in_flight(1),
+        ));
+        let s = linear(1);
+        let owner = {
+            let (service, s) = (Arc::clone(&service), s.clone());
+            std::thread::spawn(move || service.query(&s))
+        };
+        entered_rx.recv().expect("owner reached the backend");
+        let joiners: Vec<_> = (0..3)
+            .map(|_| {
+                let (service, s) = (Arc::clone(&service), s.clone());
+                std::thread::spawn(move || service.query(&s))
+            })
+            .collect();
+        // Joining is registration, not completion — give the threads a
+        // moment to park, then release the one real solve.
+        while service.stats().joined < 3 {
+            std::thread::yield_now();
+        }
+        Blocking::release(&gate);
+        let reference = owner.join().unwrap().unwrap();
+        for j in joiners {
+            let d = j.join().unwrap().expect("joiner shares the result");
+            assert_eq!(d.points(), reference.points());
+        }
+        assert_eq!(solves.load(Ordering::SeqCst), 1, "one solve for 4 queries");
+        let stats = service.stats();
+        assert_eq!((stats.misses, stats.joined, stats.shed), (1, 3, 0));
+    }
+
+    #[test]
+    fn errors_propagate_to_joiners_and_are_not_cached() {
+        struct Failing {
+            solves: Arc<AtomicUsize>,
+        }
+        impl LifetimeSolver for Failing {
+            fn name(&self) -> &'static str {
+                "failing"
+            }
+            fn capability(&self, _s: &Scenario) -> Capability {
+                Capability::Exact
+            }
+            fn solve(&self, _s: &Scenario) -> Result<LifetimeDistribution, KibamRmError> {
+                self.solves.fetch_add(1, Ordering::SeqCst);
+                Err(KibamRmError::InvalidWorkload("synthetic failure".into()))
+            }
+        }
+        let solves = Arc::new(AtomicUsize::new(0));
+        let mut registry = SolverRegistry::empty();
+        registry.register(Box::new(Failing {
+            solves: Arc::clone(&solves),
+        }));
+        let service = LifetimeService::new(registry);
+        let s = linear(1);
+        let err = service.query(&s).expect_err("solve fails");
+        assert!(matches!(err, ServiceError::Solve(_)));
+        // Errors are not cached: the next query re-solves.
+        let _ = service.query(&s).expect_err("still fails");
+        assert_eq!(solves.load(Ordering::SeqCst), 2);
+        let stats = service.stats();
+        assert_eq!(stats.errors, 2);
+        assert_eq!(stats.cached_entries, 0);
+    }
+
+    #[test]
+    fn real_registry_serves_bit_identical_answers_and_reuses_warm_state() {
+        // Sequential options keep grouped and independent solves
+        // unconditionally bit-identical (see the sweep contract).
+        let options = SolverOptions::sequential();
+        let registry = SolverRegistry::with_default_backends().with_options(options);
+        let service = LifetimeService::with_config(
+            SolverRegistry::with_default_backends(),
+            ServiceConfig::default().with_options(options),
+        );
+        let base = Scenario::paper_cell_phone().unwrap();
+        let family: Vec<Scenario> = [1.0, 0.5, 0.25]
+            .iter()
+            .map(|&g| base.with_rate_scale(g).unwrap())
+            .collect();
+        for s in &family {
+            let served = service.query(s).unwrap();
+            let fresh = registry.solve(s).unwrap();
+            assert_eq!(
+                served.points(),
+                fresh.points(),
+                "service answer differs from a fresh solve for {}",
+                s.name()
+            );
+            // And the cached copy is the same bits again.
+            assert_eq!(service.query(s).unwrap().points(), fresh.points());
+        }
+        let stats = service.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 3);
+        // The rescale family shares one live group: first member creates
+        // the warm state, the rest find it resident.
+        assert_eq!(stats.warm_misses, 1);
+        assert_eq!(stats.warm_hits, 2);
+        assert_eq!(stats.warm_entries, 1);
+    }
+
+    #[test]
+    fn warm_state_eviction_and_purge() {
+        let options = SolverOptions::sequential();
+        let service = LifetimeService::with_config(
+            SolverRegistry::with_default_backends(),
+            ServiceConfig::default()
+                .with_options(options)
+                .with_warm_capacity(1),
+        );
+        let base = Scenario::paper_cell_phone().unwrap();
+        let coarse = base.with_delta(Charge::from_milliamp_hours(50.0));
+        service.query(&base).unwrap();
+        // A different Δ is a different fingerprint: with capacity 1 the
+        // first group is evicted.
+        service.query(&coarse).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.warm_evictions, 1);
+        assert_eq!(stats.warm_entries, 1);
+        service.purge();
+        let stats = service.stats();
+        assert_eq!((stats.cached_entries, stats.warm_entries), (0, 0));
+        assert_eq!(stats.cached_bytes, 0);
+        // Counters survive; the next identical query is a miss again.
+        assert_eq!(stats.misses, 2);
+        service.query(&base).unwrap();
+        assert_eq!(service.stats().misses, 3);
+    }
+
+    #[test]
+    fn unkeyable_scenarios_are_served_uncached() {
+        let w = crate::builder::WorkloadBuilder::new()
+            .state("has space", Current::from_amps(0.5))
+            .build()
+            .unwrap();
+        let s = Scenario::builder()
+            .workload(w)
+            .capacity(Charge::from_coulombs(100.0))
+            .linear()
+            .time_grid(Time::from_seconds(400.0), 4)
+            .delta(Charge::from_coulombs(0.5))
+            .simulation(20, 1)
+            .build()
+            .unwrap();
+        let service = LifetimeService::with_config(
+            SolverRegistry::with_default_backends(),
+            ServiceConfig::default().with_options(SolverOptions::sequential()),
+        );
+        let a = service.query(&s).unwrap();
+        let b = service.query(&s).unwrap();
+        assert_eq!(a.points(), b.points());
+        let stats = service.stats();
+        assert_eq!(stats.uncacheable, 2, "served, but never cached");
+        assert_eq!(stats.cached_entries, 0);
+        assert_eq!(stats.hits + stats.misses, 0);
+    }
+
+    #[test]
+    fn config_knobs_and_display() {
+        let cfg = ServiceConfig::default()
+            .with_max_in_flight(3)
+            .with_cache_capacity_bytes(1024)
+            .with_warm_capacity(2)
+            .with_options(SolverOptions::sequential());
+        assert_eq!(cfg.max_in_flight, 3);
+        assert_eq!(cfg.cache_capacity_bytes, 1024);
+        assert_eq!(cfg.warm_capacity, 2);
+        let service = LifetimeService::with_config(SolverRegistry::with_default_backends(), cfg);
+        assert_eq!(*service.config(), cfg);
+        assert!(service.registry().find("sericola").is_some());
+        assert!(format!("{service:?}").contains("LifetimeService"));
+        let err = ServiceError::Overloaded {
+            in_flight: 9,
+            limit: 8,
+        };
+        assert!(err.to_string().contains("9 solves in flight (limit 8)"));
+        assert!(std::error::Error::source(&err).is_none());
+        let err: ServiceError = KibamRmError::InvalidWorkload("x".into()).into();
+        assert!(std::error::Error::source(&err).is_some());
+        assert_eq!(ServiceStats::default().hit_rate(), 0.0);
+    }
+}

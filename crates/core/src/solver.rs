@@ -137,6 +137,23 @@ impl Capability {
     }
 }
 
+/// Warm per-group solver state: everything a backend can carry from one
+/// member solve to the next — assembled patterns, curve caches, worker
+/// pools. [`LifetimeSolver::solve_group`] threads one such state through
+/// a batch group, and [`crate::service::LifetimeService`] keeps them
+/// **resident** across requests, so an online burst of structurally
+/// identical queries amortises exactly like a batch sweep.
+///
+/// The state is opaque to callers; a backend downcasts its own state
+/// back out via [`GroupState::as_any_mut`]. States must be `Send`
+/// (a resident service migrates them between request threads), but need
+/// not be `Sync` — the holder serialises access, mirroring how a batch
+/// group solves its members in sequence.
+pub trait GroupState: Send {
+    /// Downcasting hook for the owning backend ([`std::any::Any`]).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
 /// A battery-lifetime computation backend.
 pub trait LifetimeSolver: Send + Sync {
     /// Stable identifier (`"discretisation"`, `"simulation"`,
@@ -190,22 +207,63 @@ pub trait LifetimeSolver: Send + Sync {
         None
     }
 
+    /// Creates the warm state a group of structurally identical
+    /// scenarios (equal [`LifetimeSolver::sweep_fingerprint`]) threads
+    /// through its member solves — the group-resource handle a batch
+    /// sweep holds for one group and a resident service keeps alive
+    /// across requests. `None` (the default) means the backend has no
+    /// shareable state: every member solves independently.
+    fn new_group_state(&self, options: &SolverOptions) -> Option<Box<dyn GroupState>> {
+        let _ = options;
+        None
+    }
+
+    /// One member solve through warm group state (created by
+    /// [`LifetimeSolver::new_group_state`] on this same backend).
+    /// Implementations must return results **bit-identical** to
+    /// [`LifetimeSolver::solve_with`] on the same options — shared state
+    /// is an optimisation, never an approximation — and must fall back
+    /// to an independent solve when handed a state they do not
+    /// recognise.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LifetimeSolver::solve_with`].
+    fn solve_in_group(
+        &self,
+        scenario: &Scenario,
+        options: &SolverOptions,
+        state: &mut dyn GroupState,
+    ) -> Result<LifetimeDistribution, KibamRmError> {
+        let _ = state;
+        self.solve_with(scenario, options)
+    }
+
     /// Solves a group of structurally identical scenarios (equal
     /// [`LifetimeSolver::sweep_fingerprint`]), returning one result per
-    /// scenario in order. Backends that can amortise shared structure
-    /// override this; the default solves each member independently.
-    /// Implementations must return results **bit-identical** to
-    /// [`LifetimeSolver::solve_with`] on the same options — grouping is
-    /// an optimisation, never an approximation.
+    /// scenario in order. The default threads one
+    /// [`LifetimeSolver::new_group_state`] through
+    /// [`LifetimeSolver::solve_in_group`] member by member (falling back
+    /// to independent solves for stateless backends), so batch sweeps
+    /// and the resident service share one amortisation code path.
+    /// Results are **bit-identical** to [`LifetimeSolver::solve_with`]
+    /// on the same options — grouping is an optimisation, never an
+    /// approximation.
     fn solve_group(
         &self,
         scenarios: &[&Scenario],
         options: &SolverOptions,
     ) -> Vec<Result<LifetimeDistribution, KibamRmError>> {
-        scenarios
-            .iter()
-            .map(|s| self.solve_with(s, options))
-            .collect()
+        match self.new_group_state(options) {
+            Some(mut state) => scenarios
+                .iter()
+                .map(|s| self.solve_in_group(s, options, state.as_mut()))
+                .collect(),
+            None => scenarios
+                .iter()
+                .map(|s| self.solve_with(s, options))
+                .collect(),
+        }
     }
 }
 
@@ -404,24 +462,62 @@ impl LifetimeSolver for DiscretisationSolver {
         crate::discretise::structural_fingerprint(&model, &opts).ok()
     }
 
-    fn solve_group(
+    fn new_group_state(&self, options: &SolverOptions) -> Option<Box<dyn GroupState>> {
+        let _ = options;
+        // One template, one curve cache for the whole group: the banded
+        // pattern, DIA offsets, state labels and Fox–Glynn workspace are
+        // assembled on the first member; later members refill numeric
+        // values, and rate-rescaled members reuse the whole
+        // uniformisation sweep (see [`markov::transient::CurveCache`]).
+        Some(Box::new(DiscretisationGroupState {
+            template: None,
+            cache: CurveCache::new(),
+        }))
+    }
+
+    fn solve_in_group(
         &self,
-        scenarios: &[&Scenario],
+        scenario: &Scenario,
         options: &SolverOptions,
-    ) -> Vec<Result<LifetimeDistribution, KibamRmError>> {
-        // One budget application, one template, one curve cache for the
-        // whole group: the banded pattern, DIA offsets, state labels and
-        // Fox–Glynn workspace are assembled on the first member; later
-        // members refill numeric values, and rate-rescaled members reuse
-        // the whole uniformisation sweep (see
-        // [`markov::transient::CurveCache`]).
-        let solver = self.with_budget(options);
-        let mut template = None;
-        let mut cache = CurveCache::new();
-        scenarios
-            .iter()
-            .map(|s| solver.solve_grouped_one(s, &mut template, &mut cache))
-            .collect()
+        state: &mut dyn GroupState,
+    ) -> Result<LifetimeDistribution, KibamRmError> {
+        match state
+            .as_any_mut()
+            .downcast_mut::<DiscretisationGroupState>()
+        {
+            Some(st) => self.with_budget(options).solve_grouped_one(
+                scenario,
+                &mut st.template,
+                &mut st.cache,
+            ),
+            // Not our state (a caller's bookkeeping slip): solve
+            // independently rather than mis-share.
+            None => self.solve_with(scenario, options),
+        }
+    }
+}
+
+/// The discretisation backend's warm group state: the shared
+/// [`DiscretisationTemplate`] (pattern, offsets, labels — value-refilled
+/// per member) and the [`CurveCache`] (Fox–Glynn workspace, SpMV pool,
+/// and the reusable uniformisation sweep of a rate-rescale family).
+#[derive(Debug, Default)]
+pub struct DiscretisationGroupState {
+    template: Option<DiscretisationTemplate>,
+    cache: CurveCache,
+}
+
+impl DiscretisationGroupState {
+    /// Approximate heap footprint of the warm state in bytes — what a
+    /// resident holder's warm-budget accounting charges for this group.
+    pub fn approx_bytes(&self) -> usize {
+        self.cache.approx_bytes()
+    }
+}
+
+impl GroupState for DiscretisationGroupState {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 
@@ -686,17 +782,47 @@ impl LifetimeSolver for SimulationSolver {
         Some(u64::from_le_bytes(*b"MCPOOL\0\0"))
     }
 
-    fn solve_group(
+    fn new_group_state(&self, options: &SolverOptions) -> Option<Box<dyn GroupState>> {
+        // One worker pool for the whole group (and, in a resident
+        // service, for the process lifetime): workers spawn once, not
+        // once per scenario.
+        Some(Box::new(SimulationGroupState {
+            pool: McPool::new(self.with_budget(options).threads),
+        }))
+    }
+
+    fn solve_in_group(
         &self,
-        scenarios: &[&Scenario],
+        scenario: &Scenario,
         options: &SolverOptions,
-    ) -> Vec<Result<LifetimeDistribution, KibamRmError>> {
-        let solver = self.with_budget(options);
-        let pool = McPool::new(solver.threads);
-        scenarios
-            .iter()
-            .map(|s| solver.solve_on(s, &pool))
-            .collect()
+        state: &mut dyn GroupState,
+    ) -> Result<LifetimeDistribution, KibamRmError> {
+        match state.as_any_mut().downcast_mut::<SimulationGroupState>() {
+            Some(st) => self.with_budget(options).solve_on(scenario, &st.pool),
+            None => self.solve_with(scenario, options),
+        }
+    }
+}
+
+/// The simulation backend's warm group state: the long-lived
+/// [`McPool`]. Per-replication counter-derived RNG streams keep pooled
+/// solves bit-identical to independent ones, so the pool can serve any
+/// number of scenarios (and requests) without coupling them.
+#[derive(Debug)]
+pub struct SimulationGroupState {
+    pool: McPool,
+}
+
+impl SimulationGroupState {
+    /// Worker count of the resident pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+}
+
+impl GroupState for SimulationGroupState {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 

@@ -394,7 +394,42 @@ impl CurveCache {
     pub fn last_solve_shared(&self) -> bool {
         self.last_shared
     }
+
+    /// Approximate heap footprint of the cached sweep in bytes: the
+    /// iterate scalars `s`, the stored last iterate, the `α`/measure
+    /// copies and the cached `Pᵀ` values. Workspaces whose size is
+    /// bounded by the chain (the Fox–Glynn buffers, the worker pool) are
+    /// not charged. This is what a resident holder's warm-state budget
+    /// accounts for a cache that outlives one plan group.
+    pub fn approx_bytes(&self) -> usize {
+        let f64s = std::mem::size_of::<f64>();
+        self.state.as_ref().map_or(0, |st| {
+            (st.s.len() + st.v.len() + st.alpha.len() + st.measure.len()) * f64s
+                + st.pt.entries_per_product() * f64s
+        })
+    }
+
+    /// Drops the cached sweep while keeping the reusable workspaces (the
+    /// Fox–Glynn buffers and the SpMV worker pool), so a long-lived
+    /// cache can shed its O(iterations) memory without paying the
+    /// worker-respawn cost on the next solve. A cleared cache behaves
+    /// exactly like a fresh one: [`measure_curve_cached`] rebuilds the
+    /// sweep on the next call, bit-identically.
+    pub fn clear(&mut self) {
+        self.state = None;
+        self.last_shared = false;
+    }
 }
+
+// A `CurveCache` moves between request threads when it is held as
+// resident warm state (`kibamrm::service`); everything inside — the
+// cached sweep, the Fox–Glynn workspace, the SpMV pool's channel
+// endpoints and join handles — is `Send`, and this assertion keeps it
+// that way.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<CurveCache>();
+};
 
 /// Builds the member's `Pᵀ`, seeding banded construction with the cached
 /// offsets when the cache was built under the same options **for the
@@ -1213,6 +1248,38 @@ mod tests {
                 .unwrap()
                 .points
         );
+    }
+
+    #[test]
+    fn cache_footprint_accounting_and_clear() {
+        let n = 80;
+        let chain = lattice_chain(n, 0.8, 0.2);
+        let alpha = point_mass(n, n - 1);
+        let mut measure = vec![0.0; n];
+        measure[0] = 1.0;
+        let times = [20.0];
+        let opts = TransientOptions::default();
+        let mut cache = CurveCache::new();
+        assert_eq!(cache.approx_bytes(), 0, "empty cache charges nothing");
+        let first =
+            measure_curve_cached(&chain, &alpha, &times, &measure, &opts, &mut cache).unwrap();
+        let warm = cache.approx_bytes();
+        // The sweep stores ≥ iterations+1 scalars plus two state-sized
+        // iterates plus the matrix values.
+        assert!(warm >= (first.iterations + 1 + 2 * n) * std::mem::size_of::<f64>());
+        // clear() sheds the sweep but keeps the cache usable: the next
+        // solve rebuilds from scratch, bit-identically.
+        cache.clear();
+        assert_eq!(cache.approx_bytes(), 0);
+        assert!(!cache.last_solve_shared());
+        let rebuilt =
+            measure_curve_cached(&chain, &alpha, &times, &measure, &opts, &mut cache).unwrap();
+        assert!(!cache.last_solve_shared());
+        assert_eq!(rebuilt.points, first.points);
+        assert_eq!(rebuilt.iterations, first.iterations);
+        // And an immediate repeat shares again.
+        measure_curve_cached(&chain, &alpha, &times, &measure, &opts, &mut cache).unwrap();
+        assert!(cache.last_solve_shared());
     }
 
     proptest::proptest! {

@@ -197,6 +197,15 @@ pub struct McPool {
     handles: Vec<JoinHandle<()>>,
 }
 
+// A resident holder (`kibamrm::service`) keeps one pool alive for the
+// process lifetime and migrates it between request threads, so the pool
+// must stay `Send` (it need not be `Sync`: the holder serialises
+// studies, matching `run_study`'s exclusive dispatch loop).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<McPool>();
+};
+
 impl McPool {
     /// Spawns up to `threads` workers, clamped to the machine's
     /// available parallelism (replication simulation is compute-bound);

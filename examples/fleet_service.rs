@@ -1,0 +1,111 @@
+//! A device fleet querying one resident `LifetimeService`.
+//!
+//! Models the service's target workload: many devices sharing a handful
+//! of physical configurations. Each device queries under its own name,
+//! with a mix of
+//!
+//! * **repeat** queries — the exact configuration another device already
+//!   asked about (the canonical key erases names, so these are cache
+//!   hits);
+//! * **rescaled** queries — the same structure run at a power-of-two
+//!   rate scale (a different answer, but the warm group state shares the
+//!   uniformisation work with its siblings);
+//! * **fresh** queries — a configuration nobody asked about yet.
+//!
+//! Four worker threads drive the fleet concurrently; identical in-flight
+//! queries collapse onto one solve (single-flight), and everything the
+//! service does is bit-identical to solving each scenario independently.
+//! The run ends by printing the `ServiceStats` ledger.
+//!
+//! Run with: `cargo run --release --example fleet_service`
+
+use kibamrm::scenario::Scenario;
+use kibamrm::service::{LifetimeService, ServiceConfig};
+use kibamrm::solver::SolverRegistry;
+use kibamrm::workload::Workload;
+use std::sync::Arc;
+use units::{Charge, Current, Frequency, Rate, Time};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The fleet's base configuration: the paper's Fig. 8 on/off workload
+    // on a 7200 As two-well battery (coarse Δ keeps the example quick).
+    let base = Scenario::builder()
+        .name("fleet-base")
+        .workload(Workload::on_off_erlang(
+            Frequency::from_hertz(1.0),
+            1,
+            Current::from_amps(0.96),
+        )?)
+        .capacity(Charge::from_amp_seconds(7200.0))
+        .kibam(0.625, Rate::per_second(4.5e-5))
+        .time_grid(Time::from_seconds(8000.0), 16)
+        .delta(Charge::from_amp_seconds(300.0))
+        .build()?;
+
+    // The distinct physical configurations behind the whole fleet: the
+    // base at four power-of-two duty scales, plus a finer-Δ variant.
+    let mut configurations: Vec<Scenario> = [1.0, 0.5, 0.25, 0.125]
+        .iter()
+        .map(|&gamma| base.with_rate_scale(gamma))
+        .collect::<Result<_, _>>()?;
+    configurations.push(base.with_delta(Charge::from_amp_seconds(150.0)));
+
+    // max_in_flight bounds *fresh solves*, not requests: joiners and
+    // cache hits are always admitted. The default (2× the cores) can
+    // shed on small machines when many distinct configurations arrive
+    // at once; this fleet has 5, so admit that many concurrent solves.
+    let service = Arc::new(LifetimeService::with_config(
+        SolverRegistry::with_default_backends(),
+        ServiceConfig::default().with_max_in_flight(configurations.len()),
+    ));
+
+    // 40 devices, 4 worker threads. Device d asks about configuration
+    // d % 5 — so each configuration is solved once and hit repeatedly,
+    // under 40 different device names.
+    let devices = 40;
+    let workers = 4;
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (service, configurations) = (Arc::clone(&service), configurations.clone());
+            scope.spawn(move || {
+                for device in (w..devices).step_by(workers) {
+                    let scenario = configurations[device % configurations.len()]
+                        .with_name(format!("device-{device:02}"));
+                    match service.query(&scenario) {
+                        Ok(dist) => {
+                            // Slow-duty rescales may outlive the query
+                            // horizon: no median inside the grid then.
+                            let median = dist.median().map_or_else(
+                                || "beyond the horizon".to_string(),
+                                |t| format!("{:.0} s", t.as_seconds()),
+                            );
+                            println!("device-{device:02}: median lifetime {median}");
+                        }
+                        Err(e) => println!("device-{device:02}: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    println!("\nservice ledger after the fleet run:");
+    println!(
+        "  requests answered  {}",
+        stats.hits + stats.joined + stats.misses
+    );
+    println!("  cache hits         {}", stats.hits);
+    println!("  single-flight joins {}", stats.joined);
+    println!("  fresh solves       {}", stats.misses);
+    println!("  shed               {}", stats.shed);
+    println!(
+        "  warm group states  {} ({} hits / {} misses)",
+        stats.warm_entries, stats.warm_hits, stats.warm_misses
+    );
+    println!(
+        "  resident results   {} entries, {} bytes",
+        stats.cached_entries, stats.cached_bytes
+    );
+    println!("  hit rate           {:.3}", stats.hit_rate());
+    Ok(())
+}
