@@ -31,7 +31,13 @@
 //!   service's answers on the quick fleet trace are not bit-identical to
 //!   independent fresh solves (sup-distance must be exactly 0), the
 //!   deterministic trace's cache hit rate falls below the committed
-//!   floor, or the committed facts were recorded failing either check.
+//!   floor, the deterministic deadline leg's hit rate / degraded-serve
+//!   fraction drift from their exact constructed values, or the
+//!   committed facts were recorded failing any of those checks;
+//! * **cancellation overhead** — with an unlimited budget the
+//!   budget-threaded uniformisation engine must touch *exactly* as many
+//!   entries as the plain engine and produce a bit-identical curve: the
+//!   cooperative check points are free on the uncancelled hot path.
 //!
 //! A machine-readable verdict is always written to
 //! `REGRESS_report.json` under `--out` (the CI artifact), then the run
@@ -42,7 +48,10 @@
 use super::config::Config;
 use super::{discretise_fig8, sweep as sweep_experiment, write_json};
 use crate::json::Json;
-use markov::transient::{measure_curve, Representation, TransientOptions};
+use markov::transient::{
+    measure_curve, measure_curve_budgeted, CurveCache, Representation, TransientOptions,
+};
+use markov::Budget;
 use std::path::Path;
 
 /// The tolerated relative growth in `touched_entries`.
@@ -247,6 +256,49 @@ fn uniformisation_gate(cfg: &Config, committed: &Json, report: &mut Report) -> R
             );
         }
 
+        // Zero-overhead cancellation: with an unlimited budget the
+        // cooperative check points must compile down to a never-taken
+        // branch — the budgeted engine does *exactly* the same work
+        // (touched_entries bit-equal, not merely within the growth
+        // limit) and produces *exactly* the same curve as the plain one.
+        {
+            let opts = TransientOptions {
+                representation: Representation::Csr,
+                active_window: false,
+                ..base
+            };
+            let plain = measure_curve(
+                disc.chain(),
+                disc.alpha(),
+                &[t_query],
+                disc.empty_measure(),
+                &opts,
+            )
+            .map_err(|e| e.to_string())?;
+            let budgeted = measure_curve_budgeted(
+                disc.chain(),
+                disc.alpha(),
+                &[t_query],
+                disc.empty_measure(),
+                &opts,
+                &mut CurveCache::new(),
+                &Budget::unlimited(),
+            )
+            .map_err(|e| e.to_string())?;
+            report.check(
+                &format!("budget zero-overhead Δ={delta}"),
+                budgeted.touched_entries == plain.touched_entries
+                    && budgeted.points == plain.points,
+                format!(
+                    "unlimited-budget engine touched {} vs plain {} \
+                     (must be equal), curves bit-identical: {}",
+                    budgeted.touched_entries,
+                    plain.touched_entries,
+                    budgeted.points == plain.points
+                ),
+            );
+        }
+
         // Accuracy drift at a tightened ε: each engine is within ε of the
         // true curve, so at ε = 1e-13 any sup-distance beyond 1e-12 means
         // an engine broke, not that the budgets added up unluckily.
@@ -378,6 +430,25 @@ fn service_gate(cfg: &Config, committed: &Json, report: &mut Report) -> Result<(
         ),
     );
 
+    let committed_deadline_rate = committed
+        .get("deadline_leg")
+        .and_then(|leg| leg.num("deadline_hit_rate"));
+    let committed_degraded_fraction = committed
+        .get("deadline_leg")
+        .and_then(|leg| leg.num("degraded_fraction"));
+    report.check(
+        "service committed deadline facts",
+        committed_deadline_rate == Some(service::GATE_DEADLINE_HIT_RATE)
+            && committed_degraded_fraction == Some(service::GATE_DEGRADED_FRACTION),
+        format!(
+            "committed deadline-hit rate {committed_deadline_rate:?} and degraded \
+             fraction {committed_degraded_fraction:?} vs the deterministic \
+             {} / {}",
+            service::GATE_DEADLINE_HIT_RATE,
+            service::GATE_DEGRADED_FRACTION
+        ),
+    );
+
     let outcome = service::run_fleet_trace(true, 24, cfg.threads.clamp(1, 4))?;
     report.check(
         "service bit-identity (quick trace)",
@@ -400,6 +471,29 @@ fn service_gate(cfg: &Config, committed: &Json, report: &mut Report) -> Result<(
             outcome.stats.joined,
             outcome.stats.misses,
             service::GATE_HIT_RATE_FLOOR
+        ),
+    );
+    // The deadline leg is deterministic: expired-deadline requests against
+    // fresh variants must *all* expire and *all* degrade (with checked
+    // bounds — run_fleet_trace errors out on a missing/invalid bound),
+    // while resident targets serve exact; any drift in those exact rates
+    // means the deadline or degradation path changed behaviour.
+    report.check(
+        "service deadline determinism (quick trace)",
+        outcome.deadline_hit_rate() == service::GATE_DEADLINE_HIT_RATE
+            && outcome.degraded_fraction() == service::GATE_DEGRADED_FRACTION
+            && outcome.stats.deadline_expired == outcome.distinct as u64
+            && outcome.stats.degraded_served == outcome.distinct as u64,
+        format!(
+            "deadline-hit rate {:.3} (expired {}), degraded fraction {:.3} \
+             (served {}) over {} deadline requests vs exact {} / {}",
+            outcome.deadline_hit_rate(),
+            outcome.stats.deadline_expired,
+            outcome.degraded_fraction(),
+            outcome.stats.degraded_served,
+            outcome.deadline_requests,
+            service::GATE_DEADLINE_HIT_RATE,
+            service::GATE_DEGRADED_FRACTION
         ),
     );
     Ok(())

@@ -33,10 +33,10 @@
 use super::config::Config;
 use super::{sweep as sweep_experiment, write_json};
 use kibamrm::scenario::Scenario;
-use kibamrm::service::{LifetimeService, ServiceConfig, ServiceStats};
+use kibamrm::service::{Answer, LifetimeService, QueryOptions, ServiceConfig, ServiceStats};
 use kibamrm::solver::{SolverOptions, SolverRegistry};
 use markov::transient::Representation;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use units::Charge;
 
 /// Hit-rate floor the regression gate enforces on the quick trace (the
@@ -44,6 +44,13 @@ use units::Charge;
 /// most 2 misses, so the realised rate is ≥ 22/24 ≈ 0.92 — the floor
 /// leaves slack only for trace-shape edits, not for cache regressions).
 pub(crate) const GATE_HIT_RATE_FLOOR: f64 = 0.85;
+
+/// The deadline leg is deterministic by construction (already-expired
+/// deadlines, resident-vs-fresh targets alternating 1:1), so its rates
+/// are exact machine-independent facts the regression gate compares
+/// against bit for bit.
+pub(crate) const GATE_DEADLINE_HIT_RATE: f64 = 0.5;
+pub(crate) const GATE_DEGRADED_FRACTION: f64 = 0.5;
 
 /// The engine configuration of both the service and the fresh reference
 /// solves (single-threaded CSR — the sweep bench's gated configuration).
@@ -89,6 +96,27 @@ pub(crate) struct TraceOutcome {
     /// Sup-distance between the service's answers and independent fresh
     /// solves over every distinct configuration (must be exactly 0).
     pub sup_vs_fresh: f64,
+    /// Requests in the deterministic deadline leg (half against resident
+    /// configurations, half against fresh Δ-variants).
+    pub deadline_requests: usize,
+}
+
+impl TraceOutcome {
+    /// Fraction of deadline-carrying requests whose deadline expired.
+    pub fn deadline_hit_rate(&self) -> f64 {
+        if self.deadline_requests == 0 {
+            return 0.0;
+        }
+        self.stats.deadline_expired as f64 / self.deadline_requests as f64
+    }
+
+    /// Fraction of deadline-carrying requests served degraded.
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.deadline_requests == 0 {
+            return 0.0;
+        }
+        self.stats.degraded_served as f64 / self.deadline_requests as f64
+    }
 }
 
 impl TraceOutcome {
@@ -171,6 +199,50 @@ pub(crate) fn run_fleet_trace(
         sup_vs_fresh = sup_vs_fresh.max(sup);
     }
 
+    // Deadline leg — deterministic by construction, so its ledger is
+    // part of the gate. Per distinct configuration, two requests carry
+    // an already-expired deadline with degradation allowed:
+    //
+    // * one against the (now guaranteed resident) configuration itself —
+    //   a cache hit needs no solve, so it serves *exact* within any
+    //   deadline;
+    // * one against a fresh Δ-variant of the same structural family —
+    //   the exact solve fails fast on the exhausted budget and the
+    //   cached-family tier serves a degraded answer with an explicit
+    //   bound.
+    //
+    // Realised rates: deadline-hit 1/2, degraded-served 1/2, exactly.
+    let opts = QueryOptions::new()
+        .with_deadline(Duration::ZERO)
+        .allow_degraded();
+    let mut deadline_requests = 0usize;
+    for scenario in &configurations {
+        let resident = service
+            .query_with(scenario, &opts)
+            .map_err(|e| e.to_string())?;
+        deadline_requests += 1;
+        if resident.is_degraded() {
+            return Err("a resident configuration must serve exact within any deadline".into());
+        }
+        let variant = scenario.with_delta(Charge::from_amp_seconds(75.0));
+        let answer = service
+            .query_with(&variant, &opts)
+            .map_err(|e| e.to_string())?;
+        deadline_requests += 1;
+        match answer {
+            Answer::Degraded { bound, .. } => {
+                if !(bound.is_finite() && bound > 0.0 && bound < 1.0) {
+                    return Err(format!(
+                        "degraded answer carries a non-probability error bound {bound}"
+                    ));
+                }
+            }
+            Answer::Exact(_) => {
+                return Err("an expired-deadline solve of a fresh variant cannot be exact".into())
+            }
+        }
+    }
+
     Ok(TraceOutcome {
         requests,
         distinct: configurations.len(),
@@ -178,6 +250,7 @@ pub(crate) fn run_fleet_trace(
         stats: service.stats(),
         latencies_ns,
         sup_vs_fresh,
+        deadline_requests,
     })
 }
 
@@ -227,6 +300,15 @@ pub fn run(cfg: &Config) -> Result<(), String> {
         outcome.percentile_ns(0.99) / 1e3,
         outcome.sup_vs_fresh,
     );
+    println!(
+        "deadline leg: {} requests — deadline-hit rate {:.3} ({} expired), \
+         degraded-serve fraction {:.3} ({} served, all bounds checked)",
+        outcome.deadline_requests,
+        outcome.deadline_hit_rate(),
+        stats.deadline_expired,
+        outcome.degraded_fraction(),
+        stats.degraded_served,
+    );
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -238,13 +320,19 @@ pub fn run(cfg: &Config) -> Result<(), String> {
          trace of per-device relabelled queries over power-of-two rate rescales and \
          deltas of the Fig. 8 two-well scenario; latencies mix cache hits with cold \
          solves; served answers are asserted bit-identical to independent fresh solves \
-         on every run\",\n  \
+         on every run; the deadline leg is deterministic (already-expired deadlines, \
+         resident vs fresh-variant targets 1:1) and every degraded answer's explicit \
+         error bound is checked\",\n  \
          \"trace\": {{\n    \"requests\": {},\n    \"distinct_configurations\": {},\n    \
          \"workers\": {},\n    \"hit_rate\": {:.4},\n    \"hits\": {},\n    \
          \"joined\": {},\n    \"misses\": {},\n    \"shed\": {},\n    \
          \"warm_hits\": {},\n    \"warm_misses\": {},\n    \"evictions\": {},\n    \
          \"cached_bytes\": {},\n    \"p50_ns\": {:.0},\n    \"p95_ns\": {:.0},\n    \
-         \"p99_ns\": {:.0},\n    \"max_abs_difference_vs_fresh\": {:e}\n  }}\n}}\n",
+         \"p99_ns\": {:.0},\n    \"max_abs_difference_vs_fresh\": {:e}\n  }},\n  \
+         \"deadline_leg\": {{\n    \"requests\": {},\n    \"deadline_expired\": {},\n    \
+         \"deadline_hit_rate\": {:.4},\n    \"degraded_served\": {},\n    \
+         \"degraded_fraction\": {:.4},\n    \"retries\": {},\n    \
+         \"breaker_open\": {}\n  }}\n}}\n",
         outcome.requests,
         outcome.distinct,
         outcome.workers,
@@ -261,6 +349,13 @@ pub fn run(cfg: &Config) -> Result<(), String> {
         outcome.percentile_ns(0.95),
         outcome.percentile_ns(0.99),
         outcome.sup_vs_fresh,
+        outcome.deadline_requests,
+        stats.deadline_expired,
+        outcome.deadline_hit_rate(),
+        stats.degraded_served,
+        outcome.degraded_fraction(),
+        stats.retries,
+        stats.breaker_open,
     );
     write_json(cfg, "BENCH_service.json", &body)
 }

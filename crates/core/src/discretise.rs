@@ -538,14 +538,35 @@ impl DiscretisedModel {
         times: &[Time],
         cache: &mut markov::transient::CurveCache,
     ) -> Result<CurveSolution, KibamRmError> {
+        self.empty_probability_curve_budgeted(times, cache, &markov::Budget::unlimited())
+    }
+
+    /// [`DiscretisedModel::empty_probability_curve_cached`] under a
+    /// cooperative [`markov::Budget`], checked once per uniformisation
+    /// iteration. An exhausted budget aborts the sweep with
+    /// [`KibamRmError::DeadlineExceeded`], leaving `cache` in the same
+    /// consistent state a shorter solve would have — re-running the same
+    /// solve to completion is bit-identical to never having cancelled.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DiscretisedModel::empty_probability_curve_cached`], plus
+    /// [`KibamRmError::DeadlineExceeded`] on budget exhaustion.
+    pub fn empty_probability_curve_budgeted(
+        &self,
+        times: &[Time],
+        cache: &mut markov::transient::CurveCache,
+        budget: &markov::Budget,
+    ) -> Result<CurveSolution, KibamRmError> {
         let secs: Vec<f64> = times.iter().map(|t| t.as_seconds()).collect();
-        Ok(markov::transient::measure_curve_cached(
+        Ok(markov::transient::measure_curve_budgeted(
             &self.chain,
             &self.alpha,
             &secs,
             &self.empty_measure,
             &self.transient,
             cache,
+            budget,
         )?)
     }
 

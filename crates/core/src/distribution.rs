@@ -29,6 +29,10 @@ pub struct SolveDiagnostics {
     pub delta: Option<Charge>,
     /// Simulation replications (simulation only).
     pub runs: Option<usize>,
+    /// Largest 95% Wilson-score half-width over the query grid
+    /// (simulation only): an explicit statistical error bound that
+    /// degraded service answers surface to the caller.
+    pub half_width: Option<f64>,
     /// Wall-clock seconds spent inside the solver.
     pub wall_seconds: f64,
 }

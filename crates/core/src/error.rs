@@ -16,6 +16,15 @@ pub enum KibamRmError {
     Markov(markov::MarkovError),
     /// An error propagated from the battery-model layer.
     Battery(battery::BatteryError),
+    /// A cooperative [`markov::Budget`] check failed: the solve was
+    /// cancelled or ran past its deadline. Carries the work completed
+    /// before the interruption (uniformisation iterations for the
+    /// discretisation backend, replications for simulation).
+    DeadlineExceeded {
+        /// Units of work (backend-specific) completed before the budget
+        /// expired.
+        completed: usize,
+    },
 }
 
 impl fmt::Display for KibamRmError {
@@ -28,6 +37,12 @@ impl fmt::Display for KibamRmError {
             }
             KibamRmError::Markov(e) => write!(f, "markov layer: {e}"),
             KibamRmError::Battery(e) => write!(f, "battery layer: {e}"),
+            KibamRmError::DeadlineExceeded { completed } => {
+                write!(
+                    f,
+                    "deadline exceeded after {completed} units of completed work"
+                )
+            }
         }
     }
 }
@@ -44,7 +59,15 @@ impl std::error::Error for KibamRmError {
 
 impl From<markov::MarkovError> for KibamRmError {
     fn from(e: markov::MarkovError) -> Self {
-        KibamRmError::Markov(e)
+        // Deadline interruptions are a first-class outcome at this
+        // layer (the service degrades or retries on them), so they are
+        // lifted out of the generic Markov wrapper at the boundary.
+        match e {
+            markov::MarkovError::DeadlineExceeded { completed } => {
+                KibamRmError::DeadlineExceeded { completed }
+            }
+            other => KibamRmError::Markov(other),
+        }
     }
 }
 
@@ -79,5 +102,10 @@ mod tests {
         assert!(KibamRmError::InvalidDiscretisation("d".into())
             .to_string()
             .contains("discretisation"));
+
+        let e: KibamRmError = markov::MarkovError::DeadlineExceeded { completed: 3 }.into();
+        assert_eq!(e, KibamRmError::DeadlineExceeded { completed: 3 });
+        assert!(e.to_string().contains("deadline exceeded after 3"));
+        assert!(e.source().is_none());
     }
 }

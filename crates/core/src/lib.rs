@@ -73,6 +73,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod chaos;
 pub mod discretise;
 pub mod distribution;
 pub mod model;
@@ -86,10 +87,14 @@ pub mod workload;
 
 mod error;
 
+pub use chaos::{ChaosConfig, ChaosLedger, FaultInjectingSolver};
 pub use distribution::{LifetimeDistribution, SolveDiagnostics, SweepEntry, SweepResultSet};
 pub use error::KibamRmError;
 pub use scenario::{Scenario, ScenarioBuilder};
-pub use service::{LifetimeService, ServiceConfig, ServiceError, ServiceStats};
+pub use service::{
+    Answer, DegradedSource, LifetimeService, QueryOptions, RetryPolicy, ServiceConfig,
+    ServiceError, ServiceStats,
+};
 pub use solver::{
     Capability, CrossValidation, DiscretisationSolver, GroupState, LifetimeSolver, SericolaSolver,
     SimulationSolver, SolverRegistry,

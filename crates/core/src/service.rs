@@ -62,11 +62,15 @@
 
 use crate::distribution::LifetimeDistribution;
 use crate::scenario::Scenario;
-use crate::solver::{GroupState, SolverOptions, SolverRegistry};
+use crate::solver::{GroupState, LifetimeSolver, SimulationSolver, SolverOptions, SolverRegistry};
 use crate::KibamRmError;
+use markov::Budget;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+use units::Charge;
 
 /// Errors from [`LifetimeService::query`].
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +87,53 @@ pub enum ServiceError {
     /// The underlying solve failed (propagated verbatim, also to every
     /// request joined onto the failing flight).
     Solve(KibamRmError),
+    /// The request's [`QueryOptions::deadline`] expired before the exact
+    /// solve finished, and no degraded answer was allowed
+    /// ([`QueryOptions::degraded_ok`] was false) or available.
+    DeadlineExceeded {
+        /// Units of work (backend-specific: uniformisation iterations or
+        /// replications) the interrupted solve completed.
+        completed: usize,
+    },
+    /// The circuit breaker for the request's `(backend, fingerprint)` is
+    /// open after repeated backend failures: the query was shed fast,
+    /// without touching the backend, until a half-open probe succeeds.
+    CircuitOpen {
+        /// The backend whose breaker is open.
+        backend: &'static str,
+    },
+}
+
+impl ServiceError {
+    /// Whether retrying the *same* request later can reasonably succeed.
+    ///
+    /// * [`Overloaded`](ServiceError::Overloaded) — yes: admission
+    ///   pressure drains as in-flight solves finish.
+    /// * [`CircuitOpen`](ServiceError::CircuitOpen) — yes: the breaker
+    ///   half-opens after its cooldown and lets a probe through.
+    /// * [`DeadlineExceeded`](ServiceError::DeadlineExceeded) — no: the
+    ///   request's own time budget was consumed; an unchanged retry fails
+    ///   the same way. Raise the deadline or allow degradation instead.
+    /// * [`Solve`](ServiceError::Solve) — only for transient numerical
+    ///   failures (non-convergence); validation errors are permanent.
+    pub fn retryable(&self) -> bool {
+        match self {
+            ServiceError::Overloaded { .. } | ServiceError::CircuitOpen { .. } => true,
+            ServiceError::DeadlineExceeded { .. } => false,
+            ServiceError::Solve(e) => transient_solve_error(e),
+        }
+    }
+}
+
+/// Transient solve failures — the class the service's bounded-backoff
+/// retry loop re-attempts. Validation errors are deterministic and
+/// excluded; numerical non-convergence (and injected chaos faults, which
+/// reuse that variant) may clear on retry.
+fn transient_solve_error(e: &KibamRmError) -> bool {
+    matches!(
+        e,
+        KibamRmError::Markov(markov::MarkovError::NoConvergence(_))
+    )
 }
 
 impl fmt::Display for ServiceError {
@@ -93,6 +144,14 @@ impl fmt::Display for ServiceError {
                 "service overloaded: {in_flight} solves in flight (limit {limit})"
             ),
             ServiceError::Solve(e) => write!(f, "{e}"),
+            ServiceError::DeadlineExceeded { completed } => write!(
+                f,
+                "request deadline exceeded after {completed} units of completed work"
+            ),
+            ServiceError::CircuitOpen { backend } => write!(
+                f,
+                "circuit breaker open for backend '{backend}': shedding until a probe succeeds"
+            ),
         }
     }
 }
@@ -101,14 +160,194 @@ impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServiceError::Solve(e) => Some(e),
-            ServiceError::Overloaded { .. } => None,
+            _ => None,
         }
     }
 }
 
 impl From<KibamRmError> for ServiceError {
     fn from(e: KibamRmError) -> Self {
-        ServiceError::Solve(e)
+        match e {
+            KibamRmError::DeadlineExceeded { completed } => {
+                ServiceError::DeadlineExceeded { completed }
+            }
+            other => ServiceError::Solve(other),
+        }
+    }
+}
+
+/// Bounded exponential backoff for transient solve failures
+/// ([`QueryOptions::retry`]). `max_retries == 0` (the default) disables
+/// retrying entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-attempts after the first failed solve (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling (the exponential curve saturates here).
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries (the default).
+    pub const fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(640),
+        }
+    }
+
+    /// Up to `max_retries` re-attempts with the default backoff curve
+    /// (10 ms doubling to a 640 ms ceiling).
+    pub const fn retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(640),
+        }
+    }
+
+    /// Replaces the backoff curve.
+    #[must_use]
+    pub const fn with_backoff(mut self, initial: Duration, max: Duration) -> Self {
+        self.initial_backoff = initial;
+        self.max_backoff = max;
+        self
+    }
+
+    /// The backoff before retry `attempt` (1-based): `initial·2^(n−1)`,
+    /// saturating at [`max_backoff`](RetryPolicy::max_backoff).
+    fn backoff_for(&self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(20);
+        self.initial_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// Per-request quality-of-service knobs for
+/// [`LifetimeService::query_with`]. The default (`no deadline, no
+/// degradation, no retries`) reproduces [`LifetimeService::query`]
+/// exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryOptions {
+    /// Wall-clock budget for this request. The exact solve is cancelled
+    /// cooperatively (at iteration granularity) when it expires; the
+    /// deadline instant is fixed once per request, so retries and
+    /// degraded fallbacks share it rather than extending it.
+    pub deadline: Option<Duration>,
+    /// Allow a degraded answer when the exact solve cannot finish in
+    /// time: a resident same-family curve at a different Δ, or a fast
+    /// Monte Carlo estimate — always tagged
+    /// [`Answer::Degraded`] with an explicit error bound.
+    pub degraded_ok: bool,
+    /// Retry policy for transient solve failures.
+    pub retry: RetryPolicy,
+}
+
+impl QueryOptions {
+    /// The default options (no deadline, exact answers only, no retry).
+    pub fn new() -> Self {
+        QueryOptions::default()
+    }
+
+    /// Sets the request deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Permits degraded answers on deadline expiry.
+    #[must_use]
+    pub fn allow_degraded(mut self) -> Self {
+        self.degraded_ok = true;
+        self
+    }
+
+    /// Sets the retry policy for transient failures.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+/// Where a degraded answer came from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegradedSource {
+    /// A resident curve of the same structural family (identical
+    /// workload, battery, grid and simulation settings) solved at a
+    /// different discretisation step.
+    CachedFamily {
+        /// The Δ the cached curve was solved at (`None` for
+        /// Δ-independent backends, whose curve is the exact answer).
+        delta: Option<Charge>,
+    },
+    /// A fast Monte Carlo estimate computed under the degraded grace
+    /// budget ([`ServiceConfig::degraded_grace`]).
+    FastSimulation {
+        /// Replications behind the estimate.
+        runs: usize,
+    },
+}
+
+/// The outcome of a [`LifetimeService::query_with`] request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// The exact answer — bit-identical to an independent
+    /// [`SolverRegistry::solve`] of the same scenario.
+    Exact(LifetimeDistribution),
+    /// A degraded answer served because the deadline expired before the
+    /// exact solve finished. Never cached; always carries an explicit
+    /// error bound.
+    Degraded {
+        /// The degraded curve.
+        dist: LifetimeDistribution,
+        /// Explicit sup-norm error bound of the degraded curve: the
+        /// Wilson 95 % half-width for Monte Carlo answers, one
+        /// discretisation level (`Δ/capacity`) for family variants, `0`
+        /// when the variant is exact.
+        bound: f64,
+        /// Which degradation tier produced it.
+        source: DegradedSource,
+    },
+}
+
+impl Answer {
+    /// The distribution, whichever tier produced it.
+    pub fn distribution(&self) -> &LifetimeDistribution {
+        match self {
+            Answer::Exact(d) | Answer::Degraded { dist: d, .. } => d,
+        }
+    }
+
+    /// Consumes the answer into its distribution.
+    pub fn into_distribution(self) -> LifetimeDistribution {
+        match self {
+            Answer::Exact(d) | Answer::Degraded { dist: d, .. } => d,
+        }
+    }
+
+    /// Whether this is a degraded answer.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Answer::Degraded { .. })
+    }
+
+    /// The explicit error bound of a degraded answer (`None` for exact).
+    pub fn bound(&self) -> Option<f64> {
+        match self {
+            Answer::Exact(_) => None,
+            Answer::Degraded { bound, .. } => Some(*bound),
+        }
     }
 }
 
@@ -132,6 +371,20 @@ pub struct ServiceConfig {
     /// Per-solve thread budget handed to the backends (see
     /// [`SolverOptions`]).
     pub options: SolverOptions,
+    /// Consecutive solve failures per `(backend, fingerprint)` that trip
+    /// its circuit breaker into the open state. `0` disables the
+    /// breaker. Default: 5.
+    pub breaker_threshold: u32,
+    /// How long an open breaker sheds before half-opening for a single
+    /// probe request. Default: 5 s.
+    pub breaker_cooldown: Duration,
+    /// Wall-clock grace granted to the fast-Monte-Carlo degradation tier
+    /// after the request's own deadline expired (the fallback must not
+    /// itself run unbounded). Default: 250 ms.
+    pub degraded_grace: Duration,
+    /// Replications of the fast-Monte-Carlo degradation tier. Default:
+    /// 256 (Wilson 95 % half-width ≈ 0.06 at worst).
+    pub degraded_runs: usize,
 }
 
 impl Default for ServiceConfig {
@@ -144,6 +397,10 @@ impl Default for ServiceConfig {
             cache_capacity_bytes: 32 << 20,
             warm_capacity: 16,
             options: SolverOptions::default(),
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(5),
+            degraded_grace: Duration::from_millis(250),
+            degraded_runs: 256,
         }
     }
 }
@@ -176,6 +433,23 @@ impl ServiceConfig {
         self.options = options;
         self
     }
+
+    /// Replaces the circuit-breaker policy (`threshold == 0` disables).
+    #[must_use]
+    pub fn with_breaker(mut self, threshold: u32, cooldown: Duration) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Replaces the degraded-fallback policy (grace budget and
+    /// replication count of the fast-Monte-Carlo tier).
+    #[must_use]
+    pub fn with_degraded_fallback(mut self, grace: Duration, runs: usize) -> Self {
+        self.degraded_grace = grace;
+        self.degraded_runs = runs;
+        self
+    }
 }
 
 /// A point-in-time snapshot of the service's counters and occupancy
@@ -204,8 +478,21 @@ pub struct ServiceStats {
     /// ([`Scenario::canonical_bytes`] failed): admitted and solved, but
     /// never cached, deduplicated or joined.
     pub uncacheable: u64,
-    /// Solves that returned an error (errors are never cached).
+    /// Solves that failed in the backend ([`ServiceError::Solve`];
+    /// errors are never cached). Deadline expiries and breaker sheds are
+    /// not backend failures: they count in `deadline_expired` and
+    /// `breaker_open` instead.
     pub errors: u64,
+    /// Requests whose deadline expired before an exact answer arrived
+    /// (whether or not a degraded answer was then served).
+    pub deadline_expired: u64,
+    /// Requests answered by a degradation tier instead of an exact
+    /// solve.
+    pub degraded_served: u64,
+    /// Transient-failure retries performed by the bounded-backoff loop.
+    pub retries: u64,
+    /// Queries shed by an open circuit breaker.
+    pub breaker_open: u64,
     /// Solves running right now.
     pub in_flight: usize,
     /// Result-cache entries currently resident.
@@ -246,13 +533,32 @@ impl Flight {
         }
     }
 
-    fn wait(&self) -> Result<LifetimeDistribution, ServiceError> {
+    /// Blocks until the flight completes, or until `deadline` (when one
+    /// is set). `None` means the deadline passed first — the flight
+    /// itself keeps running and completes normally for other waiters.
+    fn wait_until(
+        &self,
+        deadline: Option<Instant>,
+    ) -> Option<Result<LifetimeDistribution, ServiceError>> {
         let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(result) = done.as_ref() {
-                return result.clone();
+                return Some(result.clone());
             }
-            done = self.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+            match deadline {
+                None => done = self.cv.wait(done).unwrap_or_else(PoisonError::into_inner),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    done = self
+                        .cv
+                        .wait_timeout(done, d - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
         }
     }
 
@@ -267,6 +573,11 @@ struct CacheEntry {
     dist: LifetimeDistribution,
     bytes: usize,
     last_used: u64,
+    /// Hash of the scenario's Δ-erased canonical bytes: entries sharing
+    /// it form one structural family (identical workload, battery, grid
+    /// and simulation settings; only the discretisation step differs) —
+    /// the lookup key of the cached-family degradation tier.
+    family: Option<u64>,
 }
 
 /// One resident warm group state. The `Arc<Mutex<…>>` is the live-group
@@ -280,6 +591,51 @@ struct WarmEntry {
     last_used: u64,
 }
 
+/// Circuit-breaker state machine for one `(backend, fingerprint)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BreakerState {
+    /// Healthy: solves pass through; consecutive failures are counted.
+    Closed,
+    /// Tripped: queries shed fast with [`ServiceError::CircuitOpen`]
+    /// until `until`, when the next query becomes the half-open probe.
+    Open {
+        /// End of the cooldown.
+        until: Instant,
+    },
+    /// One probe solve is in progress; everything else sheds. The
+    /// probe's outcome closes (success) or re-opens (failure) the
+    /// breaker.
+    HalfOpen,
+}
+
+/// Per-`(backend, fingerprint)` failure ledger behind the service lock.
+struct Breaker {
+    consecutive_failures: u32,
+    state: BreakerState,
+}
+
+impl Default for Breaker {
+    fn default() -> Self {
+        Breaker {
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+        }
+    }
+}
+
+/// How one solve attempt ended, as the breaker sees it.
+enum BreakerOutcome {
+    /// The backend answered: reset the failure count, close the breaker.
+    Success,
+    /// The backend failed (error or panic): count it; trip at the
+    /// threshold, re-open from half-open.
+    Failure,
+    /// The *request's* deadline expired mid-solve — says nothing about
+    /// backend health. A half-open probe cut short re-opens with no
+    /// cooldown so the next request can probe immediately.
+    Neutral,
+}
+
 /// Everything behind the service mutex. The lock is held only for map
 /// lookups and counter bumps — never across a solve.
 #[derive(Default)]
@@ -288,6 +644,7 @@ struct Inner {
     cache_bytes: usize,
     warm: HashMap<(usize, u64), WarmEntry>,
     flights: HashMap<Vec<u8>, Arc<Flight>>,
+    breakers: HashMap<(usize, u64), Breaker>,
     in_flight: usize,
     /// Monotone LRU clock: bumped on every cache/warm touch.
     tick: u64,
@@ -301,6 +658,10 @@ struct Inner {
     warm_evictions: u64,
     uncacheable: u64,
     errors: u64,
+    deadline_expired: u64,
+    degraded_served: u64,
+    retries: u64,
+    breaker_open: u64,
 }
 
 impl Inner {
@@ -312,7 +673,13 @@ impl Inner {
     /// Inserts a solved distribution, evicting least-recently-used
     /// entries until it fits. Oversized results (bigger than the whole
     /// budget) are simply not cached.
-    fn insert_cached(&mut self, key: Vec<u8>, dist: LifetimeDistribution, budget: usize) {
+    fn insert_cached(
+        &mut self,
+        key: Vec<u8>,
+        dist: LifetimeDistribution,
+        family: Option<u64>,
+        budget: usize,
+    ) {
         let bytes = dist.size_in_bytes();
         if bytes > budget {
             return;
@@ -339,9 +706,21 @@ impl Inner {
                 dist,
                 bytes,
                 last_used,
+                family,
             },
         );
     }
+}
+
+/// Hash of the scenario's Δ-erased canonical bytes — the structural
+/// family key of the cached-family degradation tier. Two scenarios with
+/// equal family keys differ at most in name and discretisation step.
+fn family_key(scenario: &Scenario) -> Option<u64> {
+    let erased = scenario.with_delta(Charge::from_coulombs(1.0));
+    let bytes = erased.canonical_bytes().ok()?;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    bytes.hash(&mut h);
+    Some(h.finish())
 }
 
 /// The resident query service; see the module docs for the lifecycle.
@@ -402,17 +781,43 @@ impl LifetimeService {
     /// canonical bytes are resident, by joining an identical in-flight
     /// solve, or by solving through the live group for its
     /// `(backend, fingerprint)` — whichever is cheapest. Blocks until
-    /// the answer (or the flight it joined) is ready.
+    /// the answer (or the flight it joined) is ready. Equivalent to
+    /// [`query_with`](LifetimeService::query_with) under the default
+    /// [`QueryOptions`] (no deadline, exact answers only, no retry).
     ///
     /// # Errors
     ///
     /// [`ServiceError::Overloaded`] when the query would start a solve
     /// beyond the admission bound (nothing was computed);
-    /// [`ServiceError::Solve`] for backend-selection and solve failures
-    /// (shared verbatim with every joined request; never cached).
+    /// [`ServiceError::CircuitOpen`] when the backend's breaker is
+    /// shedding; [`ServiceError::Solve`] for backend-selection and solve
+    /// failures (shared verbatim with every joined request; never
+    /// cached).
     pub fn query(&self, scenario: &Scenario) -> Result<LifetimeDistribution, ServiceError> {
+        self.query_with(scenario, &QueryOptions::default())
+            .map(Answer::into_distribution)
+    }
+
+    /// [`query`](LifetimeService::query) with per-request
+    /// quality-of-service knobs: a wall-clock deadline (cancelling the
+    /// exact solve cooperatively at iteration granularity), graceful
+    /// degradation on expiry, and bounded-backoff retry of transient
+    /// failures. The request's deadline instant is fixed on entry —
+    /// retries and fallbacks spend the same budget, never extend it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`query`](LifetimeService::query), plus
+    /// [`ServiceError::DeadlineExceeded`] when the deadline expired and
+    /// no degraded answer was allowed or available.
+    pub fn query_with(
+        &self,
+        scenario: &Scenario,
+        opts: &QueryOptions,
+    ) -> Result<Answer, ServiceError> {
+        let deadline = opts.deadline.map(|d| Instant::now() + d);
         let Ok(key) = scenario.canonical_bytes() else {
-            return self.query_uncacheable(scenario);
+            return self.query_uncacheable(scenario, opts, deadline);
         };
         let admission = {
             let mut inner = self.lock();
@@ -441,10 +846,24 @@ impl LifetimeService {
                 Admission::Solve(flight)
             }
         };
-        match admission {
-            Admission::Hit(dist) => Ok(dist),
-            Admission::Join(flight) => flight.wait(),
-            Admission::Solve(flight) => self.run_flight(scenario, key, &flight),
+        let outcome = match admission {
+            // A cache hit is exact and instant: always serve it, even
+            // past the deadline.
+            Admission::Hit(dist) => return Ok(Answer::Exact(dist)),
+            Admission::Join(flight) => match flight.wait_until(deadline) {
+                Some(result) => result,
+                // The joined flight outlived our deadline; it keeps
+                // running for its owner and other joiners.
+                None => Err(ServiceError::DeadlineExceeded { completed: 0 }),
+            },
+            Admission::Solve(flight) => self.run_flight(scenario, key, &flight, opts, deadline),
+        };
+        match outcome {
+            Ok(dist) => Ok(Answer::Exact(dist)),
+            Err(ServiceError::DeadlineExceeded { completed }) => {
+                self.handle_deadline(scenario, opts, completed)
+            }
+            Err(e) => Err(e),
         }
     }
 
@@ -456,6 +875,8 @@ impl LifetimeService {
         scenario: &Scenario,
         key: Vec<u8>,
         flight: &Arc<Flight>,
+        opts: &QueryOptions,
+        deadline: Option<Instant>,
     ) -> Result<LifetimeDistribution, ServiceError> {
         struct FlightGuard<'a> {
             service: &'a LifetimeService,
@@ -489,7 +910,7 @@ impl LifetimeService {
             flight,
             done: false,
         };
-        let result = self.solve_via_group(scenario);
+        let result = self.solve_with_policy(scenario, opts, deadline);
         guard.done = true;
         let mut inner = self.lock();
         inner.flights.remove(&guard.key);
@@ -497,9 +918,17 @@ impl LifetimeService {
         match &result {
             Ok(dist) => {
                 let key = std::mem::take(&mut guard.key);
-                inner.insert_cached(key, dist.clone(), self.config.cache_capacity_bytes);
+                inner.insert_cached(
+                    key,
+                    dist.clone(),
+                    family_key(scenario),
+                    self.config.cache_capacity_bytes,
+                );
             }
-            Err(_) => inner.errors += 1,
+            // Only backend failures count as errors: deadline expiries
+            // and breaker sheds have their own ledger entries.
+            Err(ServiceError::Solve(_)) => inner.errors += 1,
+            Err(_) => {}
         }
         drop(inner);
         flight.complete(result.clone());
@@ -508,7 +937,12 @@ impl LifetimeService {
 
     /// A scenario without a canonical key: admitted (and counted against
     /// the in-flight budget) but never cached, deduplicated or joined.
-    fn query_uncacheable(&self, scenario: &Scenario) -> Result<LifetimeDistribution, ServiceError> {
+    fn query_uncacheable(
+        &self,
+        scenario: &Scenario,
+        opts: &QueryOptions,
+        deadline: Option<Instant>,
+    ) -> Result<Answer, ServiceError> {
         {
             let mut inner = self.lock();
             let limit = self.config.max_in_flight.max(1);
@@ -522,26 +956,104 @@ impl LifetimeService {
             inner.in_flight += 1;
             inner.uncacheable += 1;
         }
-        let result = self.solve_via_group(scenario);
-        let mut inner = self.lock();
-        inner.in_flight -= 1;
-        if result.is_err() {
-            inner.errors += 1;
+        struct InFlightGuard<'a>(&'a LifetimeService);
+        impl Drop for InFlightGuard<'_> {
+            fn drop(&mut self) {
+                self.0.lock().in_flight -= 1;
+            }
         }
-        result
+        let result = {
+            let _guard = InFlightGuard(self);
+            self.solve_with_policy(scenario, opts, deadline)
+        };
+        match result {
+            Ok(dist) => Ok(Answer::Exact(dist)),
+            Err(e) => {
+                if matches!(e, ServiceError::Solve(_)) {
+                    self.lock().errors += 1;
+                }
+                match e {
+                    ServiceError::DeadlineExceeded { completed } => {
+                        self.handle_deadline(scenario, opts, completed)
+                    }
+                    other => Err(other),
+                }
+            }
+        }
+    }
+
+    /// The retry loop around one request's solve attempts: transient
+    /// failures back off exponentially (bounded, and never past the
+    /// request's deadline) and re-attempt up to the policy's budget;
+    /// everything else — success, permanent errors, deadline expiry,
+    /// open breakers — returns immediately.
+    fn solve_with_policy(
+        &self,
+        scenario: &Scenario,
+        opts: &QueryOptions,
+        deadline: Option<Instant>,
+    ) -> Result<LifetimeDistribution, ServiceError> {
+        let budget = match deadline {
+            Some(d) => Budget::with_deadline_at(d),
+            None => Budget::unlimited(),
+        };
+        let mut attempt = 0u32;
+        loop {
+            let result = self.solve_attempt(scenario, &budget);
+            let transient =
+                matches!(&result, Err(ServiceError::Solve(e)) if transient_solve_error(e));
+            let expired = deadline.is_some_and(|d| Instant::now() >= d);
+            if !transient || attempt >= opts.retry.max_retries || expired {
+                return result;
+            }
+            attempt += 1;
+            self.lock().retries += 1;
+            let mut backoff = opts.retry.backoff_for(attempt);
+            if let Some(d) = deadline {
+                backoff = backoff.min(d.saturating_duration_since(Instant::now()));
+            }
+            std::thread::sleep(backoff);
+        }
     }
 
     /// One solve through the live group for the scenario's
-    /// `(backend, fingerprint)`: lock the group's warm state (creating
-    /// or resurrecting it as needed) and run the same grouped member
-    /// solve a batch sweep would. Backends without a fingerprint or warm
-    /// state solve independently.
-    fn solve_via_group(&self, scenario: &Scenario) -> Result<LifetimeDistribution, ServiceError> {
+    /// `(backend, fingerprint)`: check the group's circuit breaker, lock
+    /// its warm state (creating or resurrecting it as needed) and run
+    /// the same grouped member solve a batch sweep would — under the
+    /// request's cooperative budget. Backends without a fingerprint or
+    /// warm state solve independently.
+    fn solve_attempt(
+        &self,
+        scenario: &Scenario,
+        budget: &Budget,
+    ) -> Result<LifetimeDistribution, ServiceError> {
         let index = self.registry.auto_index(scenario)?;
         let solver = self.registry.solver_at(index);
+        let fingerprint = solver.sweep_fingerprint(scenario);
+        let breaker_key = (index, fingerprint.unwrap_or(0));
+        self.breaker_admit(breaker_key, solver.name())?;
+
+        // Records the attempt's outcome even if the backend panics (a
+        // panic counts as a failure): the drop path runs during unwind.
+        struct BreakerGuard<'a> {
+            service: &'a LifetimeService,
+            key: (usize, u64),
+            outcome: Option<BreakerOutcome>,
+        }
+        impl Drop for BreakerGuard<'_> {
+            fn drop(&mut self) {
+                let outcome = self.outcome.take().unwrap_or(BreakerOutcome::Failure);
+                self.service.breaker_record(self.key, outcome);
+            }
+        }
+        let mut guard = BreakerGuard {
+            service: self,
+            key: breaker_key,
+            outcome: None,
+        };
+
         let options = self.config.options;
-        let slot = solver
-            .sweep_fingerprint(scenario)
+        let slot = fingerprint
             .and_then(|fp| self.warm_slot(index, fp, |opts| solver.new_group_state(opts)));
         let result = match slot {
             Some(slot) => {
@@ -559,11 +1071,172 @@ impl LifetimeService {
                         guard
                     }
                 };
-                solver.solve_in_group(scenario, &options, state.as_mut())
+                solver.solve_in_group_budgeted(scenario, &options, state.as_mut(), budget)
             }
-            None => solver.solve_with(scenario, &options),
+            None => solver.solve_with_budget(scenario, &options, budget),
         };
-        result.map_err(ServiceError::Solve)
+        guard.outcome = Some(match &result {
+            Ok(_) => BreakerOutcome::Success,
+            Err(KibamRmError::DeadlineExceeded { .. }) => BreakerOutcome::Neutral,
+            Err(_) => BreakerOutcome::Failure,
+        });
+        result.map_err(ServiceError::from)
+    }
+
+    /// Breaker admission for one attempt: pass when closed, become the
+    /// probe when the cooldown has elapsed, shed fast otherwise.
+    fn breaker_admit(&self, key: (usize, u64), backend: &'static str) -> Result<(), ServiceError> {
+        if self.config.breaker_threshold == 0 {
+            return Ok(());
+        }
+        let mut inner = self.lock();
+        let breaker = inner.breakers.entry(key).or_default();
+        match breaker.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open { until } => {
+                if Instant::now() >= until {
+                    // This request becomes the half-open probe.
+                    breaker.state = BreakerState::HalfOpen;
+                    Ok(())
+                } else {
+                    inner.breaker_open += 1;
+                    Err(ServiceError::CircuitOpen { backend })
+                }
+            }
+            BreakerState::HalfOpen => {
+                // A probe is already in progress; shed until it reports.
+                inner.breaker_open += 1;
+                Err(ServiceError::CircuitOpen { backend })
+            }
+        }
+    }
+
+    /// Folds one attempt's outcome into the breaker state machine.
+    fn breaker_record(&self, key: (usize, u64), outcome: BreakerOutcome) {
+        if self.config.breaker_threshold == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        let breaker = inner.breakers.entry(key).or_default();
+        match outcome {
+            BreakerOutcome::Success => {
+                breaker.consecutive_failures = 0;
+                breaker.state = BreakerState::Closed;
+            }
+            BreakerOutcome::Failure => {
+                breaker.consecutive_failures = breaker.consecutive_failures.saturating_add(1);
+                let tripped = breaker.consecutive_failures >= self.config.breaker_threshold;
+                if tripped || breaker.state == BreakerState::HalfOpen {
+                    breaker.state = BreakerState::Open {
+                        until: Instant::now() + self.config.breaker_cooldown,
+                    };
+                }
+            }
+            BreakerOutcome::Neutral => {
+                // A deadline expiry says nothing about backend health;
+                // an interrupted probe re-opens with no cooldown so the
+                // next request probes immediately.
+                if breaker.state == BreakerState::HalfOpen {
+                    breaker.state = BreakerState::Open {
+                        until: Instant::now(),
+                    };
+                }
+            }
+        }
+    }
+
+    /// A request whose deadline expired before an exact answer: record
+    /// it, then serve a degraded answer when the request allows one.
+    fn handle_deadline(
+        &self,
+        scenario: &Scenario,
+        opts: &QueryOptions,
+        completed: usize,
+    ) -> Result<Answer, ServiceError> {
+        self.lock().deadline_expired += 1;
+        if !opts.degraded_ok {
+            return Err(ServiceError::DeadlineExceeded { completed });
+        }
+        self.degrade(scenario, completed)
+    }
+
+    /// The degradation ladder: a resident same-family curve first (free),
+    /// a fast Monte Carlo estimate under the grace budget second. Both
+    /// carry explicit error bounds; neither is ever cached. When every
+    /// tier fails the original deadline error stands.
+    fn degrade(&self, scenario: &Scenario, completed: usize) -> Result<Answer, ServiceError> {
+        if let Some((dist, bound, delta)) = self.family_fallback(scenario) {
+            self.lock().degraded_served += 1;
+            return Ok(Answer::Degraded {
+                dist,
+                bound,
+                source: DegradedSource::CachedFamily { delta },
+            });
+        }
+        match self.fast_simulation(scenario) {
+            Ok((dist, bound, runs)) => {
+                self.lock().degraded_served += 1;
+                Ok(Answer::Degraded {
+                    dist,
+                    bound,
+                    source: DegradedSource::FastSimulation { runs },
+                })
+            }
+            Err(_) => Err(ServiceError::DeadlineExceeded { completed }),
+        }
+    }
+
+    /// Tier 1: the most recently used resident curve of the scenario's
+    /// structural family (same workload, battery, grid and simulation
+    /// settings; different Δ). Returns the curve, its error bound and
+    /// the Δ it was solved at.
+    fn family_fallback(
+        &self,
+        scenario: &Scenario,
+    ) -> Option<(LifetimeDistribution, f64, Option<Charge>)> {
+        let family = family_key(scenario)?;
+        let capacity = scenario.capacity();
+        let mut inner = self.lock();
+        let tick = inner.next_tick();
+        let entry = inner
+            .cache
+            .values_mut()
+            .filter(|e| e.family == Some(family))
+            .max_by_key(|e| e.last_used)?;
+        entry.last_used = tick;
+        let dist = entry.dist.clone();
+        let diag = *dist.diagnostics();
+        let (bound, delta) = match (diag.half_width, diag.delta) {
+            // A Monte Carlo family curve: its Wilson half-width is the bound.
+            (Some(hw), d) => (hw, d),
+            // A discretisation curve at a different Δ: one level of
+            // charge as a fraction of capacity — the resolution scale of
+            // the §5 approximation error.
+            (None, Some(d)) => ((d.as_coulombs() / capacity.as_coulombs()).abs(), Some(d)),
+            // A Δ-independent exact backend: the variant is the answer.
+            (None, None) => (0.0, None),
+        };
+        Some((dist, bound, delta))
+    }
+
+    /// Tier 2: a fast Monte Carlo estimate with
+    /// [`ServiceConfig::degraded_runs`] replications under the
+    /// [`ServiceConfig::degraded_grace`] budget, bounded by its Wilson
+    /// 95 % half-width. Bypasses the registry (and any chaos wrapping of
+    /// it): the fallback must stay dependable when backends are not.
+    fn fast_simulation(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<(LifetimeDistribution, f64, usize), ServiceError> {
+        let runs = self.config.degraded_runs.max(1);
+        let fallback = scenario.with_simulation(runs, scenario.sim_seed());
+        let budget = Budget::with_deadline(self.config.degraded_grace);
+        let dist =
+            SimulationSolver::new().solve_with_budget(&fallback, &self.config.options, &budget)?;
+        let diag = *dist.diagnostics();
+        let bound = diag.half_width.unwrap_or(1.0);
+        let actual_runs = diag.runs.unwrap_or(runs);
+        Ok((dist, bound, actual_runs))
     }
 
     /// The live-group handle for `(backend index, fingerprint)`:
@@ -630,6 +1303,10 @@ impl LifetimeService {
             warm_evictions: inner.warm_evictions,
             uncacheable: inner.uncacheable,
             errors: inner.errors,
+            deadline_expired: inner.deadline_expired,
+            degraded_served: inner.degraded_served,
+            retries: inner.retries,
+            breaker_open: inner.breaker_open,
             in_flight: inner.in_flight,
             cached_entries: inner.cache.len(),
             cached_bytes: inner.cache_bytes,
@@ -1057,5 +1734,334 @@ mod tests {
         let err: ServiceError = KibamRmError::InvalidWorkload("x".into()).into();
         assert!(std::error::Error::source(&err).is_some());
         assert_eq!(ServiceStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn expired_deadline_fails_fast_without_solving() {
+        let (service, solves) = counting_service(32 << 20);
+        let opts = QueryOptions::new().with_deadline(Duration::ZERO);
+        let err = service
+            .query_with(&linear(1), &opts)
+            .expect_err("deadline already expired");
+        assert!(matches!(
+            err,
+            ServiceError::DeadlineExceeded { completed: 0 }
+        ));
+        assert!(err.to_string().contains("deadline exceeded"));
+        assert!(!err.retryable(), "the budget is spent: retrying is futile");
+        assert_eq!(
+            solves.load(Ordering::SeqCst),
+            0,
+            "an expired deadline must never run the solve"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.degraded_served, 0);
+        assert_eq!(stats.in_flight, 0, "no flight leaked");
+        // The failure was not cached; a plain query still works.
+        assert!(service.query(&linear(1)).is_ok());
+    }
+
+    #[test]
+    fn deadline_with_degraded_ok_serves_cached_family_variant() {
+        let (service, solves) = counting_service(32 << 20);
+        let s = linear(1);
+        let exact = service.query(&s).unwrap();
+        // Same structural family, different Δ — and no time to solve it.
+        let coarse = s.with_delta(Charge::from_amp_seconds(2.0));
+        let opts = QueryOptions::new()
+            .with_deadline(Duration::ZERO)
+            .allow_degraded();
+        let answer = service.query_with(&coarse, &opts).unwrap();
+        assert!(answer.is_degraded());
+        match answer {
+            Answer::Degraded {
+                ref dist,
+                bound,
+                source: DegradedSource::CachedFamily { delta },
+            } => {
+                assert_eq!(dist.points(), exact.points(), "served the family variant");
+                // The counting backend is Δ-independent: exact bound.
+                assert_eq!(bound, 0.0);
+                assert_eq!(delta, None);
+            }
+            ref other => panic!("expected a cached-family answer, got {other:?}"),
+        }
+        assert_eq!(solves.load(Ordering::SeqCst), 1, "only the first solve ran");
+        let stats = service.stats();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.degraded_served, 1);
+        assert_eq!(stats.cached_entries, 1, "degraded answers are never cached");
+    }
+
+    #[test]
+    fn deadline_without_family_falls_back_to_fast_simulation() {
+        let (service, solves) = counting_service(32 << 20);
+        let opts = QueryOptions::new()
+            .with_deadline(Duration::ZERO)
+            .allow_degraded();
+        let answer = service.query_with(&linear(7), &opts).unwrap();
+        match answer {
+            Answer::Degraded {
+                ref dist,
+                bound,
+                source: DegradedSource::FastSimulation { runs },
+            } => {
+                assert_eq!(dist.points().len(), 8);
+                assert!(
+                    bound > 0.0 && bound < 1.0,
+                    "a Monte Carlo answer carries a real Wilson bound, got {bound}"
+                );
+                assert_eq!(runs, ServiceConfig::default().degraded_runs);
+            }
+            ref other => panic!("expected a fast-simulation answer, got {other:?}"),
+        }
+        assert_eq!(solves.load(Ordering::SeqCst), 0, "exact solve never ran");
+        let stats = service.stats();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.degraded_served, 1);
+        assert_eq!(stats.cached_entries, 0, "degraded answers are never cached");
+    }
+
+    #[test]
+    fn transient_failures_retry_with_backoff_then_succeed() {
+        /// Fails with a transient (retryable) error `failures` times,
+        /// then answers.
+        struct Flaky {
+            solves: Arc<AtomicUsize>,
+            failures: usize,
+        }
+        impl LifetimeSolver for Flaky {
+            fn name(&self) -> &'static str {
+                "flaky"
+            }
+            fn capability(&self, _s: &Scenario) -> Capability {
+                Capability::Exact
+            }
+            fn solve(&self, s: &Scenario) -> Result<LifetimeDistribution, KibamRmError> {
+                let n = self.solves.fetch_add(1, Ordering::SeqCst);
+                if n < self.failures {
+                    return Err(KibamRmError::Markov(markov::MarkovError::NoConvergence(
+                        "injected transient fault".into(),
+                    )));
+                }
+                let points = s.times().iter().map(|&t| (t, 0.25)).collect();
+                LifetimeDistribution::new("flaky", points, Default::default())
+            }
+        }
+        let solves = Arc::new(AtomicUsize::new(0));
+        let mut registry = SolverRegistry::empty();
+        registry.register(Box::new(Flaky {
+            solves: Arc::clone(&solves),
+            failures: 2,
+        }));
+        let service = LifetimeService::new(registry);
+        let s = linear(1);
+        // Without a retry policy the transient error surfaces — and is
+        // classified retryable so the caller knows a retry makes sense.
+        let err = service
+            .query_with(&s, &QueryOptions::new())
+            .expect_err("first attempt fails");
+        assert!(err.retryable());
+        solves.store(0, Ordering::SeqCst);
+        // With a budget of two retries the third attempt answers.
+        let opts = QueryOptions::new().with_retry(
+            RetryPolicy::retries(2)
+                .with_backoff(Duration::from_millis(1), Duration::from_millis(4)),
+        );
+        let answer = service.query_with(&s, &opts).unwrap();
+        assert!(!answer.is_degraded());
+        assert_eq!(answer.bound(), None);
+        assert_eq!(solves.load(Ordering::SeqCst), 3, "two retries, one success");
+        assert_eq!(service.stats().retries, 2);
+    }
+
+    #[test]
+    fn breaker_trips_sheds_and_recovers_through_half_open() {
+        /// Fails (permanently, non-retryable) while `failing` is set.
+        struct Toggle {
+            solves: Arc<AtomicUsize>,
+            failing: Arc<std::sync::atomic::AtomicBool>,
+        }
+        impl LifetimeSolver for Toggle {
+            fn name(&self) -> &'static str {
+                "toggle"
+            }
+            fn capability(&self, _s: &Scenario) -> Capability {
+                Capability::Exact
+            }
+            fn solve(&self, s: &Scenario) -> Result<LifetimeDistribution, KibamRmError> {
+                self.solves.fetch_add(1, Ordering::SeqCst);
+                if self.failing.load(Ordering::SeqCst) {
+                    return Err(KibamRmError::InvalidWorkload("injected hard fault".into()));
+                }
+                let points = s.times().iter().map(|&t| (t, 0.5)).collect();
+                LifetimeDistribution::new("toggle", points, Default::default())
+            }
+        }
+        let solves = Arc::new(AtomicUsize::new(0));
+        let failing = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let mut registry = SolverRegistry::empty();
+        registry.register(Box::new(Toggle {
+            solves: Arc::clone(&solves),
+            failing: Arc::clone(&failing),
+        }));
+        let cooldown = Duration::from_millis(25);
+        let service = LifetimeService::with_config(
+            registry,
+            ServiceConfig::default().with_breaker(2, cooldown),
+        );
+        // Two consecutive failures trip the breaker…
+        assert!(service.query(&linear(1)).is_err());
+        assert!(service.query(&linear(2)).is_err());
+        // …so the third request sheds without touching the backend.
+        let err = service.query(&linear(3)).expect_err("breaker is open");
+        assert!(matches!(
+            err,
+            ServiceError::CircuitOpen { backend: "toggle" }
+        ));
+        assert!(err.to_string().contains("circuit breaker open"));
+        assert!(err.retryable(), "open breakers heal: retry later is sane");
+        assert_eq!(
+            solves.load(Ordering::SeqCst),
+            2,
+            "shed query computed nothing"
+        );
+        assert_eq!(service.stats().breaker_open, 1);
+        // After the cooldown one probe goes through; it fails, so the
+        // breaker re-opens and the follow-up sheds again.
+        std::thread::sleep(cooldown + Duration::from_millis(5));
+        assert!(matches!(
+            service.query(&linear(4)).expect_err("probe fails"),
+            ServiceError::Solve(_)
+        ));
+        assert!(matches!(
+            service.query(&linear(5)).expect_err("re-opened"),
+            ServiceError::CircuitOpen { .. }
+        ));
+        // Heal the backend: the next probe closes the breaker for good.
+        failing.store(false, Ordering::SeqCst);
+        std::thread::sleep(cooldown + Duration::from_millis(5));
+        assert!(service.query(&linear(6)).is_ok());
+        assert!(service.query(&linear(7)).is_ok());
+        let stats = service.stats();
+        assert_eq!(stats.breaker_open, 2);
+        assert_eq!(stats.errors, 3, "two trips plus the failed probe");
+    }
+
+    #[test]
+    fn joiner_deadline_expires_while_flight_completes_normally() {
+        let solves = Arc::new(AtomicUsize::new(0));
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut registry = SolverRegistry::empty();
+        registry.register(Box::new(Blocking {
+            solves: Arc::clone(&solves),
+            entered: entered_tx,
+            release: Arc::clone(&gate),
+        }));
+        let service = Arc::new(LifetimeService::new(registry));
+        let s = linear(1);
+        let owner = {
+            let (service, s) = (Arc::clone(&service), s.clone());
+            std::thread::spawn(move || service.query(&s))
+        };
+        entered_rx.recv().expect("owner reached the backend");
+        // The joiner's deadline expires while the owner still holds the
+        // flight: it gets a typed timeout, the flight is unharmed.
+        let opts = QueryOptions::new().with_deadline(Duration::from_millis(20));
+        let err = service.query_with(&s, &opts).expect_err("joiner times out");
+        assert!(matches!(err, ServiceError::DeadlineExceeded { .. }));
+        Blocking::release(&gate);
+        let owned = owner.join().unwrap().expect("owner still succeeds");
+        assert_eq!(owned.points().len(), 8);
+        let stats = service.stats();
+        assert_eq!(stats.joined, 1);
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.in_flight, 0, "no flight leaked");
+        assert_eq!(solves.load(Ordering::SeqCst), 1);
+        // The owner's answer was cached despite the joiner's timeout.
+        assert_eq!(service.query(&s).unwrap().points(), owned.points());
+        assert_eq!(service.stats().hits, 1);
+    }
+
+    #[test]
+    fn service_deadline_cut_solve_then_full_solve_is_bit_identical() {
+        let options = SolverOptions::sequential();
+        let registry = SolverRegistry::with_default_backends().with_options(options);
+        let service = LifetimeService::with_config(
+            SolverRegistry::with_default_backends(),
+            ServiceConfig::default().with_options(options),
+        );
+        let s = Scenario::paper_cell_phone().unwrap();
+        // A 2 ms deadline lands mid-uniformisation on this model (it
+        // takes much longer); on a pathologically fast machine the solve
+        // finishes instead — both are legal, the invariant under test is
+        // that an interrupted solve never corrupts later exact answers.
+        let opts = QueryOptions::new().with_deadline(Duration::from_millis(2));
+        match service.query_with(&s, &opts) {
+            Err(ServiceError::DeadlineExceeded { .. }) => {}
+            Ok(answer) => assert!(!answer.is_degraded()),
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+        let served = service.query(&s).expect("full solve succeeds");
+        let fresh = registry.solve(&s).unwrap();
+        assert_eq!(
+            served.points(),
+            fresh.points(),
+            "an interrupted solve must not perturb the exact answer"
+        );
+        assert_eq!(service.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn retryable_classification_spans_every_variant() {
+        assert!(ServiceError::Overloaded {
+            in_flight: 2,
+            limit: 1
+        }
+        .retryable());
+        assert!(ServiceError::CircuitOpen { backend: "x" }.retryable());
+        assert!(!ServiceError::DeadlineExceeded { completed: 3 }.retryable());
+        assert!(
+            ServiceError::Solve(KibamRmError::Markov(markov::MarkovError::NoConvergence(
+                "t".into()
+            )))
+            .retryable()
+        );
+        assert!(!ServiceError::Solve(KibamRmError::InvalidWorkload("x".into())).retryable());
+        assert!(!ServiceError::Solve(KibamRmError::DeadlineExceeded { completed: 1 }).retryable());
+        // Display and source round-trips for the new variants.
+        let deadline = ServiceError::DeadlineExceeded { completed: 41 };
+        assert!(deadline.to_string().contains("41"));
+        assert!(std::error::Error::source(&deadline).is_none());
+        let open = ServiceError::CircuitOpen { backend: "disc" };
+        assert!(open.to_string().contains("disc"));
+        assert!(std::error::Error::source(&open).is_none());
+    }
+
+    #[test]
+    fn query_options_and_retry_policy_builders() {
+        let opts = QueryOptions::new()
+            .with_deadline(Duration::from_secs(1))
+            .allow_degraded()
+            .with_retry(RetryPolicy::retries(3));
+        assert_eq!(opts.deadline, Some(Duration::from_secs(1)));
+        assert!(opts.degraded_ok);
+        assert_eq!(opts.retry.max_retries, 3);
+        let policy = RetryPolicy::retries(4)
+            .with_backoff(Duration::from_millis(2), Duration::from_millis(5));
+        assert_eq!(policy.backoff_for(1), Duration::from_millis(2));
+        assert_eq!(policy.backoff_for(2), Duration::from_millis(4));
+        assert_eq!(policy.backoff_for(3), Duration::from_millis(5), "capped");
+        assert_eq!(policy.backoff_for(64), Duration::from_millis(5), "capped");
+        assert_eq!(RetryPolicy::default().max_retries, 0);
+        let cfg = ServiceConfig::default()
+            .with_breaker(7, Duration::from_secs(2))
+            .with_degraded_fallback(Duration::from_millis(100), 64);
+        assert_eq!(cfg.breaker_threshold, 7);
+        assert_eq!(cfg.breaker_cooldown, Duration::from_secs(2));
+        assert_eq!(cfg.degraded_grace, Duration::from_millis(100));
+        assert_eq!(cfg.degraded_runs, 64);
     }
 }

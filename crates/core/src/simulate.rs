@@ -18,6 +18,7 @@
 
 use crate::model::KibamRm;
 use crate::KibamRmError;
+use markov::Budget;
 use sim::engine::{EngineError, McOptions, McPool, Replication};
 use sim::replication::{run_replications, LifetimeStudy};
 use sim::rng::SimRng;
@@ -125,6 +126,29 @@ pub fn streaming_lifetime_study(
     opts: &McOptions,
     pool: &McPool,
 ) -> Result<StreamingLifetimeStudy, KibamRmError> {
+    streaming_lifetime_study_budgeted(model, grid, horizon, seed, opts, pool, &Budget::unlimited())
+}
+
+/// [`streaming_lifetime_study`] under a cooperative [`Budget`]: the
+/// token is checked once per batch checkpoint, and an exhausted budget
+/// stops dispatching (draining in-flight batches first) and surfaces
+/// [`KibamRmError::DeadlineExceeded`] with the replications that merged
+/// into the study. With [`Budget::unlimited`] this is exactly
+/// [`streaming_lifetime_study`].
+///
+/// # Errors
+///
+/// As for [`streaming_lifetime_study`], plus
+/// [`KibamRmError::DeadlineExceeded`] on budget exhaustion.
+pub fn streaming_lifetime_study_budgeted(
+    model: &KibamRm,
+    grid: &[Time],
+    horizon: Time,
+    seed: u64,
+    opts: &McOptions,
+    pool: &McPool,
+    budget: &Budget,
+) -> Result<StreamingLifetimeStudy, KibamRmError> {
     // The engine sees a plain `Replication`; the actual error object
     // crosses back through this mutex (first writer wins).
     let first_error: Mutex<Option<KibamRmError>> = Mutex::new(None);
@@ -138,16 +162,26 @@ pub fn streaming_lifetime_study(
         }
     };
     let grid_seconds: Vec<f64> = grid.iter().map(|t| t.as_seconds()).collect();
-    pool.run_study(grid_seconds, horizon.as_seconds(), seed, opts, &experiment)
-        .map_err(|e| match e {
-            EngineError::Aborted => first_error
-                .into_inner()
-                .expect("error mutex poisoned")
-                .unwrap_or_else(|| {
-                    KibamRmError::InvalidWorkload("simulation aborted without an error".into())
-                }),
-            other => KibamRmError::InvalidWorkload(format!("simulation engine: {other}")),
-        })
+    pool.run_study_budgeted(
+        grid_seconds,
+        horizon.as_seconds(),
+        seed,
+        opts,
+        &experiment,
+        budget,
+    )
+    .map_err(|e| match e {
+        EngineError::Aborted => first_error
+            .into_inner()
+            .expect("error mutex poisoned")
+            .unwrap_or_else(|| {
+                KibamRmError::InvalidWorkload("simulation aborted without an error".into())
+            }),
+        EngineError::DeadlineExceeded { completed_runs } => KibamRmError::DeadlineExceeded {
+            completed: completed_runs as usize,
+        },
+        other => KibamRmError::InvalidWorkload(format!("simulation engine: {other}")),
+    })
 }
 
 #[cfg(test)]

@@ -37,10 +37,12 @@ use crate::analysis::exact_linear_curve;
 use crate::discretise::{DiscretisationOptions, DiscretisationTemplate, DiscretisedModel};
 use crate::distribution::{LifetimeDistribution, SolveDiagnostics};
 use crate::scenario::Scenario;
-use crate::simulate::{lifetime_study, streaming_lifetime_study};
+use crate::simulate::lifetime_study;
+use crate::simulate::streaming_lifetime_study_budgeted;
 use crate::sweep::SweepPlan;
 use crate::KibamRmError;
 use markov::transient::{CurveCache, Representation, TransientOptions};
+use markov::Budget;
 use sim::engine::{McOptions, McPool};
 use std::time::Instant;
 use units::Time;
@@ -194,6 +196,29 @@ pub trait LifetimeSolver: Send + Sync {
         self.solve(scenario)
     }
 
+    /// [`LifetimeSolver::solve_with`] under a cooperative
+    /// [`markov::Budget`]. Backends with iteration-granular check points
+    /// (discretisation, simulation) override this so an exhausted budget
+    /// interrupts the engine mid-solve; the default only fails fast on a
+    /// budget that is *already* exhausted and otherwise runs the solve
+    /// to completion.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LifetimeSolver::solve_with`], plus
+    /// [`KibamRmError::DeadlineExceeded`] on budget exhaustion.
+    fn solve_with_budget(
+        &self,
+        scenario: &Scenario,
+        options: &SolverOptions,
+        budget: &Budget,
+    ) -> Result<LifetimeDistribution, KibamRmError> {
+        if budget.is_exhausted() {
+            return Err(KibamRmError::DeadlineExceeded { completed: 0 });
+        }
+        self.solve_with(scenario, options)
+    }
+
     /// A fingerprint of the solver-relevant **structure** of the
     /// scenario: two scenarios with equal fingerprints may share
     /// assembled artefacts (matrix patterns, workspaces, whole
@@ -237,6 +262,31 @@ pub trait LifetimeSolver: Send + Sync {
     ) -> Result<LifetimeDistribution, KibamRmError> {
         let _ = state;
         self.solve_with(scenario, options)
+    }
+
+    /// [`LifetimeSolver::solve_in_group`] under a cooperative
+    /// [`markov::Budget`] — the member-solve entry point the resident
+    /// service uses for per-request deadlines. A budget-interrupted
+    /// solve must leave the group state in a consistent state: re-running
+    /// the same member to completion afterwards is bit-identical to
+    /// never having cancelled. The default only fails fast on an
+    /// already-exhausted budget; cooperative backends override it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LifetimeSolver::solve_in_group`], plus
+    /// [`KibamRmError::DeadlineExceeded`] on budget exhaustion.
+    fn solve_in_group_budgeted(
+        &self,
+        scenario: &Scenario,
+        options: &SolverOptions,
+        state: &mut dyn GroupState,
+        budget: &Budget,
+    ) -> Result<LifetimeDistribution, KibamRmError> {
+        if budget.is_exhausted() {
+            return Err(KibamRmError::DeadlineExceeded { completed: 0 });
+        }
+        self.solve_in_group(scenario, options, state)
     }
 
     /// Solves a group of structurally identical scenarios (equal
@@ -348,9 +398,16 @@ impl DiscretisationSolver {
         scenario: &Scenario,
         template: &mut Option<DiscretisationTemplate>,
         cache: &mut CurveCache,
+        budget: &Budget,
     ) -> Result<LifetimeDistribution, KibamRmError> {
         if self.recovery_from_empty {
             return self.solve(scenario); // same refusal as the solo path
+        }
+        // Fail fast before building the derived CTMC (assembly has no
+        // check points of its own). `is_exhausted` does not consume a
+        // deterministic check, so iteration counting stays exact.
+        if budget.is_exhausted() {
+            return Err(KibamRmError::DeadlineExceeded { completed: 0 });
         }
         let started = Instant::now();
         let model = scenario.to_model()?;
@@ -367,7 +424,7 @@ impl DiscretisationSolver {
                 d
             }
         };
-        let curve = disc.empty_probability_curve_cached(scenario.times(), cache)?;
+        let curve = disc.empty_probability_curve_budgeted(scenario.times(), cache, budget)?;
         self.distribution_from_curve(scenario, &disc, &curve, started)
     }
 
@@ -397,6 +454,7 @@ impl DiscretisationSolver {
                 iterations: Some(curve.iterations),
                 delta: Some(scenario.effective_delta()?),
                 runs: None,
+                half_width: None,
                 wall_seconds: started.elapsed().as_secs_f64(),
             },
         )
@@ -452,6 +510,23 @@ impl LifetimeSolver for DiscretisationSolver {
         self.with_budget(options).solve(scenario)
     }
 
+    fn solve_with_budget(
+        &self,
+        scenario: &Scenario,
+        options: &SolverOptions,
+        budget: &Budget,
+    ) -> Result<LifetimeDistribution, KibamRmError> {
+        // A fresh template/cache pair reproduces the solo path bit for
+        // bit (grouping is an optimisation, never an approximation), so
+        // the budgeted solo solve reuses the grouped engine.
+        self.with_budget(options).solve_grouped_one(
+            scenario,
+            &mut None,
+            &mut CurveCache::new(),
+            budget,
+        )
+    }
+
     fn sweep_fingerprint(&self, scenario: &Scenario) -> Option<u64> {
         if self.recovery_from_empty {
             // solve() refuses this configuration; don't group refusals.
@@ -481,6 +556,16 @@ impl LifetimeSolver for DiscretisationSolver {
         options: &SolverOptions,
         state: &mut dyn GroupState,
     ) -> Result<LifetimeDistribution, KibamRmError> {
+        self.solve_in_group_budgeted(scenario, options, state, &Budget::unlimited())
+    }
+
+    fn solve_in_group_budgeted(
+        &self,
+        scenario: &Scenario,
+        options: &SolverOptions,
+        state: &mut dyn GroupState,
+        budget: &Budget,
+    ) -> Result<LifetimeDistribution, KibamRmError> {
         match state
             .as_any_mut()
             .downcast_mut::<DiscretisationGroupState>()
@@ -489,10 +574,11 @@ impl LifetimeSolver for DiscretisationSolver {
                 scenario,
                 &mut st.template,
                 &mut st.cache,
+                budget,
             ),
             // Not our state (a caller's bookkeeping slip): solve
             // independently rather than mis-share.
-            None => self.solve_with(scenario, options),
+            None => self.solve_with_budget(scenario, options, budget),
         }
     }
 }
@@ -679,7 +765,7 @@ impl SimulationSolver {
         scenario: &Scenario,
     ) -> Result<sim::streaming::StreamingLifetimeStudy, KibamRmError> {
         let pool = McPool::new(self.threads);
-        self.streaming_study_on(scenario, &pool)
+        self.streaming_study_on(scenario, &pool, &Budget::unlimited())
     }
 
     /// [`SimulationSolver::streaming_study`] on an existing worker pool
@@ -689,16 +775,18 @@ impl SimulationSolver {
         &self,
         scenario: &Scenario,
         pool: &McPool,
+        budget: &Budget,
     ) -> Result<sim::streaming::StreamingLifetimeStudy, KibamRmError> {
         let model = scenario.to_model()?;
         let opts = self.engine_options(scenario)?;
-        streaming_lifetime_study(
+        streaming_lifetime_study_budgeted(
             &model,
             scenario.times(),
             self.effective_horizon(scenario),
             scenario.sim_seed(),
             &opts,
             pool,
+            budget,
         )
     }
 
@@ -708,9 +796,15 @@ impl SimulationSolver {
         &self,
         scenario: &Scenario,
         pool: &McPool,
+        budget: &Budget,
     ) -> Result<LifetimeDistribution, KibamRmError> {
+        // Fail fast before building the model (`is_exhausted` does not
+        // consume a deterministic check, keeping batch counting exact).
+        if budget.is_exhausted() {
+            return Err(KibamRmError::DeadlineExceeded { completed: 0 });
+        }
         let started = Instant::now();
-        let study = self.streaming_study_on(scenario, pool)?;
+        let study = self.streaming_study_on(scenario, pool, budget)?;
         // One prefix pass over the buckets, not per-point re-summing.
         let n = study.total_runs() as f64;
         let points = scenario
@@ -728,6 +822,9 @@ impl SimulationSolver {
                 iterations: None,
                 delta: None,
                 runs: Some(study.total_runs() as usize),
+                // The statistical error bound of this answer — what a
+                // degraded service response surfaces to the caller.
+                half_width: Some(study.max_half_width()),
                 wall_seconds: started.elapsed().as_secs_f64(),
             },
         )
@@ -752,7 +849,7 @@ impl LifetimeSolver for SimulationSolver {
     }
 
     fn solve(&self, scenario: &Scenario) -> Result<LifetimeDistribution, KibamRmError> {
-        self.solve_on(scenario, &McPool::new(self.threads))
+        self.solve_on(scenario, &McPool::new(self.threads), &Budget::unlimited())
     }
 
     fn solve_with(
@@ -766,6 +863,16 @@ impl LifetimeSolver for SimulationSolver {
         // discretisation backend. The answer does not depend on the cap
         // — only the wall time does.
         self.with_budget(options).solve(scenario)
+    }
+
+    fn solve_with_budget(
+        &self,
+        scenario: &Scenario,
+        options: &SolverOptions,
+        budget: &Budget,
+    ) -> Result<LifetimeDistribution, KibamRmError> {
+        let solver = self.with_budget(options);
+        solver.solve_on(scenario, &McPool::new(solver.threads), budget)
     }
 
     fn sweep_fingerprint(&self, scenario: &Scenario) -> Option<u64> {
@@ -797,9 +904,21 @@ impl LifetimeSolver for SimulationSolver {
         options: &SolverOptions,
         state: &mut dyn GroupState,
     ) -> Result<LifetimeDistribution, KibamRmError> {
+        self.solve_in_group_budgeted(scenario, options, state, &Budget::unlimited())
+    }
+
+    fn solve_in_group_budgeted(
+        &self,
+        scenario: &Scenario,
+        options: &SolverOptions,
+        state: &mut dyn GroupState,
+        budget: &Budget,
+    ) -> Result<LifetimeDistribution, KibamRmError> {
         match state.as_any_mut().downcast_mut::<SimulationGroupState>() {
-            Some(st) => self.with_budget(options).solve_on(scenario, &st.pool),
-            None => self.solve_with(scenario, options),
+            Some(st) => self
+                .with_budget(options)
+                .solve_on(scenario, &st.pool, budget),
+            None => self.solve_with_budget(scenario, options, budget),
         }
     }
 }
@@ -877,6 +996,7 @@ impl LifetimeSolver for SericolaSolver {
                 iterations: None,
                 delta: None,
                 runs: None,
+                half_width: None,
                 wall_seconds: started.elapsed().as_secs_f64(),
             },
         )
@@ -1747,5 +1867,105 @@ mod tests {
         assert!(registry.cross_validate(&small_linear()).is_err());
         // Debug formatting lists backend names.
         assert!(format!("{registry:?}").contains("refuser"));
+    }
+
+    #[test]
+    fn discretisation_cancelled_in_group_then_rerun_is_bit_identical() {
+        // The tentpole cancellation contract at the solver layer: a
+        // budget-interrupted member solve leaves the warm group state
+        // consistent, so re-running the same member to completion gives
+        // exactly the bits an uninterrupted solve would have.
+        let solver = DiscretisationSolver::new();
+        let s = two_well();
+        let options = SolverOptions::sequential();
+        let reference = solver.solve_with(&s, &options).unwrap();
+        for k in [0, 1, 7] {
+            let mut state = solver.new_group_state(&options).unwrap();
+            let err = solver
+                .solve_in_group_budgeted(
+                    &s,
+                    &options,
+                    state.as_mut(),
+                    &Budget::cancelled_after_checks(k),
+                )
+                .expect_err("budget must interrupt the sweep");
+            assert_eq!(
+                err,
+                KibamRmError::DeadlineExceeded {
+                    completed: k as usize
+                },
+                "k = {k}"
+            );
+            let rerun = solver
+                .solve_in_group_budgeted(&s, &options, state.as_mut(), &Budget::unlimited())
+                .unwrap();
+            assert_eq!(rerun.points(), reference.points(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn simulation_cancelled_in_group_then_rerun_is_bit_identical() {
+        let solver = SimulationSolver::new().with_batch(100);
+        let s = small_linear(); // 400 replications in 4 batches
+        let options = SolverOptions::sequential();
+        let reference = solver.solve_with(&s, &options).unwrap();
+        let mut state = solver.new_group_state(&options).unwrap();
+        let err = solver
+            .solve_in_group_budgeted(
+                &s,
+                &options,
+                state.as_mut(),
+                &Budget::cancelled_after_checks(2),
+            )
+            .expect_err("budget must stop the batch loop");
+        assert_eq!(err, KibamRmError::DeadlineExceeded { completed: 200 });
+        let rerun = solver
+            .solve_in_group_budgeted(&s, &options, state.as_mut(), &Budget::unlimited())
+            .unwrap();
+        assert_eq!(rerun.points(), reference.points());
+        assert_eq!(rerun.diagnostics().runs, Some(400));
+        let hw = rerun.diagnostics().half_width.unwrap();
+        assert!(hw > 0.0 && hw < 0.2, "Wilson half-width {hw}");
+    }
+
+    #[test]
+    fn exhausted_budget_fails_fast_for_every_backend() {
+        let s = small_linear();
+        let options = SolverOptions::sequential();
+        let expired = Budget::cancelled_after_checks(0);
+        for solver in [
+            Box::new(DiscretisationSolver::new()) as Box<dyn LifetimeSolver>,
+            Box::new(SimulationSolver::new()),
+            Box::new(SericolaSolver::new()),
+        ] {
+            let err = solver
+                .solve_with_budget(&s, &options, &expired)
+                .expect_err("expired budget must refuse");
+            assert_eq!(
+                err,
+                KibamRmError::DeadlineExceeded { completed: 0 },
+                "{}",
+                solver.name()
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_solo_solves_match_the_plain_paths_bit_for_bit() {
+        let options = SolverOptions::sequential();
+        let s = two_well();
+        let a = DiscretisationSolver::new()
+            .solve_with(&s, &options)
+            .unwrap();
+        let b = DiscretisationSolver::new()
+            .solve_with_budget(&s, &options, &Budget::unlimited())
+            .unwrap();
+        assert_eq!(a.points(), b.points());
+        let s = small_linear();
+        let a = SimulationSolver::new().solve_with(&s, &options).unwrap();
+        let b = SimulationSolver::new()
+            .solve_with_budget(&s, &options, &Budget::unlimited())
+            .unwrap();
+        assert_eq!(a.points(), b.points());
     }
 }

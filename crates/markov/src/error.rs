@@ -35,6 +35,15 @@ pub enum MarkovError {
     NoConvergence(String),
     /// Generic invalid-argument error with a description.
     InvalidArgument(String),
+    /// A cooperative [`crate::budget::Budget`] check failed: the solve
+    /// was cancelled or ran past its deadline. Carries the work
+    /// completed before the interruption (uniformisation iterations for
+    /// the transient engines).
+    DeadlineExceeded {
+        /// Units of work (engine-specific) completed before the budget
+        /// expired.
+        completed: usize,
+    },
 }
 
 impl fmt::Display for MarkovError {
@@ -61,6 +70,12 @@ impl fmt::Display for MarkovError {
             }
             MarkovError::NoConvergence(msg) => write!(f, "no convergence: {msg}"),
             MarkovError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            MarkovError::DeadlineExceeded { completed } => {
+                write!(
+                    f,
+                    "deadline exceeded after {completed} units of completed work"
+                )
+            }
         }
     }
 }
@@ -94,6 +109,10 @@ mod tests {
             (MarkovError::InvalidDistribution("x".into()), "distribution"),
             (MarkovError::NoConvergence("y".into()), "no convergence"),
             (MarkovError::InvalidArgument("z".into()), "invalid argument"),
+            (
+                MarkovError::DeadlineExceeded { completed: 12 },
+                "deadline exceeded after 12",
+            ),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

@@ -21,6 +21,9 @@
 //!   paper's burst workload (`λ_burst = 182/h`);
 //! * [`absorbing`] — absorption probabilities and mean time to absorption,
 //!   giving mean battery lifetimes directly from the discretised chain;
+//! * [`budget`] — cooperative cancellation tokens (shared cancel flag +
+//!   deadline) that the transient engines check once per iteration,
+//!   surfacing [`MarkovError::DeadlineExceeded`] with the work done;
 //! * [`dtmc`] — embedded jump chains;
 //! * [`reachability`] — CSRL-style time-bounded reachability (the query
 //!   class the battery-lifetime distribution instantiates);
@@ -48,6 +51,7 @@
 
 pub mod absorbing;
 pub mod banded;
+pub mod budget;
 pub mod ctmc;
 pub mod dtmc;
 pub mod foxglynn;
@@ -61,4 +65,5 @@ pub mod transient;
 
 mod error;
 
+pub use budget::Budget;
 pub use error::MarkovError;

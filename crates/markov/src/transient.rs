@@ -43,6 +43,7 @@
 //! majority of the state space is never visited.
 
 use crate::banded::TransitionMatrix;
+use crate::budget::Budget;
 use crate::ctmc::Ctmc;
 use crate::foxglynn::FoxGlynnCache;
 use crate::pool::SpmvPool;
@@ -202,6 +203,27 @@ pub fn transient_distribution_with(
     t: f64,
     opts: &TransientOptions,
 ) -> Result<TransientSolution, MarkovError> {
+    transient_distribution_budgeted(ctmc, alpha, t, opts, &Budget::unlimited())
+}
+
+/// [`transient_distribution_with`] under a cooperative [`Budget`]: the
+/// token is checked once per matrix–vector product, and an exhausted
+/// budget aborts the sweep with [`MarkovError::DeadlineExceeded`]
+/// carrying the iterations completed. With [`Budget::unlimited`] the
+/// check is a single branch and the solve is identical to the
+/// unbudgeted entry point, bit for bit.
+///
+/// # Errors
+///
+/// As for [`transient_distribution_with`], plus
+/// [`MarkovError::DeadlineExceeded`] when the budget expires.
+pub fn transient_distribution_budgeted(
+    ctmc: &Ctmc,
+    alpha: &[f64],
+    t: f64,
+    opts: &TransientOptions,
+    budget: &Budget,
+) -> Result<TransientSolution, MarkovError> {
     ctmc.check_distribution(alpha)?;
     if !t.is_finite() || t < 0.0 {
         return Err(MarkovError::InvalidArgument(format!(
@@ -245,6 +267,7 @@ pub fn transient_distribution_with(
         let mut v_win = support_range(&v);
         let mut next_win = 0..0;
         for n in 1..=fg.right() {
+            budget.check(iterations)?;
             let grown = band.grow_window(&v_win);
             zero_outside(&mut next, &next_win, &grown);
             let sup = pool.mul_vec_sup_window(band, &v, &mut next, grown.clone())?;
@@ -267,6 +290,7 @@ pub fn transient_distribution_with(
         let partition = pt.as_ref().partition(pool.threads());
         let per_product = pt.entries_per_product() as u64;
         for n in 1..=fg.right() {
+            budget.check(iterations)?;
             // Fused product + steady-state sup-norm: no separate O(n)
             // convergence sweep over the iterate.
             let sup = pool.mul_vec_sup(&pt, &partition, &v, &mut next)?;
@@ -480,6 +504,41 @@ pub fn measure_curve_cached(
     opts: &TransientOptions,
     cache: &mut CurveCache,
 ) -> Result<CurveSolution, MarkovError> {
+    measure_curve_budgeted(
+        ctmc,
+        alpha,
+        times,
+        measure,
+        opts,
+        cache,
+        &Budget::unlimited(),
+    )
+}
+
+/// [`measure_curve_cached`] under a cooperative [`Budget`], checked once
+/// per matrix–vector product (fresh sweeps and cache extensions alike).
+///
+/// A budget-aborted sweep leaves the cache exactly as consistent as a
+/// shorter completed solve would: a fresh sweep commits nothing, and an
+/// extension keeps only fully computed iterates — so re-running the
+/// same solve with an unlimited budget is **bit-identical** to never
+/// having been cancelled. With [`Budget::unlimited`] the check is a
+/// single branch and the solve is identical to
+/// [`measure_curve_cached`].
+///
+/// # Errors
+///
+/// As for [`measure_curve`], plus [`MarkovError::DeadlineExceeded`]
+/// (carrying the products performed this call) when the budget expires.
+pub fn measure_curve_budgeted(
+    ctmc: &Ctmc,
+    alpha: &[f64],
+    times: &[f64],
+    measure: &[f64],
+    opts: &TransientOptions,
+    cache: &mut CurveCache,
+    budget: &Budget,
+) -> Result<CurveSolution, MarkovError> {
     ctmc.check_distribution(alpha)?;
     if measure.len() != ctmc.n_states() {
         return Err(MarkovError::InvalidArgument(format!(
@@ -575,6 +634,7 @@ pub fn measure_curve_cached(
             let mut v_win = support_range(&v);
             let mut next_win = 0..0;
             for n in 1..=n_max {
+                budget.check(iterations)?;
                 let grown = band.grow_window(&v_win);
                 zero_outside(&mut next, &next_win, &grown);
                 let (s_n, sup) =
@@ -594,6 +654,7 @@ pub fn measure_curve_cached(
             let partition = pt.as_ref().partition(pool.threads());
             let per_product = pt.entries_per_product() as u64;
             for n in 1..=n_max {
+                budget.check(iterations)?;
                 // One fully fused pass: v_{n+1} = Pᵀ·v_n, s_{n+1} =
                 // measure·v_{n+1} and the steady-state sup-norm
                 // |v_{n+1} − v_n|_∞, with no separate dot or convergence
@@ -634,6 +695,7 @@ pub fn measure_curve_cached(
             let per_product = state.pt.entries_per_product() as u64;
             let mut next = vec![0.0; ctmc.n_states()];
             for n in state.s.len()..=n_max {
+                budget.check(iterations)?;
                 let (s_n, sup) =
                     pool.mul_vec_dot_sup(&state.pt, &partition, &state.v, &mut next, measure)?;
                 touched += per_product;
@@ -1280,6 +1342,145 @@ mod tests {
         // And an immediate repeat shares again.
         measure_curve_cached(&chain, &alpha, &times, &measure, &opts, &mut cache).unwrap();
         assert!(cache.last_solve_shared());
+    }
+
+    #[test]
+    fn budget_cancels_sweep_and_rerun_is_bit_identical() {
+        // The tentpole cancellation contract: a solve cancelled at
+        // iteration k reports k completed products, and re-running it
+        // to completion — through the same cache — yields exactly the
+        // bits an uninterrupted solve produces.
+        let n = 120;
+        let chain = lattice_chain(n, 1.0, 0.3);
+        let alpha = point_mass(n, n - 1);
+        let mut measure = vec![0.0; n];
+        measure[0] = 1.0;
+        let times = [10.0, 40.0];
+        for repr in [Representation::Csr, Representation::Banded] {
+            let opts = TransientOptions {
+                representation: repr,
+                ..Default::default()
+            };
+            let uninterrupted = measure_curve(&chain, &alpha, &times, &measure, &opts).unwrap();
+            assert!(uninterrupted.iterations > 8, "need room to cancel");
+            for k in [0u64, 1, 5, 8] {
+                let mut cache = CurveCache::new();
+                let err = measure_curve_budgeted(
+                    &chain,
+                    &alpha,
+                    &times,
+                    &measure,
+                    &opts,
+                    &mut cache,
+                    &Budget::cancelled_after_checks(k),
+                )
+                .unwrap_err();
+                assert_eq!(
+                    err,
+                    MarkovError::DeadlineExceeded {
+                        completed: k as usize
+                    },
+                    "{repr:?} k = {k}"
+                );
+                // A cancelled fresh sweep commits nothing; the re-run
+                // behaves like a first solve and matches bit for bit.
+                assert!(!cache.last_solve_shared());
+                let rerun =
+                    measure_curve_cached(&chain, &alpha, &times, &measure, &opts, &mut cache)
+                        .unwrap();
+                assert_eq!(rerun.points, uninterrupted.points, "{repr:?} k = {k}");
+                assert_eq!(rerun.iterations, uninterrupted.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_cancels_cache_extension_and_rerun_completes() {
+        // Cancel mid-*extension*: the cache keeps only fully computed
+        // iterates, so finishing the extension later is bit-identical.
+        let n = 120;
+        let chain = lattice_chain(n, 1.0, 0.3);
+        let alpha = point_mass(n, n - 1);
+        let mut measure = vec![0.0; n];
+        measure[0] = 1.0;
+        let opts = TransientOptions {
+            representation: Representation::Csr,
+            ..Default::default()
+        };
+        let mut cache = CurveCache::new();
+        measure_curve_cached(&chain, &alpha, &[5.0], &measure, &opts, &mut cache).unwrap();
+        // The doubled chain needs a larger Poisson window → extension.
+        let double = scaled_chain(&chain, 2.0);
+        let err = measure_curve_budgeted(
+            &double,
+            &alpha,
+            &[5.0],
+            &measure,
+            &opts,
+            &mut cache,
+            &Budget::cancelled_after_checks(2),
+        )
+        .unwrap_err();
+        assert_eq!(err, MarkovError::DeadlineExceeded { completed: 2 });
+        let finished =
+            measure_curve_cached(&double, &alpha, &[5.0], &measure, &opts, &mut cache).unwrap();
+        let independent = measure_curve(&double, &alpha, &[5.0], &measure, &opts).unwrap();
+        assert_eq!(finished.points, independent.points);
+    }
+
+    #[test]
+    fn expired_budget_fails_before_any_product() {
+        let n = 120;
+        let chain = lattice_chain(n, 1.0, 0.3);
+        let alpha = point_mass(n, n - 1);
+        let mut measure = vec![0.0; n];
+        measure[0] = 1.0;
+        let err = measure_curve_budgeted(
+            &chain,
+            &alpha,
+            &[40.0],
+            &measure,
+            &TransientOptions::default(),
+            &mut CurveCache::new(),
+            &Budget::cancelled_after_checks(0),
+        )
+        .unwrap_err();
+        assert_eq!(err, MarkovError::DeadlineExceeded { completed: 0 });
+        let err = transient_distribution_budgeted(
+            &chain,
+            &alpha,
+            40.0,
+            &TransientOptions::default(),
+            &Budget::cancelled_after_checks(0),
+        )
+        .unwrap_err();
+        assert_eq!(err, MarkovError::DeadlineExceeded { completed: 0 });
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_unbudgeted() {
+        // The zero-overhead claim's semantic half: the budgeted entry
+        // point with an unlimited token is the same computation.
+        let n = 120;
+        let chain = lattice_chain(n, 1.0, 0.3);
+        let alpha = point_mass(n, n - 1);
+        let mut measure = vec![0.0; n];
+        measure[0] = 1.0;
+        let opts = TransientOptions::default();
+        let plain = measure_curve(&chain, &alpha, &[10.0, 40.0], &measure, &opts).unwrap();
+        let budgeted = measure_curve_budgeted(
+            &chain,
+            &alpha,
+            &[10.0, 40.0],
+            &measure,
+            &opts,
+            &mut CurveCache::new(),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(plain.points, budgeted.points);
+        assert_eq!(plain.iterations, budgeted.iterations);
+        assert_eq!(plain.touched_entries, budgeted.touched_entries);
     }
 
     proptest::proptest! {

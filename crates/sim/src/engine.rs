@@ -37,6 +37,7 @@
 
 use crate::rng::SimRng;
 use crate::streaming::{StreamingError, StreamingLifetimeStudy};
+use markov::budget::Budget;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;
@@ -66,6 +67,13 @@ pub enum EngineError {
     Streaming(StreamingError),
     /// Inconsistent [`McOptions`].
     InvalidOptions(String),
+    /// A cooperative [`Budget`] check failed at a batch checkpoint: the
+    /// study was cancelled or ran past its deadline. Carries the
+    /// replications merged before the interruption.
+    DeadlineExceeded {
+        /// Replications folded into the study before the budget expired.
+        completed_runs: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -74,6 +82,9 @@ impl fmt::Display for EngineError {
             EngineError::Aborted => write!(f, "experiment aborted the study"),
             EngineError::Streaming(e) => write!(f, "{e}"),
             EngineError::InvalidOptions(why) => write!(f, "invalid engine options: {why}"),
+            EngineError::DeadlineExceeded { completed_runs } => {
+                write!(f, "deadline exceeded after {completed_runs} replications")
+            }
         }
     }
 }
@@ -270,12 +281,51 @@ impl McPool {
         opts: &McOptions,
         experiment: &(dyn Fn(&mut SimRng) -> Replication + Sync),
     ) -> Result<StreamingLifetimeStudy, EngineError> {
+        self.run_study_budgeted(
+            grid,
+            horizon,
+            master_seed,
+            opts,
+            experiment,
+            &Budget::unlimited(),
+        )
+    }
+
+    /// [`run_study`](McPool::run_study) under a cooperative [`Budget`],
+    /// checked once per batch checkpoint (the scheduling and merge
+    /// quantum). An exhausted budget stops dispatching, **drains every
+    /// in-flight batch** — the invariant that keeps the lifetime-erased
+    /// experiment borrow sound — and returns
+    /// [`EngineError::DeadlineExceeded`] with the replications merged so
+    /// far. With [`Budget::unlimited`] the check is a single branch and
+    /// the study is bit-identical to the unbudgeted entry point.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_study`](McPool::run_study), plus
+    /// [`EngineError::DeadlineExceeded`] when the budget expires.
+    pub fn run_study_budgeted(
+        &self,
+        grid: Vec<f64>,
+        horizon: f64,
+        master_seed: u64,
+        opts: &McOptions,
+        experiment: &(dyn Fn(&mut SimRng) -> Replication + Sync),
+        budget: &Budget,
+    ) -> Result<StreamingLifetimeStudy, EngineError> {
         opts.validate()?;
         let mut merged = StreamingLifetimeStudy::new(grid, horizon)?;
         let mut total: u64 = 0;
         let mut round_end = opts.runs;
         loop {
-            self.run_round(&mut merged, total..round_end, master_seed, opts, experiment)?;
+            self.run_round(
+                &mut merged,
+                total..round_end,
+                master_seed,
+                opts,
+                experiment,
+                budget,
+            )?;
             total = round_end;
             let Some(target) = opts.target_half_width else {
                 break;
@@ -301,6 +351,7 @@ impl McPool {
         master_seed: u64,
         opts: &McOptions,
         experiment: &(dyn Fn(&mut SimRng) -> Replication + Sync),
+        budget: &Budget,
     ) -> Result<(), EngineError> {
         let batches: Vec<Range<u64>> = {
             let mut out = Vec::new();
@@ -317,6 +368,11 @@ impl McPool {
             // the workers, so the floating-point operation sequence is
             // identical — this is the bit-identity anchor.
             for batch in batches {
+                if budget.check(merged.total_runs() as usize).is_err() {
+                    return Err(EngineError::DeadlineExceeded {
+                        completed_runs: merged.total_runs(),
+                    });
+                }
                 let partial = batch_partial(
                     merged.shared_grid(),
                     merged.horizon(),
@@ -342,6 +398,19 @@ impl McPool {
         let mut failure: Option<BatchFailure> = None;
         loop {
             while failure.is_none() && next < batches.len() && next < watermark + cap {
+                // Budget checkpoint per dispatched batch. An exhausted
+                // budget stops dispatching but NOT draining: the loop
+                // below still collects every in-flight acknowledgement
+                // before returning (the Job soundness invariant).
+                if budget
+                    .check(next.saturating_mul(opts.batch as usize))
+                    .is_err()
+                {
+                    failure = Some(BatchFailure::Error(EngineError::DeadlineExceeded {
+                        completed_runs: 0, // patched with the merged total below
+                    }));
+                    break;
+                }
                 // SAFETY: lifetime erasure only — the referent outlives
                 // every job because this function collects all in-flight
                 // acknowledgements before returning (even on failure).
@@ -394,6 +463,13 @@ impl McPool {
             }
         }
         match failure {
+            // Report what actually landed in the study, not what was
+            // dispatched: merged replications are the usable work.
+            Some(BatchFailure::Error(EngineError::DeadlineExceeded { .. })) => {
+                Err(EngineError::DeadlineExceeded {
+                    completed_runs: merged.total_runs(),
+                })
+            }
             Some(BatchFailure::Error(e)) => Err(e),
             // Every in-flight job is drained by now (the loop above only
             // exits at in_flight == 0), so the experiment borrow is free
@@ -689,6 +765,116 @@ mod tests {
         assert!(EngineError::InvalidOptions("x".into())
             .to_string()
             .contains("x"));
+    }
+
+    #[test]
+    fn expired_budget_aborts_without_running_and_pool_stays_usable() {
+        let opts = McOptions {
+            runs: 10_000,
+            batch: 64,
+            ..McOptions::default()
+        };
+        let experiment = exponential_experiment(1.0, 2.0);
+        for threads in [1usize, 4] {
+            let pool = McPool::with_exact_threads(threads);
+            let err = pool
+                .run_study_budgeted(
+                    vec![1.0],
+                    2.0,
+                    1,
+                    &opts,
+                    &experiment,
+                    &Budget::cancelled_after_checks(0),
+                )
+                .expect_err("expired budget must abort");
+            assert_eq!(err, EngineError::DeadlineExceeded { completed_runs: 0 });
+            // All in-flight work was drained; the pool accepts new studies.
+            let ok = pool
+                .run_study(vec![1.0], 2.0, 1, &opts, &experiment)
+                .unwrap();
+            assert_eq!(ok.total_runs(), 10_000);
+        }
+    }
+
+    #[test]
+    fn inline_budget_cancels_at_an_exact_batch_boundary() {
+        // Inline path: one check per batch, so cancelled_after_checks(k)
+        // merges exactly k full batches before stopping.
+        let opts = McOptions {
+            runs: 1000,
+            batch: 64,
+            ..McOptions::default()
+        };
+        let pool = McPool::with_exact_threads(1);
+        let err = pool
+            .run_study_budgeted(
+                vec![1.0],
+                2.0,
+                5,
+                &opts,
+                &exponential_experiment(1.0, 2.0),
+                &Budget::cancelled_after_checks(3),
+            )
+            .expect_err("budget must expire");
+        assert_eq!(
+            err,
+            EngineError::DeadlineExceeded {
+                completed_runs: 3 * 64
+            }
+        );
+    }
+
+    #[test]
+    fn cancelled_budget_reports_partial_work_from_the_pool() {
+        let opts = McOptions {
+            runs: 50_000,
+            batch: 32,
+            ..McOptions::default()
+        };
+        let pool = McPool::with_exact_threads(4);
+        let budget = Budget::cancelled_after_checks(20);
+        let err = pool
+            .run_study_budgeted(
+                vec![1.0],
+                2.0,
+                5,
+                &opts,
+                &exponential_experiment(1.0, 2.0),
+                &budget,
+            )
+            .expect_err("budget must expire");
+        let EngineError::DeadlineExceeded { completed_runs } = err else {
+            panic!("wrong error: {err}");
+        };
+        // Some batches may still have been in flight (unmerged) at the
+        // checkpoint; the reported work is what landed in the study.
+        assert!(completed_runs < 50_000, "ran to completion");
+        assert_eq!(completed_runs % 32, 0, "whole batches only");
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_unbudgeted() {
+        let opts = McOptions {
+            runs: 4000,
+            batch: 128,
+            ..McOptions::default()
+        };
+        let experiment = exponential_experiment(1.0, 3.0);
+        let pool = McPool::with_exact_threads(3);
+        let plain = pool
+            .run_study(vec![0.5, 1.0, 2.0], 3.0, 11, &opts, &experiment)
+            .unwrap();
+        let budgeted = pool
+            .run_study_budgeted(
+                vec![0.5, 1.0, 2.0],
+                3.0,
+                11,
+                &opts,
+                &experiment,
+                &Budget::unlimited(),
+            )
+            .unwrap();
+        assert_eq!(plain, budgeted);
     }
 
     proptest::proptest! {

@@ -15,15 +15,22 @@
 //! Four worker threads drive the fleet concurrently; identical in-flight
 //! queries collapse onto one solve (single-flight), and everything the
 //! service does is bit-identical to solving each scenario independently.
-//! The run ends by printing the `ServiceStats` ledger.
+//!
+//! A second act demonstrates the per-request quality-of-service knobs
+//! (`QueryOptions`): deadlines that expire before an exact solve
+//! finishes, degraded answers with explicit error bounds, and the
+//! `ServiceError::retryable` classification a fleet controller would
+//! branch on. The run ends by printing the `ServiceStats` ledger,
+//! dependability counters included.
 //!
 //! Run with: `cargo run --release --example fleet_service`
 
 use kibamrm::scenario::Scenario;
-use kibamrm::service::{LifetimeService, ServiceConfig};
+use kibamrm::service::{Answer, DegradedSource, LifetimeService, QueryOptions, ServiceConfig};
 use kibamrm::solver::SolverRegistry;
 use kibamrm::workload::Workload;
 use std::sync::Arc;
+use std::time::Duration;
 use units::{Charge, Current, Frequency, Rate, Time};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -88,6 +95,72 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     });
 
+    // ---- Act two: deadlines, degradation and retry classification ----
+    //
+    // A fleet controller rarely wants to wait for a cold exact solve on
+    // an interactive path. `query_with` takes per-request QoS knobs: a
+    // deadline, permission to degrade, and a retry policy for transient
+    // faults.
+    println!("\ndeadline queries:");
+
+    // A resident configuration answers exactly within any deadline — a
+    // cache hit needs no solve.
+    let resident = configurations[0].with_name("controller-repeat");
+    let opts = QueryOptions::new()
+        .with_deadline(Duration::from_millis(1))
+        .allow_degraded();
+    let median_of = |dist: &kibamrm::LifetimeDistribution| {
+        dist.median().map_or_else(
+            || "beyond the horizon".to_string(),
+            |t| format!("{:.0} s", t.as_seconds()),
+        )
+    };
+    match service.query_with(&resident, &opts)? {
+        Answer::Exact(dist) => println!(
+            "  resident config: exact answer within 1 ms (median {})",
+            median_of(&dist)
+        ),
+        Answer::Degraded { .. } => println!("  resident config: unexpectedly degraded"),
+    }
+
+    // A *fresh* Δ-variant cannot be solved exactly in 1 ms — the solve
+    // is cancelled cooperatively and the service falls back to the
+    // degradation ladder: a resident same-family curve (free, bound =
+    // one discretisation level) or a fast Monte Carlo estimate (bound =
+    // its Wilson half-width). The bound is always explicit.
+    let fresh = base.with_delta(Charge::from_amp_seconds(75.0));
+    match service.query_with(&fresh, &opts)? {
+        Answer::Exact(_) => println!("  fresh Δ-variant: solved exactly (fast machine!)"),
+        Answer::Degraded {
+            dist,
+            bound,
+            source,
+        } => {
+            let source = match source {
+                DegradedSource::CachedFamily { delta: Some(d) } => {
+                    format!("family curve at Δ = {:.0} As", d.as_amp_seconds())
+                }
+                DegradedSource::CachedFamily { delta: None } => "exact family curve".into(),
+                DegradedSource::FastSimulation { runs } => {
+                    format!("fast Monte Carlo ({runs} runs)")
+                }
+            };
+            println!(
+                "  fresh Δ-variant: degraded answer from {source}, \
+                 sup-error ≤ {bound:.4} (median {})",
+                median_of(&dist)
+            );
+        }
+    }
+
+    // Without `allow_degraded` the expiry surfaces as a typed error; the
+    // `retryable` classification tells the controller what to do next —
+    // here: nothing, the request's own budget was spent.
+    let strict = QueryOptions::new().with_deadline(Duration::ZERO);
+    if let Err(e) = service.query_with(&base.with_delta(Charge::from_amp_seconds(60.0)), &strict) {
+        println!("  strict deadline: {e} (retryable: {})", e.retryable());
+    }
+
     let stats = service.stats();
     println!("\nservice ledger after the fleet run:");
     println!(
@@ -107,5 +180,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.cached_entries, stats.cached_bytes
     );
     println!("  hit rate           {:.3}", stats.hit_rate());
+    println!(
+        "  dependability      {} deadline-expired, {} degraded-served, \
+         {} retries, {} breaker-sheds",
+        stats.deadline_expired, stats.degraded_served, stats.retries, stats.breaker_open
+    );
     Ok(())
 }

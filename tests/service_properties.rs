@@ -153,6 +153,78 @@ proptest! {
             .unwrap();
         prop_assert!(sup == 0.0, "sup-distance is {}, must be exactly 0", sup);
     }
+
+    /// Under seeded fault injection (transient errors and panics from a
+    /// `FaultInjectingSolver`-wrapped backend) and any thread count 1–8,
+    /// the service stays dependable: every request ends in an answer, a
+    /// typed error or the injected panic; no flight leaks; anything the
+    /// cache serves afterwards is bit-identical to the exact backend.
+    #[test]
+    fn service_survives_fault_injection(
+        threads in 1usize..=8,
+        seed in 0u64..1024,
+        error_pct in 0u32..=40,
+        panic_pct in 0u32..=20,
+    ) {
+        use kibamrm::chaos::{ChaosConfig, FaultInjectingSolver};
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let solves = Arc::new(AtomicUsize::new(0));
+        let chaos = FaultInjectingSolver::new(
+            Box::new(CountingSolver { solves: Arc::clone(&solves) }),
+            ChaosConfig::passthrough(seed)
+                .with_error_rate(error_pct as f64 / 100.0)
+                .with_panic_rate(panic_pct as f64 / 100.0),
+        );
+        let mut registry = SolverRegistry::empty();
+        registry.register(Box::new(chaos));
+        // Breaker off: this property wants raw fault traffic (the
+        // breaker's own behaviour is covered by the chaos suite).
+        let service = Arc::new(LifetimeService::with_config(
+            registry,
+            ServiceConfig::default().with_breaker(0, std::time::Duration::ZERO),
+        ));
+
+        let per_thread = 8usize;
+        let barrier = Arc::new(Barrier::new(threads));
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let (service, barrier) = (Arc::clone(&service), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut accounted = 0usize;
+                    for i in 0..per_thread {
+                        let s = query_scenario(50.0 + ((t + i) % 4) as f64);
+                        match catch_unwind(AssertUnwindSafe(|| service.query(&s))) {
+                            Ok(Ok(_)) | Ok(Err(_)) | Err(_) => accounted += 1,
+                        }
+                    }
+                    accounted
+                })
+            })
+            .collect();
+        let accounted: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        prop_assert_eq!(accounted, threads * per_thread);
+
+        let stats = service.stats();
+        prop_assert_eq!(stats.in_flight, 0);
+        // Nothing poisoned was cached: whatever the service now serves
+        // for each scenario matches the exact backend bit for bit.
+        let exact_backend = CountingSolver { solves: Arc::new(AtomicUsize::new(0)) };
+        for cap in 0..4 {
+            let s = query_scenario(50.0 + cap as f64);
+            let exact = exact_backend.solve(&s).unwrap();
+            let mut served = None;
+            for _ in 0..64 {
+                if let Ok(Ok(a)) = catch_unwind(AssertUnwindSafe(|| service.query(&s))) {
+                    served = Some(a);
+                    break;
+                }
+            }
+            let served = served.expect("service stays answerable after the faults");
+            prop_assert_eq!(served.points(), exact.points());
+        }
+    }
 }
 
 /// The single-flight guarantee holds repeatedly on one resident service:
