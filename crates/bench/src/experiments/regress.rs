@@ -496,6 +496,66 @@ fn service_gate(cfg: &Config, committed: &Json, report: &mut Report) -> Result<(
             service::GATE_DEGRADED_FRACTION
         ),
     );
+
+    // The snapshot-reload leg: the committed facts must describe a
+    // lossless restart (every written entry revives, nothing rejected,
+    // reload answers bit-identical), and a live re-derivation must
+    // reproduce them — a format change that silently drops entries, or
+    // a revive path that re-solves instead of hitting, fails here.
+    let snap_committed = committed
+        .get("snapshot")
+        .ok_or("committed BENCH_service.json has no 'snapshot' object")?;
+    let committed_written = snap_committed
+        .num("entries_written")
+        .ok_or("snapshot without 'entries_written'")?;
+    let committed_loaded = snap_committed
+        .num("loaded")
+        .ok_or("snapshot without 'loaded'")?;
+    let committed_rejected = snap_committed
+        .num("rejected")
+        .ok_or("snapshot without 'rejected'")?;
+    let committed_reload_rate = snap_committed
+        .num("reload_hit_rate")
+        .ok_or("snapshot without 'reload_hit_rate'")?;
+    let committed_reload_sup = snap_committed
+        .num("max_abs_difference_vs_fresh_after_reload")
+        .ok_or("snapshot without 'max_abs_difference_vs_fresh_after_reload'")?;
+    report.check(
+        "service committed snapshot facts",
+        committed_loaded == committed_written
+            && committed_written > 0.0
+            && committed_rejected == 0.0
+            && committed_reload_sup == 0.0
+            && committed_reload_rate >= service::GATE_HIT_RATE_FLOOR,
+        format!(
+            "committed reload: {committed_loaded}/{committed_written} entries revived, \
+             {committed_rejected} rejected, hit rate {committed_reload_rate:.3} \
+             (floor {}), sup-distance {committed_reload_sup:e} (must be exactly 0)",
+            service::GATE_HIT_RATE_FLOOR
+        ),
+    );
+
+    let snap = service::run_snapshot_leg(true)?;
+    report.check(
+        "service snapshot reload (quick)",
+        snap.loaded == snap.entries_written
+            && snap.entries_written == snap.distinct
+            && snap.rejected == 0
+            && snap.sup_vs_fresh == 0.0
+            && snap.reload_hit_rate >= service::GATE_HIT_RATE_FLOOR,
+        format!(
+            "reload revived {}/{} entries ({} rejected) over {} configurations, \
+             hit rate {:.3} (floor {}), post-reload sup-distance {:e} \
+             (must be exactly 0)",
+            snap.loaded,
+            snap.entries_written,
+            snap.rejected,
+            snap.distinct,
+            snap.reload_hit_rate,
+            service::GATE_HIT_RATE_FLOOR,
+            snap.sup_vs_fresh
+        ),
+    );
     Ok(())
 }
 

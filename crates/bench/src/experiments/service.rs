@@ -254,6 +254,72 @@ pub(crate) fn run_fleet_trace(
     })
 }
 
+/// What the snapshot-reload leg produced. Every field is a deterministic
+/// machine-independent fact: the leg solves each distinct configuration
+/// once, snapshots, revives into a fresh service, and re-queries — so
+/// the written/loaded/rejected counts, the reload hit rate (1.0) and
+/// the sup-distance after reload (exactly 0) are all part of the
+/// regression gate.
+pub(crate) struct SnapshotOutcome {
+    pub distinct: usize,
+    pub entries_written: usize,
+    pub snapshot_bytes: usize,
+    pub loaded: usize,
+    pub rejected: usize,
+    pub reload_hit_rate: f64,
+    /// Sup-distance between post-reload served answers and independent
+    /// fresh solves (must be exactly 0: revival is byte-exact).
+    pub sup_vs_fresh: f64,
+}
+
+/// Runs the deterministic snapshot-reload leg: solve every distinct
+/// configuration through a fresh service, write a snapshot, revive it
+/// into a second fresh service (a simulated restart), and re-query
+/// everything against independent fresh solves.
+pub(crate) fn run_snapshot_leg(quick: bool) -> Result<SnapshotOutcome, String> {
+    let configurations = fleet_configurations(quick)?;
+    let config = ServiceConfig::default()
+        .with_options(engine_options())
+        .with_max_in_flight(configurations.len().max(1));
+    let first_life = LifetimeService::with_config(SolverRegistry::with_default_backends(), config);
+    for scenario in &configurations {
+        first_life.query(scenario).map_err(|e| e.to_string())?;
+    }
+    let path = std::env::temp_dir().join(format!(
+        "kibamrm-bench-snapshot-{}.snap",
+        std::process::id()
+    ));
+    let written = first_life.save_snapshot(&path).map_err(|e| e.to_string())?;
+
+    // The "restarted process": same backends, empty caches, then revive.
+    let second_life = LifetimeService::with_config(SolverRegistry::with_default_backends(), config);
+    let load = second_life.load_snapshot(&path);
+    if let Some(e) = &load.error {
+        let _ = std::fs::remove_file(&path);
+        return Err(format!("snapshot rejected on reload: {e}"));
+    }
+
+    let reference = SolverRegistry::with_default_backends().with_options(engine_options());
+    let mut sup_vs_fresh = 0.0f64;
+    for scenario in &configurations {
+        let served = second_life.query(scenario).map_err(|e| e.to_string())?;
+        let fresh = reference.solve(scenario).map_err(|e| e.to_string())?;
+        let sup = served.max_difference(&fresh).map_err(|e| e.to_string())?;
+        sup_vs_fresh = sup_vs_fresh.max(sup);
+    }
+    let _ = std::fs::remove_file(&path);
+    let stats = second_life.stats();
+    Ok(SnapshotOutcome {
+        distinct: configurations.len(),
+        entries_written: written.entries,
+        snapshot_bytes: written.bytes,
+        loaded: load.loaded,
+        rejected: load.rejected,
+        reload_hit_rate: stats.hit_rate(),
+        sup_vs_fresh,
+    })
+}
+
 /// Runs the experiment.
 ///
 /// # Errors
@@ -310,6 +376,32 @@ pub fn run(cfg: &Config) -> Result<(), String> {
         stats.degraded_served,
     );
 
+    let snap = run_snapshot_leg(quick)?;
+    if snap.loaded != snap.entries_written || snap.rejected != 0 {
+        return Err(format!(
+            "snapshot reload lost entries: {} written, {} loaded, {} rejected",
+            snap.entries_written, snap.loaded, snap.rejected
+        ));
+    }
+    if snap.sup_vs_fresh != 0.0 {
+        return Err(format!(
+            "post-reload answers differ from independent solves: sup-distance \
+             {:e} (must be exactly 0)",
+            snap.sup_vs_fresh
+        ));
+    }
+    println!(
+        "snapshot leg: {} configurations — {} entries / {} bytes written, \
+         {} revived, {} rejected, reload hit rate {:.3}, sup-distance {:e}",
+        snap.distinct,
+        snap.entries_written,
+        snap.snapshot_bytes,
+        snap.loaded,
+        snap.rejected,
+        snap.reload_hit_rate,
+        snap.sup_vs_fresh,
+    );
+
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -322,17 +414,24 @@ pub fn run(cfg: &Config) -> Result<(), String> {
          solves; served answers are asserted bit-identical to independent fresh solves \
          on every run; the deadline leg is deterministic (already-expired deadlines, \
          resident vs fresh-variant targets 1:1) and every degraded answer's explicit \
-         error bound is checked\",\n  \
+         error bound is checked; the snapshot leg writes the solved configurations to \
+         a crash-safe snapshot, revives it into a fresh service and asserts every \
+         re-query is a warm hit bit-identical to an independent fresh solve\",\n  \
          \"trace\": {{\n    \"requests\": {},\n    \"distinct_configurations\": {},\n    \
          \"workers\": {},\n    \"hit_rate\": {:.4},\n    \"hits\": {},\n    \
          \"joined\": {},\n    \"misses\": {},\n    \"shed\": {},\n    \
          \"warm_hits\": {},\n    \"warm_misses\": {},\n    \"evictions\": {},\n    \
-         \"cached_bytes\": {},\n    \"p50_ns\": {:.0},\n    \"p95_ns\": {:.0},\n    \
+         \"result_cache_bytes\": {},\n    \"p50_ns\": {:.0},\n    \"p95_ns\": {:.0},\n    \
          \"p99_ns\": {:.0},\n    \"max_abs_difference_vs_fresh\": {:e}\n  }},\n  \
          \"deadline_leg\": {{\n    \"requests\": {},\n    \"deadline_expired\": {},\n    \
          \"deadline_hit_rate\": {:.4},\n    \"degraded_served\": {},\n    \
          \"degraded_fraction\": {:.4},\n    \"retries\": {},\n    \
-         \"breaker_open\": {}\n  }}\n}}\n",
+         \"breaker_open\": {}\n  }},\n  \
+         \"snapshot\": {{\n    \"distinct_configurations\": {},\n    \
+         \"entries_written\": {},\n    \"snapshot_bytes\": {},\n    \
+         \"loaded\": {},\n    \"rejected\": {},\n    \
+         \"reload_hit_rate\": {:.4},\n    \
+         \"max_abs_difference_vs_fresh_after_reload\": {:e}\n  }}\n}}\n",
         outcome.requests,
         outcome.distinct,
         outcome.workers,
@@ -344,7 +443,7 @@ pub fn run(cfg: &Config) -> Result<(), String> {
         stats.warm_hits,
         stats.warm_misses,
         stats.evictions,
-        stats.cached_bytes,
+        stats.result_cache_bytes,
         outcome.percentile_ns(0.50),
         outcome.percentile_ns(0.95),
         outcome.percentile_ns(0.99),
@@ -356,6 +455,13 @@ pub fn run(cfg: &Config) -> Result<(), String> {
         outcome.degraded_fraction(),
         stats.retries,
         stats.breaker_open,
+        snap.distinct,
+        snap.entries_written,
+        snap.snapshot_bytes,
+        snap.loaded,
+        snap.rejected,
+        snap.reload_hit_rate,
+        snap.sup_vs_fresh,
     );
     write_json(cfg, "BENCH_service.json", &body)
 }

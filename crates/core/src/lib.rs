@@ -81,6 +81,7 @@ pub mod report;
 pub mod scenario;
 pub mod service;
 pub mod simulate;
+pub mod snapshot;
 pub mod solver;
 pub mod sweep;
 pub mod workload;
@@ -95,6 +96,7 @@ pub use service::{
     Answer, DegradedSource, LifetimeService, QueryOptions, RetryPolicy, ServiceConfig,
     ServiceError, ServiceStats,
 };
+pub use snapshot::{SnapshotError, SnapshotLoadReport, SnapshotWriteReport};
 pub use solver::{
     Capability, CrossValidation, DiscretisationSolver, GroupState, LifetimeSolver, SericolaSolver,
     SimulationSolver, SolverRegistry,

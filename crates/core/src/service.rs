@@ -62,15 +62,19 @@
 
 use crate::distribution::LifetimeDistribution;
 use crate::scenario::Scenario;
+use crate::snapshot::{
+    self, SnapshotEntry, SnapshotError, SnapshotLoadReport, SnapshotWriteReport,
+};
 use crate::solver::{GroupState, LifetimeSolver, SimulationSolver, SolverOptions, SolverRegistry};
 use crate::KibamRmError;
 use markov::Budget;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
-use units::Charge;
+use units::{Charge, Time};
 
 /// Errors from [`LifetimeService::query`].
 #[derive(Debug, Clone, PartialEq)]
@@ -493,12 +497,22 @@ pub struct ServiceStats {
     pub retries: u64,
     /// Queries shed by an open circuit breaker.
     pub breaker_open: u64,
+    /// Snapshot entries revived into the result cache by
+    /// [`LifetimeService::load_snapshot`].
+    pub snapshot_loaded: u64,
+    /// Snapshot files or entries rejected on load (corruption, version
+    /// skew, failed re-validation). Disjoint from `snapshot_loaded`:
+    /// every snapshot entry counts in exactly one of the two.
+    pub snapshot_rejected: u64,
+    /// Snapshots written successfully by
+    /// [`LifetimeService::save_snapshot`].
+    pub snapshot_written: u64,
     /// Solves running right now.
     pub in_flight: usize,
     /// Result-cache entries currently resident.
     pub cached_entries: usize,
     /// Result-cache bytes currently resident.
-    pub cached_bytes: usize,
+    pub result_cache_bytes: usize,
     /// Warm group states currently resident.
     pub warm_entries: usize,
 }
@@ -662,6 +676,9 @@ struct Inner {
     degraded_served: u64,
     retries: u64,
     breaker_open: u64,
+    snapshot_loaded: u64,
+    snapshot_rejected: u64,
+    snapshot_written: u64,
 }
 
 impl Inner {
@@ -1307,9 +1324,12 @@ impl LifetimeService {
             degraded_served: inner.degraded_served,
             retries: inner.retries,
             breaker_open: inner.breaker_open,
+            snapshot_loaded: inner.snapshot_loaded,
+            snapshot_rejected: inner.snapshot_rejected,
+            snapshot_written: inner.snapshot_written,
             in_flight: inner.in_flight,
             cached_entries: inner.cache.len(),
-            cached_bytes: inner.cache_bytes,
+            result_cache_bytes: inner.cache_bytes,
             warm_entries: inner.warm.len(),
         }
     }
@@ -1323,6 +1343,158 @@ impl LifetimeService {
         inner.cache.clear();
         inner.cache_bytes = 0;
         inner.warm.clear();
+    }
+
+    /// Writes the current result cache to `path` as a crash-safe
+    /// snapshot (see [`crate::snapshot`] for the format and the atomic
+    /// write protocol). Entries are written least-recently-used first,
+    /// so a later [`load_snapshot`](LifetimeService::load_snapshot)
+    /// reproduces the recency order. Bumps
+    /// [`ServiceStats::snapshot_written`] on success.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] when the file cannot be written; the
+    /// target is never left torn (the write goes to a temporary
+    /// sibling first).
+    pub fn save_snapshot(&self, path: &Path) -> Result<SnapshotWriteReport, SnapshotError> {
+        let entries: Vec<SnapshotEntry> = {
+            let inner = self.lock();
+            let mut ordered: Vec<(&Vec<u8>, &CacheEntry)> = inner.cache.iter().collect();
+            ordered.sort_by_key(|(_, e)| e.last_used);
+            ordered
+                .into_iter()
+                .map(|(key, e)| SnapshotEntry {
+                    scenario: key.clone(),
+                    method: e.dist.method().to_string(),
+                    diagnostics: *e.dist.diagnostics(),
+                    points: e
+                        .dist
+                        .points()
+                        .iter()
+                        .map(|&(t, p)| (t.as_seconds(), p))
+                        .collect(),
+                })
+                .collect()
+        };
+        let bytes = snapshot::encode(&entries);
+        snapshot::write_atomic(path, &bytes)?;
+        self.lock().snapshot_written += 1;
+        Ok(SnapshotWriteReport {
+            entries: entries.len(),
+            bytes: bytes.len(),
+        })
+    }
+
+    /// Revives a snapshot written by
+    /// [`save_snapshot`](LifetimeService::save_snapshot) into the
+    /// result cache. Never fails and never panics, whatever the file
+    /// contains:
+    ///
+    /// * a missing file is a clean cold start (no counters move);
+    /// * a file that fails structural validation (bad magic,
+    ///   truncation, checksum mismatch, version skew) is rejected
+    ///   wholesale — [`ServiceStats::snapshot_rejected`] counts one;
+    /// * each surviving entry is re-validated from scratch: its
+    ///   scenario text is re-parsed, the cache key re-derived through
+    ///   [`Scenario::canonical_bytes`], the backend name interned
+    ///   against this service's registry, the curve re-checked by
+    ///   [`LifetimeDistribution::new`], and the stored grid compared
+    ///   bit-for-bit against the scenario's own query grid. Entries
+    ///   that pass count in [`ServiceStats::snapshot_loaded`];
+    ///   entries that fail (or whose key is already resident, or that
+    ///   exceed the cache budget) count in `snapshot_rejected`.
+    ///
+    /// The revived bits are exactly the bits that were cached when the
+    /// snapshot was written, so the service's bit-identity invariant
+    /// holds across restarts.
+    pub fn load_snapshot(&self, path: &Path) -> SnapshotLoadReport {
+        let mut report = SnapshotLoadReport::default();
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return report,
+            Err(e) => {
+                report.rejected = 1;
+                report.error = Some(SnapshotError::Io(e));
+                self.lock().snapshot_rejected += 1;
+                return report;
+            }
+        };
+        let entries = match snapshot::decode(&bytes) {
+            Ok(entries) => entries,
+            Err(e) => {
+                report.rejected = 1;
+                report.error = Some(e);
+                self.lock().snapshot_rejected += 1;
+                return report;
+            }
+        };
+        for entry in entries {
+            if self.revive(entry) {
+                report.loaded += 1;
+            } else {
+                report.rejected += 1;
+            }
+        }
+        let mut inner = self.lock();
+        inner.snapshot_loaded += report.loaded as u64;
+        inner.snapshot_rejected += report.rejected as u64;
+        report
+    }
+
+    /// Re-validates one snapshot entry end to end and inserts it into
+    /// the cache. Returns `false` (entry dropped, nothing cached) on
+    /// any doubt — revival must never produce an answer a fresh solve
+    /// would not.
+    fn revive(&self, entry: SnapshotEntry) -> bool {
+        let Ok(text) = std::str::from_utf8(&entry.scenario) else {
+            return false;
+        };
+        let Ok(scenario) = Scenario::from_config_str(text) else {
+            return false;
+        };
+        let Ok(key) = scenario.canonical_bytes() else {
+            return false;
+        };
+        // Intern the backend name against this build's registry: a
+        // name nothing registered cannot have produced the curve here
+        // (and `LifetimeDistribution` wants the registry's `'static`
+        // string, not a leaked copy of snapshot bytes).
+        let Some(method) = self.registry.find(&entry.method).map(|s| s.name()) else {
+            return false;
+        };
+        // The stored samples must sit exactly on the scenario's own
+        // query grid — same length, same time bits.
+        let times = scenario.times();
+        if entry.points.len() != times.len()
+            || entry
+                .points
+                .iter()
+                .zip(times)
+                .any(|(&(t, _), grid)| t.to_bits() != grid.as_seconds().to_bits())
+        {
+            return false;
+        }
+        let points: Vec<(Time, f64)> = entry
+            .points
+            .iter()
+            .map(|&(t, p)| (Time::from_seconds(t), p))
+            .collect();
+        let Ok(dist) = LifetimeDistribution::new(method, points, entry.diagnostics) else {
+            return false;
+        };
+        if dist.size_in_bytes() > self.config.cache_capacity_bytes {
+            return false;
+        }
+        let family = family_key(&scenario);
+        let mut inner = self.lock();
+        // A resident key keeps its live entry: replacing it would
+        // double-charge the byte ledger for nothing.
+        if inner.cache.contains_key(&key) {
+            return false;
+        }
+        inner.insert_cached(key, dist, family, self.config.cache_capacity_bytes);
+        true
     }
 }
 
@@ -1453,7 +1625,7 @@ mod tests {
         let stats = service.stats();
         assert_eq!((stats.misses, stats.hits), (1, 2));
         assert_eq!(stats.cached_entries, 1);
-        assert_eq!(stats.cached_bytes, a.size_in_bytes());
+        assert_eq!(stats.result_cache_bytes, a.size_in_bytes());
         assert!(stats.hit_rate() > 0.6);
     }
 
@@ -1676,7 +1848,7 @@ mod tests {
         service.purge();
         let stats = service.stats();
         assert_eq!((stats.cached_entries, stats.warm_entries), (0, 0));
-        assert_eq!(stats.cached_bytes, 0);
+        assert_eq!(stats.result_cache_bytes, 0);
         // Counters survive; the next identical query is a miss again.
         assert_eq!(stats.misses, 2);
         service.query(&base).unwrap();
@@ -2063,5 +2235,176 @@ mod tests {
         assert_eq!(cfg.breaker_cooldown, Duration::from_secs(2));
         assert_eq!(cfg.degraded_grace, Duration::from_millis(100));
         assert_eq!(cfg.degraded_runs, 64);
+    }
+
+    /// A unique temp path for one snapshot test.
+    fn snap_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kibamrm-svc-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.snap"))
+    }
+
+    #[test]
+    fn snapshot_round_trip_revives_identical_bits() {
+        let (service, solves) = counting_service(32 << 20);
+        let scenarios: Vec<Scenario> = (1..=3).map(linear).collect();
+        let originals: Vec<LifetimeDistribution> = scenarios
+            .iter()
+            .map(|s| service.query(s).unwrap())
+            .collect();
+        let path = snap_path("round-trip");
+        let report = service.save_snapshot(&path).unwrap();
+        assert_eq!(report.entries, 3);
+        assert!(report.bytes > snapshot::HEADER_LEN);
+        assert_eq!(service.stats().snapshot_written, 1);
+
+        // A fresh process: same backends, empty cache.
+        let (revived, revived_solves) = counting_service(32 << 20);
+        let load = revived.load_snapshot(&path);
+        assert_eq!((load.loaded, load.rejected), (3, 0));
+        assert!(load.error.is_none());
+        assert!(!load.is_cold());
+        for (s, original) in scenarios.iter().zip(&originals) {
+            let served = revived.query(s).unwrap();
+            assert_eq!(served.points(), original.points(), "bits differ for {s:?}");
+            assert_eq!(served.method(), original.method());
+        }
+        assert_eq!(
+            revived_solves.load(Ordering::SeqCst),
+            0,
+            "every post-restart query was a warm hit"
+        );
+        let stats = revived.stats();
+        assert_eq!(stats.snapshot_loaded, 3);
+        assert_eq!(stats.snapshot_rejected, 0);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(
+            stats.result_cache_bytes,
+            service.stats().result_cache_bytes,
+            "the byte ledger survives the round trip"
+        );
+        drop(solves);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_load_preserves_lru_order() {
+        let probe = {
+            let (service, _) = counting_service(usize::MAX);
+            service.query(&linear(1)).unwrap().size_in_bytes()
+        };
+        let (service, _) = counting_service(3 * probe);
+        let (a, b, c) = (linear(1), linear(2), linear(3));
+        service.query(&a).unwrap();
+        service.query(&b).unwrap();
+        service.query(&c).unwrap();
+        service.query(&a).unwrap(); // a is most recent: LRU order b, c, a
+        let path = snap_path("lru-order");
+        service.save_snapshot(&path).unwrap();
+
+        // Revive into a cache with room for the same three entries,
+        // then insert a fourth: b must be the victim.
+        let (revived, _) = counting_service(3 * probe);
+        assert_eq!(revived.load_snapshot(&path).loaded, 3);
+        revived.query(&linear(4)).unwrap();
+        assert_eq!(revived.stats().evictions, 1);
+        let before = revived.stats().misses;
+        revived.query(&a).unwrap();
+        revived.query(&c).unwrap();
+        assert_eq!(revived.stats().misses, before, "a and c stayed resident");
+        revived.query(&b).unwrap();
+        assert_eq!(
+            revived.stats().misses,
+            before + 1,
+            "b was the least-recently-used revived entry"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_missing_file_is_a_clean_cold_start() {
+        let (service, _) = counting_service(32 << 20);
+        let load = service.load_snapshot(Path::new("/nonexistent/kibamrm-nowhere.snap"));
+        assert_eq!((load.loaded, load.rejected), (0, 0));
+        assert!(load.error.is_none());
+        assert!(load.is_cold());
+        let stats = service.stats();
+        assert_eq!((stats.snapshot_loaded, stats.snapshot_rejected), (0, 0));
+    }
+
+    #[test]
+    fn snapshot_corruption_rejects_wholesale_and_counts_once() {
+        let (service, _) = counting_service(32 << 20);
+        service.query(&linear(1)).unwrap();
+        let path = snap_path("corrupt");
+        service.save_snapshot(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (revived, _) = counting_service(32 << 20);
+        let load = revived.load_snapshot(&path);
+        assert_eq!((load.loaded, load.rejected), (0, 1));
+        assert!(matches!(load.error, Some(SnapshotError::Corrupt(_))));
+        assert!(load.is_cold());
+        let stats = revived.stats();
+        assert_eq!(stats.snapshot_rejected, 1);
+        assert_eq!(stats.cached_entries, 0, "nothing revived from a bad file");
+        // The service still answers normally after the cold start.
+        assert!(revived.query(&linear(1)).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_entries_skip_resident_keys_and_unknown_backends() {
+        let (service, _) = counting_service(32 << 20);
+        service.query(&linear(1)).unwrap();
+        service.query(&linear(2)).unwrap();
+        let path = snap_path("skips");
+        service.save_snapshot(&path).unwrap();
+
+        // One key already resident: only the other entry is revived.
+        let (half_warm, _) = counting_service(32 << 20);
+        half_warm.query(&linear(1)).unwrap();
+        let load = half_warm.load_snapshot(&path);
+        assert_eq!((load.loaded, load.rejected), (1, 1));
+        assert_eq!(half_warm.stats().cached_entries, 2);
+        assert_eq!(
+            half_warm.stats().result_cache_bytes,
+            service.stats().result_cache_bytes,
+            "skipping the resident key keeps the byte ledger exact"
+        );
+
+        // A registry that never had the "counting" backend rejects
+        // every entry: the method cannot be interned.
+        let strangers = LifetimeService::new(SolverRegistry::with_default_backends());
+        let load = strangers.load_snapshot(&path);
+        assert_eq!((load.loaded, load.rejected), (0, 2));
+        assert_eq!(strangers.stats().snapshot_rejected, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_rejects_curves_off_the_scenario_grid() {
+        let (service, _) = counting_service(32 << 20);
+        service.query(&linear(1)).unwrap();
+        let path = snap_path("grid");
+        service.save_snapshot(&path).unwrap();
+
+        // Re-encode the snapshot with one sample time nudged off the
+        // scenario's grid: structurally valid, semantically wrong.
+        let mut entries = snapshot::decode(&std::fs::read(&path).unwrap()).unwrap();
+        entries[0].points[0].0 += 1.0;
+        snapshot::write_atomic(&path, &snapshot::encode(&entries)).unwrap();
+
+        let (revived, revived_solves) = counting_service(32 << 20);
+        let load = revived.load_snapshot(&path);
+        assert_eq!((load.loaded, load.rejected), (0, 1));
+        // The rejected entry costs a fresh solve — never a wrong answer.
+        revived.query(&linear(1)).unwrap();
+        assert_eq!(revived_solves.load(Ordering::SeqCst), 1);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,209 @@
+//! A minimal blocking HTTP/1.1 client — just enough to exercise the
+//! server from tests, the chaos harness and the fleet example without
+//! pulling a dependency. One request per connection (`Connection:
+//! close`), bounded response parsing, socket timeouts on both
+//! directions.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Cap on the response head (status line + headers).
+const MAX_RESPONSE_HEAD: usize = 16 << 10;
+/// Cap on the response body we are willing to buffer.
+const MAX_RESPONSE_BODY: usize = 4 << 20;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (`200`, `429`, …).
+    pub status: u16,
+    /// Header name (lower-cased) / value pairs, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy — diagnostics only).
+    pub fn body_string(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Performs one request and reads the full response.
+///
+/// # Errors
+///
+/// Socket errors, timeouts, or a response the bounded parser refuses.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<HttpResponse> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    request_on(stream, method, target, headers, body)
+}
+
+/// As [`request`], over an already-connected stream (lets tests hold
+/// sockets open, trickle bytes, or kill mid-write).
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn request_on(
+    mut stream: TcpStream,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<HttpResponse> {
+    let mut head = format!("{method} {target} HTTP/1.1\r\nconnection: close\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    read_response(&mut stream)
+}
+
+/// Reads and parses one response from `stream`.
+///
+/// # Errors
+///
+/// Socket errors or malformed/oversized responses.
+pub fn read_response<R: Read>(stream: &mut R) -> std::io::Result<HttpResponse> {
+    // Head: read until the blank line, bounded.
+    let mut buffer = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_blank_line(&buffer) {
+            break pos;
+        }
+        if buffer.len() > MAX_RESPONSE_HEAD {
+            return Err(bad("response head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed before response head"));
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buffer[..head_end]).map_err(|_| bad("head not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty head"))?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("not an HTTP/1.x response"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status code"))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+            if content_length > MAX_RESPONSE_BODY {
+                return Err(bad("response body too large"));
+            }
+        }
+        headers.push((name, value));
+    }
+    // Body: the leftover bytes plus the rest of the declared length.
+    let mut body = buffer[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn find_blank_line(buffer: &[u8]) -> Option<usize> {
+    buffer.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// `GET` a target (no body).
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn get(addr: SocketAddr, target: &str, timeout: Duration) -> std::io::Result<HttpResponse> {
+    request(addr, "GET", target, &[], b"", timeout)
+}
+
+/// `POST /query` with the given body.
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn post_query(
+    addr: SocketAddr,
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<HttpResponse> {
+    request(addr, "POST", "/query", &[], body, timeout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_simple_response() {
+        let wire =
+            b"HTTP/1.1 503 Service Unavailable\r\ncontent-length: 5\r\nretry-after: 1\r\n\r\nhello";
+        let mut cursor = &wire[..];
+        let r = read_response(&mut cursor).unwrap();
+        assert_eq!(r.status, 503);
+        assert_eq!(r.header("Retry-After"), Some("1"));
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn refuses_garbage_and_truncation() {
+        for wire in [
+            &b"SMTP ready\r\n\r\n"[..],
+            b"HTTP/1.1 abc Bad\r\n\r\n",
+            b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nshort",
+        ] {
+            let mut cursor = wire;
+            assert!(read_response(&mut cursor).is_err());
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! A minimal, hostile-input-safe JSON layer: a recursive-descent parser
+//! with explicit depth and size bounds, and escape-correct writers.
+//!
+//! The service's wire envelope needs very little of JSON — small option
+//! objects in, number-heavy response objects out — but what it needs
+//! must hold against arbitrary bytes: no panic, no unbounded recursion
+//! (a `[[[[…` bomb must not overflow the stack), no unbounded
+//! allocation beyond the input's own size. Numbers are parsed and
+//! written through Rust's shortest-round-trip `f64` formatting, so a
+//! probability that leaves the server as text comes back with the same
+//! bits — the transport preserves the service's bit-identity contract.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Nesting bound: deeper input is rejected, not recursed into.
+const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value. Object keys are sorted (`BTreeMap`) so output
+/// is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Number(f64),
+    /// A string (escapes decoded).
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object.
+    Object(BTreeMap<String, Json>),
+}
+
+/// Why parsing failed. The offset points at the offending byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.reason)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses one JSON document from `text`. Trailing non-whitespace is
+    /// an error. Never panics, never recurses past the depth cap.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(p.err("trailing bytes after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, reason: impl Into<String>) -> JsonError {
+        JsonError {
+            at: self.at,
+            reason: reason.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth >= MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected byte {:#04x}", other))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at])
+            .expect("ASCII digits and signs are UTF-8");
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Number(n)),
+            Ok(_) => Err(self.err("non-finite number")),
+            Err(_) => Err(self.err(format!("cannot parse number from {text:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.at += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.at += 4;
+                            // Surrogates are rejected rather than paired:
+                            // the envelope never carries astral text.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown escape \\{}", other as char)))
+                        }
+                    }
+                }
+                0x00..=0x1f => return Err(self.err("unescaped control byte in string")),
+                _ => {
+                    // Re-validate multi-byte sequences through str: the
+                    // input arrived as &str so this cannot fail, but the
+                    // byte walk must stay in sync with char boundaries.
+                    let len = utf8_len(b);
+                    let start = self.at - 1;
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.at = end;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Length of the UTF-8 sequence starting with `b` (1 for ASCII and —
+/// harmlessly, the slice check catches it — for continuation bytes).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        0xf0..=0xf7 => 4,
+        _ => 1,
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes and escapes included).
+pub fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number. Rust's `f64` Display is the shortest
+/// representation that round-trips to the same bits, so emitting and
+/// re-parsing preserves bit-identity. Non-finite values (JSON cannot
+/// carry them) are written as `null`.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // `Display` omits the decimal point for integral values; keep
+        // the token unambiguous as a number either way (it already is),
+        // but normalise nothing else — the bits are the contract.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        out.push_str(&s);
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_round_trip() {
+        let doc = r#" {"a": [1, 2.5, -3e-2], "b": {"c": true, "d": null}, "e": "x\ny"} "#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Null));
+        assert_eq!(v.get("e").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(-0.03)
+        );
+    }
+
+    #[test]
+    fn depth_bomb_is_rejected_not_overflowed() {
+        let bomb = "[".repeat(100_000);
+        let err = Json::parse(&bomb).expect_err("must reject");
+        assert!(err.reason.contains("nesting"));
+        let ok = format!("{}1{}", "[".repeat(50), "]".repeat(50));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn malformed_inputs_give_typed_errors() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "\"",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "1 2",
+            "{\"a\":1,}",
+            "[,]",
+            "NaN",
+            "1e999",
+            "\"\u{1}\"",
+            "--1",
+            "+1",
+            "\"\\ud800\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn numbers_round_trip_bit_exact() {
+        for v in [
+            0.0,
+            1.0,
+            -1.5,
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1.7976931348623157e308,
+            4.9e-324,
+            0.9999999999999999,
+        ] {
+            let mut s = String::new();
+            write_f64(&mut s, v);
+            let back = Json::parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {s} -> {back}");
+        }
+        let mut s = String::new();
+        write_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let nasty = "a\"b\\c\nd\te\r\u{1}f\u{1F600}";
+        let mut s = String::new();
+        write_string(&mut s, nasty);
+        assert_eq!(Json::parse(&s).unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn accessors_are_type_safe() {
+        let v = Json::parse("{\"n\": 1}").unwrap();
+        assert!(v.as_f64().is_none());
+        assert!(v.as_str().is_none());
+        assert!(v.as_bool().is_none());
+        assert!(v.as_array().is_none());
+        assert!(v.get("missing").is_none());
+        assert!(Json::Null.get("n").is_none());
+        let err = Json::parse("[").unwrap_err();
+        assert!(err.to_string().contains("byte"));
+    }
+}

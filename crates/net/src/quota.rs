@@ -1,0 +1,206 @@
+//! Per-client token-bucket quotas: fair shedding *before* the global
+//! admission bound trips.
+//!
+//! The resident service already sheds globally ([`ServiceError::Overloaded`]
+//! when `max_in_flight` solves run). That bound protects the machine,
+//! but not the *other clients*: one noisy neighbour hammering `/query`
+//! can keep the global budget saturated so everyone sheds. The quota
+//! layer sits in front: each client key (peer address, or a trusted
+//! client id header — see `NetConfig::quota_key_header`) owns a token
+//! bucket refilled at `rate` tokens/second up to `burst`. A request
+//! with no token is refused with `429 Too Many Requests` and a
+//! `Retry-After` telling the client when the next token lands — so the
+//! noisy neighbour is shed *by name* while polite clients keep their
+//! full admission share.
+//!
+//! [`ServiceError::Overloaded`]: kibamrm::service::ServiceError::Overloaded
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One client's bucket: continuous refill, saturating at the burst cap.
+struct Bucket {
+    /// Tokens at `refreshed` (fractional: refill is continuous).
+    tokens: f64,
+    refreshed: Instant,
+}
+
+/// The quota ledger over all client keys.
+pub struct QuotaLedger {
+    /// Sustained admission rate per client, tokens per second.
+    rate: f64,
+    /// Bucket capacity (burst size).
+    burst: f64,
+    buckets: HashMap<String, Bucket>,
+}
+
+/// The verdict for one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuotaDecision {
+    /// A token was taken; the request proceeds.
+    Admitted,
+    /// The client's bucket is empty; retry after the given delay.
+    Refused {
+        /// Time until the next token lands.
+        retry_after: Duration,
+    },
+}
+
+/// Bound on distinct client keys tracked at once; beyond it the
+/// least-recently-refreshed bucket is dropped (a dropped bucket refills
+/// to a full burst, which errs in the client's favour — the cap exists
+/// to stop a key-churning client from growing the map unboundedly, not
+/// to punish anyone).
+const MAX_TRACKED_CLIENTS: usize = 4096;
+
+impl QuotaLedger {
+    /// A ledger admitting `rate` requests/second sustained with bursts
+    /// up to `burst` per client. `rate <= 0` disables quotas (every
+    /// request admitted).
+    pub fn new(rate: f64, burst: f64) -> Self {
+        QuotaLedger {
+            rate,
+            burst: burst.max(1.0),
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Whether quotas are enforced at all.
+    pub fn enabled(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// Takes one token from `client`'s bucket (creating it full on
+    /// first sight), or refuses with the time until the next token.
+    pub fn admit(&mut self, client: &str, now: Instant) -> QuotaDecision {
+        if !self.enabled() {
+            return QuotaDecision::Admitted;
+        }
+        if !self.buckets.contains_key(client) {
+            self.evict_if_full();
+            self.buckets.insert(
+                client.to_string(),
+                Bucket {
+                    tokens: self.burst,
+                    refreshed: now,
+                },
+            );
+        }
+        let rate = self.rate;
+        let burst = self.burst;
+        let bucket = self.buckets.get_mut(client).expect("just inserted");
+        let elapsed = now
+            .saturating_duration_since(bucket.refreshed)
+            .as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * rate).min(burst);
+        bucket.refreshed = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            QuotaDecision::Admitted
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            QuotaDecision::Refused {
+                retry_after: Duration::from_secs_f64(deficit / rate),
+            }
+        }
+    }
+
+    /// Tracked client keys.
+    pub fn clients(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn evict_if_full(&mut self) {
+        while self.buckets.len() >= MAX_TRACKED_CLIENTS {
+            let Some(victim) = self
+                .buckets
+                .iter()
+                .min_by_key(|(_, b)| b.refreshed)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.buckets.remove(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_refill() {
+        let mut ledger = QuotaLedger::new(10.0, 3.0);
+        let t0 = Instant::now();
+        // The full burst is admitted back to back…
+        for i in 0..3 {
+            assert_eq!(ledger.admit("a", t0), QuotaDecision::Admitted, "req {i}");
+        }
+        // …then the bucket is dry: refusal names the refill time.
+        match ledger.admit("a", t0) {
+            QuotaDecision::Refused { retry_after } => {
+                assert!(retry_after > Duration::ZERO);
+                assert!(retry_after <= Duration::from_millis(100), "{retry_after:?}");
+            }
+            QuotaDecision::Admitted => panic!("fourth burst request must refuse"),
+        }
+        // 100 ms refills exactly one token at 10/s.
+        let t1 = t0 + Duration::from_millis(100);
+        assert_eq!(ledger.admit("a", t1), QuotaDecision::Admitted);
+        assert!(matches!(
+            ledger.admit("a", t1),
+            QuotaDecision::Refused { .. }
+        ));
+    }
+
+    #[test]
+    fn clients_are_independent() {
+        let mut ledger = QuotaLedger::new(1.0, 1.0);
+        let t0 = Instant::now();
+        assert_eq!(ledger.admit("noisy", t0), QuotaDecision::Admitted);
+        assert!(matches!(
+            ledger.admit("noisy", t0),
+            QuotaDecision::Refused { .. }
+        ));
+        // The noisy client's empty bucket does not touch anyone else.
+        assert_eq!(ledger.admit("polite", t0), QuotaDecision::Admitted);
+        assert_eq!(ledger.clients(), 2);
+    }
+
+    #[test]
+    fn refill_saturates_at_burst() {
+        let mut ledger = QuotaLedger::new(100.0, 2.0);
+        let t0 = Instant::now();
+        assert_eq!(ledger.admit("a", t0), QuotaDecision::Admitted);
+        // An hour of refill still yields only `burst` tokens.
+        let t1 = t0 + Duration::from_secs(3600);
+        assert_eq!(ledger.admit("a", t1), QuotaDecision::Admitted);
+        assert_eq!(ledger.admit("a", t1), QuotaDecision::Admitted);
+        assert!(matches!(
+            ledger.admit("a", t1),
+            QuotaDecision::Refused { .. }
+        ));
+    }
+
+    #[test]
+    fn disabled_quota_admits_everything() {
+        let mut ledger = QuotaLedger::new(0.0, 1.0);
+        assert!(!ledger.enabled());
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            assert_eq!(ledger.admit("a", t0), QuotaDecision::Admitted);
+        }
+        assert_eq!(ledger.clients(), 0, "nothing tracked when disabled");
+    }
+
+    #[test]
+    fn key_churn_cannot_grow_the_map_unboundedly() {
+        let mut ledger = QuotaLedger::new(1.0, 1.0);
+        let t0 = Instant::now();
+        for i in 0..(MAX_TRACKED_CLIENTS + 100) {
+            let _ = ledger.admit(&format!("client-{i}"), t0 + Duration::from_micros(i as u64));
+        }
+        assert!(ledger.clients() <= MAX_TRACKED_CLIENTS);
+    }
+}

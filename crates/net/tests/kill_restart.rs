@@ -1,0 +1,254 @@
+//! The committed chaos drill: boot the real `kibamrm-serve` binary on
+//! an ephemeral port, subject it to a mixed storm (valid queries,
+//! malformed bytes, oversized bodies, a slow-loris), then SIGKILL it
+//! mid-flight — no drain, no warning. The restarted process must come
+//! back **warm** from the crash-safe snapshot: re-queries hit the
+//! cache above the committed floor, the reloaded curves carry exactly
+//! the pre-crash bits (sup-distance 0), nothing panics, and the final
+//! graceful drain leaves zero wedged connections.
+
+use kibamrm::scenario::Scenario;
+use kibamrm::workload::Workload;
+use kibamrm_net::{client, Json};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+use units::{Charge, Current, Frequency, Rate, Time};
+
+/// Committed floor on the warm-restart hit rate: every re-queried
+/// scenario must come from the snapshot, so the observed rate is 1.0;
+/// the floor leaves headroom only for incidental stats traffic.
+const HIT_RATE_FLOOR: f64 = 0.85;
+
+const T: Duration = Duration::from_secs(30);
+
+fn fleet_config(capacity_as: f64) -> String {
+    Scenario::builder()
+        .name("kill-restart")
+        .workload(
+            Workload::on_off_erlang(Frequency::from_hertz(0.5), 1, Current::from_amps(0.5))
+                .unwrap(),
+        )
+        .capacity(Charge::from_amp_seconds(capacity_as))
+        .kibam(0.5, Rate::per_second(1e-4))
+        .times(
+            (1..=6)
+                .map(|i| Time::from_seconds(i as f64 * 60.0))
+                .collect(),
+        )
+        .delta(Charge::from_amp_seconds(2.5))
+        .build()
+        .unwrap()
+        .to_config_string()
+        .unwrap()
+}
+
+struct Serve {
+    child: Child,
+    addr: SocketAddr,
+    stderr: std::thread::JoinHandle<String>,
+}
+
+fn spawn_server(snapshot: &Path) -> Serve {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_kibamrm-serve"))
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--snapshot")
+        .arg(snapshot)
+        .arg("--read-timeout-ms")
+        .arg("500")
+        .arg("--drain-deadline-ms")
+        .arg("5000")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn kibamrm-serve");
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .parse()
+        .unwrap();
+    let stderr = child.stderr.take().unwrap();
+    let stderr = std::thread::spawn(move || {
+        let mut text = String::new();
+        let _ = BufReader::new(stderr).read_to_string(&mut text);
+        text
+    });
+    Serve {
+        child,
+        addr,
+        stderr,
+    }
+}
+
+fn points_bits(body: &[u8]) -> Vec<(u64, u64)> {
+    let v = Json::parse(std::str::from_utf8(body).unwrap()).unwrap();
+    v.get("points")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|p| {
+            let pair = p.as_array().unwrap();
+            (
+                pair[0].as_f64().unwrap().to_bits(),
+                pair[1].as_f64().unwrap().to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn stats_field(addr: SocketAddr, section: &str, field: &str) -> f64 {
+    let stats = client::get(addr, "/stats", T).unwrap();
+    assert_eq!(stats.status, 200);
+    Json::parse(&stats.body_string())
+        .unwrap()
+        .get(section)
+        .unwrap()
+        .get(field)
+        .unwrap()
+        .as_f64()
+        .unwrap()
+}
+
+fn snapshot_path() -> PathBuf {
+    std::env::temp_dir().join(format!("kibamrm-kill-restart-{}.snap", std::process::id()))
+}
+
+#[test]
+fn sigkill_mid_storm_restarts_warm_with_identical_bits() {
+    let snapshot = snapshot_path();
+    let _ = std::fs::remove_file(&snapshot);
+    let configs: Vec<String> = [55.0, 60.0, 65.0, 70.0]
+        .iter()
+        .map(|&c| fleet_config(c))
+        .collect();
+
+    // ---- Act one: the storm. ----
+    let server = spawn_server(&snapshot);
+    let addr = server.addr;
+
+    // Hostile traffic alongside the valid queries: garbage, an
+    // oversized body, and a slow-loris holding a half-written request.
+    let hostiles: Vec<std::thread::JoinHandle<()>> = (0..3)
+        .map(|kind| {
+            std::thread::spawn(move || {
+                let Ok(mut stream) = TcpStream::connect(addr) else {
+                    return;
+                };
+                let _ = stream.set_read_timeout(Some(T));
+                match kind {
+                    0 => {
+                        let _ = stream.write_all(b"\x00\xffTOTAL GARBAGE\r\n\r\n");
+                        let _ = client::read_response(&mut stream);
+                    }
+                    1 => {
+                        let _ = stream
+                            .write_all(b"POST /query HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n");
+                        let _ = client::read_response(&mut stream);
+                    }
+                    _ => {
+                        // Slow-loris: trickle and stall until cut off.
+                        let _ = stream.write_all(b"POST /qu");
+                        let _ = client::read_response(&mut stream);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Valid queries: each config solved once, recorded bit-for-bit.
+    let mut before: Vec<Vec<(u64, u64)>> = Vec::new();
+    for config in &configs {
+        let r = client::post_query(addr, config.as_bytes(), T).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body_string());
+        before.push(points_bits(&r.body));
+    }
+    for h in hostiles {
+        h.join().unwrap();
+    }
+
+    // Persist, then die without warning while fresh work is in flight.
+    let snap = client::request(addr, "POST", "/admin/snapshot", &[], b"", T).unwrap();
+    assert_eq!(snap.status, 200, "{}", snap.body_string());
+    let in_flight: Vec<_> = (0..4)
+        .map(|i| {
+            let config = fleet_config(120.0 + 20.0 * i as f64);
+            std::thread::spawn(move || {
+                // The kill lands mid-solve; any outcome but a hang is fine.
+                let _ = client::post_query(addr, config.as_bytes(), T);
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(30));
+    let mut child = server.child;
+    child.kill().expect("SIGKILL");
+    child.wait().unwrap();
+    for h in in_flight {
+        h.join().unwrap();
+    }
+    let stderr_one = server.stderr.join().unwrap();
+    assert!(
+        !stderr_one.to_lowercase().contains("panic"),
+        "first life panicked:\n{stderr_one}"
+    );
+    assert!(snapshot.exists(), "the snapshot must survive the SIGKILL");
+
+    // ---- Act two: the warm restart. ----
+    let server = spawn_server(&snapshot);
+    let addr = server.addr;
+    assert_eq!(
+        stats_field(addr, "service", "snapshot_loaded"),
+        configs.len() as f64,
+        "every pre-crash entry must revive"
+    );
+    assert_eq!(stats_field(addr, "service", "snapshot_rejected"), 0.0);
+
+    for (config, expected) in configs.iter().zip(&before) {
+        let r = client::post_query(addr, config.as_bytes(), T).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body_string());
+        assert_eq!(
+            &points_bits(&r.body),
+            expected,
+            "reloaded curve must carry exactly the pre-crash bits (sup-distance 0)"
+        );
+    }
+    let hits = stats_field(addr, "service", "hits");
+    let misses = stats_field(addr, "service", "misses");
+    let hit_rate = hits / (hits + misses).max(1.0);
+    assert!(
+        hit_rate >= HIT_RATE_FLOOR,
+        "warm hit rate {hit_rate} fell below the committed floor {HIT_RATE_FLOOR}"
+    );
+
+    // ---- Act three: the graceful exit. ----
+    // Closing stdin asks for the drain; the process must finish its
+    // in-flight work, snapshot, and exit cleanly — zero wedged
+    // connections (a non-zero drain remainder exits non-zero).
+    let mut child = server.child;
+    drop(child.stdin.take());
+    let status = child.wait().unwrap();
+    let stderr_two = server.stderr.join().unwrap();
+    assert!(
+        status.success(),
+        "graceful drain must exit 0 (status {status:?}):\n{stderr_two}"
+    );
+    assert!(
+        !stderr_two.to_lowercase().contains("panic"),
+        "second life panicked:\n{stderr_two}"
+    );
+    assert!(
+        stderr_two.contains("drain: snapshot written"),
+        "drain must persist the cache:\n{stderr_two}"
+    );
+    let _ = std::fs::remove_file(&snapshot);
+}

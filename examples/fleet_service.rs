@@ -20,8 +20,16 @@
 //! (`QueryOptions`): deadlines that expire before an exact solve
 //! finishes, degraded answers with explicit error bounds, and the
 //! `ServiceError::retryable` classification a fleet controller would
-//! branch on. The run ends by printing the `ServiceStats` ledger,
-//! dependability counters included.
+//! branch on.
+//!
+//! A third act puts the same fleet on a socket: the hardened HTTP front
+//! (`kibamrm-net`) serves the same resident service on an ephemeral
+//! port, with per-device token-bucket quotas. One device goes rogue and
+//! hammers the endpoint; it is shed *by name* with `429 Too Many
+//! Requests` + `Retry-After` while every polite device keeps getting
+//! instant `200`s — fair shedding before the global admission bound
+//! ever trips. The run ends by printing both ledgers, the service's
+//! and the network front's.
 //!
 //! Run with: `cargo run --release --example fleet_service`
 
@@ -177,13 +185,128 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  resident results   {} entries, {} bytes",
-        stats.cached_entries, stats.cached_bytes
+        stats.cached_entries, stats.result_cache_bytes
     );
     println!("  hit rate           {:.3}", stats.hit_rate());
     println!(
         "  dependability      {} deadline-expired, {} degraded-served, \
          {} retries, {} breaker-sheds",
         stats.deadline_expired, stats.degraded_served, stats.retries, stats.breaker_open
+    );
+
+    // ---- Act three: the fleet over HTTP, with a noisy neighbour ----
+    //
+    // The same service goes on a socket behind the hardened front.
+    // Quotas are keyed by the `x-device-id` header (the whole fleet sits
+    // behind one NAT address, so per-IP keying would lump every device
+    // into one bucket): 1 request/second sustained, bursts of 3.
+    println!("\nfleet over HTTP:");
+    let server = kibamrm_net::Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        kibamrm_net::NetConfig {
+            quota_rate: 1.0,
+            quota_burst: 3.0,
+            quota_key_header: Some("x-device-id".to_string()),
+            ..kibamrm_net::NetConfig::default()
+        },
+    )?;
+    let addr = server.local_addr()?;
+    let control = server.control();
+    let run = std::thread::spawn(move || server.run());
+    println!("  listening on {addr}");
+
+    // Every device asks once over the wire — all resident, all instant
+    // 200s, each under its own quota bucket.
+    let timeout = Duration::from_secs(10);
+    let mut fleet_ok = 0;
+    for device in 0..devices {
+        let body = configurations[device % configurations.len()]
+            .with_name(format!("device-{device:02}"))
+            .to_config_string()?;
+        let response = kibamrm_net::client::request(
+            addr,
+            "POST",
+            "/query",
+            &[("x-device-id", &format!("device-{device:02}"))],
+            body.as_bytes(),
+            timeout,
+        )?;
+        if response.status == 200 {
+            fleet_ok += 1;
+        }
+    }
+    println!("  polite fleet: {fleet_ok}/{devices} devices answered 200");
+
+    // A rogue device joins and hammers: 12 requests back to back. Its
+    // burst of 3 is admitted, the rest are shed by name with a typed
+    // 429 + Retry-After — and the polite devices are untouched.
+    let rogue_body = configurations[13 % configurations.len()]
+        .with_name("device-99")
+        .to_config_string()?;
+    let (mut rogue_ok, mut rogue_shed) = (0, 0);
+    let mut retry_after = String::new();
+    for _ in 0..12 {
+        let response = kibamrm_net::client::request(
+            addr,
+            "POST",
+            "/query",
+            &[("x-device-id", "device-99")],
+            rogue_body.as_bytes(),
+            timeout,
+        )?;
+        match response.status {
+            200 => rogue_ok += 1,
+            429 => {
+                rogue_shed += 1;
+                if let Some(after) = response.header("retry-after") {
+                    retry_after = after.to_string();
+                }
+            }
+            other => println!("  rogue device: unexpected status {other}"),
+        }
+    }
+    println!(
+        "  noisy neighbour: {rogue_ok} admitted (its burst), {rogue_shed} shed \
+         with 429 + Retry-After: {retry_after}s"
+    );
+    let polite_again = kibamrm_net::client::request(
+        addr,
+        "POST",
+        "/query",
+        &[("x-device-id", "device-07")],
+        configurations[7 % configurations.len()]
+            .with_name("device-07")
+            .to_config_string()?
+            .as_bytes(),
+        timeout,
+    )?;
+    println!(
+        "  polite device-07 during the storm: {} (fair shedding is per device, \
+         not per address)",
+        polite_again.status
+    );
+
+    let net = control.net_stats();
+    println!("\nnetwork ledger after the storm:");
+    println!(
+        "  connections        {} accepted, {} shed at the cap",
+        net.accepted, net.connections_shed
+    );
+    println!(
+        "  requests           {} answered, {} ok",
+        net.requests, net.ok
+    );
+    println!("  quota refusals     {}", net.quota_refused);
+    println!("  parse rejections   {}", net.rejected_bad_request);
+    println!("  timeouts           {}", net.timeouts);
+
+    // A graceful exit: stop accepting, finish in-flight work, report.
+    control.shutdown();
+    let report = run.join().expect("server thread");
+    println!(
+        "  drain              {} connections left at the deadline",
+        report.remaining_connections
     );
     Ok(())
 }

@@ -1,0 +1,181 @@
+//! The snapshot corruption matrix, run against **committed fixtures**
+//! (`tests/fixtures/snapshot_*.snap`): a valid snapshot written by the
+//! current format, plus three damaged variants — truncated, bit-flipped
+//! and version-skewed. Every damaged variant must produce a logged
+//! cold start (typed error, `snapshot_rejected` counted, never a
+//! panic), and after any load outcome the service's answers must stay
+//! bit-identical to fresh solves — corruption can cost warmth, never
+//! correctness.
+//!
+//! The fixtures are real bytes on disk, not bytes built in the test,
+//! so format drift is caught: if the encoder changes shape, the valid
+//! fixture stops loading and this suite fails until the fixtures are
+//! regenerated (run the `#[ignore]`d `regenerate_fixtures` test) and
+//! the version is bumped.
+
+use kibamrm::scenario::Scenario;
+use kibamrm::service::LifetimeService;
+use kibamrm::snapshot;
+use kibamrm::solver::SolverRegistry;
+use kibamrm::workload::Workload;
+use kibamrm::SnapshotError;
+use std::path::PathBuf;
+use units::{Charge, Current, Frequency, Rate, Time};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(name)
+}
+
+/// The two scenarios the valid fixture holds (kibam + discretisation:
+/// deterministic, fast, exercised by the default backends).
+fn fixture_scenarios() -> Vec<Scenario> {
+    [60.0, 80.0]
+        .iter()
+        .map(|&capacity| {
+            Scenario::builder()
+                .name("snapshot-fixture")
+                .workload(
+                    Workload::on_off_erlang(Frequency::from_hertz(0.5), 1, Current::from_amps(0.5))
+                        .unwrap(),
+                )
+                .capacity(Charge::from_amp_seconds(capacity))
+                .kibam(0.5, Rate::per_second(1e-4))
+                .times(
+                    (1..=6)
+                        .map(|i| Time::from_seconds(i as f64 * 60.0))
+                        .collect(),
+                )
+                .delta(Charge::from_amp_seconds(2.5))
+                .build()
+                .unwrap()
+        })
+        .collect()
+}
+
+fn default_service() -> LifetimeService {
+    LifetimeService::new(SolverRegistry::with_default_backends())
+}
+
+/// Regenerates every fixture from the current format. Run explicitly
+/// (`cargo test -p integration --test snapshot_robustness -- --ignored`)
+/// after an intentional format change, and commit the result.
+#[test]
+#[ignore = "writes the committed fixtures; run after intentional format changes"]
+fn regenerate_fixtures() {
+    let service = default_service();
+    for scenario in fixture_scenarios() {
+        service.query(&scenario).unwrap();
+    }
+    let valid = fixture("snapshot_valid.snap");
+    std::fs::create_dir_all(valid.parent().unwrap()).unwrap();
+    let report = service.save_snapshot(&valid).unwrap();
+    assert_eq!(report.entries, 2);
+    let bytes = std::fs::read(&valid).unwrap();
+
+    // Truncation: the tail of the payload is gone (a torn write that
+    // atomic rename prevents, simulated here directly).
+    std::fs::write(
+        fixture("snapshot_truncated.snap"),
+        &bytes[..bytes.len() - 7],
+    )
+    .unwrap();
+
+    // A single flipped bit deep inside the payload (disk rot).
+    let mut flipped = bytes.clone();
+    let at = bytes.len() / 2;
+    flipped[at] ^= 0x20;
+    std::fs::write(fixture("snapshot_bitflip.snap"), &flipped).unwrap();
+
+    // A future format version (byte 8 is the low version byte).
+    let mut skewed = bytes.clone();
+    skewed[8] = 99;
+    std::fs::write(fixture("snapshot_version_skew.snap"), &skewed).unwrap();
+}
+
+#[test]
+fn valid_fixture_revives_answers_bit_identical_to_fresh_solves() {
+    let warm = default_service();
+    let report = warm.load_snapshot(&fixture("snapshot_valid.snap"));
+    assert_eq!(
+        (report.loaded, report.rejected),
+        (2, 0),
+        "committed valid fixture failed to load: {:?} — format drift? \
+         regenerate the fixtures and bump the snapshot version",
+        report.error
+    );
+
+    let fresh = default_service();
+    for scenario in fixture_scenarios() {
+        let from_snapshot = warm.query(&scenario).unwrap();
+        let solved = fresh.query(&scenario).unwrap();
+        assert_eq!(
+            from_snapshot.points(),
+            solved.points(),
+            "a revived curve must be bit-identical to a fresh solve"
+        );
+    }
+    let stats = warm.stats();
+    assert_eq!(stats.hits, 2, "both queries must come from the snapshot");
+    assert_eq!(stats.misses, 0);
+    assert_eq!(stats.snapshot_loaded, 2);
+}
+
+#[test]
+fn every_damaged_fixture_is_a_counted_cold_start_with_correct_answers() {
+    let cases = [
+        ("snapshot_truncated.snap", "truncation"),
+        ("snapshot_bitflip.snap", "bit flip"),
+        ("snapshot_version_skew.snap", "version skew"),
+    ];
+    for (name, label) in cases {
+        let service = default_service();
+        let report = service.load_snapshot(&fixture(name));
+        assert!(report.is_cold(), "{label} must cold-start");
+        assert_eq!(report.loaded, 0, "{label} must revive nothing");
+        assert_eq!(report.rejected, 1, "{label} rejects the file wholesale");
+        assert!(report.error.is_some(), "{label} must carry a typed error");
+        let stats = service.stats();
+        assert_eq!(
+            stats.snapshot_rejected, 1,
+            "{label} must land in the ledger"
+        );
+        assert_eq!(stats.snapshot_loaded, 0);
+
+        // Cold but correct: the service answers exactly as a fresh one.
+        let scenario = &fixture_scenarios()[0];
+        let answer = service.query(scenario).unwrap();
+        let reference = default_service().query(scenario).unwrap();
+        assert_eq!(answer.points(), reference.points(), "{label}");
+    }
+}
+
+#[test]
+fn damaged_fixtures_decode_to_the_expected_typed_errors() {
+    let truncated = std::fs::read(fixture("snapshot_truncated.snap")).unwrap();
+    assert!(matches!(
+        snapshot::decode(&truncated),
+        Err(SnapshotError::Corrupt(_))
+    ));
+
+    let flipped = std::fs::read(fixture("snapshot_bitflip.snap")).unwrap();
+    match snapshot::decode(&flipped) {
+        Err(SnapshotError::Corrupt(msg)) => {
+            assert!(
+                msg.contains("checksum"),
+                "a payload flip fails the checksum, got {msg:?}"
+            );
+        }
+        other => panic!("bit flip must be Corrupt, got {other:?}"),
+    }
+
+    let skewed = std::fs::read(fixture("snapshot_version_skew.snap")).unwrap();
+    assert!(matches!(
+        snapshot::decode(&skewed),
+        Err(SnapshotError::VersionSkew { found: 99 })
+    ));
+
+    let valid = std::fs::read(fixture("snapshot_valid.snap")).unwrap();
+    assert_eq!(snapshot::decode(&valid).unwrap().len(), 2);
+}
