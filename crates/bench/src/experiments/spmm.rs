@@ -1,0 +1,248 @@
+//! Multi-curve column-panel SpMM against independent single-vector
+//! sweeps, written as `BENCH_spmm.json`.
+//!
+//! The measured family is the Fig. 8 two-well scenario under a
+//! power-of-two rate-scale axis (`γ ∈ {⅛, ¼, ½, 1}`): scaling `Q` by a
+//! power of two leaves `P = I + Q/ν` **bitwise identical** while ν — and
+//! therefore each member's Poisson window and horizon — differs. The
+//! serial sweep planner cannot share the banded **active-window** engine
+//! across such a family (the per-iteration trim allowance depends on
+//! `ν·t_max`), so before this experiment each member re-read the whole
+//! matrix for its own sweep. The column-panel engine
+//! ([`markov::transient::measure_curves_panel`], surfaced here through
+//! [`DiscretisedModel::empty_probability_curves_panel`]) instead
+//! advances all k iterates together: one read of each DIA diagonal per
+//! iteration feeds every column, while every column keeps its own
+//! window, trim allowance, deficit accounting and convergence point.
+//!
+//! Two kinds of numbers are recorded:
+//!
+//! * **machine-independent counters** (gated by `regress`) — the summed
+//!   per-curve `touched_entries` (what k independent sweeps read)
+//!   against the panel's union-window reads, their ratio, the exact
+//!   panel-vs-single sup-distance (must be 0 — bit-identity is the
+//!   contract, not a tolerance), and the k = 1 degeneration facts;
+//! * **timings** (NOT gated — CI boxes are noisy and often single-core,
+//!   see README) — median wall time of the panel solve vs k fresh
+//!   single-vector solves.
+
+use super::config::Config;
+use super::sweep::base_scenario;
+use super::{median_ns, write_json};
+use kibamrm::discretise::{DiscretisationOptions, DiscretisedModel};
+use markov::transient::{Representation, TransientOptions};
+use markov::Budget;
+use units::Time;
+
+/// The panel family's rate scales: powers of two, so `Pᵀ` is bitwise
+/// shared across the whole family and the panel groups all k members.
+pub(crate) const PANEL_SCALES: [f64; 4] = [0.125, 0.25, 0.5, 1.0];
+
+/// The Fig. 8 family the experiment and the regress gate both solve:
+/// one discretised model per rate scale, plus the shared query grid.
+pub(crate) fn build_family() -> Result<(Vec<DiscretisedModel>, Vec<Time>), String> {
+    let base = base_scenario()?;
+    let times = base.times().to_vec();
+    let mut discs = Vec::with_capacity(PANEL_SCALES.len());
+    for &gamma in &PANEL_SCALES {
+        let scenario = base.with_rate_scale(gamma).map_err(|e| e.to_string())?;
+        let model = scenario.to_model().map_err(|e| e.to_string())?;
+        let delta = scenario.effective_delta().map_err(|e| e.to_string())?;
+        let mut opts = DiscretisationOptions::with_delta(delta);
+        // The panel targets the banded active-window engine explicitly
+        // (same forcing as the `baseline`/`window` experiments): `Auto`
+        // would pick CSR at this quick Δ, and the CSR family already
+        // amortises through the serial cache's extend/remix fast path.
+        opts.transient = TransientOptions {
+            representation: Representation::Banded,
+            active_window: true,
+            ..TransientOptions::default()
+        };
+        let disc = DiscretisedModel::build(&model, &opts).map_err(|e| e.to_string())?;
+        discs.push(disc);
+    }
+    Ok((discs, times))
+}
+
+/// The machine-independent facts `BENCH_spmm.json` commits and the
+/// regress gate re-derives: counters, grouping shape, exact
+/// panel-vs-single distance and the k = 1 degeneration.
+pub(crate) struct PanelFacts {
+    pub k: usize,
+    pub panel_sizes: Vec<usize>,
+    pub solo_touched_entries: u64,
+    pub panel_touched_entries: u64,
+    pub sup_distance: f64,
+    pub k1_panel_sizes: Vec<usize>,
+    pub k1_bitwise_identical: bool,
+}
+
+impl PanelFacts {
+    /// `Σ solo touched / panel touched` — how many times fewer matrix
+    /// slots the joint sweep reads than k independent sweeps.
+    pub fn touched_savings(&self) -> f64 {
+        self.solo_touched_entries as f64 / self.panel_touched_entries.max(1) as f64
+    }
+}
+
+/// Solves the family both ways and derives the gated facts.
+pub(crate) fn derive_facts(
+    discs: &[DiscretisedModel],
+    times: &[Time],
+) -> Result<PanelFacts, String> {
+    let members: Vec<(&DiscretisedModel, &[Time])> = discs.iter().map(|d| (d, times)).collect();
+    let panel = DiscretisedModel::empty_probability_curves_panel(&members, &Budget::unlimited())
+        .map_err(|e| e.to_string())?;
+
+    let mut solo_touched = 0u64;
+    let mut sup = 0.0f64;
+    for (disc, curve) in discs.iter().zip(&panel.curves) {
+        let solo = disc
+            .empty_probability_curve(times)
+            .map_err(|e| e.to_string())?;
+        solo_touched += solo.touched_entries;
+        for (&(_, p), &(_, q)) in curve.points.iter().zip(&solo.points) {
+            sup = sup.max((p - q).abs());
+        }
+        // The diagnostics must agree too — the panel's per-column
+        // accounting is defined as what the member would have cost
+        // alone.
+        if curve.touched_entries != solo.touched_entries
+            || curve.iterations != solo.iterations
+            || curve.window_deficit != solo.window_deficit
+        {
+            return Err(format!(
+                "panel diagnostics diverge from the single-vector solve: \
+                 touched {} vs {}, iterations {} vs {}",
+                curve.touched_entries, solo.touched_entries, curve.iterations, solo.iterations
+            ));
+        }
+    }
+
+    // k = 1 must degenerate to the unpaneled kernels: one size-1 panel,
+    // bit-identical curve.
+    let k1_members = [(&discs[0], times)];
+    let k1 = DiscretisedModel::empty_probability_curves_panel(&k1_members, &Budget::unlimited())
+        .map_err(|e| e.to_string())?;
+    let k1_solo = discs[0]
+        .empty_probability_curve(times)
+        .map_err(|e| e.to_string())?;
+    let k1_bitwise_identical = k1.curves.len() == 1 && k1.curves[0] == k1_solo;
+
+    Ok(PanelFacts {
+        k: discs.len(),
+        panel_sizes: panel.panel_sizes,
+        solo_touched_entries: solo_touched,
+        panel_touched_entries: panel.panel_touched_entries,
+        sup_distance: sup,
+        k1_panel_sizes: k1.panel_sizes,
+        k1_bitwise_identical,
+    })
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any failure — including any
+/// non-zero panel-vs-single sup-distance, a panel that fails to group
+/// the whole family, or a panel that does not beat the independent
+/// sweeps on touched entries.
+pub fn run(cfg: &Config) -> Result<(), String> {
+    let (discs, times) = build_family()?;
+    let facts = derive_facts(&discs, &times)?;
+
+    if facts.sup_distance != 0.0 {
+        return Err(format!(
+            "panel curves differ from independent single-vector solves: \
+             sup-distance {:e} (must be exactly 0)",
+            facts.sup_distance
+        ));
+    }
+    if facts.panel_sizes != vec![facts.k] {
+        return Err(format!(
+            "rate-rescale family did not form one k={} panel: {:?}",
+            facts.k, facts.panel_sizes
+        ));
+    }
+    if facts.touched_savings() <= 1.0 {
+        return Err(format!(
+            "panel read no fewer entries than {} independent sweeps: \
+             {} vs {}",
+            facts.k, facts.panel_touched_entries, facts.solo_touched_entries
+        ));
+    }
+    if facts.k1_panel_sizes != vec![1] || !facts.k1_bitwise_identical {
+        return Err("k=1 panel did not degenerate to the single-vector path".into());
+    }
+
+    let reps = if cfg.quick { 1 } else { 3 };
+    let members: Vec<(&DiscretisedModel, &[Time])> =
+        discs.iter().map(|d| (d, &times[..])).collect();
+    let solos_ns = median_ns(reps, || {
+        for disc in &discs {
+            disc.empty_probability_curve(&times).expect("solo solve");
+        }
+    });
+    let panel_ns = median_ns(reps, || {
+        DiscretisedModel::empty_probability_curves_panel(&members, &Budget::unlimited())
+            .expect("panel solve");
+    });
+    println!(
+        "spmm k={}: touched {} solo vs {} panel ({:.3}x fewer reads) — \
+         solos {:.1} ms, panel {:.1} ms ({:.2}x), sup-distance {:e}",
+        facts.k,
+        facts.solo_touched_entries,
+        facts.panel_touched_entries,
+        facts.touched_savings(),
+        solos_ns / 1e6,
+        panel_ns / 1e6,
+        solos_ns / panel_ns,
+        facts.sup_distance,
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let scales: Vec<String> = PANEL_SCALES.iter().map(|s| format!("{s}")).collect();
+    let sizes: Vec<String> = facts.panel_sizes.iter().map(|s| format!("{s}")).collect();
+    let k1_sizes: Vec<String> = facts
+        .k1_panel_sizes
+        .iter()
+        .map(|s| format!("{s}"))
+        .collect();
+    let body = format!(
+        "{{\n  \"bench\": \"spmm\",\n  \"generated_by\": \"bench-harness spmm\",\n  \
+         \"engine\": \"banded active-window, single-thread\",\n  \
+         \"note\": \"generated on a {cores}-core machine (see README: timings from \
+         1-core CI containers are indicative only and are NOT gated); the family is \
+         the Fig. 8 two-well scenario under power-of-two rate scales, whose P^T is \
+         bitwise shared, so the column panel advances all k active-window sweeps \
+         through one read of each matrix diagonal per iteration; counters are \
+         machine-independent and gated by regress; panel curves are asserted \
+         bit-identical to independent single-vector solves on every run\",\n  \
+         \"family\": {{\n    \"scenario\": \"fig8\",\n    \"rate_scales\": [{}],\n    \
+         \"k\": {},\n    \"time_points\": {}\n  }},\n  \
+         \"panel\": {{\n    \"panel_sizes\": [{}],\n    \
+         \"solo_touched_entries\": {},\n    \"panel_touched_entries\": {},\n    \
+         \"touched_savings\": {:.3},\n    \
+         \"max_abs_difference_vs_independent\": {:e},\n    \
+         \"k1_panel_sizes\": [{}],\n    \"k1_bitwise_identical\": {},\n    \
+         \"solos_ns\": {:.0},\n    \"panel_ns\": {:.0},\n    \
+         \"speedup_panel_vs_solos\": {:.3}\n  }}\n}}\n",
+        scales.join(", "),
+        facts.k,
+        times.len(),
+        sizes.join(", "),
+        facts.solo_touched_entries,
+        facts.panel_touched_entries,
+        facts.touched_savings(),
+        facts.sup_distance,
+        k1_sizes.join(", "),
+        facts.k1_bitwise_identical,
+        solos_ns,
+        panel_ns,
+        solos_ns / panel_ns,
+    );
+    write_json(cfg, "BENCH_spmm.json", &body)
+}

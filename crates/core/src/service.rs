@@ -1039,6 +1039,13 @@ impl LifetimeService {
     /// the same grouped member solve a batch sweep would — under the
     /// request's cooperative budget. Backends without a fingerprint or
     /// warm state solve independently.
+    ///
+    /// Requests arrive one at a time, so this path solves members
+    /// serially against the warm state; when a whole same-fingerprint
+    /// family is presented *together* (the sweep planner's
+    /// `solve_group`), the windowed banded members are additionally
+    /// batched into a column-panel SpMM that reads each matrix diagonal
+    /// once for the whole family — see DESIGN.md §13.
     fn solve_attempt(
         &self,
         scenario: &Scenario,
