@@ -1,0 +1,331 @@
+//! `analyze.toml` — the data-driven rule configuration.
+//!
+//! The workspace's no-external-dependency policy applies to the
+//! analyzer too, so this module carries a tiny parser for exactly the
+//! TOML subset the config uses: `[dotted.section]` headers, `key =
+//! "string"`, `key = true|false`, `key = 123`, and (possibly
+//! multi-line) `key = ["a", "b"]` string arrays, with `#` comments.
+//! Anything outside that subset is a hard [`ConfigError`] — a config
+//! typo must fail the gate loudly, never silently relax a rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse or validation failure in `analyze.toml`.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analyze.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Bool(bool),
+    Int(i64),
+    Array(Vec<String>),
+}
+
+/// The raw parse: `section name → key → value`. Keys are
+/// `section.key`-qualified so rule tables stay self-contained.
+pub type Tables = BTreeMap<String, BTreeMap<String, Value>>;
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the TOML subset described in the module docs.
+pub fn parse(src: &str) -> Result<Tables, ConfigError> {
+    let mut tables = Tables::new();
+    let mut section = String::new();
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated [section] header"))?
+                .trim();
+            if name.is_empty() {
+                return Err(err(lineno, "empty section name"));
+            }
+            section = name.to_string();
+            tables.entry(section.clone()).or_default();
+            continue;
+        }
+        let (key, value_text) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, "expected `key = value`"))?;
+        let key = key.trim().to_string();
+        let mut value_text = value_text.trim().to_string();
+        // A multi-line array: keep consuming lines until the bracket
+        // closes (string elements never contain brackets here).
+        while value_text.starts_with('[') && !value_text.ends_with(']') {
+            let (_, next) = lines
+                .next()
+                .ok_or_else(|| err(lineno, "unterminated array"))?;
+            value_text.push(' ');
+            value_text.push_str(strip_comment(next).trim());
+        }
+        let value = parse_value(&value_text, lineno)?;
+        if section.is_empty() {
+            return Err(err(lineno, "key outside any [section]"));
+        }
+        tables
+            .get_mut(&section)
+            .expect("section inserted on header")
+            .insert(key, value);
+    }
+    Ok(tables)
+}
+
+/// Strips a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, ConfigError> {
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| err(lineno, "unterminated array"))?;
+        let mut items = Vec::new();
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            items.push(parse_string(part, lineno)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    if text.starts_with('"') {
+        return Ok(Value::Str(parse_string(text, lineno)?));
+    }
+    text.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| err(lineno, format!("unsupported value `{text}`")))
+}
+
+fn parse_string(text: &str, lineno: usize) -> Result<String, ConfigError> {
+    text.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| err(lineno, format!("expected a quoted string, got `{text}`")))
+}
+
+/// The typed configuration the rules consume.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directories/files (workspace-relative) to scan.
+    pub include: Vec<String>,
+    /// Path prefixes excluded from every rule.
+    pub exclude: Vec<String>,
+    /// Files allowed to contain `unsafe` at all.
+    pub unsafe_allowed_files: Vec<String>,
+    /// How many lines above an `unsafe` token a justification comment
+    /// may sit.
+    pub unsafe_lookback: u32,
+    /// Request-path files for the panic-freedom audit.
+    pub panic_paths: Vec<String>,
+    /// Files whose lock acquisitions feed the lock-order graph.
+    pub lock_paths: Vec<String>,
+    /// `receiver=canonical` pairs unifying textual receivers that name
+    /// the same mutex.
+    pub lock_aliases: Vec<(String, String)>,
+    /// `A->B` edges suppressed as reviewed false positives.
+    pub lock_ignored_edges: Vec<(String, String)>,
+    /// Files scanned by the determinism rule.
+    pub determinism_paths: Vec<String>,
+    /// Files allowed to call FMA (`mul_add`).
+    pub mul_add_allowed: Vec<String>,
+    /// Files allowed to read wall clocks.
+    pub clock_allowed: Vec<String>,
+    /// Files whose output bytes must not depend on hash-map iteration
+    /// order.
+    pub ordered_output_paths: Vec<String>,
+    /// Files audited for lossy `as` casts.
+    pub cast_paths: Vec<String>,
+}
+
+impl Config {
+    /// Parses and validates `analyze.toml` content. (Named `from_toml`
+    /// rather than `from_str` to keep clippy's `FromStr` suggestion at
+    /// bay — this is not a general-purpose conversion.)
+    pub fn from_toml(src: &str) -> Result<Config, ConfigError> {
+        let tables = parse(src)?;
+        let mut cfg = Config {
+            unsafe_lookback: 6,
+            ..Config::default()
+        };
+        for (section, table) in &tables {
+            for (key, value) in table {
+                cfg.apply(section, key, value)
+                    .map_err(|m| err(0, format!("[{section}] {key}: {m}")))?;
+            }
+        }
+        if cfg.include.is_empty() {
+            return Err(err(0, "[workspace] include must list at least one path"));
+        }
+        Ok(cfg)
+    }
+
+    fn apply(&mut self, section: &str, key: &str, value: &Value) -> Result<(), String> {
+        let paths = |v: &Value| -> Result<Vec<String>, String> {
+            match v {
+                Value::Array(a) => Ok(a.clone()),
+                _ => Err("expected an array of path strings".into()),
+            }
+        };
+        match (section, key) {
+            ("workspace", "include") => self.include = paths(value)?,
+            ("workspace", "exclude") => self.exclude = paths(value)?,
+            ("rule.unsafe-safety", "allowed_files") => self.unsafe_allowed_files = paths(value)?,
+            ("rule.unsafe-safety", "lookback") => match value {
+                Value::Int(n) if *n >= 0 => self.unsafe_lookback = *n as u32,
+                _ => return Err("expected a non-negative integer".into()),
+            },
+            ("rule.panic-path", "paths") => self.panic_paths = paths(value)?,
+            ("rule.lock-order", "paths") => self.lock_paths = paths(value)?,
+            ("rule.lock-order", "alias") => {
+                self.lock_aliases = pairs(&paths(value)?, '=')?;
+            }
+            ("rule.lock-order", "ignore") => {
+                self.lock_ignored_edges = arrows(&paths(value)?)?;
+            }
+            ("rule.determinism", "paths") => self.determinism_paths = paths(value)?,
+            ("rule.determinism", "mul_add_allowed") => self.mul_add_allowed = paths(value)?,
+            ("rule.determinism", "clock_allowed") => self.clock_allowed = paths(value)?,
+            ("rule.determinism", "ordered_output_paths") => {
+                self.ordered_output_paths = paths(value)?;
+            }
+            ("rule.lossy-cast", "paths") => self.cast_paths = paths(value)?,
+            _ => return Err("unknown configuration key".into()),
+        }
+        Ok(())
+    }
+}
+
+fn pairs(items: &[String], sep: char) -> Result<Vec<(String, String)>, String> {
+    items
+        .iter()
+        .map(|s| {
+            s.split_once(sep)
+                .map(|(a, b)| (a.trim().to_string(), b.trim().to_string()))
+                .ok_or_else(|| format!("`{s}` is not a `from{sep}to` pair"))
+        })
+        .collect()
+}
+
+fn arrows(items: &[String]) -> Result<Vec<(String, String)>, String> {
+    items
+        .iter()
+        .map(|s| {
+            s.split_once("->")
+                .map(|(a, b)| (a.trim().to_string(), b.trim().to_string()))
+                .ok_or_else(|| format!("`{s}` is not an `A->B` edge"))
+        })
+        .collect()
+}
+
+/// Does `path` (workspace-relative, `/`-separated) fall under any of
+/// the `prefixes` (each either a file path or a directory prefix)?
+pub fn path_matches(path: &str, prefixes: &[String]) -> bool {
+    prefixes
+        .iter()
+        .any(|p| path == p || path.starts_with(&format!("{p}/")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_subset() {
+        let cfg = Config::from_toml(
+            r#"
+# top comment
+[workspace]
+include = ["crates"] # trailing comment
+exclude = [
+    "crates/vendor",
+    "target",
+]
+
+[rule.unsafe-safety]
+allowed_files = ["a.rs"]
+lookback = 4
+
+[rule.lock-order]
+paths = ["b.rs"]
+alias = ["self.service = service-inner"]
+ignore = ["a -> b"]
+"#,
+        )
+        .expect("valid config");
+        assert_eq!(cfg.include, vec!["crates"]);
+        assert_eq!(cfg.exclude, vec!["crates/vendor", "target"]);
+        assert_eq!(cfg.unsafe_lookback, 4);
+        assert_eq!(
+            cfg.lock_aliases,
+            vec![("self.service".to_string(), "service-inner".to_string())]
+        );
+        assert_eq!(
+            cfg.lock_ignored_edges,
+            vec![("a".to_string(), "b".to_string())]
+        );
+    }
+
+    #[test]
+    fn unknown_keys_are_hard_errors() {
+        let e = Config::from_toml("[workspace]\ninclude=[\"x\"]\ntypo = true\n");
+        assert!(e.is_err(), "a config typo must not silently relax a rule");
+    }
+
+    #[test]
+    fn missing_include_is_rejected() {
+        assert!(Config::from_toml("[workspace]\nexclude = []\n").is_err());
+    }
+
+    #[test]
+    fn path_prefix_matching() {
+        let pre = vec![
+            "crates/net/src".to_string(),
+            "crates/core/src/service.rs".to_string(),
+        ];
+        assert!(path_matches("crates/net/src/http.rs", &pre));
+        assert!(path_matches("crates/core/src/service.rs", &pre));
+        assert!(!path_matches("crates/core/src/solver.rs", &pre));
+        assert!(!path_matches("crates/network/src/x.rs", &pre));
+    }
+}

@@ -1,0 +1,467 @@
+//! A comment/string/raw-string-aware token scanner for Rust source.
+//!
+//! This is deliberately *not* a Rust parser: the rules in this crate
+//! only need a faithful token stream (identifiers, punctuation,
+//! literals, each tagged with its line) plus the comments as a separate
+//! channel (the annotation escapes — `// SAFETY:`, `// PANIC-OK:` and
+//! friends — live there). What the lexer must get exactly right is the
+//! part naive `grep` gets wrong: `unsafe` inside a doc comment, a
+//! `panic!` spelled inside a string literal, a `"]"` inside a raw
+//! string, a lifetime tick versus a char literal. Everything else is
+//! left to the rules' heuristics, which are documented in DESIGN.md §14
+//! together with their false-positive policy.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `[`, `{`, `!`, …).
+    Punct,
+    /// A string/char/byte/numeric literal. The text of string-like
+    /// literals is dropped (never matched against), numeric literals
+    /// keep their spelling so tuple indexes like `self.0` survive.
+    Literal,
+    /// A lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line comments are one record per `//`; a block comment
+/// is a single record spanning `start_line..=end_line`).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub start_line: u32,
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// The lexer's output: code tokens and comments as separate channels.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Is there a comment containing `marker` that annotates `line`?
+    /// A comment counts when it touches any line in
+    /// `line - lookback ..= line`, or when it belongs to a contiguous
+    /// run of comments whose bottom edge does — a multi-line `//`
+    /// justification reaches the code below it as one block, however
+    /// long the prose is. This is how every annotation escape is
+    /// recognised.
+    pub fn has_marker(&self, line: u32, lookback: u32, marker: &str) -> bool {
+        let lo = line.saturating_sub(lookback);
+        // Direct hit: the marker's own comment touches the window.
+        if self
+            .comments
+            .iter()
+            .any(|c| c.end_line >= lo && c.start_line <= line && c.text.contains(marker))
+        {
+            return true;
+        }
+        // Block extension: walk upward from any comment inside the
+        // window through vertically adjacent comments.
+        let mut frontier: Vec<u32> = self
+            .comments
+            .iter()
+            .filter(|c| c.end_line >= lo && c.start_line <= line)
+            .map(|c| c.start_line)
+            .collect();
+        while let Some(top) = frontier.pop() {
+            for c in &self.comments {
+                if c.end_line + 1 == top {
+                    if c.text.contains(marker) {
+                        return true;
+                    }
+                    frontier.push(c.start_line);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Lexes `src`, which is assumed to be UTF-8 Rust source. The scanner
+/// never fails: on malformed input (unclosed string, stray byte) it
+/// degrades to treating the remainder as a literal, which at worst
+/// suppresses findings in a file that would not compile anyway.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        bytes: src.as_bytes(),
+        at: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.at < self.bytes.len() {
+            let b = self.bytes[self.at];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.at += 1;
+                }
+                b if b.is_ascii_whitespace() => self.at += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'\'' => self.tick(),
+                b if b.is_ascii_digit() => self.number(),
+                b if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 => self.ident(),
+                _ => {
+                    self.push(TokKind::Punct, (b as char).to_string());
+                    self.at += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.at + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.at + 2;
+        while self.at < self.bytes.len() && self.bytes[self.at] != b'\n' {
+            self.at += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start.min(self.at)..self.at]).into_owned();
+        self.out.comments.push(Comment {
+            start_line: self.line,
+            end_line: self.line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let text_start = self.at + 2;
+        self.at += 2;
+        let mut depth = 1usize;
+        while self.at < self.bytes.len() && depth > 0 {
+            match self.bytes[self.at] {
+                b'\n' => {
+                    self.line += 1;
+                    self.at += 1;
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.at += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.at += 2;
+                }
+                _ => self.at += 1,
+            }
+        }
+        let end = self.at.saturating_sub(2).max(text_start);
+        self.out.comments.push(Comment {
+            start_line,
+            end_line: self.line,
+            text: String::from_utf8_lossy(&self.bytes[text_start..end]).into_owned(),
+        });
+    }
+
+    /// A `"`-delimited string (escape-aware, may span lines).
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.at += 1;
+        while self.at < self.bytes.len() {
+            match self.bytes[self.at] {
+                b'\\' => self.at += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.at += 1;
+                }
+                b'"' => {
+                    self.at += 1;
+                    break;
+                }
+                _ => self.at += 1,
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokKind::Literal,
+            text: String::new(),
+            line,
+        });
+    }
+
+    /// A raw string starting at the current `r`/`br` prefix position:
+    /// `r"…"`, `r#"…"#`, any number of `#`s. Returns `false` when the
+    /// text does not actually start one (then it was a plain ident).
+    fn raw_string(&mut self, prefix_len: usize) -> bool {
+        let mut probe = self.at + prefix_len;
+        let mut hashes = 0usize;
+        while self.bytes.get(probe) == Some(&b'#') {
+            hashes += 1;
+            probe += 1;
+        }
+        if self.bytes.get(probe) != Some(&b'"') {
+            return false;
+        }
+        let line = self.line;
+        self.at = probe + 1;
+        'scan: while self.at < self.bytes.len() {
+            match self.bytes[self.at] {
+                b'\n' => {
+                    self.line += 1;
+                    self.at += 1;
+                }
+                b'"' => {
+                    let mut k = 0usize;
+                    while k < hashes && self.bytes.get(self.at + 1 + k) == Some(&b'#') {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        self.at += 1 + hashes;
+                        break 'scan;
+                    }
+                    self.at += 1;
+                }
+                _ => self.at += 1,
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokKind::Literal,
+            text: String::new(),
+            line,
+        });
+        true
+    }
+
+    /// A `'`: lifetime/label if followed by an identifier that is not
+    /// closed by another `'`; otherwise a char literal.
+    fn tick(&mut self) {
+        let mut probe = self.at + 1;
+        if self
+            .bytes
+            .get(probe)
+            .is_some_and(|&b| b.is_ascii_alphabetic() || b == b'_')
+        {
+            while self
+                .bytes
+                .get(probe)
+                .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                probe += 1;
+            }
+            if self.bytes.get(probe) != Some(&b'\'') {
+                // `'ident` with no closing tick: a lifetime or label.
+                let text = String::from_utf8_lossy(&self.bytes[self.at..probe]).into_owned();
+                self.push(TokKind::Lifetime, text);
+                self.at = probe;
+                return;
+            }
+        }
+        // Char literal: `'x'`, `'\n'`, `'\''`, `'\u{1F600}'`.
+        let line = self.line;
+        self.at += 1;
+        while self.at < self.bytes.len() {
+            match self.bytes[self.at] {
+                b'\\' => self.at += 2,
+                b'\'' => {
+                    self.at += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.at += 1;
+                }
+                _ => self.at += 1,
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokKind::Literal,
+            text: String::new(),
+            line,
+        });
+    }
+
+    fn number(&mut self) {
+        let start = self.at;
+        while self.at < self.bytes.len() {
+            let b = self.bytes[self.at];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // Covers hex/binary digits, type suffixes and the `e`
+                // of an exponent in one sweep.
+                self.at += 1;
+            } else if b == b'.'
+                && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+                && self.bytes[self.at - 1] != b'.'
+            {
+                // A fractional point, not the start of a `..` range.
+                self.at += 1;
+            } else if (b == b'+' || b == b'-')
+                && matches!(self.bytes[self.at - 1], b'e' | b'E')
+                && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+            {
+                // A signed exponent (`1e-3`).
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.at]).into_owned();
+        self.push(TokKind::Literal, text);
+    }
+
+    fn ident(&mut self) {
+        let start = self.at;
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80)
+        {
+            self.at += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.at]).into_owned();
+        // `r"…"` / `r#"…"` / `b"…"` / `br#"…"` prefixes bind to the
+        // literal, not to an identifier.
+        match text.as_str() {
+            "r" | "br" => {
+                self.at = start;
+                if self.raw_string(text.len()) {
+                    return;
+                }
+                self.at = start + text.len();
+            }
+            "b" => {
+                if self.bytes.get(self.at) == Some(&b'"') {
+                    self.string_literal();
+                    return;
+                }
+                if self.bytes.get(self.at) == Some(&b'\'') {
+                    self.tick();
+                    return;
+                }
+            }
+            _ => {}
+        }
+        self.push(TokKind::Ident, text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code_words() {
+        let src = r##"
+// unsafe in a line comment
+/* panic! in /* a nested */ block */
+let s = "unsafe { panic!() }";
+let r = r#"unwrap() "quoted" inside raw"#;
+let c = '!';
+fn real() {}
+"##;
+        let ids = idents(src);
+        assert!(!ids
+            .iter()
+            .any(|i| i == "unsafe" || i == "panic" || i == "unwrap"));
+        assert!(ids.iter().any(|i| i == "real"));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; x }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        // `'x'` must have been swallowed as one char literal, so the
+        // trailing `x` ident count stays at: param x + final x.
+        let xs = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text == "x")
+            .count();
+        assert_eq!(xs, 2);
+    }
+
+    #[test]
+    fn lines_survive_multiline_literals() {
+        let src = "let a = \"two\nlines\";\nunsafe {}";
+        let lexed = lex(src);
+        let unsafe_tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "unsafe")
+            .expect("unsafe token");
+        assert_eq!(unsafe_tok.line, 3);
+    }
+
+    #[test]
+    fn marker_lookup_spans_comment_runs() {
+        let src = "// SAFETY: fine because reasons\n// continued\nunsafe {}\n";
+        let lexed = lex(src);
+        assert!(lexed.has_marker(3, 3, "SAFETY:"));
+        assert!(!lexed.has_marker(3, 3, "PANIC-OK:"));
+    }
+
+    #[test]
+    fn marker_reaches_through_a_long_comment_block() {
+        // The marker line itself is outside the lookback window, but
+        // the contiguous comment run's bottom edge is inside it.
+        let src = "// DETERMINISM-OK: a justification\n// line two\n// line three\n// line four\n// line five\nx.iter()\n";
+        let lexed = lex(src);
+        assert!(lexed.has_marker(6, 2, "DETERMINISM-OK:"));
+        // A blank line breaks the block: the marker no longer reaches.
+        let src = "// DETERMINISM-OK: a justification\n\n// line three\n// line four\n// line five\nx.iter()\n";
+        let lexed = lex(src);
+        assert!(!lexed.has_marker(6, 2, "DETERMINISM-OK:"));
+    }
+
+    #[test]
+    fn tuple_indexes_survive_as_number_literals() {
+        let lexed = lex("self.0.lock()");
+        let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["self", ".", "0", ".", "lock", "(", ")"]);
+    }
+}

@@ -1,0 +1,93 @@
+//! The `kibamrm-analyze` CLI. See the crate docs and DESIGN.md §14.
+//!
+//! ```text
+//! kibamrm-analyze [--root PATH] [--config PATH] [--deny]
+//! ```
+//!
+//! Prints every finding as `file:line: [rule-id] message` plus a fix
+//! hint, then a summary. Exit status: 0 when clean (always, without
+//! `--deny`), 1 when `--deny` and findings exist, 2 on usage/config
+//! errors — so CI distinguishes "the tree is dirty" from "the gate is
+//! broken".
+
+#![forbid(unsafe_code)]
+
+use kibamrm_analyze::{analyze_tree, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--config" => match args.next() {
+                Some(p) => config_path = Some(PathBuf::from(p)),
+                None => return usage("--config needs a path"),
+            },
+            "--deny" => deny = true,
+            "--help" | "-h" => {
+                eprintln!("usage: kibamrm-analyze [--root PATH] [--config PATH] [--deny]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("analyze.toml"));
+    let text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "kibamrm-analyze: cannot read {}: {e}",
+                config_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let config = match Config::from_toml(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("kibamrm-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match analyze_tree(&root, &config) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("kibamrm-analyze: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        println!(
+            "kibamrm-analyze: clean ({} rules over {})",
+            5,
+            root.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("kibamrm-analyze: {} finding(s)", findings.len());
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("kibamrm-analyze: {msg}");
+    eprintln!("usage: kibamrm-analyze [--root PATH] [--config PATH] [--deny]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,313 @@
+//! Rule `lock-order`: potential deadlocks from inconsistent lock
+//! acquisition order.
+//!
+//! ## Model
+//!
+//! The rule extracts, per function, the sequence of
+//! `Mutex::lock()` / `RwLock::read()` / `RwLock::write()` acquisitions
+//! (zero-argument calls only, so `io::Read::read(&mut buf)` never
+//! matches). A lock is named by the *text* of its receiver chain
+//! (`self.done`, `slot`, `inner.cache`); a bare `self…` receiver is
+//! qualified by the surrounding `impl` type (`Flight::self.done`), and
+//! the config's `alias` table unifies spellings that name the same
+//! mutex (`FlightGuard::self.service` and `LifetimeService::self` are
+//! one lock). Guard lifetime is approximated:
+//!
+//! * `let g = x.lock();` holds until the end of the binding's block or
+//!   an explicit `drop(g)`,
+//! * any other acquisition (`x.lock().field += 1;`, a `match`
+//!   scrutinee) is a temporary released at the statement's `;`.
+//!
+//! Acquiring `B` while `A` is held contributes a directed edge `A → B`
+//! to one workspace-wide graph; every cycle is reported at each
+//! participating edge, and acquiring a lock textually identical to one
+//! already held is reported as re-entrant (self-deadlock for a
+//! `Mutex`).
+//!
+//! ## False-positive policy
+//!
+//! Textual naming over-approximates (two different locals named `slot`
+//! unify) and the block-scoped guard model under-approximates guards
+//! moved out of their block. Edges reviewed as benign are suppressed
+//! via `[rule.lock-order] ignore = ["A->B"]` with a justifying comment
+//! in analyze.toml — never by weakening the model. See DESIGN.md §14.
+
+use super::{receiver_chain, Finding, RULE_LOCK_ORDER};
+use crate::config::{path_matches, Config};
+use crate::lexer::{TokKind, Token};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// One observed `held → acquired` pair.
+#[derive(Debug, Clone)]
+struct Edge {
+    held: String,
+    acquired: String,
+    file: String,
+    line: u32,
+    function: String,
+}
+
+pub fn check(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    for file in files {
+        if !path_matches(&file.path, &config.lock_paths) {
+            continue;
+        }
+        scan_file(file, config, &mut edges, &mut findings);
+    }
+    let ignored: BTreeSet<(String, String)> = config.lock_ignored_edges.iter().cloned().collect();
+    edges.retain(|e| !ignored.contains(&(e.held.clone(), e.acquired.clone())));
+    report_cycles(&edges, &mut findings);
+    findings
+}
+
+/// A lock currently held during the scan of one function.
+struct Held {
+    name: String,
+    /// Brace depth at the acquisition: let-bound guards release when
+    /// the depth drops below it, temporaries at the next `;` on it.
+    depth: usize,
+    /// The guard binding (`let g = …`), when there is one.
+    guard: Option<String>,
+    /// Temporary (non-`let`) acquisition.
+    temporary: bool,
+}
+
+fn scan_file(
+    file: &SourceFile,
+    config: &Config,
+    edges: &mut Vec<Edge>,
+    findings: &mut Vec<Finding>,
+) {
+    let tokens = file.tokens();
+    let alias: BTreeMap<&str, &str> = config
+        .lock_aliases
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
+
+    let mut depth = 0usize;
+    // (impl type name, depth it opened at)
+    let mut impls: Vec<(String, usize)> = Vec::new();
+    // (fn name, depth its body opened at)
+    let mut fns: Vec<(String, usize)> = Vec::new();
+    let mut held: Vec<Held> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => depth += 1,
+            (TokKind::Punct, "}") => {
+                depth = depth.saturating_sub(1);
+                while impls.last().is_some_and(|(_, d)| *d > depth) {
+                    impls.pop();
+                }
+                // A function's guards all release at its body's end.
+                while fns.last().is_some_and(|(_, d)| *d > depth) {
+                    fns.pop();
+                }
+                held.retain(|h| h.depth <= depth);
+            }
+            (TokKind::Punct, ";") => {
+                held.retain(|h| !(h.temporary && h.depth == depth));
+            }
+            (TokKind::Ident, "impl") => {
+                if let Some(name) = impl_type_name(tokens, i) {
+                    // The body opens at depth+1 once its `{` is seen;
+                    // record the depth it will live at.
+                    impls.push((name, depth + 1));
+                }
+            }
+            (TokKind::Ident, "fn") => {
+                if let Some(name) = tokens.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                    fns.push((name.text.clone(), depth + 1));
+                }
+            }
+            (TokKind::Ident, "drop")
+                // `drop(guard)` releases the named let-bound guard.
+                if tokens.get(i + 1).is_some_and(|t| t.text == "(")
+                    && tokens.get(i + 3).is_some_and(|t| t.text == ")")
+                => {
+                    if let Some(g) = tokens.get(i + 2).filter(|t| t.kind == TokKind::Ident) {
+                        held.retain(|h| h.guard.as_deref() != Some(g.text.as_str()));
+                    }
+                }
+            (TokKind::Ident, m) if ACQUIRE_METHODS.contains(&m) => {
+                // `.lock()` / `.read()` / `.write()` — zero-arg call
+                // with a dot before it.
+                let is_acquire = i > 0
+                    && tokens[i - 1].text == "."
+                    && tokens.get(i + 1).is_some_and(|t| t.text == "(")
+                    && tokens.get(i + 2).is_some_and(|t| t.text == ")");
+                if !is_acquire {
+                    i += 1;
+                    continue;
+                }
+                let Some((chain, chain_start)) = receiver_chain(tokens, i - 1) else {
+                    i += 1;
+                    continue;
+                };
+                let qualified = qualify(&chain, &impls);
+                let name = alias
+                    .get(qualified.as_str())
+                    .map_or(qualified.as_str(), |v| v)
+                    .to_string();
+                let function = fns.last().map_or("<file>", |(n, _)| n.as_str()).to_string();
+
+                // Re-entrant acquisition of a held lock: immediate
+                // finding (not an edge — the cycle is length 1).
+                if held.iter().any(|h| h.name == name) {
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line: t.line,
+                        rule: RULE_LOCK_ORDER,
+                        message: format!(
+                            "lock `{name}` acquired in `{function}` while already held \
+                             (re-entrant Mutex lock deadlocks)"
+                        ),
+                        hint: "drop the first guard before re-acquiring, or thread the \
+                               guard through instead of re-locking"
+                            .to_string(),
+                    });
+                } else {
+                    for h in &held {
+                        edges.push(Edge {
+                            held: h.name.clone(),
+                            acquired: name.clone(),
+                            file: file.path.clone(),
+                            line: t.line,
+                            function: function.clone(),
+                        });
+                    }
+                }
+
+                let guard = let_binding(tokens, chain_start);
+                held.push(Held {
+                    name,
+                    depth,
+                    temporary: guard.is_none(),
+                    guard,
+                });
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// The guard identifier when the acquisition at `chain_start` is the
+/// right-hand side of a `let [mut] g = <chain>.lock()` binding.
+fn let_binding(tokens: &[Token], chain_start: usize) -> Option<String> {
+    let mut j = chain_start.checked_sub(1)?;
+    if tokens[j].text != "=" {
+        return None;
+    }
+    j = j.checked_sub(1)?;
+    let ident = tokens.get(j).filter(|t| t.kind == TokKind::Ident)?;
+    let mut k = j.checked_sub(1)?;
+    if tokens[k].text == "mut" {
+        k = k.checked_sub(1)?;
+    }
+    (tokens[k].text == "let").then(|| ident.text.clone())
+}
+
+/// Qualifies a `self…` receiver with the innermost `impl` type.
+fn qualify(chain: &str, impls: &[(String, usize)]) -> String {
+    if chain == "self" || chain.starts_with("self.") {
+        if let Some((ty, _)) = impls.last() {
+            return format!("{ty}::{chain}");
+        }
+    }
+    chain.to_string()
+}
+
+/// The type name of an `impl` header starting at token `at` (which is
+/// the `impl` ident): the first identifier outside angle brackets
+/// after `for` when present, otherwise the first one after `impl`.
+fn impl_type_name(tokens: &[Token], at: usize) -> Option<String> {
+    let mut angle = 0isize;
+    let mut after_for = false;
+    let mut candidate: Option<&str> = None;
+    for t in tokens.iter().skip(at + 1) {
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "<") => angle += 1,
+            (TokKind::Punct, ">") => angle -= 1,
+            (TokKind::Punct, "{") | (TokKind::Punct, ";") if angle == 0 => break,
+            (TokKind::Ident, "where") if angle == 0 => break,
+            (TokKind::Ident, "for") if angle == 0 => {
+                after_for = true;
+                candidate = None;
+            }
+            (TokKind::Ident, name) if angle == 0 && (candidate.is_none() || after_for) => {
+                candidate = Some(name);
+                after_for = false;
+            }
+            _ => {}
+        }
+    }
+    candidate.map(str::to_string)
+}
+
+/// Finds directed cycles in the edge set and reports each one once,
+/// anchored at its lexically first edge.
+fn report_cycles(edges: &[Edge], findings: &mut Vec<Finding>) {
+    let mut adj: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.held.as_str()).or_default().push(e);
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in &nodes {
+        // DFS from each node, only accepting cycles that return to it;
+        // dedup by the cycle's canonical (sorted-rotation) node list.
+        let mut stack: Vec<(&str, Vec<&Edge>)> = vec![(start, Vec::new())];
+        while let Some((node, path)) = stack.pop() {
+            if path.len() > nodes.len() {
+                continue;
+            }
+            for e in adj.get(node).into_iter().flatten() {
+                if e.acquired == start {
+                    let mut cycle: Vec<&Edge> = path.clone();
+                    cycle.push(e);
+                    let mut names: Vec<String> = cycle.iter().map(|e| e.held.clone()).collect();
+                    names.sort();
+                    if !reported.insert(names) {
+                        continue;
+                    }
+                    let order = cycle
+                        .iter()
+                        .map(|e| {
+                            format!(
+                                "`{}` → `{}` ({}:{} in `{}`)",
+                                e.held, e.acquired, e.file, e.line, e.function
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let anchor = cycle
+                        .iter()
+                        .min_by_key(|e| (&e.file, e.line))
+                        .expect("cycle has at least one edge");
+                    findings.push(Finding {
+                        file: anchor.file.clone(),
+                        line: anchor.line,
+                        rule: RULE_LOCK_ORDER,
+                        message: format!("lock-order cycle (potential deadlock): {order}"),
+                        hint: "impose one global acquisition order (or drop the held guard \
+                               first); a reviewed false positive can be suppressed via \
+                               [rule.lock-order] ignore in analyze.toml"
+                            .to_string(),
+                    });
+                } else if !path.iter().any(|p| p.held == e.acquired) && e.acquired != e.held {
+                    let mut next = path.clone();
+                    next.push(e);
+                    stack.push((e.acquired.as_str(), next));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Rule `lossy-cast`: `as` casts to integer (and `f32`) types are
+//! denied in the wire/snapshot parser files.
+//!
+//! An `as` cast silently truncates, wraps or drops sign — exactly the
+//! failure mode a trust-nothing parser exists to exclude. In the
+//! configured `paths` (outside `#[cfg(test)]`), every `as <numeric>`
+//! is a finding unless the line carries `// CAST-OK: <reason>` (the
+//! reviewed spelling for provably lossless widenings like
+//! `usize → u64`). `as f64` is exempt: the wire format's counters lose
+//! no integer below 2⁵³ and the alternative spellings are noisier than
+//! the risk.
+
+use super::{Finding, RULE_LOSSY_CAST};
+use crate::config::{path_matches, Config};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+const NUMERIC_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+];
+
+const ANNOTATION: &str = "CAST-OK:";
+const LOOKBACK: u32 = 2;
+
+pub fn check(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if !path_matches(&file.path, &config.cast_paths) {
+            continue;
+        }
+        let tokens = file.tokens();
+        for (i, token) in tokens.iter().enumerate() {
+            if token.kind != TokKind::Ident || token.text != "as" || file.in_test(token.line) {
+                continue;
+            }
+            let Some(target) = tokens.get(i + 1) else {
+                continue;
+            };
+            if target.kind != TokKind::Ident || !NUMERIC_TARGETS.contains(&target.text.as_str()) {
+                continue;
+            }
+            if file.lexed.has_marker(token.line, LOOKBACK, ANNOTATION) {
+                continue;
+            }
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: token.line,
+                rule: RULE_LOSSY_CAST,
+                message: format!(
+                    "lossy `as {}` cast in a parser/serialiser file",
+                    target.text
+                ),
+                hint: "use TryFrom/From with a typed error on overflow; annotate provably \
+                       lossless widenings with `// CAST-OK: <reason>`"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}

@@ -1,0 +1,95 @@
+//! The rule catalogue. Each rule consumes the lexed [`SourceFile`]s
+//! and emits [`Finding`]s; DESIGN.md §14 documents every rule's model
+//! and false-positive policy.
+
+use crate::config::Config;
+use crate::source::SourceFile;
+use std::fmt;
+
+pub mod determinism;
+pub mod lock_order;
+pub mod lossy_cast;
+pub mod panic_path;
+pub mod unsafe_safety;
+
+/// Stable rule identifiers: these are contract — CI logs, fixture
+/// assertions and annotation docs all refer to them by name.
+pub const RULE_UNSAFE_SAFETY: &str = "unsafe-safety";
+pub const RULE_PANIC_PATH: &str = "panic-path";
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+pub const RULE_DETERMINISM: &str = "determinism";
+pub const RULE_LOSSY_CAST: &str = "lossy-cast";
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// One of the `RULE_*` identifiers.
+    pub rule: &'static str,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (or how to annotate a reviewed exception).
+    pub hint: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    fix: {}",
+            self.file, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// Runs every rule over `files`, returning findings sorted by
+/// (file, line, rule) so output and fixtures are stable.
+pub fn run_all(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(unsafe_safety::check(files, config));
+    findings.extend(panic_path::check(files, config));
+    findings.extend(lock_order::check(files, config));
+    findings.extend(determinism::check(files, config));
+    findings.extend(lossy_cast::check(files, config));
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings
+}
+
+/// Walks a `recv.field.sub` receiver chain *backwards* from the token
+/// just before the method-call dot at `dot`, returning the dotted text
+/// (e.g. `self.service`) and the index of the chain's first token.
+/// Chains are identifiers and numeric tuple indexes joined by `.`;
+/// anything else (a `)`, an operator) ends the walk.
+pub(crate) fn receiver_chain(
+    tokens: &[crate::lexer::Token],
+    dot: usize,
+) -> Option<(String, usize)> {
+    use crate::lexer::TokKind;
+    let mut parts: Vec<&str> = Vec::new();
+    let mut i = dot; // index of the `.` punct
+    loop {
+        let prev = i.checked_sub(1)?;
+        let t = &tokens[prev];
+        let is_segment = match t.kind {
+            TokKind::Ident => true,
+            TokKind::Literal => t.text.bytes().all(|b| b.is_ascii_digit()) && !t.text.is_empty(),
+            _ => false,
+        };
+        if !is_segment {
+            return None;
+        }
+        parts.push(&t.text);
+        // Another `.`-joined segment before this one?
+        match prev.checked_sub(1) {
+            Some(pp) if tokens[pp].kind == TokKind::Punct && tokens[pp].text == "." => i = pp,
+            _ => {
+                parts.reverse();
+                return Some((parts.join("."), prev));
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Rule `panic-path`: the request paths must be panic-free.
+//!
+//! In the configured files (the network front and the resident
+//! service), outside `#[cfg(test)]` items, the following are findings
+//! unless the line (or the comment run directly above it) carries
+//! `// PANIC-OK: <reason>`:
+//!
+//! * `.unwrap()` / `.expect(…)` method calls,
+//! * `panic! / todo! / unreachable! / unimplemented!` macros,
+//! * slice/array indexing (`buf[i]`, `&bytes[a..b]`) — every index
+//!   expression can panic on a bad bound.
+//!
+//! The indexing detector is lexical: a `[` directly preceded by an
+//! identifier, `)`, `]` or `?` is an index expression; a `[` after an
+//! operator, `=`, `(` or a keyword is an array literal, type or
+//! attribute and is ignored. Keywords that can legally precede an
+//! array literal (`return [0; 4]`, `in [a, b]`…) are filtered
+//! explicitly.
+
+use super::{Finding, RULE_PANIC_PATH};
+use crate::config::{path_matches, Config};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unreachable", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Keywords that may directly precede a `[` that is *not* an index
+/// expression (array literals/types in expression position).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "return", "in", "if", "else", "match", "while", "loop", "break", "as", "mut", "ref", "move",
+    "let", "const", "static", "dyn", "impl", "where", "for", "fn", "use", "pub", "crate", "box",
+    "await", "yield", "unsafe",
+];
+
+const ANNOTATION: &str = "PANIC-OK:";
+const LOOKBACK: u32 = 2;
+
+pub fn check(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if !path_matches(&file.path, &config.panic_paths) {
+            continue;
+        }
+        let tokens = file.tokens();
+        for (i, token) in tokens.iter().enumerate() {
+            if file.in_test(token.line) {
+                continue;
+            }
+            let mut report = |line: u32, message: String| {
+                if !file.lexed.has_marker(line, LOOKBACK, ANNOTATION) {
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line,
+                        rule: RULE_PANIC_PATH,
+                        message,
+                        hint: "return a typed error (or use .get()/try_into/checked ops); \
+                               if provably unreachable, justify with `// PANIC-OK: <reason>`"
+                            .to_string(),
+                    });
+                }
+            };
+            match token.kind {
+                TokKind::Ident => {
+                    // `.unwrap(` / `.expect(` — a method *call*, so the
+                    // dot before and the paren after are both required
+                    // (a local `fn expect` definition does not match).
+                    if PANIC_METHODS.contains(&token.text.as_str())
+                        && i > 0
+                        && tokens[i - 1].text == "."
+                        && tokens.get(i + 1).is_some_and(|t| t.text == "(")
+                    {
+                        report(
+                            token.line,
+                            format!("`.{}()` on the request path", token.text),
+                        );
+                    }
+                    // `panic!(` and friends.
+                    if PANIC_MACROS.contains(&token.text.as_str())
+                        && tokens.get(i + 1).is_some_and(|t| t.text == "!")
+                        // `core::panic` in a `use` or path position still
+                        // only matters when invoked as a macro.
+                        && tokens.get(i + 2).is_some_and(|t| t.text == "(" || t.text == "[")
+                    {
+                        report(token.line, format!("`{}!` on the request path", token.text));
+                    }
+                }
+                TokKind::Punct if token.text == "[" => {
+                    let Some(prev) = i.checked_sub(1).map(|p| &tokens[p]) else {
+                        continue;
+                    };
+                    let is_index = match prev.kind {
+                        TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                        TokKind::Punct => matches!(prev.text.as_str(), ")" | "]" | "?"),
+                        _ => false,
+                    };
+                    if is_index {
+                        report(
+                            token.line,
+                            "slice/array indexing can panic on the request path".to_string(),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,54 @@
+//! Rule `unsafe-safety`: every `unsafe` block, impl or fn must carry a
+//! justification, and `unsafe` may only appear in the audited
+//! inventory files at all.
+//!
+//! A justification is a comment containing `SAFETY:` (the block/impl
+//! convention) or `# Safety` (the rustdoc contract section on an
+//! `unsafe fn`) that touches the `lookback` lines above the `unsafe`
+//! token. The window exists because the comment often annotates the
+//! *statement* the unsafe expression sits in, one or two lines above
+//! the token itself.
+
+use super::{Finding, RULE_UNSAFE_SAFETY};
+use crate::config::{path_matches, Config};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+pub fn check(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        for token in file.tokens() {
+            if token.kind != TokKind::Ident || token.text != "unsafe" {
+                continue;
+            }
+            if !path_matches(&file.path, &config.unsafe_allowed_files) {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: token.line,
+                    rule: RULE_UNSAFE_SAFETY,
+                    message: "`unsafe` outside the audited inventory files".to_string(),
+                    hint: "keep unsafe code in the audited hot spots, or extend \
+                           [rule.unsafe-safety] allowed_files in analyze.toml with a review"
+                        .to_string(),
+                });
+                continue;
+            }
+            let lb = config.unsafe_lookback;
+            if file.lexed.has_marker(token.line, lb, "SAFETY:")
+                || file.lexed.has_marker(token.line, lb, "# Safety")
+            {
+                continue;
+            }
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: token.line,
+                rule: RULE_UNSAFE_SAFETY,
+                message: "`unsafe` without an adjacent `// SAFETY:` justification".to_string(),
+                hint: "state the invariant that makes this sound in a `// SAFETY:` comment \
+                       directly above (or a `# Safety` doc section on an unsafe fn)"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}

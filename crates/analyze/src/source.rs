@@ -1,0 +1,236 @@
+//! Workspace walking and the per-file source model the rules consume.
+
+use crate::config::{path_matches, Config};
+use crate::lexer::{lex, Lexed, TokKind, Token};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// One lexed source file plus the derived facts every rule needs.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across
+    /// platforms — findings and config both use this form).
+    pub path: String,
+    pub lexed: Lexed,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` / `#[test]`
+    /// items.
+    pub test_regions: Vec<Range<u32>>,
+}
+
+impl SourceFile {
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|r| line >= r.start && line <= r.end)
+    }
+
+    pub fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+}
+
+/// Collects and lexes every `.rs` file under the configured include
+/// roots, skipping excluded prefixes. Files are returned sorted by
+/// path so findings are stable run to run.
+pub fn load_workspace(root: &Path, config: &Config) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for inc in &config.include {
+        let base = root.join(inc);
+        if base.is_file() {
+            files.push(base);
+        } else if base.is_dir() {
+            walk(&base, &mut files)?;
+        }
+        // A missing include root is tolerated: the fixture corpus and
+        // the real tree share this loader.
+    }
+    files.sort();
+    files.dedup();
+    let mut out = Vec::new();
+    for file in files {
+        let rel = relative(root, &file);
+        if path_matches(&rel, &config.exclude) {
+            continue;
+        }
+        let src = std::fs::read_to_string(&file)?;
+        let lexed = lex(&src);
+        let test_regions = find_test_regions(&lexed.tokens);
+        out.push(SourceFile {
+            path: rel,
+            lexed,
+            test_regions,
+        });
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Finds the line ranges of items annotated `#[cfg(test)]` (or
+/// `#[cfg(all(test, …))]`, or plain `#[test]`): attribute line through
+/// the closing brace (or terminating semicolon) of the annotated item.
+fn find_test_regions(tokens: &[Token]) -> Vec<Range<u32>> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokKind::Punct && tokens[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        let Some(open) = tokens.get(i + 1).filter(|t| t.text == "[") else {
+            i += 1;
+            continue;
+        };
+        let _ = open;
+        // Scan the attribute body to its matching `]`.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut is_test = false;
+        let mut saw_cfg = false;
+        let mut saw_not = false;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "[") => depth += 1,
+                (TokKind::Punct, "]") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                (TokKind::Ident, "cfg") => saw_cfg = true,
+                // `#[cfg(not(test))]` guards *non*-test code.
+                (TokKind::Ident, "not") => saw_not = true,
+                (TokKind::Ident, "test")
+                    // `#[test]` (the attribute itself) or `test` inside
+                    // a `cfg(…)` predicate.
+                    if ((saw_cfg && !saw_not) || j == i + 2) => {
+                        is_test = true;
+                    }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test {
+            i = j + 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Skip any further attributes stacked on the same item.
+        let mut k = j + 1;
+        while k + 1 < tokens.len() && tokens[k].text == "#" && tokens[k + 1].text == "[" {
+            let mut d = 0usize;
+            k += 1;
+            while k < tokens.len() {
+                match tokens[k].text.as_str() {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // Find the item body: the first `{` outside parens/brackets,
+        // unless a `;` ends the item first (e.g. `#[cfg(test)] use …;`).
+        let mut paren = 0isize;
+        let mut end_line = tokens.get(k).map_or(start_line, |t| t.line);
+        while k < tokens.len() {
+            let t = &tokens[k];
+            match t.text.as_str() {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                ";" if paren == 0 => {
+                    end_line = t.line;
+                    break;
+                }
+                "{" if paren == 0 => {
+                    // Match braces to the end of the item body.
+                    let mut braces = 0usize;
+                    while k < tokens.len() {
+                        match tokens[k].text.as_str() {
+                            "{" => braces += 1,
+                            "}" => {
+                                braces -= 1;
+                                if braces == 0 {
+                                    end_line = tokens[k].line;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        regions.push(start_line..end_line);
+        i = k + 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regions(src: &str) -> Vec<Range<u32>> {
+        find_test_regions(&lex(src).tokens)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_one_region() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        assert_eq!(regions(src), vec![2..5]);
+    }
+
+    #[test]
+    fn plain_test_attribute_and_stacked_attrs() {
+        let src = "#[test]\n#[should_panic]\nfn t() {\n  boom();\n}\n";
+        assert_eq!(regions(src), vec![1..5]);
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod m { }\n";
+        assert_eq!(regions(src), vec![1..2]);
+    }
+
+    #[test]
+    fn non_test_cfg_is_ignored() {
+        let src = "#[cfg(feature = \"simd\")]\nfn f() { x.unwrap(); }\n";
+        assert!(regions(src).is_empty());
+    }
+
+    #[test]
+    fn semicolon_items() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn real() {}\n";
+        assert_eq!(regions(src), vec![1..2]);
+    }
+}

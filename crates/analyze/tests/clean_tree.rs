@@ -1,0 +1,23 @@
+//! The gate on the gate: the real workspace tree must be clean under
+//! the real `analyze.toml`, so `--deny` in CI can never trip on a
+//! commit that passes the test suite.
+
+#![forbid(unsafe_code)]
+
+use kibamrm_analyze::analyze_root;
+use std::path::Path;
+
+#[test]
+fn workspace_tree_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = analyze_root(&root).expect("workspace analyzes");
+    assert!(
+        findings.is_empty(),
+        "the workspace must stay clean (fix the code or annotate with a reviewed escape):\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,14 @@
+//! Fixture: lossy `as` casts in a parser file.
+
+pub fn parse_len(header: u64) -> usize {
+    header as usize
+}
+
+pub fn narrow(v: u64) -> u32 {
+    v as u32
+}
+
+pub fn widen(v: u32) -> u64 {
+    // CAST-OK: u32 -> u64 widening never truncates.
+    v as u64
+}

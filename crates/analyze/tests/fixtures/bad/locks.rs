@@ -1,0 +1,36 @@
+//! Fixture: a seeded lock-order inversion (`a` → `b` in one function,
+//! `b` → `a` in another) and a re-entrant acquisition.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn reentrant(&self) -> u32 {
+        let first = self.a.lock().unwrap();
+        let second = self.a.lock().unwrap();
+        *first + *second
+    }
+
+    pub fn disciplined(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        drop(ga);
+        let gb = self.b.lock().unwrap();
+        *gb
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: panic-capable calls on an audited request path.
+
+pub fn by_unwrap(xs: &[i64]) -> i64 {
+    xs.first().copied().unwrap()
+}
+
+pub fn by_index(xs: &[i64]) -> i64 {
+    xs[1]
+}
+
+pub fn by_macro(xs: &[i64]) -> i64 {
+    if xs.len() < 3 {
+        panic!("too short");
+    }
+    // PANIC-OK: the length was checked two lines up.
+    xs[2]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_inside_tests_is_exempt() {
+        assert_eq!("3".parse::<i64>().unwrap(), 3);
+    }
+}

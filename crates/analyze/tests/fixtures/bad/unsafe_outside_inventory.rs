@@ -1,0 +1,8 @@
+//! Fixture: `unsafe` in a file outside the audited inventory — a
+//! justification comment does not help; the file itself is the
+//! violation.
+
+pub fn read_first(xs: &[u8]) -> u8 {
+    // SAFETY: documented, but this file is not in `allowed_files`.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,15 @@
+//! Fixture: `unsafe` inside the audited inventory but without an
+//! adjacent safety justification comment. (The marker itself cannot
+//! be spelled here: a comment is a comment to the lexer.)
+
+pub fn undocumented(xs: &[u8]) -> u8 {
+    let p = xs.as_ptr();
+    unsafe { *p }
+}
+
+pub fn documented(xs: &[u8]) -> u8 {
+    let p = xs.as_ptr();
+    // SAFETY: the fixture's caller contract guarantees `xs` is
+    // non-empty, so the pointer is valid for one read.
+    unsafe { *p }
+}

@@ -39,6 +39,8 @@
 //! assert!(life.is_some());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ideal;
 pub mod kibam;
 pub mod lifetime;

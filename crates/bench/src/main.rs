@@ -31,6 +31,8 @@
 //! check. The default settings match the paper's parameters exactly.
 //! Results are written as CSV under `--out` (default `results/`).
 
+#![forbid(unsafe_code)]
+
 mod experiments;
 mod json;
 

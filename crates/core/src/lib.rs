@@ -71,6 +71,8 @@
 //! assert!(dist.median().unwrap() > Time::from_hours(10.0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod builder;
 pub mod chaos;

@@ -702,10 +702,14 @@ impl Inner {
             return;
         }
         while self.cache_bytes + bytes > budget {
+            // DETERMINISM-OK: the minimum is taken over the total key
+            // (last_used, canonical bytes) — ticks are already unique,
+            // and the tie-break pins the victim even if they were not,
+            // so hash order cannot pick it.
             let Some(victim) = self
                 .cache
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by_key(|(k, e)| (e.last_used, k.as_slice()))
                 .map(|(k, _)| k.clone())
             else {
                 break;
@@ -841,6 +845,8 @@ impl LifetimeService {
             if inner.cache.contains_key(&key) {
                 let tick = inner.next_tick();
                 inner.hits += 1;
+                // PANIC-OK: the key was checked resident two lines up
+                // and the same lock guard has been held throughout.
                 let entry = inner.cache.get_mut(&key).expect("checked key");
                 entry.last_used = tick;
                 Admission::Hit(entry.dist.clone())
@@ -1222,11 +1228,16 @@ impl LifetimeService {
         let capacity = scenario.capacity();
         let mut inner = self.lock();
         let tick = inner.next_tick();
+        // DETERMINISM-OK: the maximum is taken over the total key
+        // (last_used, canonical bytes) — ticks are already unique, and
+        // the tie-break pins the chosen family curve even if they were
+        // not, so hash order cannot pick it.
         let entry = inner
             .cache
-            .values_mut()
-            .filter(|e| e.family == Some(family))
-            .max_by_key(|e| e.last_used)?;
+            .iter_mut()
+            .filter(|(_, e)| e.family == Some(family))
+            .max_by_key(|(k, e)| (e.last_used, k.as_slice()))
+            .map(|(_, e)| e)?;
         entry.last_used = tick;
         let dist = entry.dist.clone();
         let diag = *dist.diagnostics();
@@ -1292,10 +1303,14 @@ impl LifetimeService {
         // point of a live group.
         let state = Arc::new(Mutex::new(make(&self.config.options)?));
         while inner.warm.len() >= self.config.warm_capacity {
+            // DETERMINISM-OK: the minimum is taken over the total key
+            // (last_used, group key) — ticks are already unique, and
+            // the tie-break pins the victim even if they were not, so
+            // hash order cannot pick it.
             let Some(victim) = inner
                 .warm
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by_key(|(&k, e)| (e.last_used, k))
                 .map(|(&k, _)| k)
             else {
                 break;
@@ -1367,8 +1382,13 @@ impl LifetimeService {
     pub fn save_snapshot(&self, path: &Path) -> Result<SnapshotWriteReport, SnapshotError> {
         let entries: Vec<SnapshotEntry> = {
             let inner = self.lock();
+            // DETERMINISM-OK: the entries leave the hash map in
+            // arbitrary order but are immediately sorted by the total
+            // key (last_used, canonical bytes) — ticks are already
+            // unique, and the tie-break makes the snapshot bytes a
+            // pure function of the cache contents either way.
             let mut ordered: Vec<(&Vec<u8>, &CacheEntry)> = inner.cache.iter().collect();
-            ordered.sort_by_key(|(_, e)| e.last_used);
+            ordered.sort_by_key(|&(k, e)| (e.last_used, k.as_slice()));
             ordered
                 .into_iter()
                 .map(|(key, e)| SnapshotEntry {
@@ -1384,7 +1404,7 @@ impl LifetimeService {
                 })
                 .collect()
         };
-        let bytes = snapshot::encode(&entries);
+        let bytes = snapshot::encode(&entries)?;
         snapshot::write_atomic(path, &bytes)?;
         self.lock().snapshot_written += 1;
         Ok(SnapshotWriteReport {
@@ -2404,7 +2424,7 @@ mod tests {
         // scenario's grid: structurally valid, semantically wrong.
         let mut entries = snapshot::decode(&std::fs::read(&path).unwrap()).unwrap();
         entries[0].points[0].0 += 1.0;
-        snapshot::write_atomic(&path, &snapshot::encode(&entries)).unwrap();
+        snapshot::write_atomic(&path, &snapshot::encode(&entries).unwrap()).unwrap();
 
         let (revived, revived_solves) = counting_service(32 << 20);
         let load = revived.load_snapshot(&path);

@@ -94,6 +94,10 @@ pub enum SnapshotError {
         /// The version the file claims.
         found: u32,
     },
+    /// The in-memory entries cannot be represented in the format (a
+    /// length field overflows its wire width). The message says which
+    /// field.
+    Unencodable(String),
 }
 
 impl fmt::Display for SnapshotError {
@@ -105,6 +109,9 @@ impl fmt::Display for SnapshotError {
                 f,
                 "snapshot rejected: format version {found} (this build reads {VERSION})"
             ),
+            SnapshotError::Unencodable(msg) => {
+                write!(f, "snapshot unencodable: {msg}")
+            }
         }
     }
 }
@@ -234,6 +241,26 @@ impl<'a> Cursor<'a> {
     }
 }
 
+fn widen(v: usize) -> u64 {
+    // CAST-OK: usize is at most 64 bits on every supported target, so
+    // widening to u64 never truncates.
+    v as u64
+}
+
+fn small(v: u32) -> usize {
+    // CAST-OK: u32 -> usize is lossless on the >=32-bit targets this
+    // crate supports.
+    v as usize
+}
+
+/// A u64 count read from the wire, bounded by what fits in memory on
+/// this target. Hostile values larger than `usize::MAX` are a
+/// corruption, not a truncation.
+fn wire_count(v: u64, what: &str) -> Result<usize, SnapshotError> {
+    usize::try_from(v)
+        .map_err(|_| SnapshotError::Corrupt(format!("{what} {v} does not fit this target")))
+}
+
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
@@ -256,14 +283,22 @@ const DIAG_KNOWN: u8 =
     DIAG_STATES | DIAG_NONZEROS | DIAG_ITERATIONS | DIAG_DELTA | DIAG_RUNS | DIAG_HALF_WIDTH;
 
 /// Encodes `entries` into a complete snapshot file image (header
-/// included).
-pub fn encode(entries: &[SnapshotEntry]) -> Vec<u8> {
+/// included). Fails with [`SnapshotError::Unencodable`] when a length
+/// overflows its wire width — the same bound the reader enforces, so a
+/// file this function writes always decodes.
+pub fn encode(entries: &[SnapshotEntry]) -> Result<Vec<u8>, SnapshotError> {
+    let too_big =
+        |what: &str| SnapshotError::Unencodable(format!("{what} overflows its wire width"));
     let mut payload = Vec::new();
-    put_u32(&mut payload, entries.len() as u32);
+    let count = u32::try_from(entries.len()).map_err(|_| too_big("entry count"))?;
+    put_u32(&mut payload, count);
     for e in entries {
-        put_u32(&mut payload, e.scenario.len() as u32);
+        let scenario_len =
+            u32::try_from(e.scenario.len()).map_err(|_| too_big("scenario length"))?;
+        put_u32(&mut payload, scenario_len);
         payload.extend_from_slice(&e.scenario);
-        payload.extend_from_slice(&(e.method.len() as u16).to_le_bytes());
+        let method_len = u16::try_from(e.method.len()).map_err(|_| too_big("method length"))?;
+        payload.extend_from_slice(&method_len.to_le_bytes());
         payload.extend_from_slice(e.method.as_bytes());
         let d = &e.diagnostics;
         let mut mask = 0u8;
@@ -281,25 +316,26 @@ pub fn encode(entries: &[SnapshotEntry]) -> Vec<u8> {
         }
         payload.push(mask);
         if let Some(v) = d.states {
-            put_u64(&mut payload, v as u64);
+            put_u64(&mut payload, widen(v));
         }
         if let Some(v) = d.generator_nonzeros {
-            put_u64(&mut payload, v as u64);
+            put_u64(&mut payload, widen(v));
         }
         if let Some(v) = d.iterations {
-            put_u64(&mut payload, v as u64);
+            put_u64(&mut payload, widen(v));
         }
         if let Some(v) = d.delta {
             put_f64(&mut payload, v.as_coulombs());
         }
         if let Some(v) = d.runs {
-            put_u64(&mut payload, v as u64);
+            put_u64(&mut payload, widen(v));
         }
         if let Some(v) = d.half_width {
             put_f64(&mut payload, v);
         }
         put_f64(&mut payload, d.wall_seconds);
-        put_u32(&mut payload, e.points.len() as u32);
+        let n_points = u32::try_from(e.points.len()).map_err(|_| too_big("point count"))?;
+        put_u32(&mut payload, n_points);
         for &(t, p) in &e.points {
             put_f64(&mut payload, t);
             put_f64(&mut payload, p);
@@ -308,10 +344,10 @@ pub fn encode(entries: &[SnapshotEntry]) -> Vec<u8> {
     let mut file = Vec::with_capacity(HEADER_LEN + payload.len());
     file.extend_from_slice(&MAGIC);
     put_u32(&mut file, VERSION);
-    put_u64(&mut file, payload.len() as u64);
+    put_u64(&mut file, widen(payload.len()));
     put_u64(&mut file, fnv1a64(&payload));
     file.extend_from_slice(&payload);
-    file
+    Ok(file)
 }
 
 /// Decodes a complete snapshot file image. Rejects (never panics on)
@@ -334,7 +370,7 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<SnapshotEntry>, SnapshotError> {
     let length = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
     let checksum = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
     let payload = &bytes[HEADER_LEN..];
-    if length != payload.len() as u64 {
+    if length != widen(payload.len()) {
         return Err(SnapshotError::Corrupt(format!(
             "payload length mismatch: header says {length}, file carries {}",
             payload.len()
@@ -347,7 +383,7 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<SnapshotEntry>, SnapshotError> {
         bytes: payload,
         at: 0,
     };
-    let count = cur.u32("entry count")? as usize;
+    let count = small(cur.u32("entry count")?);
     if count > MAX_ENTRIES {
         return Err(SnapshotError::Corrupt(format!(
             "entry count {count} exceeds the cap {MAX_ENTRIES}"
@@ -355,14 +391,14 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<SnapshotEntry>, SnapshotError> {
     }
     let mut entries = Vec::new();
     for i in 0..count {
-        let scenario_len = cur.u32("scenario length")? as usize;
+        let scenario_len = small(cur.u32("scenario length")?);
         if scenario_len > MAX_SCENARIO_BYTES {
             return Err(SnapshotError::Corrupt(format!(
                 "entry {i}: scenario length {scenario_len} exceeds the cap"
             )));
         }
         let scenario = cur.take(scenario_len, "scenario text")?.to_vec();
-        let method_len = cur.u16("method length")? as usize;
+        let method_len = usize::from(cur.u16("method length")?);
         if method_len > MAX_METHOD_BYTES {
             return Err(SnapshotError::Corrupt(format!(
                 "entry {i}: method length {method_len} exceeds the cap"
@@ -378,25 +414,25 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<SnapshotEntry>, SnapshotError> {
         }
         let mut diagnostics = SolveDiagnostics::default();
         if mask & DIAG_STATES != 0 {
-            diagnostics.states = Some(cur.u64("states")? as usize);
+            diagnostics.states = Some(wire_count(cur.u64("states")?, "states")?);
         }
         if mask & DIAG_NONZEROS != 0 {
-            diagnostics.generator_nonzeros = Some(cur.u64("nonzeros")? as usize);
+            diagnostics.generator_nonzeros = Some(wire_count(cur.u64("nonzeros")?, "nonzeros")?);
         }
         if mask & DIAG_ITERATIONS != 0 {
-            diagnostics.iterations = Some(cur.u64("iterations")? as usize);
+            diagnostics.iterations = Some(wire_count(cur.u64("iterations")?, "iterations")?);
         }
         if mask & DIAG_DELTA != 0 {
             diagnostics.delta = Some(Charge::from_coulombs(cur.f64("delta")?));
         }
         if mask & DIAG_RUNS != 0 {
-            diagnostics.runs = Some(cur.u64("runs")? as usize);
+            diagnostics.runs = Some(wire_count(cur.u64("runs")?, "runs")?);
         }
         if mask & DIAG_HALF_WIDTH != 0 {
             diagnostics.half_width = Some(cur.f64("half width")?);
         }
         diagnostics.wall_seconds = cur.f64("wall seconds")?;
-        let n_points = cur.u32("point count")? as usize;
+        let n_points = small(cur.u32("point count")?);
         if n_points > MAX_POINTS {
             return Err(SnapshotError::Corrupt(format!(
                 "entry {i}: point count {n_points} exceeds the cap"
@@ -492,16 +528,16 @@ mod tests {
     #[test]
     fn round_trip_is_bit_exact() {
         let entries = sample_entries();
-        let file = encode(&entries);
+        let file = encode(&entries).unwrap();
         let back = decode(&file).unwrap();
         assert_eq!(back, entries);
         // Empty snapshots round-trip too.
-        assert_eq!(decode(&encode(&[])).unwrap(), vec![]);
+        assert_eq!(decode(&encode(&[]).unwrap()).unwrap(), vec![]);
     }
 
     #[test]
     fn every_truncation_is_rejected() {
-        let file = encode(&sample_entries());
+        let file = encode(&sample_entries()).unwrap();
         for len in 0..file.len() {
             let err = decode(&file[..len]).expect_err("truncation must reject");
             assert!(
@@ -513,7 +549,7 @@ mod tests {
 
     #[test]
     fn every_single_bit_flip_is_rejected() {
-        let file = encode(&sample_entries());
+        let file = encode(&sample_entries()).unwrap();
         for byte in 0..file.len() {
             for bit in 0..8 {
                 let mut flipped = file.clone();
@@ -528,7 +564,7 @@ mod tests {
 
     #[test]
     fn version_skew_is_typed() {
-        let mut file = encode(&sample_entries());
+        let mut file = encode(&sample_entries()).unwrap();
         file[8..12].copy_from_slice(&2u32.to_le_bytes());
         // The checksum does not cover the header, so skew is reported
         // as skew (not as corruption).

@@ -9,6 +9,8 @@
 //!   scenario in the variants the solver backends are cross-checked on
 //!   (see `tests/solver_agreement.rs` in this package).
 
+#![forbid(unsafe_code)]
+
 use kibamrm::scenario::Scenario;
 use kibamrm::workload::Workload;
 use units::{Charge, Rate, Time};

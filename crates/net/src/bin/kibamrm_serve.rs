@@ -17,6 +17,8 @@
 //! drain loses at most the queries since the last snapshot tick — never
 //! the snapshot file itself (writes are atomic).
 
+#![forbid(unsafe_code)]
+
 use kibamrm::service::{LifetimeService, ServiceConfig};
 use kibamrm::SolverRegistry;
 use kibamrm_net::{NetConfig, Server};

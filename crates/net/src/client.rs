@@ -106,8 +106,10 @@ pub fn read_response<R: Read>(stream: &mut R) -> std::io::Result<HttpResponse> {
         if n == 0 {
             return Err(bad("connection closed before response head"));
         }
+        // PANIC-OK: `Read` guarantees `n <= chunk.len()`.
         buffer.extend_from_slice(&chunk[..n]);
     };
+    // PANIC-OK: `head_end` is a `windows(4)` position inside `buffer`.
     let head = std::str::from_utf8(&buffer[..head_end]).map_err(|_| bad("head not UTF-8"))?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().ok_or_else(|| bad("empty head"))?;
@@ -138,12 +140,15 @@ pub fn read_response<R: Read>(stream: &mut R) -> std::io::Result<HttpResponse> {
         headers.push((name, value));
     }
     // Body: the leftover bytes plus the rest of the declared length.
+    // PANIC-OK: `head_end` is a `windows(4)` position, so
+    // `head_end + 4 <= buffer.len()`.
     let mut body = buffer[head_end + 4..].to_vec();
     while body.len() < content_length {
         let n = stream.read(&mut chunk)?;
         if n == 0 {
             return Err(bad("connection closed mid-body"));
         }
+        // PANIC-OK: `Read` guarantees `n <= chunk.len()`.
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);

@@ -171,12 +171,14 @@ pub fn read_request<R: Read>(stream: &mut R, limits: &HttpLimits) -> Result<Requ
     let mut chunk = [0u8; 4096];
     while body.len() < content_length {
         let want = (content_length - body.len()).min(chunk.len());
+        // PANIC-OK: `want` is clamped to `chunk.len()` one line up.
         match stream.read(&mut chunk[..want]) {
             Ok(0) => {
                 return Err(HttpError::Malformed(
                     "connection closed mid-body before Content-Length bytes".into(),
                 ))
             }
+            // PANIC-OK: `Read` guarantees `n <= chunk.len()`.
             Ok(n) => body.extend_from_slice(&chunk[..n]),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(io_error(e)),
@@ -211,6 +213,7 @@ fn read_head<R: Read>(
             });
         }
         let want = (limits.max_head_bytes - buf.len() + 4).min(chunk.len());
+        // PANIC-OK: `want` is clamped to `chunk.len()` one line up.
         match stream.read(&mut chunk[..want]) {
             Ok(0) => {
                 if buf.is_empty() {
@@ -218,6 +221,7 @@ fn read_head<R: Read>(
                 }
                 return Err(HttpError::Malformed("connection closed mid-head".into()));
             }
+            // PANIC-OK: `Read` guarantees `n <= chunk.len()`.
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(io_error(e)),

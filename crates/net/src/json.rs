@@ -132,7 +132,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.at += 1;
             Ok(())
@@ -159,6 +159,8 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        // PANIC-OK: `at` never exceeds `bytes.len()` (every advance is
+        // guarded by `peek`), so the range slice cannot panic.
         if self.bytes[self.at..].starts_with(word.as_bytes()) {
             self.at += word.len();
             Ok(value)
@@ -178,8 +180,14 @@ impl<'a> Parser<'a> {
         ) {
             self.at += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.at])
-            .expect("ASCII digits and signs are UTF-8");
+        // PANIC-OK: `start ≤ at ≤ bytes.len()` by construction of the
+        // scan loop above.
+        let slice = &self.bytes[start..self.at];
+        // The scanned bytes are ASCII digits/signs, but a typed error
+        // keeps even an impossible non-UTF-8 slice panic-free.
+        let Ok(text) = std::str::from_utf8(slice) else {
+            return Err(self.err("number is not UTF-8"));
+        };
         match text.parse::<f64>() {
             Ok(n) if n.is_finite() => Ok(Json::Number(n)),
             Ok(_) => Err(self.err("non-finite number")),
@@ -188,7 +196,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let Some(b) = self.peek() else {
@@ -251,7 +259,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -274,7 +282,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -285,7 +293,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             map.insert(key, value);
@@ -323,8 +331,8 @@ pub fn write_string(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+            c if u32::from(c) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", u32::from(c)));
             }
             c => out.push(c),
         }

@@ -44,6 +44,8 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod http;
 pub mod json;

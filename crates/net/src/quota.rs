@@ -78,17 +78,16 @@ impl QuotaLedger {
         }
         if !self.buckets.contains_key(client) {
             self.evict_if_full();
-            self.buckets.insert(
-                client.to_string(),
-                Bucket {
-                    tokens: self.burst,
-                    refreshed: now,
-                },
-            );
         }
         let rate = self.rate;
         let burst = self.burst;
-        let bucket = self.buckets.get_mut(client).expect("just inserted");
+        let bucket = self
+            .buckets
+            .entry(client.to_string())
+            .or_insert_with(|| Bucket {
+                tokens: burst,
+                refreshed: now,
+            });
         let elapsed = now
             .saturating_duration_since(bucket.refreshed)
             .as_secs_f64();

@@ -479,6 +479,8 @@ fn query_response(shared: &Shared, peer: &SocketAddr, request: &Request) -> Resp
             .counters
             .quota_refused
             .fetch_add(1, Ordering::Relaxed);
+        // CAST-OK: `ceil().max(1.0)` of a bounded retry window is a
+        // small positive integer-valued float, far inside u64 range.
         let secs = retry_after.as_secs_f64().ceil().max(1.0) as u64;
         return Response::json(
             429,
@@ -603,6 +605,7 @@ fn parse_query_body(body: &[u8]) -> Result<(Scenario, QueryOptions), String> {
             .as_f64()
             .filter(|v| v.is_finite() && *v >= 0.0 && *v <= 16.0 && v.fract() == 0.0)
             .ok_or_else(|| "\"retries\" must be an integer between 0 and 16".to_string())?;
+        // CAST-OK: the filter above pins `n` to an integer in 0..=16.
         options = options.with_retry(RetryPolicy::retries(n as u32));
     }
     Ok((scenario, options))
@@ -666,6 +669,12 @@ fn stats_response(shared: &Shared) -> Response {
     Response::json(200, stats_body(&service, &net, clients))
 }
 
+fn stat_u64(v: usize) -> u64 {
+    // CAST-OK: usize is at most 64 bits on every supported target, so
+    // widening to u64 never truncates.
+    v as u64
+}
+
 fn stats_body(s: &ServiceStats, n: &NetStats, quota_clients: usize) -> String {
     let mut out = String::from("{\"service\":{");
     let service_fields: &[(&str, u64)] = &[
@@ -686,10 +695,10 @@ fn stats_body(s: &ServiceStats, n: &NetStats, quota_clients: usize) -> String {
         ("snapshot_loaded", s.snapshot_loaded),
         ("snapshot_rejected", s.snapshot_rejected),
         ("snapshot_written", s.snapshot_written),
-        ("in_flight", s.in_flight as u64),
-        ("cached_entries", s.cached_entries as u64),
-        ("result_cache_bytes", s.result_cache_bytes as u64),
-        ("warm_entries", s.warm_entries as u64),
+        ("in_flight", stat_u64(s.in_flight)),
+        ("cached_entries", stat_u64(s.cached_entries)),
+        ("result_cache_bytes", stat_u64(s.result_cache_bytes)),
+        ("warm_entries", stat_u64(s.warm_entries)),
     ];
     for (i, (name, value)) in service_fields.iter().enumerate() {
         if i > 0 {

@@ -26,6 +26,8 @@
 //! assert!((root - 2f64.sqrt()).abs() < 1e-10);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod interp;
 pub mod linalg;
 pub mod ode;

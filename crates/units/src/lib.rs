@@ -23,6 +23,8 @@
 //! assert!((lifetime.as_hours() - 4.0).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod quantities;
 
 pub use quantities::{Charge, Current, Frequency, Rate, Time};
